@@ -1,0 +1,40 @@
+//! # appsim — latency-critical applications and the testbed
+//!
+//! The top of the simulation stack:
+//!
+//! * [`service`]: request service-time models for the paper's two
+//!   applications — memcached (µs-scale, SLO 1 ms) and nginx
+//!   (tens of µs, SLO 10 ms);
+//! * [`testbed`]: the full client ↔ NIC ↔ NAPI ↔ scheduler ↔ app
+//!   event machine, assembling `cpusim`, `netsim`, `napisim`,
+//!   `governors`, and `workload` into one runnable [`Testbed`].
+//!
+//! # Examples
+//!
+//! ```
+//! use appsim::{Testbed, TestbedConfig};
+//! use appsim::service::AppModel;
+//! use workload::{AppKind, LoadLevel, LoadSpec};
+//! use governors::{Performance, MenuPolicy};
+//! use simcore::{SimTime, SimDuration, Simulator};
+//!
+//! let cfg = TestbedConfig::new(
+//!     AppModel::memcached(),
+//!     LoadSpec::custom(20_000.0, SimDuration::from_millis(100), 0.4, 0.3),
+//! ).with_seed(7);
+//! let mut sim = Simulator::new();
+//! let mut tb = Testbed::new(
+//!     cfg,
+//!     Box::new(Performance::new()),
+//!     Box::new(MenuPolicy::new(8)),
+//!     &mut sim,
+//! );
+//! sim.run_until(&mut tb, SimTime::from_millis(200));
+//! assert!(tb.client.received() > 0);
+//! ```
+
+pub mod service;
+pub mod testbed;
+
+pub use service::AppModel;
+pub use testbed::{Testbed, TestbedConfig};

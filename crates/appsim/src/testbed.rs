@@ -1,0 +1,964 @@
+//! The full client ↔ server testbed: one event-driven world tying
+//! together the NIC, the NAPI stack, the per-core scheduler, the
+//! application threads, the DVFS/C-state hardware, and the governors.
+//!
+//! # Event flow
+//!
+//! ```text
+//! client send ──link──▶ NIC Rx ring ──IRQ (ITR-moderated)──▶ core
+//!   wake from C-state → hardirq → NAPI softirq poll loop
+//!     → (budget/2-jiffy/10-iteration overrun) → ksoftirqd
+//!   poll batches → per-core socket backlog → app thread (round-robin
+//!   with ksoftirqd) → service cycles at current V/F → Tx ──link──▶
+//! client receive (end-to-end latency recorded)
+//! ```
+//!
+//! Governor hooks fire exactly where the paper's mechanisms live:
+//! per poll batch (NMAP's monitor), on ksoftirqd wake/sleep
+//! (NMAP-simpl), per sampling tick (ondemand/intel_pstate/NCAP), and
+//! per completed request (Parties).
+
+use crate::service::AppModel;
+use cpusim::dvfs::{CompletionResult, TransitionOutcome};
+use cpusim::power::CoreActivity;
+use cpusim::{CoreId, DvfsScope, Processor, ProcessorProfile, PState};
+use governors::{Action, PStateGovernor, SleepPolicy};
+use napisim::{NapiContext, PollClass, PollVerdict, ProcContext, RunQueue, StackParams, TaskId};
+use netsim::nic::PollResult;
+use netsim::{LinkModel, Nic, NicConfig, Packet, QueueId};
+use simcore::{EventLog, RngStream, SimDuration, SimTime, Simulator};
+use std::collections::VecDeque;
+use workload::{ArrivalProcess, BurstyArrivals, Client, LoadSpec};
+
+/// Everything needed to assemble a [`Testbed`].
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// The processor model (default: Xeon Gold 6134).
+    pub profile: ProcessorProfile,
+    /// Per-core or chip-wide DVFS (default: per-core, §6.1).
+    pub scope: DvfsScope,
+    /// The application under test.
+    pub app: AppModel,
+    /// The offered load.
+    pub load: LoadSpec,
+    /// Kernel network-stack parameters.
+    pub stack: StackParams,
+    /// Client-server link model.
+    pub link: LinkModel,
+    /// Number of client connections (flows) — RSS spreads these.
+    pub flows: u64,
+    /// Master RNG seed; same seed → bit-identical run.
+    pub seed: u64,
+}
+
+/// The kernel-stack cost profile for an application's traffic mix.
+///
+/// memcached's small UDP/TCP datagrams cost the Linux defaults;
+/// nginx's mix (MTU-sized segments, TSO bookkeeping, 36 KB skb
+/// chains) costs markedly more per descriptor — in real nginx
+/// serving, kernel time rivals user time per request.
+pub fn stack_for(kind: workload::AppKind) -> StackParams {
+    match kind {
+        workload::AppKind::Memcached => StackParams::linux_defaults(),
+        workload::AppKind::Nginx => StackParams {
+            rx_pkt_cycles: 7_000,
+            tx_clean_cycles: 2_000,
+            ..StackParams::linux_defaults()
+        },
+    }
+}
+
+impl TestbedConfig {
+    /// The paper's default testbed around `app` and `load`.
+    pub fn new(app: AppModel, load: LoadSpec) -> Self {
+        TestbedConfig {
+            profile: ProcessorProfile::xeon_gold_6134(),
+            scope: DvfsScope::PerCore,
+            stack: stack_for(app.kind),
+            app,
+            load,
+            link: LinkModel::ten_gbe(),
+            flows: 320,
+            seed: 42,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the processor profile.
+    pub fn with_profile(mut self, profile: ProcessorProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Overrides the DVFS scope (chip-wide ablation).
+    pub fn with_scope(mut self, scope: DvfsScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Overrides the stack parameters.
+    pub fn with_stack(mut self, stack: StackParams) -> Self {
+        self.stack = stack;
+        self
+    }
+}
+
+/// What a core is currently executing.
+enum RunKind {
+    /// Interrupt entry + NAPI schedule.
+    HardIrq { q: QueueId },
+    /// One NAPI poll batch (descriptors already claimed from the NIC).
+    Poll { ctx: ProcContext, batch: PollResult },
+    /// One application request.
+    App { pkt: Packet },
+}
+
+struct Running {
+    kind: RunKind,
+    seq: u64,
+    done_ev: simcore::EventId,
+    done_at: SimTime,
+}
+
+struct PreemptedApp {
+    pkt: Packet,
+    remaining_cycles: u64,
+}
+
+struct ExecState {
+    running: Option<Running>,
+    preempted: Option<PreemptedApp>,
+    quantum_started: SimTime,
+    /// CC6 cache-refill time owed to the next execution.
+    cache_debt: SimDuration,
+    seq: u64,
+}
+
+impl ExecState {
+    fn new() -> Self {
+        ExecState {
+            running: None,
+            preempted: None,
+            quantum_started: SimTime::ZERO,
+            cache_debt: SimDuration::ZERO,
+            seq: 0,
+        }
+    }
+}
+
+/// The simulation world: a complete server plus its client.
+pub struct Testbed {
+    /// Processor (cores, DVFS domains, energy accounting).
+    pub processor: Processor,
+    /// The multi-queue NIC.
+    pub nic: Nic,
+    /// Per-core NAPI contexts (one queue per core).
+    pub napi: Vec<NapiContext>,
+    /// The load-generating, latency-measuring client.
+    pub client: Client,
+    /// The V/F governor under test.
+    pub governor: Box<dyn PStateGovernor>,
+    /// The sleep policy under test.
+    pub sleep: Box<dyn SleepPolicy>,
+    /// Per-core ksoftirqd wake (`true`) / sleep (`false`) marks.
+    pub ksoftirqd_log: Vec<EventLog<bool>>,
+    /// Optional per-poll-batch observer (threshold profiling).
+    #[allow(clippy::type_complexity)]
+    pub poll_observer: Option<Box<dyn FnMut(CoreId, PollClass, u64, SimTime)>>,
+
+    profile: ProcessorProfile,
+    app: AppModel,
+    stack: StackParams,
+    link: LinkModel,
+    scope: DvfsScope,
+    arrivals: BurstyArrivals,
+    runqueues: Vec<RunQueue>,
+    exec: Vec<ExecState>,
+    backlog: Vec<VecDeque<Packet>>,
+    core_idle: Vec<bool>,
+    /// When each core last went idle, and an epoch counter so stale
+    /// sleep-tick events die (bumped on every idle entry and wake).
+    idle_since: Vec<SimTime>,
+    idle_epoch: Vec<u64>,
+    rng_arrival: RngStream,
+    rng_client: RngStream,
+    rng_service: RngStream,
+    rng_dvfs: RngStream,
+    rng_wake: RngStream,
+    nic_window_rx: u64,
+    send_horizon: SimTime,
+    /// Generation counter for the arrival chain: bumping it kills the
+    /// previously scheduled send chain (used by [`switch_load`]).
+    ///
+    /// [`switch_load`]: Testbed::switch_load
+    arrival_gen: u64,
+    measure_start: SimTime,
+    measure_start_energy: f64,
+    actions: Vec<Action>,
+}
+
+impl Testbed {
+    /// Builds the world and schedules its initial events (first client
+    /// send, first governor sampling tick).
+    pub fn new(
+        config: TestbedConfig,
+        governor: Box<dyn PStateGovernor>,
+        sleep: Box<dyn SleepPolicy>,
+        sim: &mut Simulator<Testbed>,
+    ) -> Self {
+        let cores = config.profile.cores;
+        let processor = Processor::new(config.profile.clone(), config.scope);
+        let nic = Nic::new(NicConfig::intel_82599(cores));
+        let arrivals = config.load.arrivals();
+        let seed = config.seed;
+        let mut tb = Testbed {
+            processor,
+            nic,
+            napi: (0..cores).map(|_| NapiContext::new(config.stack)).collect(),
+            client: Client::new(config.flows, config.app.request_size),
+            governor,
+            sleep,
+            ksoftirqd_log: (0..cores).map(|_| EventLog::new()).collect(),
+            poll_observer: None,
+            profile: config.profile.clone(),
+            app: config.app,
+            stack: config.stack,
+            link: config.link,
+            scope: config.scope,
+            arrivals,
+            runqueues: (0..cores).map(|_| RunQueue::new()).collect(),
+            exec: (0..cores).map(|_| ExecState::new()).collect(),
+            backlog: (0..cores).map(|_| VecDeque::new()).collect(),
+            core_idle: vec![false; cores],
+            idle_since: vec![SimTime::ZERO; cores],
+            idle_epoch: vec![0; cores],
+            rng_arrival: RngStream::derive(seed, "arrival", 0),
+            rng_client: RngStream::derive(seed, "client", 0),
+            rng_service: RngStream::derive(seed, "service", 0),
+            rng_dvfs: RngStream::derive(seed, "dvfs", 0),
+            rng_wake: RngStream::derive(seed, "wake", 0),
+            nic_window_rx: 0,
+            send_horizon: SimTime::MAX,
+            arrival_gen: 0,
+            measure_start: SimTime::ZERO,
+            measure_start_energy: 0.0,
+            actions: Vec::new(),
+        };
+        // All cores start idle under the sleep policy.
+        for i in 0..cores {
+            tb.core_idle[i] = false; // force the transition below
+            tb.go_idle(sim, CoreId(i));
+        }
+        // First arrival.
+        let mut rng = tb.rng_arrival.clone();
+        if let Some(t) = tb.arrivals.next_after(SimTime::ZERO, &mut rng) {
+            sim.schedule_at(t, |w, sim| w.ev_client_send(sim, 0));
+        }
+        tb.rng_arrival = rng;
+        // Governor sampling tick.
+        let interval = tb.governor.sampling_interval();
+        sim.schedule_at(SimTime::ZERO + interval, |w, sim| w.ev_sample_tick(sim));
+        tb
+    }
+
+    /// The processor profile in use.
+    pub fn profile(&self) -> &ProcessorProfile {
+        &self.profile
+    }
+
+    /// The application model in use.
+    pub fn app(&self) -> &AppModel {
+        &self.app
+    }
+
+    /// Stops generating new requests after `t` (drain at run end).
+    pub fn stop_sends_at(&mut self, t: SimTime) {
+        self.send_horizon = t;
+    }
+
+    /// Marks the start of the measured interval: clears client
+    /// statistics and anchors the energy counter (run after warm-up).
+    pub fn begin_measurement(&mut self, now: SimTime) {
+        self.client.reset_stats();
+        self.measure_start = now;
+        self.measure_start_energy = self.processor.package_energy_joules(now);
+    }
+
+    /// Package energy consumed since `begin_measurement`, in joules.
+    pub fn measured_energy(&mut self, now: SimTime) -> f64 {
+        self.processor.package_energy_joules(now) - self.measure_start_energy
+    }
+
+    /// Length of the measured interval so far.
+    pub fn measured_duration(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.measure_start)
+    }
+
+    // ------------------------------------------------------------------
+    // Client events
+    // ------------------------------------------------------------------
+
+    fn ev_client_send(&mut self, sim: &mut Simulator<Testbed>, gen: u64) {
+        let now = sim.now();
+        if gen != self.arrival_gen || now > self.send_horizon {
+            return; // stale chain (load switched) or run winding down
+        }
+        let pkt = self.client.build_request(now, &mut self.rng_client);
+        let delay = self.link.delay(&pkt);
+        sim.schedule_in(delay, move |w, sim| w.ev_server_rx(sim, pkt));
+        let mut rng = self.rng_arrival.clone();
+        if let Some(t) = self.arrivals.next_after(now, &mut rng) {
+            if t <= self.send_horizon {
+                sim.schedule_at(t, move |w, sim| w.ev_client_send(sim, gen));
+            }
+        }
+        self.rng_arrival = rng;
+    }
+
+    /// Switches the offered load mid-run (Fig 16's varying-load
+    /// workload). The old arrival chain dies; a fresh chain starts
+    /// from the new spec immediately.
+    pub fn switch_load(&mut self, sim: &mut Simulator<Testbed>, load: LoadSpec) {
+        let now = sim.now();
+        self.arrivals = load.arrivals();
+        self.arrival_gen += 1;
+        let gen = self.arrival_gen;
+        let mut rng = self.rng_arrival.clone();
+        if let Some(t) = self.arrivals.next_after(now, &mut rng) {
+            if t <= self.send_horizon {
+                sim.schedule_at(t, move |w, sim| w.ev_client_send(sim, gen));
+            }
+        }
+        self.rng_arrival = rng;
+    }
+
+    fn ev_client_recv(&mut self, sim: &mut Simulator<Testbed>, pkt: Packet) {
+        let now = sim.now();
+        let latency = self.client.on_response(&pkt, now);
+        let mut actions = std::mem::take(&mut self.actions);
+        self.governor.on_request_latency(latency, now, &mut actions);
+        self.apply_actions(sim, &mut actions);
+        self.actions = actions;
+    }
+
+    // ------------------------------------------------------------------
+    // NIC events
+    // ------------------------------------------------------------------
+
+    fn ev_server_rx(&mut self, sim: &mut Simulator<Testbed>, pkt: Packet) {
+        let now = sim.now();
+        let q = self.nic.rss_queue(pkt.flow);
+        // The request plus its TCP companion packets (ACKs): all cost
+        // kernel processing, only the request reaches the application.
+        for i in 0..self.app.rx_packets_per_request {
+            let wire = if i == 0 { pkt } else { Packet::ack_on(&pkt) };
+            let out = self.nic.enqueue_rx(q, wire, now);
+            if out.accepted {
+                self.nic_window_rx += 1;
+            }
+            if let Some(t) = out.irq_at {
+                sim.schedule_at(t, move |w, sim| w.ev_irq_fire(sim, q));
+            }
+        }
+    }
+
+    fn ev_irq_fire(&mut self, sim: &mut Simulator<Testbed>, q: QueueId) {
+        let now = sim.now();
+        if !self.nic.irq_fired(q, now) {
+            return; // vector masked while the IRQ was in flight
+        }
+        // The hardirq handler's first action: mask the vector (NAPI).
+        self.nic.disable_irq(q);
+        let core = CoreId(q.0);
+        if self.core_idle[core.0] {
+            let cost = self
+                .processor
+                .core_mut(core)
+                .wake(now, &self.profile, &mut self.rng_wake);
+            self.sleep.on_wake(core, now);
+            self.core_idle[core.0] = false;
+            self.idle_epoch[core.0] += 1; // kill pending sleep ticks
+            self.exec[core.0].cache_debt += cost.cache_refill;
+            if !cost.latency.is_zero() {
+                // During the wake transition the core is not executing
+                // (voltage/PLL ramp): it idles in CC0 until the
+                // hardirq can run.
+                sim.schedule_in(cost.latency, move |w, sim| w.begin_hardirq(sim, core, q));
+                return;
+            }
+            self.begin_hardirq(sim, core, q);
+            return;
+        }
+        // Preempt an in-flight application chunk (hardirq outranks
+        // threads). Poll/HardIrq cannot be running here: the vector is
+        // masked for their whole lifetime.
+        if let Some(running) = self.exec[core.0].running.take() {
+            match running.kind {
+                RunKind::App { pkt } => {
+                    sim.cancel(running.done_ev);
+                    let remaining_wall = running.done_at.saturating_since(now);
+                    let remaining_cycles = self
+                        .processor
+                        .core(core)
+                        .duration_to_cycles(remaining_wall, &self.profile)
+                        .max(1);
+                    self.exec[core.0].preempted = Some(PreemptedApp {
+                        pkt,
+                        remaining_cycles,
+                    });
+                }
+                _ => unreachable!("IRQ delivered while the vector owner was running"),
+            }
+        }
+        self.begin_hardirq(sim, core, q);
+    }
+
+    /// Starts the interrupt handler on an awake, execution-free core.
+    fn begin_hardirq(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, q: QueueId) {
+        let cycles = self.stack.hardirq_cycles;
+        self.start_exec(sim, core, RunKind::HardIrq { q }, cycles, SimDuration::ZERO);
+    }
+
+    // ------------------------------------------------------------------
+    // Core execution machinery
+    // ------------------------------------------------------------------
+
+    /// Begins an execution chunk of `cycles` on `core`, optionally
+    /// delayed by `extra_delay` (wake-up latency). Any pending CC6
+    /// cache-refill debt is paid here.
+    fn start_exec(
+        &mut self,
+        sim: &mut Simulator<Testbed>,
+        core: CoreId,
+        kind: RunKind,
+        cycles: u64,
+        extra_delay: SimDuration,
+    ) {
+        let now = sim.now();
+        debug_assert!(self.exec[core.0].running.is_none(), "core already executing");
+        let debt = std::mem::replace(&mut self.exec[core.0].cache_debt, SimDuration::ZERO);
+        {
+            let c = self.processor.core_mut(core);
+            c.set_busy(true, now, &self.profile);
+        }
+        let work = self
+            .processor
+            .core(core)
+            .cycles_to_duration(cycles, &self.profile);
+        let dur = work + debt + extra_delay;
+        self.exec[core.0].seq += 1;
+        let seq = self.exec[core.0].seq;
+        let done_at = now + dur;
+        let done_ev = sim.schedule_at(done_at, move |w, sim| w.ev_exec_done(sim, core, seq));
+        self.exec[core.0].running = Some(Running {
+            kind,
+            seq,
+            done_ev,
+            done_at,
+        });
+    }
+
+    fn ev_exec_done(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, seq: u64) {
+        let Some(running) = self.exec[core.0].running.take() else {
+            return;
+        };
+        if running.seq != seq {
+            // Stale completion (superseded by preemption/rescale).
+            self.exec[core.0].running = Some(running);
+            return;
+        }
+        match running.kind {
+            RunKind::HardIrq { q } => self.finish_hardirq(sim, core, q),
+            RunKind::Poll { ctx, batch } => self.finish_poll(sim, core, ctx, batch),
+            RunKind::App { pkt } => self.finish_app(sim, core, pkt),
+        }
+    }
+
+    fn finish_hardirq(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, _q: QueueId) {
+        let now = sim.now();
+        self.napi[core.0].on_irq(now);
+        self.start_poll(sim, core, ProcContext::SoftIrq);
+    }
+
+    fn start_poll(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, ctx: ProcContext) {
+        let q = QueueId(core.0);
+        let batch = self.nic.poll(q, self.stack.napi_weight);
+        let cycles = self.stack.poll_batch_cycles(batch.rx.len(), batch.tx_cleaned);
+        self.start_exec(sim, core, RunKind::Poll { ctx, batch }, cycles, SimDuration::ZERO);
+    }
+
+    fn finish_poll(
+        &mut self,
+        sim: &mut Simulator<Testbed>,
+        core: CoreId,
+        ctx: ProcContext,
+        batch: PollResult,
+    ) {
+        let now = sim.now();
+        let q = QueueId(core.0);
+        let rx_n = batch.rx.len();
+        let tx_n = batch.tx_cleaned;
+        // Deliver request packets to the socket backlog (ACK-class
+        // packets end at the transport layer); the app thread wakes.
+        let mut delivered = false;
+        for pkt in batch.rx {
+            if pkt.kind == netsim::PacketKind::Request {
+                self.backlog[core.0].push_back(pkt);
+                delivered = true;
+            }
+        }
+        if delivered {
+            self.runqueues[core.0].make_runnable(TaskId::App(0));
+        }
+        // NAPI re-checks the rings after the poll.
+        let drained = !self.nic.has_work(q);
+        // Resched pending: a thread (the app worker) is waiting on
+        // this core — §2.1's third handoff condition.
+        let resched = !self.backlog[core.0].is_empty();
+        let outcome = self.napi[core.0].record_poll(rx_n, tx_n, drained, resched, ctx, now);
+        if let Some(observer) = self.poll_observer.as_mut() {
+            observer(core, outcome.class, rx_n as u64, now);
+        }
+        let mut actions = std::mem::take(&mut self.actions);
+        self.governor
+            .on_poll_batch(core, outcome.class, rx_n as u64, now, &mut actions);
+        self.apply_actions(sim, &mut actions);
+        self.actions = actions;
+
+        match outcome.verdict {
+            PollVerdict::Complete => {
+                if let Some(t) = self.nic.enable_irq(q, now) {
+                    sim.schedule_at(t, move |w, sim| w.ev_irq_fire(sim, q));
+                }
+                if ctx == ProcContext::Ksoftirqd {
+                    self.note_ksoftirqd(sim, core, false);
+                    self.runqueues[core.0].block_current();
+                }
+                self.dispatch(sim, core);
+            }
+            PollVerdict::Continue => match ctx {
+                ProcContext::SoftIrq => self.start_poll(sim, core, ctx),
+                ProcContext::Ksoftirqd => {
+                    if self.quantum_expired(core, now) {
+                        self.runqueues[core.0].requeue_current();
+                        self.dispatch(sim, core);
+                    } else {
+                        self.start_poll(sim, core, ctx);
+                    }
+                }
+            },
+            PollVerdict::Handoff => {
+                self.napi[core.0].ksoftirqd_takeover();
+                self.note_ksoftirqd(sim, core, true);
+                self.runqueues[core.0].make_runnable(TaskId::Ksoftirqd);
+                self.dispatch(sim, core);
+            }
+        }
+    }
+
+    fn note_ksoftirqd(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, awake: bool) {
+        let now = sim.now();
+        self.ksoftirqd_log[core.0].push(now, awake);
+        let mut actions = std::mem::take(&mut self.actions);
+        self.governor.on_ksoftirqd(core, awake, now, &mut actions);
+        self.apply_actions(sim, &mut actions);
+        self.actions = actions;
+    }
+
+    fn start_app_next(&mut self, sim: &mut Simulator<Testbed>, core: CoreId) {
+        let pkt = self.backlog[core.0]
+            .pop_front()
+            .expect("start_app_next with empty backlog");
+        let cycles = self.app.sample_service_cycles(&mut self.rng_service);
+        self.start_exec(sim, core, RunKind::App { pkt }, cycles, SimDuration::ZERO);
+    }
+
+    fn finish_app(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, pkt: Packet) {
+        let now = sim.now();
+        let resp = Packet::response_to(&pkt, self.app.response_size);
+        let q = QueueId(core.0);
+        let segments = self.app.tx_segments_per_response as usize;
+        if let Some(t) = self.nic.enqueue_tx_with_completions(q, &resp, segments, now) {
+            sim.schedule_at(t, move |w, sim| w.ev_irq_fire(sim, q));
+        }
+        let delay = self.link.delay(&resp);
+        sim.schedule_in(delay, move |w, sim| w.ev_client_recv(sim, resp));
+
+        let more_work = !self.backlog[core.0].is_empty();
+        if more_work && !self.quantum_expired(core, now) {
+            self.start_app_next(sim, core);
+            return;
+        }
+        if more_work {
+            self.runqueues[core.0].requeue_current();
+        } else {
+            self.runqueues[core.0].block_current();
+        }
+        self.dispatch(sim, core);
+    }
+
+    fn quantum_expired(&self, core: CoreId, now: SimTime) -> bool {
+        self.runqueues[core.0].len() > 1
+            && now.saturating_since(self.exec[core.0].quantum_started) >= self.stack.sched_quantum
+    }
+
+    /// Picks what runs next on an execution-free core.
+    fn dispatch(&mut self, sim: &mut Simulator<Testbed>, core: CoreId) {
+        let now = sim.now();
+        debug_assert!(self.exec[core.0].running.is_none());
+        // A preempted application chunk resumes first: its task still
+        // owns the thread slot.
+        if let Some(pa) = self.exec[core.0].preempted.take() {
+            self.start_exec(
+                sim,
+                core,
+                RunKind::App { pkt: pa.pkt },
+                pa.remaining_cycles,
+                SimDuration::ZERO,
+            );
+            return;
+        }
+        loop {
+            if self.runqueues[core.0].current().is_none() {
+                if self.runqueues[core.0].pick_next().is_none() {
+                    self.go_idle(sim, core);
+                    return;
+                }
+                self.exec[core.0].quantum_started = now;
+            }
+            match self.runqueues[core.0].current().expect("just picked") {
+                TaskId::App(_) => {
+                    if self.backlog[core.0].is_empty() {
+                        self.runqueues[core.0].block_current();
+                        continue;
+                    }
+                    self.start_app_next(sim, core);
+                    return;
+                }
+                TaskId::Ksoftirqd => {
+                    if self.napi[core.0].is_active() && self.napi[core.0].ksoftirqd_running() {
+                        self.start_poll(sim, core, ProcContext::Ksoftirqd);
+                        return;
+                    }
+                    // Spurious wake (work already drained by softirq).
+                    self.runqueues[core.0].block_current();
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn go_idle(&mut self, sim: &mut Simulator<Testbed>, core: CoreId) {
+        let now = sim.now();
+        if self.core_idle[core.0] {
+            return;
+        }
+        {
+            let c = self.processor.core_mut(core);
+            c.set_busy(false, now, &self.profile);
+        }
+        self.core_idle[core.0] = true;
+        self.idle_since[core.0] = now;
+        self.idle_epoch[core.0] += 1;
+        let state = self.sleep.on_idle(core, now);
+        if state.is_sleep() {
+            self.processor
+                .core_mut(core)
+                .enter_sleep(state, now, &self.profile);
+        }
+        // cpuidle re-decides at scheduler ticks: a shallow pick can be
+        // promoted once the idle proves long.
+        let epoch = self.idle_epoch[core.0];
+        sim.schedule_in(self.stack.jiffy, move |w, sim| w.ev_sleep_tick(sim, core, epoch));
+    }
+
+    fn ev_sleep_tick(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, epoch: u64) {
+        if !self.core_idle[core.0] || self.idle_epoch[core.0] != epoch {
+            return; // the core woke meanwhile
+        }
+        let now = sim.now();
+        let elapsed = now.saturating_since(self.idle_since[core.0]);
+        if let Some(state) = self.sleep.on_tick(core, elapsed, now) {
+            if state > self.processor.core(core).cstate() {
+                self.processor
+                    .core_mut(core)
+                    .enter_sleep(state, now, &self.profile);
+            }
+        }
+        sim.schedule_in(self.stack.jiffy, move |w, sim| w.ev_sleep_tick(sim, core, epoch));
+    }
+
+    // ------------------------------------------------------------------
+    // Governor plumbing
+    // ------------------------------------------------------------------
+
+    fn ev_sample_tick(&mut self, sim: &mut Simulator<Testbed>) {
+        let now = sim.now();
+        let mut actions = std::mem::take(&mut self.actions);
+        for i in 0..self.processor.num_cores() {
+            let core = CoreId(i);
+            let sample = self.processor.core_mut(core).take_sample(now, &self.profile);
+            self.governor.on_core_sample(core, sample, now, &mut actions);
+        }
+        let rx = std::mem::take(&mut self.nic_window_rx);
+        self.governor.on_nic_window(rx, now, &mut actions);
+        self.apply_actions(sim, &mut actions);
+        self.actions = actions;
+        let interval = self.governor.sampling_interval();
+        sim.schedule_in(interval, |w, sim| w.ev_sample_tick(sim));
+    }
+
+    fn apply_actions(&mut self, sim: &mut Simulator<Testbed>, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
+            match action {
+                Action::SetCore(core, p) => self.request_pstate(sim, core, p),
+                Action::SetAll(p) => {
+                    for i in 0..self.processor.num_cores() {
+                        self.request_pstate(sim, CoreId(i), p);
+                    }
+                }
+            }
+        }
+    }
+
+    fn request_pstate(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, p: PState) {
+        let now = sim.now();
+        if let TransitionOutcome::Started { completes_at, token } =
+            self.processor.request_pstate(core, p, now, &mut self.rng_dvfs)
+        {
+            sim.schedule_at(completes_at, move |w, sim| w.ev_dvfs_done(sim, core, token));
+        }
+    }
+
+    fn ev_dvfs_done(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, token: u64) {
+        let now = sim.now();
+        let affected: Vec<CoreId> = match self.scope {
+            DvfsScope::PerCore => vec![core],
+            DvfsScope::ChipWide => (0..self.processor.num_cores()).map(CoreId).collect(),
+        };
+        let old_freqs: Vec<u64> = affected
+            .iter()
+            .map(|&c| self.processor.core(c).frequency_hz(&self.profile))
+            .collect();
+        match self
+            .processor
+            .complete_pstate(core, token, now, &mut self.rng_dvfs)
+        {
+            CompletionResult::Stale => return,
+            CompletionResult::Settled { .. } => {}
+            CompletionResult::FollowUp {
+                completes_at,
+                token: next_token,
+                ..
+            } => {
+                sim.schedule_at(completes_at, move |w, sim| {
+                    w.ev_dvfs_done(sim, core, next_token)
+                });
+            }
+        }
+        for (&c, &old) in affected.iter().zip(&old_freqs) {
+            self.rescale_exec(sim, c, old);
+        }
+    }
+
+    /// Re-times the in-flight execution chunk after a frequency change.
+    fn rescale_exec(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, old_freq: u64) {
+        let now = sim.now();
+        let new_freq = self.processor.core(core).frequency_hz(&self.profile);
+        if new_freq == old_freq {
+            return;
+        }
+        let Some(running) = self.exec[core.0].running.as_mut() else {
+            return;
+        };
+        let remaining_wall = running.done_at.saturating_since(now);
+        if remaining_wall.is_zero() {
+            return;
+        }
+        let remaining_cycles =
+            (remaining_wall.as_nanos() as u128 * old_freq as u128) / 1_000_000_000;
+        let new_wall = SimDuration::from_nanos(
+            ((remaining_cycles * 1_000_000_000) / new_freq as u128) as u64,
+        );
+        sim.cancel(running.done_ev);
+        self.exec[core.0].seq += 1;
+        let seq = self.exec[core.0].seq;
+        let done_at = now + new_wall;
+        let done_ev = sim.schedule_at(done_at, move |w, sim| w.ev_exec_done(sim, core, seq));
+        let running = self.exec[core.0].running.as_mut().expect("checked above");
+        running.seq = seq;
+        running.done_ev = done_ev;
+        running.done_at = done_at;
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for experiments
+    // ------------------------------------------------------------------
+
+    /// Current CC0-activity snapshot of a core (test helper).
+    pub fn core_activity(&self, core: CoreId) -> CoreActivity {
+        let c = self.processor.core(core);
+        if c.is_busy() {
+            CoreActivity::Busy
+        } else {
+            CoreActivity::idle_in(c.cstate())
+        }
+    }
+
+    /// Total packets delivered to application backlogs still waiting.
+    pub fn total_backlog(&self) -> usize {
+        self.backlog.iter().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use governors::{MenuPolicy, Ondemand, Performance};
+
+    fn small_load(rps: f64) -> LoadSpec {
+        LoadSpec::custom(rps, SimDuration::from_millis(100), 0.4, 0.3)
+    }
+
+    fn build(
+        rps: f64,
+        governor: Box<dyn PStateGovernor>,
+    ) -> (Simulator<Testbed>, Testbed) {
+        let cfg = TestbedConfig::new(AppModel::memcached(), small_load(rps)).with_seed(123);
+        let cores = cfg.profile.cores;
+        let mut sim = Simulator::new();
+        let tb = Testbed::new(cfg, governor, Box::new(MenuPolicy::new(cores)), &mut sim);
+        (sim, tb)
+    }
+
+    #[test]
+    fn requests_flow_end_to_end() {
+        let (mut sim, mut tb) = build(20_000.0, Box::new(Performance::new()));
+        sim.run_until(&mut tb, SimTime::from_millis(300));
+        assert!(tb.client.sent() > 1_000, "sent {}", tb.client.sent());
+        assert!(
+            tb.client.received() as f64 > 0.95 * tb.client.sent() as f64,
+            "received {} of {}",
+            tb.client.received(),
+            tb.client.sent()
+        );
+    }
+
+    #[test]
+    fn latencies_are_physical() {
+        let (mut sim, mut tb) = build(20_000.0, Box::new(Performance::new()));
+        sim.run_until(&mut tb, SimTime::from_millis(300));
+        // Minimum possible: 2 link traversals (~40 µs) + processing.
+        let min = tb.client.latencies_mut().quantile(0.0);
+        assert!(min >= 40_000, "min latency {min} ns below the physical floor");
+        let p50 = tb.client.latencies_mut().quantile(0.5);
+        assert!(p50 < 1_000_000, "p50 {p50} ns should be well under 1 ms at this load");
+    }
+
+    #[test]
+    fn performance_governor_reaches_p0() {
+        let (mut sim, mut tb) = build(20_000.0, Box::new(Performance::new()));
+        sim.run_until(&mut tb, SimTime::from_millis(100));
+        for c in tb.processor.cores() {
+            assert_eq!(c.pstate(), PState::P0);
+        }
+    }
+
+    #[test]
+    fn ondemand_tracks_load() {
+        let table = ProcessorProfile::xeon_gold_6134().pstates;
+        let (mut sim, mut tb) = build(20_000.0, Box::new(Ondemand::new(table, 8)));
+        sim.run_until(&mut tb, SimTime::from_secs(1));
+        // Low load: cores should not be pinned at P0.
+        let p0_cores = tb
+            .processor
+            .cores()
+            .iter()
+            .filter(|c| c.pstate() == PState::P0)
+            .count();
+        assert!(p0_cores < 8, "ondemand pinned everything at P0 under low load");
+        assert!(tb.client.received() > 0);
+    }
+
+    #[test]
+    fn napi_counters_advance() {
+        let (mut sim, mut tb) = build(100_000.0, Box::new(Performance::new()));
+        sim.run_until(&mut tb, SimTime::from_millis(500));
+        let intr: u64 = tb.napi.iter().map(|n| n.total_interrupt_packets()).sum();
+        let poll: u64 = tb.napi.iter().map(|n| n.total_polling_packets()).sum();
+        assert!(intr > 0, "some packets must be processed in interrupt mode");
+        assert!(
+            intr + poll >= tb.client.received(),
+            "every delivered request passed through NAPI"
+        );
+    }
+
+    #[test]
+    fn energy_accrues_and_measurement_window_works() {
+        let (mut sim, mut tb) = build(20_000.0, Box::new(Performance::new()));
+        sim.run_until(&mut tb, SimTime::from_millis(100));
+        tb.begin_measurement(sim.now());
+        assert_eq!(tb.client.latencies().len(), 0, "stats reset at measurement start");
+        sim.run_until(&mut tb, SimTime::from_millis(400));
+        let e = tb.measured_energy(sim.now());
+        assert!(e > 0.0);
+        let d = tb.measured_duration(sim.now());
+        assert_eq!(d, SimDuration::from_millis(300));
+        // Power must be within physical bounds (idle..TDP-ish).
+        let w = e / d.as_secs_f64();
+        assert!((1.0..200.0).contains(&w), "implausible package power {w} W");
+    }
+
+    #[test]
+    fn cores_sleep_between_bursts() {
+        let (mut sim, mut tb) = build(5_000.0, Box::new(Performance::new()));
+        sim.run_until(&mut tb, SimTime::from_secs(1));
+        let c6: u64 = tb.processor.cores().iter().map(|c| c.c6_entries()).sum();
+        assert!(c6 > 0, "menu must reach CC6 during idle gaps");
+    }
+
+    #[test]
+    fn no_packets_lost_at_modest_load() {
+        let (mut sim, mut tb) = build(50_000.0, Box::new(Performance::new()));
+        sim.run_until(&mut tb, SimTime::from_millis(500));
+        assert_eq!(tb.nic.total_rx_dropped(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let (mut sim, mut tb) = build(30_000.0, Box::new(Performance::new()));
+            sim.run_until(&mut tb, SimTime::from_millis(400));
+            (
+                tb.client.sent(),
+                tb.client.received(),
+                tb.client.latencies_mut().quantile(0.99),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ksoftirqd_wakes_under_overload() {
+        // Heavy sustained load through a powersave-pinned (slowest)
+        // core forces softirq overruns.
+        let table = ProcessorProfile::xeon_gold_6134().pstates;
+        let slowest = table.slowest();
+        let (mut sim, mut tb) = build(
+            600_000.0,
+            Box::new(governors::Userspace::new(slowest)),
+        );
+        sim.run_until(&mut tb, SimTime::from_millis(500));
+        let wakes: usize = tb
+            .ksoftirqd_log
+            .iter()
+            .map(|l| l.iter().filter(|&&(_, w)| w).count())
+            .sum();
+        assert!(wakes > 0, "overload must wake ksoftirqd");
+    }
+}

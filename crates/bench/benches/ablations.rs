@@ -1,0 +1,84 @@
+//! Ablation benches: the design-choice sensitivity cells DESIGN.md
+//! calls out — NI_TH, monitor timer, DVFS scope, re-transition cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cpusim::DvfsScope;
+use experiments::{GovernorKind, RunConfig, Scale};
+use nmap::NmapConfig;
+use nmap_bench::nmap_cfg;
+use simcore::SimDuration;
+use workload::{AppKind, LoadLevel, LoadSpec};
+
+fn short(cfg: RunConfig) -> experiments::RunResult {
+    experiments::run(RunConfig {
+        warmup: SimDuration::from_millis(20),
+        duration: SimDuration::from_millis(50),
+        ..cfg
+    })
+}
+
+fn ni_threshold(c: &mut Criterion) {
+    let base = nmap_cfg(AppKind::Memcached);
+    let mut group = c.benchmark_group("ablation_ni_threshold");
+    for factor in [1u64, 16] {
+        let cfg = NmapConfig::new(base.ni_threshold * factor, base.cu_threshold);
+        group.bench_function(format!("ni_x{factor}"), |b| {
+            b.iter(|| {
+                black_box(short(RunConfig::new(
+                    AppKind::Memcached,
+                    LoadSpec::preset(AppKind::Memcached, LoadLevel::High),
+                    GovernorKind::Nmap(cfg),
+                    Scale::Quick,
+                )))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn timer_interval(c: &mut Criterion) {
+    let base = nmap_cfg(AppKind::Memcached);
+    let mut group = c.benchmark_group("ablation_timer");
+    for ms in [1u64, 100] {
+        let cfg = base.with_timer(SimDuration::from_millis(ms));
+        group.bench_function(format!("timer_{ms}ms"), |b| {
+            b.iter(|| {
+                black_box(short(RunConfig::new(
+                    AppKind::Memcached,
+                    LoadSpec::preset(AppKind::Memcached, LoadLevel::Medium),
+                    GovernorKind::Nmap(cfg),
+                    Scale::Quick,
+                )))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn dvfs_scope(c: &mut Criterion) {
+    let cfg = nmap_cfg(AppKind::Memcached);
+    let mut group = c.benchmark_group("ablation_scope");
+    for (name, scope) in [("per_core", DvfsScope::PerCore), ("chip_wide", DvfsScope::ChipWide)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(short(
+                    RunConfig::new(
+                        AppKind::Memcached,
+                        LoadSpec::preset(AppKind::Memcached, LoadLevel::Medium),
+                        GovernorKind::Nmap(cfg),
+                        Scale::Quick,
+                    )
+                    .with_scope(scope),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ni_threshold, timer_interval, dvfs_scope
+);
+criterion_main!(ablations);

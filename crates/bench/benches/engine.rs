@@ -1,0 +1,124 @@
+//! Simulation-engine microbenchmarks: event queue, statistics, RNG,
+//! and the NIC/NAPI hot paths that dominate experiment runtime.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use napisim::{NapiContext, PollVerdict, ProcContext, StackParams};
+use netsim::{FlowId, Nic, NicConfig, Packet, RequestId};
+use simcore::{Cdf, Histogram, RngStream, SimDuration, SimTime, Simulator};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("engine/event_queue_schedule_run_10k", |b| {
+        b.iter(|| {
+            let mut sim: Simulator<u64> = Simulator::new();
+            let mut world = 0u64;
+            for i in 0..10_000u64 {
+                sim.schedule_at(SimTime::from_nanos((i * 7919) % 1_000_000), |w, _| *w += 1);
+            }
+            sim.run_until(&mut world, SimTime::from_millis(10));
+            black_box(world)
+        })
+    });
+
+    c.bench_function("engine/event_queue_cancel_heavy", |b| {
+        b.iter(|| {
+            let mut sim: Simulator<u64> = Simulator::new();
+            let mut world = 0u64;
+            let ids: Vec<_> = (0..5_000u64)
+                .map(|i| sim.schedule_at(SimTime::from_nanos(i * 100), |w, _| *w += 1))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                sim.cancel(*id);
+            }
+            sim.run_until(&mut world, SimTime::from_millis(1));
+            black_box(world)
+        })
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    c.bench_function("stats/histogram_record_100k", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new();
+            for i in 0..100_000u64 {
+                h.record(black_box(i * 37 % 10_000_000));
+            }
+            black_box(h.value_at_quantile(0.99))
+        })
+    });
+
+    c.bench_function("stats/cdf_quantile_50k", |b| {
+        let samples: Vec<u64> = (0..50_000u64).map(|i| i * 31 % 1_000_000).collect();
+        b.iter(|| {
+            let mut cdf: Cdf = samples.iter().copied().collect();
+            black_box(cdf.quantile(0.99))
+        })
+    });
+
+    c.bench_function("rng/lognormal_100k", |b| {
+        b.iter(|| {
+            let mut rng = RngStream::from_seed(42);
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.lognormal_mean(7_000.0, 0.3);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_nic_napi(c: &mut Criterion) {
+    c.bench_function("nic/rx_poll_cycle_10k_packets", |b| {
+        b.iter(|| {
+            let mut nic = Nic::new(NicConfig::intel_82599(8));
+            let mut delivered = 0usize;
+            let mut t = SimTime::ZERO;
+            for i in 0..10_000u64 {
+                let pkt = Packet::request(RequestId(i), FlowId(i % 320), 64, t);
+                let q = nic.rss_queue(pkt.flow);
+                nic.enqueue_rx(q, pkt, t);
+                t += SimDuration::from_nanos(500);
+                if i % 64 == 0 {
+                    delivered += nic.poll(q, 64).rx.len();
+                }
+            }
+            black_box(delivered)
+        })
+    });
+
+    c.bench_function("napi/record_poll_100k_batches", |b| {
+        b.iter(|| {
+            let mut napi = NapiContext::new(StackParams::linux_defaults());
+            let mut t = SimTime::ZERO;
+            let mut active = false;
+            for i in 0..100_000u64 {
+                if !active {
+                    napi.on_irq(t);
+                    active = true;
+                }
+                t += SimDuration::from_micros(10);
+                let drained = i % 7 == 0;
+                let out = napi.record_poll(32, 4, drained, false, ProcContext::SoftIrq, t);
+                match out.verdict {
+                    PollVerdict::Complete => active = false,
+                    PollVerdict::Handoff => napi.ksoftirqd_takeover(),
+                    PollVerdict::Continue => {}
+                }
+                if napi.ksoftirqd_running() && !drained {
+                    let out =
+                        napi.record_poll(32, 0, i % 11 == 0, false, ProcContext::Ksoftirqd, t);
+                    if out.verdict == PollVerdict::Complete {
+                        active = false;
+                    }
+                }
+            }
+            black_box(napi.total_polling_packets())
+        })
+    });
+}
+
+criterion_group!(
+    name = engine;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_stats, bench_nic_napi
+);
+criterion_main!(engine);

@@ -1,0 +1,181 @@
+//! One bench per paper table/figure: each iteration runs the
+//! representative simulation cell behind the artifact. The full
+//! tables are regenerated with
+//! `cargo run --release -p experiments --bin repro -- all`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cpusim::dvfs::{CompletionResult, CoreDvfs, TransitionOutcome};
+use cpusim::{CState, ProcessorProfile, PState};
+use experiments::GovernorKind;
+use nmap_bench::{bench_cell, nmap_cfg};
+use simcore::RngStream;
+use simcore::SimTime;
+use workload::{AppKind, LoadLevel};
+
+/// Fig 2: the ondemand NAPI-mode timeline cell (memcached high).
+fn fig02(c: &mut Criterion) {
+    c.bench_function("fig02_mode_timeline/ondemand_memcached_high", |b| {
+        b.iter(|| {
+            black_box(bench_cell(
+                AppKind::Memcached,
+                LoadLevel::High,
+                GovernorKind::Ondemand,
+            ))
+        })
+    });
+}
+
+/// Fig 3/4: latency scatter & CDF cells (performance vs ondemand).
+fn fig03_04(c: &mut Criterion) {
+    c.bench_function("fig03_latency_scatter/performance_memcached_high", |b| {
+        b.iter(|| {
+            black_box(bench_cell(
+                AppKind::Memcached,
+                LoadLevel::High,
+                GovernorKind::Performance,
+            ))
+        })
+    });
+    c.bench_function("fig04_latency_cdf/ondemand_nginx_high", |b| {
+        b.iter(|| black_box(bench_cell(AppKind::Nginx, LoadLevel::High, GovernorKind::Ondemand)))
+    });
+}
+
+/// Table 1: 10 000 back-to-back re-transitions on the Gold 6134 model.
+fn table1(c: &mut Criterion) {
+    c.bench_function("table1_retransition/gold6134_10k_alternations", |b| {
+        let profile = ProcessorProfile::xeon_gold_6134();
+        b.iter(|| {
+            let mut rng = RngStream::from_seed(7);
+            let mut dvfs = CoreDvfs::new(profile.pstates.slowest());
+            let mut now = SimTime::ZERO;
+            let mut total = 0u64;
+            for _ in 0..10_000 {
+                let target = if dvfs.current() == PState::P0 {
+                    profile.pstates.slowest()
+                } else {
+                    PState::P0
+                };
+                let TransitionOutcome::Started { completes_at, token } =
+                    dvfs.request(target, now, &profile, &mut rng)
+                else {
+                    unreachable!()
+                };
+                total += (completes_at - now).as_nanos();
+                match dvfs.complete(token, completes_at, &profile, &mut rng) {
+                    CompletionResult::Settled { .. } => {}
+                    _ => unreachable!(),
+                }
+                now = completes_at;
+            }
+            black_box(total)
+        })
+    });
+}
+
+/// Table 2: 100 wake-latency samples per C-state per processor.
+fn table2(c: &mut Criterion) {
+    c.bench_function("table2_wakeup/all_processors_100_trials", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for profile in ProcessorProfile::all_characterized() {
+                let mut rng = RngStream::from_seed(11);
+                for state in [CState::C6, CState::C1] {
+                    for _ in 0..100 {
+                        acc += profile.cstate_latencies.sample_wake(state, &mut rng).as_nanos();
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Fig 7/8: sleep-policy cells.
+fn fig07_08(c: &mut Criterion) {
+    c.bench_function("fig07_cc6_timeline/performance_memcached_low", |b| {
+        b.iter(|| {
+            black_box(bench_cell(
+                AppKind::Memcached,
+                LoadLevel::Low,
+                GovernorKind::Performance,
+            ))
+        })
+    });
+    c.bench_function("fig08_sleep_policies/performance_memcached_medium", |b| {
+        b.iter(|| {
+            black_box(bench_cell(
+                AppKind::Memcached,
+                LoadLevel::Medium,
+                GovernorKind::Performance,
+            ))
+        })
+    });
+}
+
+/// Fig 9-11: NMAP behaviour cells.
+fn fig09_11(c: &mut Criterion) {
+    let cfg = nmap_cfg(AppKind::Memcached);
+    c.bench_function("fig09_nmap_timeline/nmap_memcached_high", |b| {
+        b.iter(|| black_box(bench_cell(AppKind::Memcached, LoadLevel::High, GovernorKind::Nmap(cfg))))
+    });
+    let cfg_n = nmap_cfg(AppKind::Nginx);
+    c.bench_function("fig10_11_nmap_latency/nmap_nginx_high", |b| {
+        b.iter(|| black_box(bench_cell(AppKind::Nginx, LoadLevel::High, GovernorKind::Nmap(cfg_n))))
+    });
+}
+
+/// Fig 12/13: representative matrix cells (one per governor family).
+fn fig12_13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_13_matrix_cells");
+    let cfg = nmap_cfg(AppKind::Memcached);
+    for (name, gov) in [
+        ("intel_powersave", GovernorKind::IntelPowersave),
+        ("ondemand", GovernorKind::Ondemand),
+        ("performance", GovernorKind::Performance),
+        ("nmap_simpl", GovernorKind::NmapSimpl),
+        ("nmap", GovernorKind::Nmap(cfg)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(bench_cell(AppKind::Memcached, LoadLevel::Medium, gov)))
+        });
+    }
+    group.finish();
+}
+
+/// Fig 14/15: the NCAP comparison cells.
+fn fig14_15(c: &mut Criterion) {
+    let th = experiments::thresholds::ncap_threshold(AppKind::Memcached);
+    c.bench_function("fig14_sota_p99/ncap_memcached_high", |b| {
+        b.iter(|| black_box(bench_cell(AppKind::Memcached, LoadLevel::High, GovernorKind::Ncap(th))))
+    });
+    c.bench_function("fig15_sota_energy/ncap_menu_memcached_medium", |b| {
+        b.iter(|| {
+            black_box(bench_cell(
+                AppKind::Memcached,
+                LoadLevel::Medium,
+                GovernorKind::NcapMenu(th),
+            ))
+        })
+    });
+}
+
+/// Fig 16: the Parties baseline cell.
+fn fig16(c: &mut Criterion) {
+    c.bench_function("fig16_varying_load/parties_memcached_medium", |b| {
+        b.iter(|| {
+            black_box(bench_cell(
+                AppKind::Memcached,
+                LoadLevel::Medium,
+                GovernorKind::Parties,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig02, fig03_04, table1, table2, fig07_08, fig09_11, fig12_13, fig14_15, fig16
+);
+criterion_main!(figures);

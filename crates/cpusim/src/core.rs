@@ -1,0 +1,516 @@
+//! A single core: activity state, P-state, C-state, and the
+//! bookkeeping every governor needs — utilization sampling, CC0
+//! residency, energy integration, and trace logs for the paper's
+//! timeline figures.
+
+use crate::cstate::CState;
+use crate::dvfs::{CompletionResult, CoreDvfs, TransitionOutcome};
+use crate::power::CoreActivity;
+use crate::profiles::ProcessorProfile;
+use crate::pstate::PState;
+use simcore::{EventLog, RngStream, SimDuration, SimTime};
+
+/// Index of a core within its processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A utilization sample over one governor sampling window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilSample {
+    /// Fraction of the window the core spent executing (ondemand's
+    /// utilization input).
+    pub busy_frac: f64,
+    /// Fraction of the window the core resided in CC0, busy or idle
+    /// (intel_pstate's utilization input).
+    pub c0_frac: f64,
+    /// Window length.
+    pub window: SimDuration,
+}
+
+/// The cost of waking a sleeping core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeCost {
+    /// Time before the core can start executing (Table 2).
+    pub latency: SimDuration,
+    /// Extra work time from re-filling flushed private caches
+    /// (CC6 only, §5.2); the caller adds this to post-wake work.
+    pub cache_refill: SimDuration,
+}
+
+/// One simulated core.
+///
+/// The core is a passive state machine: the server glue drives it
+/// (`set_busy`, `enter_sleep`, `wake`, DVFS requests) and schedules
+/// the events its methods imply.
+///
+/// # Examples
+///
+/// ```
+/// use cpusim::{Core, CoreId, ProcessorProfile};
+/// use simcore::{SimTime, SimDuration};
+///
+/// let profile = ProcessorProfile::xeon_gold_6134();
+/// let mut core = Core::new(CoreId(0), &profile);
+/// core.set_busy(true, SimTime::ZERO, &profile);
+/// core.set_busy(false, SimTime::from_millis(6), &profile);
+/// let sample = core.take_sample(SimTime::from_millis(10), &profile);
+/// assert!((sample.busy_frac - 0.6).abs() < 1e-9);
+/// assert!(core.energy_joules(SimTime::from_millis(10), &profile) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Core {
+    id: CoreId,
+    dvfs: CoreDvfs,
+    /// The P-state currently in effect (mirrors the DVFS domain; in
+    /// chip-wide mode it is set externally by the processor).
+    pstate: PState,
+    cstate: CState,
+    /// When the current sleep state was entered (cache-refill scaling).
+    sleep_started: Option<SimTime>,
+    busy: bool,
+    // --- energy integration ---
+    energy_j: f64,
+    last_account: SimTime,
+    // --- sampling window ---
+    window_start: SimTime,
+    busy_in_window: SimDuration,
+    c0_in_window: SimDuration,
+    // --- lifetime counters & traces ---
+    total_busy: SimDuration,
+    c6_entries: u64,
+    pstate_log: EventLog<PState>,
+    cstate_log: EventLog<CState>,
+}
+
+impl Core {
+    /// Creates an idle core at the slowest P-state in CC0 (the state
+    /// Linux boots governors into before their first decision).
+    pub fn new(id: CoreId, profile: &ProcessorProfile) -> Self {
+        let initial = profile.pstates.slowest();
+        Core {
+            id,
+            dvfs: CoreDvfs::new(initial),
+            pstate: initial,
+            cstate: CState::C0,
+            sleep_started: None,
+            busy: false,
+            energy_j: 0.0,
+            last_account: SimTime::ZERO,
+            window_start: SimTime::ZERO,
+            busy_in_window: SimDuration::ZERO,
+            c0_in_window: SimDuration::ZERO,
+            total_busy: SimDuration::ZERO,
+            c6_entries: 0,
+            pstate_log: EventLog::new(),
+            cstate_log: EventLog::new(),
+        }
+    }
+
+    /// This core's id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The P-state currently in effect.
+    pub fn pstate(&self) -> PState {
+        self.pstate
+    }
+
+    /// The C-state the core currently occupies.
+    pub fn cstate(&self) -> CState {
+        self.cstate
+    }
+
+    /// True if the core is executing.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Current clock frequency in Hz.
+    pub fn frequency_hz(&self, profile: &ProcessorProfile) -> u64 {
+        profile.pstates.frequency(self.pstate)
+    }
+
+    /// Wall time to execute `cycles` at the current frequency.
+    pub fn cycles_to_duration(&self, cycles: u64, profile: &ProcessorProfile) -> SimDuration {
+        let f = self.frequency_hz(profile);
+        SimDuration::from_nanos(((cycles as u128 * 1_000_000_000) / f as u128) as u64)
+    }
+
+    /// Cycles completed in `elapsed` wall time at the current
+    /// frequency (used to rescale in-flight work on a V/F change).
+    pub fn duration_to_cycles(&self, elapsed: SimDuration, profile: &ProcessorProfile) -> u64 {
+        let f = self.frequency_hz(profile);
+        ((elapsed.as_nanos() as u128 * f as u128) / 1_000_000_000) as u64
+    }
+
+    fn activity(&self) -> CoreActivity {
+        if self.busy {
+            CoreActivity::Busy
+        } else {
+            CoreActivity::idle_in(self.cstate)
+        }
+    }
+
+    /// Integrates energy and residency up to `now`. Idempotent; called
+    /// internally before every state change.
+    pub fn account(&mut self, now: SimTime, profile: &ProcessorProfile) {
+        let dt = now.saturating_since(self.last_account);
+        if dt.is_zero() {
+            self.last_account = now.max(self.last_account);
+            return;
+        }
+        let activity = self.activity();
+        let power = profile.power.core_power(profile.pstates.point(self.pstate), activity);
+        self.energy_j += power * dt.as_secs_f64();
+        if self.busy {
+            self.busy_in_window += dt;
+            self.total_busy += dt;
+        }
+        if activity.is_c0() {
+            self.c0_in_window += dt;
+        }
+        self.last_account = now;
+    }
+
+    /// Marks the core busy or idle-in-CC0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if marking busy while the core is asleep — callers must
+    /// [`wake`](Core::wake) first.
+    pub fn set_busy(&mut self, busy: bool, now: SimTime, profile: &ProcessorProfile) {
+        assert!(
+            !(busy && self.cstate.is_sleep()),
+            "cannot execute while asleep; wake the core first"
+        );
+        if busy == self.busy {
+            return;
+        }
+        self.account(now, profile);
+        self.busy = busy;
+    }
+
+    /// Puts the idle core into `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is busy.
+    pub fn enter_sleep(&mut self, state: CState, now: SimTime, profile: &ProcessorProfile) {
+        assert!(!self.busy, "cannot sleep while busy");
+        if state == self.cstate {
+            return;
+        }
+        self.account(now, profile);
+        // Deepening an existing sleep keeps the original entry time.
+        if self.sleep_started.is_none() {
+            self.sleep_started = Some(now);
+        }
+        self.cstate = state;
+        if state == CState::C6 {
+            self.c6_entries += 1;
+        }
+        self.cstate_log.push(now, state);
+    }
+
+    /// Wakes a sleeping core, returning the wake cost. A core already
+    /// in CC0 wakes for free. After this call the core is in CC0
+    /// (idle); the caller applies `latency` before running work and
+    /// spreads `cache_refill` over post-wake execution.
+    pub fn wake(&mut self, now: SimTime, profile: &ProcessorProfile, rng: &mut RngStream) -> WakeCost {
+        if self.cstate == CState::C0 {
+            return WakeCost {
+                latency: SimDuration::ZERO,
+                cache_refill: SimDuration::ZERO,
+            };
+        }
+        self.account(now, profile);
+        let latency = profile.cstate_latencies.sample_wake(self.cstate, rng);
+        let cache_refill = if self.cstate == CState::C6 {
+            // The flush always happens, but after a short nap the
+            // working set is still warm in the (unflushed) LLC, so the
+            // refill is far cheaper than the cold-DRAM worst case the
+            // paper measures (§5.2 notes its numbers are worst-case).
+            let residency = self
+                .sleep_started
+                .map(|t| now.saturating_since(t))
+                .unwrap_or(SimDuration::ZERO);
+            let cold_frac =
+                0.2 + 0.8 * (residency.as_secs_f64() / 0.01).min(1.0);
+            profile.cc6_cache_refill.mul_f64(cold_frac)
+        } else {
+            SimDuration::ZERO
+        };
+        self.cstate = CState::C0;
+        self.sleep_started = None;
+        self.cstate_log.push(now, CState::C0);
+        WakeCost { latency, cache_refill }
+    }
+
+    /// Requests a P-state change on this core's own DVFS domain
+    /// (per-core DVFS mode).
+    pub fn request_pstate(
+        &mut self,
+        target: PState,
+        now: SimTime,
+        profile: &ProcessorProfile,
+        rng: &mut RngStream,
+    ) -> TransitionOutcome {
+        self.dvfs.request(target, now, profile, rng)
+    }
+
+    /// Completes an in-flight DVFS transition. Accounts energy at the
+    /// old operating point first, then switches frequency.
+    pub fn complete_pstate(
+        &mut self,
+        token: u64,
+        now: SimTime,
+        profile: &ProcessorProfile,
+        rng: &mut RngStream,
+    ) -> CompletionResult {
+        let result = self.dvfs.complete(token, now, profile, rng);
+        match result {
+            CompletionResult::Settled { new_state }
+            | CompletionResult::FollowUp { new_state, .. } => {
+                self.apply_pstate(new_state, now, profile);
+            }
+            CompletionResult::Stale => {}
+        }
+        result
+    }
+
+    /// Applies an externally decided P-state (chip-wide DVFS domain).
+    pub fn apply_pstate(&mut self, p: PState, now: SimTime, profile: &ProcessorProfile) {
+        if p == self.pstate {
+            return;
+        }
+        self.account(now, profile);
+        self.pstate = p;
+        self.pstate_log.push(now, p);
+    }
+
+    /// The state this core's DVFS domain is heading towards.
+    pub fn dvfs_target(&self) -> PState {
+        self.dvfs.target()
+    }
+
+    /// True if this core's own DVFS domain has a transition in flight.
+    pub fn is_transitioning(&self) -> bool {
+        self.dvfs.is_transitioning()
+    }
+
+    /// Number of DVFS transitions started on this core's domain.
+    pub fn transitions_started(&self) -> u64 {
+        self.dvfs.transitions_started()
+    }
+
+    /// Ends the current sampling window and returns utilization and
+    /// CC0 residency over it.
+    pub fn take_sample(&mut self, now: SimTime, profile: &ProcessorProfile) -> UtilSample {
+        self.account(now, profile);
+        let window = now.saturating_since(self.window_start);
+        let sample = if window.is_zero() {
+            UtilSample {
+                busy_frac: 0.0,
+                c0_frac: 0.0,
+                window,
+            }
+        } else {
+            UtilSample {
+                busy_frac: self.busy_in_window.as_secs_f64() / window.as_secs_f64(),
+                c0_frac: self.c0_in_window.as_secs_f64() / window.as_secs_f64(),
+                window,
+            }
+        };
+        self.window_start = now;
+        self.busy_in_window = SimDuration::ZERO;
+        self.c0_in_window = SimDuration::ZERO;
+        sample
+    }
+
+    /// Total energy consumed through `now` in joules.
+    pub fn energy_joules(&mut self, now: SimTime, profile: &ProcessorProfile) -> f64 {
+        self.account(now, profile);
+        self.energy_j
+    }
+
+    /// Lifetime busy time.
+    pub fn total_busy(&self) -> SimDuration {
+        self.total_busy
+    }
+
+    /// Number of CC6 entries (Fig 7 marks).
+    pub fn c6_entries(&self) -> u64 {
+        self.c6_entries
+    }
+
+    /// Trace of P-state changes `(time, new state)`.
+    pub fn pstate_log(&self) -> &EventLog<PState> {
+        &self.pstate_log
+    }
+
+    /// Trace of C-state changes `(time, new state)`.
+    pub fn cstate_log(&self) -> &EventLog<CState> {
+        &self.cstate_log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dvfs::TransitionOutcome;
+
+    fn setup() -> (ProcessorProfile, Core, RngStream) {
+        let p = ProcessorProfile::xeon_gold_6134();
+        let c = Core::new(CoreId(0), &p);
+        (p, c, RngStream::from_seed(9))
+    }
+
+    #[test]
+    fn starts_idle_at_slowest() {
+        let (p, c, _) = setup();
+        assert_eq!(c.pstate(), p.pstates.slowest());
+        assert_eq!(c.cstate(), CState::C0);
+        assert!(!c.is_busy());
+    }
+
+    #[test]
+    fn utilization_sampling() {
+        let (p, mut c, _) = setup();
+        c.set_busy(true, SimTime::from_millis(2), &p);
+        c.set_busy(false, SimTime::from_millis(7), &p);
+        let s = c.take_sample(SimTime::from_millis(10), &p);
+        assert!((s.busy_frac - 0.5).abs() < 1e-9, "busy {}", s.busy_frac);
+        assert!((s.c0_frac - 1.0).abs() < 1e-9, "c0 {}", s.c0_frac);
+        // Window resets.
+        let s2 = c.take_sample(SimTime::from_millis(20), &p);
+        assert_eq!(s2.busy_frac, 0.0);
+    }
+
+    #[test]
+    fn c0_residency_differs_from_busy_when_sleeping() {
+        let (p, mut c, _) = setup();
+        c.enter_sleep(CState::C6, SimTime::ZERO, &p);
+        let s = c.take_sample(SimTime::from_millis(10), &p);
+        assert_eq!(s.busy_frac, 0.0);
+        assert_eq!(s.c0_frac, 0.0);
+    }
+
+    #[test]
+    fn energy_increases_with_busy_time_and_frequency() {
+        let (p, mut idle_core, _) = setup();
+        let (_, mut busy_core, mut rng) = setup();
+        busy_core.set_busy(true, SimTime::ZERO, &p);
+        let t = SimTime::from_millis(100);
+        let e_idle = idle_core.energy_joules(t, &p);
+        let e_busy = busy_core.energy_joules(t, &p);
+        assert!(e_busy > e_idle, "busy {e_busy} idle {e_idle}");
+
+        // At P0 the same busy time costs more energy.
+        let (_, mut fast_core, _) = setup();
+        let TransitionOutcome::Started { completes_at, token } =
+            fast_core.request_pstate(PState::P0, SimTime::ZERO, &p, &mut rng)
+        else {
+            panic!()
+        };
+        fast_core.complete_pstate(token, completes_at, &p, &mut rng);
+        let e_start = fast_core.energy_joules(completes_at, &p);
+        fast_core.set_busy(true, completes_at, &p);
+        let window = SimDuration::from_millis(100);
+        let e_fast = fast_core.energy_joules(completes_at + window, &p) - e_start;
+        let e_slow = {
+            let (_, mut c2, _) = setup();
+            c2.set_busy(true, SimTime::ZERO, &p);
+            c2.energy_joules(SimTime::ZERO + window, &p)
+        };
+        assert!(e_fast > e_slow, "fast {e_fast} slow {e_slow}");
+    }
+
+    #[test]
+    fn sleep_saves_energy() {
+        let (p, mut c0_core, _) = setup();
+        let (_, mut c6_core, _) = setup();
+        c6_core.enter_sleep(CState::C6, SimTime::ZERO, &p);
+        let t = SimTime::from_secs(1);
+        assert!(c6_core.energy_joules(t, &p) < c0_core.energy_joules(t, &p));
+        assert_eq!(c6_core.c6_entries(), 1);
+    }
+
+    #[test]
+    fn wake_cost_from_c6_includes_cache_refill() {
+        let (p, mut c, mut rng) = setup();
+        c.enter_sleep(CState::C6, SimTime::ZERO, &p);
+        // A long sleep pays the full cold-cache refill.
+        let cost = c.wake(SimTime::from_millis(20), &p, &mut rng);
+        assert!(cost.latency > SimDuration::from_micros(10));
+        assert_eq!(cost.cache_refill, p.cc6_cache_refill);
+        assert_eq!(c.cstate(), CState::C0);
+    }
+
+    #[test]
+    fn short_c6_nap_pays_reduced_refill() {
+        let (p, mut c, mut rng) = setup();
+        c.enter_sleep(CState::C6, SimTime::ZERO, &p);
+        let cost = c.wake(SimTime::from_micros(50), &p, &mut rng);
+        assert!(
+            cost.cache_refill < p.cc6_cache_refill / 2,
+            "warm-LLC refill {} should be far below the cold worst case {}",
+            cost.cache_refill,
+            p.cc6_cache_refill
+        );
+        assert!(cost.cache_refill > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wake_from_c1_has_no_cache_penalty() {
+        let (p, mut c, mut rng) = setup();
+        c.enter_sleep(CState::C1, SimTime::ZERO, &p);
+        let cost = c.wake(SimTime::from_millis(1), &p, &mut rng);
+        assert!(cost.latency < SimDuration::from_micros(5));
+        assert_eq!(cost.cache_refill, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wake_when_awake_is_free() {
+        let (p, mut c, mut rng) = setup();
+        let cost = c.wake(SimTime::from_millis(1), &p, &mut rng);
+        assert_eq!(cost.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "wake the core first")]
+    fn busy_while_asleep_panics() {
+        let (p, mut c, _) = setup();
+        c.enter_sleep(CState::C6, SimTime::ZERO, &p);
+        c.set_busy(true, SimTime::from_millis(1), &p);
+    }
+
+    #[test]
+    fn cycle_math_roundtrip() {
+        let (p, c, _) = setup();
+        let cycles = 1_200_000; // 1 ms at 1.2 GHz (slowest)
+        let d = c.cycles_to_duration(cycles, &p);
+        assert_eq!(d, SimDuration::from_millis(1));
+        assert_eq!(c.duration_to_cycles(d, &p), cycles);
+    }
+
+    #[test]
+    fn pstate_log_records_changes() {
+        let (p, mut c, mut rng) = setup();
+        let TransitionOutcome::Started { completes_at, token } =
+            c.request_pstate(PState::P0, SimTime::ZERO, &p, &mut rng)
+        else {
+            panic!()
+        };
+        c.complete_pstate(token, completes_at, &p, &mut rng);
+        assert_eq!(c.pstate_log().len(), 1);
+        assert_eq!(c.pstate_log().entries()[0].1, PState::P0);
+        assert_eq!(c.pstate(), PState::P0);
+    }
+}

@@ -1,0 +1,476 @@
+//! The DVFS hardware engine: V/F transitions with realistic latency.
+//!
+//! §5.1 of the paper shows that although ACPI advertises a 10 µs
+//! transition latency, *back-to-back* transitions ("update the ctrl
+//! register repetitively") take far longer — the **re-transition
+//! latency** of Table 1: 2–5× longer on desktop parts and ~50×
+//! (≈520 µs) on the Xeon servers. This model reproduces both regimes:
+//!
+//! * a request arriving while the core is **quiescent** (no transition
+//!   in flight and past the settle window) completes after the ACPI
+//!   base latency;
+//! * a request arriving **during** a transition is queued (latest
+//!   wins) and, when started, pays the re-transition latency;
+//! * a request arriving within the **settle window** after a completed
+//!   transition also pays the re-transition latency.
+//!
+//! The engine is a pure state machine: it computes *when* a transition
+//! completes and the caller (the server glue) schedules the completion
+//! event and calls [`CoreDvfs::complete`] at that time.
+
+use crate::profiles::ProcessorProfile;
+use crate::pstate::PState;
+use serde::{Deserialize, Serialize};
+use simcore::{RngStream, SimDuration, SimTime};
+
+/// Re-transition latency model fitted to Table 1.
+///
+/// The latency depends on the transition *direction* (raising V/F
+/// costs more than lowering on desktop parts) and the normalized
+/// *distance* between the states (Pmin→Pmax costs more than P1→P0):
+/// `mean_µs = base + span · distance_fraction`, with Gaussian noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetransitionModel {
+    down_base_us: f64,
+    down_span_us: f64,
+    up_base_us: f64,
+    up_span_us: f64,
+    stdev_us: f64,
+}
+
+impl RetransitionModel {
+    /// Desktop-style model (tens of µs, strong direction asymmetry).
+    pub fn desktop(
+        down_base_us: f64,
+        down_span_us: f64,
+        up_base_us: f64,
+        up_span_us: f64,
+        stdev_us: f64,
+    ) -> Self {
+        RetransitionModel {
+            down_base_us,
+            down_span_us,
+            up_base_us,
+            up_span_us,
+            stdev_us,
+        }
+    }
+
+    /// Server-style model (~520 µs, nearly flat across transitions).
+    pub fn server(
+        down_base_us: f64,
+        down_span_us: f64,
+        up_base_us: f64,
+        up_span_us: f64,
+        stdev_us: f64,
+    ) -> Self {
+        // Same shape, different constants; a separate constructor
+        // keeps call sites self-describing.
+        Self::desktop(down_base_us, down_span_us, up_base_us, up_span_us, stdev_us)
+    }
+
+    /// Mean re-transition latency in µs for a transition in the given
+    /// direction (`up` = raising V/F) across `distance_fraction` of
+    /// the P-state range.
+    pub fn mean_micros(&self, up: bool, distance_fraction: f64) -> f64 {
+        let frac = distance_fraction.clamp(0.0, 1.0);
+        if up {
+            self.up_base_us + self.up_span_us * frac
+        } else {
+            self.down_base_us + self.down_span_us * frac
+        }
+    }
+
+    /// Samples a re-transition latency (mean + Gaussian noise, floored
+    /// at 1 µs so noise can never produce a non-physical latency).
+    pub fn sample(&self, rng: &mut RngStream, up: bool, distance_fraction: f64) -> SimDuration {
+        let us = rng.normal(self.mean_micros(up, distance_fraction), self.stdev_us);
+        SimDuration::from_micros_f64(us.max(1.0))
+    }
+}
+
+/// Result of a [`CoreDvfs::request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionOutcome {
+    /// The core is already at the requested state and quiescent.
+    AlreadyThere,
+    /// A transition started; the caller must invoke
+    /// [`CoreDvfs::complete`] with this token at `completes_at`.
+    Started { completes_at: SimTime, token: u64 },
+    /// A transition is in flight; the request was queued and will
+    /// start when the in-flight transition completes (the follow-up is
+    /// returned by [`CoreDvfs::complete`]).
+    Queued,
+}
+
+/// Result of [`CoreDvfs::complete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionResult {
+    /// The token was stale (a newer transition superseded it); ignore.
+    Stale,
+    /// The transition finished and the new state is now in effect.
+    Settled { new_state: PState },
+    /// The transition finished and a queued request immediately
+    /// started a follow-up transition (paying re-transition latency).
+    FollowUp {
+        new_state: PState,
+        completes_at: SimTime,
+        token: u64,
+    },
+}
+
+/// Per-DVFS-domain transition state machine.
+///
+/// # Examples
+///
+/// ```
+/// use cpusim::dvfs::{CoreDvfs, TransitionOutcome, CompletionResult};
+/// use cpusim::profiles::ProcessorProfile;
+/// use cpusim::pstate::PState;
+/// use simcore::{RngStream, SimTime};
+///
+/// let profile = ProcessorProfile::xeon_gold_6134();
+/// let mut rng = RngStream::from_seed(1);
+/// let mut dvfs = CoreDvfs::new(profile.pstates.slowest());
+/// let outcome = dvfs.request(PState::P0, SimTime::ZERO, &profile, &mut rng);
+/// let TransitionOutcome::Started { completes_at, token } = outcome else { panic!() };
+/// // First-ever transition pays only the ACPI base latency (10 µs).
+/// assert_eq!(completes_at, SimTime::from_micros(10));
+/// let done = dvfs.complete(token, completes_at, &profile, &mut rng);
+/// assert_eq!(done, CompletionResult::Settled { new_state: PState::P0 });
+/// assert_eq!(dvfs.current(), PState::P0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoreDvfs {
+    current: PState,
+    in_flight: Option<InFlight>,
+    queued: Option<PState>,
+    last_complete: Option<SimTime>,
+    next_token: u64,
+    transitions_started: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    target: PState,
+    completes_at: SimTime,
+    token: u64,
+}
+
+impl CoreDvfs {
+    /// Creates a quiescent domain at `initial`.
+    pub fn new(initial: PState) -> Self {
+        CoreDvfs {
+            current: initial,
+            in_flight: None,
+            queued: None,
+            last_complete: None,
+            next_token: 0,
+            transitions_started: 0,
+        }
+    }
+
+    /// The V/F state currently in effect (the old state remains in
+    /// effect while a transition is in flight).
+    pub fn current(&self) -> PState {
+        self.current
+    }
+
+    /// The state the domain is heading towards: queued target if any,
+    /// else in-flight target, else current.
+    pub fn target(&self) -> PState {
+        self.queued
+            .or(self.in_flight.map(|f| f.target))
+            .unwrap_or(self.current)
+    }
+
+    /// True if a transition is in flight.
+    pub fn is_transitioning(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Total transitions started (for ablation reporting).
+    pub fn transitions_started(&self) -> u64 {
+        self.transitions_started
+    }
+
+    /// Requests a change to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not in the profile's P-state table.
+    pub fn request(
+        &mut self,
+        target: PState,
+        now: SimTime,
+        profile: &ProcessorProfile,
+        rng: &mut RngStream,
+    ) -> TransitionOutcome {
+        assert!(profile.pstates.contains(target), "target P-state out of range");
+        if let Some(inflight) = self.in_flight {
+            if inflight.target == target {
+                // Already heading there; drop any stale queued request
+                // so we don't bounce back after completion.
+                self.queued = None;
+                return TransitionOutcome::Queued;
+            }
+            self.queued = Some(target);
+            return TransitionOutcome::Queued;
+        }
+        if target == self.current {
+            self.queued = None;
+            return TransitionOutcome::AlreadyThere;
+        }
+        let latency = self.start_latency(target, now, profile, rng);
+        self.begin(target, now, latency)
+    }
+
+    /// Latency for a transition starting now from `self.current`.
+    fn start_latency(
+        &self,
+        target: PState,
+        now: SimTime,
+        profile: &ProcessorProfile,
+        rng: &mut RngStream,
+    ) -> SimDuration {
+        let within_settle = match self.last_complete {
+            Some(t) => now.saturating_since(t) < profile.settle_window,
+            None => false,
+        };
+        if within_settle {
+            let up = target.is_faster_than(self.current);
+            let frac = profile.pstates.distance_fraction(self.current, target);
+            profile.retransition.sample(rng, up, frac)
+        } else {
+            profile.base_transition
+        }
+    }
+
+    fn begin(&mut self, target: PState, now: SimTime, latency: SimDuration) -> TransitionOutcome {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.transitions_started += 1;
+        let completes_at = now + latency;
+        self.in_flight = Some(InFlight {
+            target,
+            completes_at,
+            token,
+        });
+        TransitionOutcome::Started { completes_at, token }
+    }
+
+    /// Completes the in-flight transition identified by `token`.
+    /// Call exactly when the `completes_at` returned at start time is
+    /// reached. Returns a follow-up transition if a request was queued
+    /// meanwhile — the follow-up pays the re-transition latency.
+    pub fn complete(
+        &mut self,
+        token: u64,
+        now: SimTime,
+        profile: &ProcessorProfile,
+        rng: &mut RngStream,
+    ) -> CompletionResult {
+        let Some(inflight) = self.in_flight else {
+            return CompletionResult::Stale;
+        };
+        if inflight.token != token {
+            return CompletionResult::Stale;
+        }
+        debug_assert_eq!(now, inflight.completes_at, "completion fired at the wrong time");
+        self.current = inflight.target;
+        self.in_flight = None;
+        self.last_complete = Some(now);
+        let new_state = self.current;
+        match self.queued.take() {
+            Some(q) if q != new_state => {
+                // Back-to-back: always the re-transition latency.
+                let up = q.is_faster_than(new_state);
+                let frac = profile.pstates.distance_fraction(new_state, q);
+                let latency = profile.retransition.sample(rng, up, frac);
+                let TransitionOutcome::Started { completes_at, token } =
+                    self.begin(q, now, latency)
+                else {
+                    unreachable!("begin always starts");
+                };
+                CompletionResult::FollowUp {
+                    new_state,
+                    completes_at,
+                    token,
+                }
+            }
+            _ => CompletionResult::Settled { new_state },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ProcessorProfile;
+
+    fn setup() -> (ProcessorProfile, CoreDvfs, RngStream) {
+        let p = ProcessorProfile::xeon_gold_6134();
+        let d = CoreDvfs::new(p.pstates.slowest());
+        (p, d, RngStream::from_seed(42))
+    }
+
+    #[test]
+    fn quiescent_transition_uses_base_latency() {
+        let (p, mut d, mut rng) = setup();
+        let out = d.request(PState::P0, SimTime::from_millis(10), &p, &mut rng);
+        match out {
+            TransitionOutcome::Started { completes_at, .. } => {
+                assert_eq!(completes_at, SimTime::from_millis(10) + p.base_transition);
+            }
+            other => panic!("expected Started, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_changes_only_at_completion() {
+        let (p, mut d, mut rng) = setup();
+        let slowest = p.pstates.slowest();
+        let TransitionOutcome::Started { completes_at, token } =
+            d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
+        else {
+            panic!()
+        };
+        assert_eq!(d.current(), slowest, "old state holds during transition");
+        assert!(d.is_transitioning());
+        d.complete(token, completes_at, &p, &mut rng);
+        assert_eq!(d.current(), PState::P0);
+        assert!(!d.is_transitioning());
+    }
+
+    #[test]
+    fn request_within_settle_window_pays_retransition() {
+        let (p, mut d, mut rng) = setup();
+        let TransitionOutcome::Started { completes_at, token } =
+            d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
+        else {
+            panic!()
+        };
+        d.complete(token, completes_at, &p, &mut rng);
+        // Immediately request a change back: must take ~520 µs, not 10 µs.
+        let TransitionOutcome::Started { completes_at: c2, .. } =
+            d.request(p.pstates.slowest(), completes_at, &p, &mut rng)
+        else {
+            panic!()
+        };
+        let latency = c2 - completes_at;
+        assert!(
+            latency > SimDuration::from_micros(400),
+            "expected server re-transition latency, got {latency}"
+        );
+    }
+
+    #[test]
+    fn request_after_settle_window_uses_base_latency() {
+        let (p, mut d, mut rng) = setup();
+        let TransitionOutcome::Started { completes_at, token } =
+            d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
+        else {
+            panic!()
+        };
+        d.complete(token, completes_at, &p, &mut rng);
+        let later = completes_at + p.settle_window + SimDuration::from_micros(1);
+        let TransitionOutcome::Started { completes_at: c2, .. } =
+            d.request(p.pstates.slowest(), later, &p, &mut rng)
+        else {
+            panic!()
+        };
+        assert_eq!(c2 - later, p.base_transition);
+    }
+
+    #[test]
+    fn queued_request_becomes_followup() {
+        let (p, mut d, mut rng) = setup();
+        let TransitionOutcome::Started { completes_at, token } =
+            d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
+        else {
+            panic!()
+        };
+        // Mid-flight request to a different state queues.
+        let mid = SimTime::from_micros(5);
+        assert_eq!(
+            d.request(PState::new(8), mid, &p, &mut rng),
+            TransitionOutcome::Queued
+        );
+        assert_eq!(d.target(), PState::new(8));
+        match d.complete(token, completes_at, &p, &mut rng) {
+            CompletionResult::FollowUp { new_state, completes_at: c2, .. } => {
+                assert_eq!(new_state, PState::P0);
+                let latency = c2 - completes_at;
+                assert!(latency > SimDuration::from_micros(400), "follow-up is a re-transition");
+            }
+            other => panic!("expected FollowUp, got {other:?}"),
+        }
+        assert!(d.is_transitioning());
+    }
+
+    #[test]
+    fn request_matching_inflight_target_drops_queue() {
+        let (p, mut d, mut rng) = setup();
+        let TransitionOutcome::Started { completes_at, token } =
+            d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
+        else {
+            panic!()
+        };
+        d.request(PState::new(5), SimTime::from_micros(2), &p, &mut rng);
+        // Re-request the in-flight target: the queued P5 must be dropped.
+        d.request(PState::P0, SimTime::from_micros(4), &p, &mut rng);
+        assert_eq!(d.target(), PState::P0);
+        assert_eq!(
+            d.complete(token, completes_at, &p, &mut rng),
+            CompletionResult::Settled { new_state: PState::P0 }
+        );
+    }
+
+    #[test]
+    fn stale_token_ignored() {
+        let (p, mut d, mut rng) = setup();
+        let TransitionOutcome::Started { completes_at, token } =
+            d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
+        else {
+            panic!()
+        };
+        d.complete(token, completes_at, &p, &mut rng);
+        assert_eq!(
+            d.complete(token, completes_at, &p, &mut rng),
+            CompletionResult::Stale
+        );
+    }
+
+    #[test]
+    fn noop_request_when_already_there() {
+        let (p, mut d, mut rng) = setup();
+        let s = d.current();
+        assert_eq!(
+            d.request(s, SimTime::ZERO, &p, &mut rng),
+            TransitionOutcome::AlreadyThere
+        );
+        assert_eq!(d.transitions_started(), 0);
+    }
+
+    #[test]
+    fn retransition_model_direction_and_distance() {
+        let m = RetransitionModel::desktop(20.0, 6.0, 34.0, 11.0, 2.0);
+        assert!(m.mean_micros(true, 1.0) > m.mean_micros(true, 0.1));
+        assert!(m.mean_micros(true, 0.5) > m.mean_micros(false, 0.5));
+        // Clamping.
+        assert_eq!(m.mean_micros(false, -3.0), 20.0);
+        assert_eq!(m.mean_micros(false, 7.0), 26.0);
+    }
+
+    #[test]
+    fn retransition_sample_statistics() {
+        let m = RetransitionModel::server(525.0, 2.0, 526.0, 1.5, 6.0);
+        let mut rng = RngStream::from_seed(7);
+        let mut stats = simcore::RunningStats::new();
+        for _ in 0..10_000 {
+            stats.push(m.sample(&mut rng, true, 1.0).as_micros_f64());
+        }
+        assert!((stats.mean() - 527.5).abs() < 0.5, "mean {}", stats.mean());
+        assert!((stats.sample_stdev() - 6.0).abs() < 0.5, "stdev {}", stats.sample_stdev());
+    }
+}

@@ -1,0 +1,48 @@
+//! # cpusim — processor model
+//!
+//! Models the hardware side of the NMAP paper (MICRO'21):
+//!
+//! * **P-states** ([`pstate`]): discrete voltage/frequency operating
+//!   points, P0 = fastest, as exposed by `cpufreq`/`intel_pstate`.
+//! * **DVFS engine** ([`dvfs`]): per-core frequency transitions with
+//!   the ACPI-specified base latency *and* the much longer
+//!   *re-transition latency* the paper measures in Table 1 when
+//!   transitions are requested back-to-back.
+//! * **C-states** ([`cstate`]): CC0/CC1/CC6 with Table 2 wake-up
+//!   latencies and the CC6 private-cache flush penalty (§5.2).
+//! * **Power & energy** ([`power`], [`rapl`]): an analytic per-core
+//!   power model integrated over state residency, exposed through a
+//!   RAPL-like monotone package energy counter.
+//! * **Processor profiles** ([`profiles`]): the four CPUs the paper
+//!   characterizes — i7-6700, i7-7700, Xeon E5-2620v4, Xeon Gold 6134.
+//! * **Cores and packages** ([`core`], [`topology`]): execution-state
+//!   and residency bookkeeping, per-core or chip-wide DVFS domains.
+//!
+//! # Examples
+//!
+//! ```
+//! use cpusim::profiles::ProcessorProfile;
+//! use cpusim::pstate::PState;
+//!
+//! let gold = ProcessorProfile::xeon_gold_6134();
+//! assert_eq!(gold.pstates.len(), 16);
+//! assert_eq!(gold.pstates.frequency(PState::P0), 3_200_000_000);
+//! assert_eq!(gold.pstates.frequency(gold.pstates.slowest()), 1_200_000_000);
+//! ```
+
+pub mod core;
+pub mod cstate;
+pub mod dvfs;
+pub mod power;
+pub mod profiles;
+pub mod pstate;
+pub mod rapl;
+pub mod topology;
+
+pub use crate::core::{Core, CoreId};
+pub use crate::cstate::CState;
+pub use crate::dvfs::{CoreDvfs, TransitionOutcome};
+pub use crate::profiles::ProcessorProfile;
+pub use crate::pstate::{PState, PStateTable};
+pub use crate::rapl::RaplCounter;
+pub use crate::topology::{DvfsScope, Processor};

@@ -1,0 +1,191 @@
+//! Processor profiles: the four CPUs characterized in the paper.
+//!
+//! Each profile carries the P-state table, the DVFS latency model
+//! (ACPI base latency + the measured *re-transition* latencies from
+//! Table 1), the C-state wake-up latencies from Table 2, the CC6
+//! cache-flush penalty from §5.2, and the analytic power-model
+//! coefficients used for energy accounting.
+//!
+//! Calibration notes (see DESIGN.md §5): Table 1/2 values are encoded
+//! directly from the paper; power coefficients are chosen so the
+//! Gold 6134 package lands near its 130 W TDP with all cores at P0
+//! and reproduces the paper's menu/disable/c6only energy ordering.
+
+use crate::cstate::CStateLatencies;
+use crate::dvfs::RetransitionModel;
+use crate::power::PowerModel;
+use crate::pstate::PStateTable;
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// A complete description of one processor model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessorProfile {
+    /// Marketing name, e.g. `"Intel Xeon Gold 6134"`.
+    pub name: &'static str,
+    /// Number of physical cores (hyper-threading disabled, as in the
+    /// paper's testbed).
+    pub cores: usize,
+    /// Voltage/frequency operating points, P0 first.
+    pub pstates: PStateTable,
+    /// ACPI-advertised V/F transition latency (10 µs on all four
+    /// CPUs, per the DSDT/SSDT tables cited in §5.1).
+    pub base_transition: SimDuration,
+    /// Re-transition latency model fitted to Table 1.
+    pub retransition: RetransitionModel,
+    /// How long after a completed transition a new request still pays
+    /// the re-transition cost (the "immediately" in §5.1).
+    pub settle_window: SimDuration,
+    /// C-state wake-up latencies (Table 2).
+    pub cstate_latencies: CStateLatencies,
+    /// Worst-case time to re-fill the private caches after a CC6 wake
+    /// (§5.2: 7 µs on E5-2620v4 with 256 KB L2, 26.4 µs on Gold 6134
+    /// with 1 MB L2).
+    pub cc6_cache_refill: SimDuration,
+    /// Analytic power model coefficients.
+    pub power: PowerModel,
+}
+
+impl ProcessorProfile {
+    /// The paper's evaluation testbed: 8-core Xeon Gold 6134 with
+    /// per-core DVFS and 16 P-states from 1.2 GHz (P15) to 3.2 GHz
+    /// (P0) (§6.1).
+    pub fn xeon_gold_6134() -> Self {
+        ProcessorProfile {
+            name: "Intel Xeon Gold 6134",
+            cores: 8,
+            pstates: PStateTable::linear(16, 3_200_000_000, 1_200_000_000, 1.05, 0.70),
+            base_transition: SimDuration::from_micros(10),
+            // Table 1: ~526 µs flat, stdev ~6-7 µs, mild distance term.
+            retransition: RetransitionModel::server(525.0, 2.0, 526.0, 1.5, 6.0),
+            settle_window: SimDuration::from_micros(500),
+            cstate_latencies: CStateLatencies {
+                c1_wake_mean_us: 0.56,
+                c1_wake_stdev_us: 0.50,
+                c6_wake_mean_us: 27.43,
+                c6_wake_stdev_us: 4.05,
+            },
+            cc6_cache_refill: SimDuration::from_nanos(26_400),
+            power: PowerModel::server_8core(),
+        }
+    }
+
+    /// Xeon E5-2620v4 (Broadwell server, 256 KB L2): ~517 µs
+    /// re-transition, 7 µs CC6 cache refill.
+    pub fn xeon_e5_2620v4() -> Self {
+        ProcessorProfile {
+            name: "Intel Xeon E5-2620v4",
+            cores: 8,
+            pstates: PStateTable::linear(15, 3_000_000_000, 1_200_000_000, 1.00, 0.70),
+            base_transition: SimDuration::from_micros(10),
+            retransition: RetransitionModel::server(516.0, 1.5, 517.0, 3.5, 4.5),
+            settle_window: SimDuration::from_micros(500),
+            cstate_latencies: CStateLatencies {
+                c1_wake_mean_us: 0.50,
+                c1_wake_stdev_us: 0.50,
+                c6_wake_mean_us: 27.25,
+                c6_wake_stdev_us: 4.77,
+            },
+            cc6_cache_refill: SimDuration::from_nanos(7_000),
+            power: PowerModel::server_8core(),
+        }
+    }
+
+    /// Desktop i7-6700 (Skylake): direction-dependent re-transition
+    /// of a few tens of µs (Table 1, rows 1-6).
+    pub fn i7_6700() -> Self {
+        ProcessorProfile {
+            name: "Intel i7-6700",
+            cores: 4,
+            pstates: PStateTable::linear(16, 3_400_000_000, 800_000_000, 1.10, 0.65),
+            base_transition: SimDuration::from_micros(10),
+            // Table 1: down 21.0→27.2 µs, up 34.6→45.1 µs over distance.
+            retransition: RetransitionModel::desktop(20.6, 6.6, 33.9, 11.2, 3.5),
+            settle_window: SimDuration::from_micros(30),
+            cstate_latencies: CStateLatencies {
+                c1_wake_mean_us: 0.35,
+                c1_wake_stdev_us: 0.48,
+                c6_wake_mean_us: 27.70,
+                c6_wake_stdev_us: 3.00,
+            },
+            cc6_cache_refill: SimDuration::from_nanos(10_000),
+            power: PowerModel::desktop_4core(),
+        }
+    }
+
+    /// Desktop i7-7700 (Kaby Lake).
+    pub fn i7_7700() -> Self {
+        ProcessorProfile {
+            name: "Intel i7-7700",
+            cores: 4,
+            pstates: PStateTable::linear(16, 3_600_000_000, 800_000_000, 1.10, 0.65),
+            base_transition: SimDuration::from_micros(10),
+            // Table 1: down 21.7→25.9 µs, up 31.3→50.7 µs over distance.
+            retransition: RetransitionModel::desktop(21.4, 4.5, 30.0, 20.7, 3.0),
+            settle_window: SimDuration::from_micros(30),
+            cstate_latencies: CStateLatencies {
+                c1_wake_mean_us: 0.40,
+                c1_wake_stdev_us: 0.49,
+                c6_wake_mean_us: 27.56,
+                c6_wake_stdev_us: 4.15,
+            },
+            cc6_cache_refill: SimDuration::from_nanos(10_000),
+            power: PowerModel::desktop_4core(),
+        }
+    }
+
+    /// All four characterized processors, in the order Table 1 lists
+    /// them.
+    pub fn all_characterized() -> Vec<Self> {
+        vec![
+            Self::i7_6700(),
+            Self::i7_7700(),
+            Self::xeon_e5_2620v4(),
+            Self::xeon_gold_6134(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pstate::PState;
+
+    #[test]
+    fn gold_6134_matches_paper_testbed() {
+        let p = ProcessorProfile::xeon_gold_6134();
+        assert_eq!(p.cores, 8);
+        assert_eq!(p.pstates.len(), 16);
+        assert_eq!(p.pstates.frequency(PState::P0), 3_200_000_000);
+        assert_eq!(p.pstates.frequency(p.pstates.slowest()), 1_200_000_000);
+        assert_eq!(p.base_transition, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn all_profiles_have_valid_tables() {
+        for p in ProcessorProfile::all_characterized() {
+            assert!(p.pstates.len() >= 2, "{}", p.name);
+            assert!(p.cores >= 4, "{}", p.name);
+            assert!(!p.settle_window.is_zero(), "{}", p.name);
+            assert!(p.cstate_latencies.c6_wake_mean_us > p.cstate_latencies.c1_wake_mean_us);
+        }
+    }
+
+    #[test]
+    fn server_retransition_dwarfs_base() {
+        let p = ProcessorProfile::xeon_gold_6134();
+        let mean = p
+            .retransition
+            .mean_micros(true, p.pstates.distance_fraction(PState::P0, p.pstates.slowest()));
+        assert!(mean > 500.0, "server re-transition should be ~520 µs, got {mean}");
+        assert!(mean > 50.0 * p.base_transition.as_micros_f64() * 0.9);
+    }
+
+    #[test]
+    fn desktop_up_costs_more_than_down() {
+        let p = ProcessorProfile::i7_6700();
+        let up = p.retransition.mean_micros(true, 1.0);
+        let down = p.retransition.mean_micros(false, 1.0);
+        assert!(up > down, "raising V/F must cost more ({up} vs {down})");
+    }
+}

@@ -1,0 +1,81 @@
+//! `repro` — regenerate the NMAP paper's tables and figures.
+//!
+//! ```text
+//! Usage: repro [--quick] [--out DIR] <id>... | all | --list
+//!
+//!   --quick   short measurement windows (CI-sized); default is the
+//!             full windows used for reported numbers
+//!   --out DIR also write each artifact to DIR/<id>.txt
+//!   --list    print the available artifact ids
+//! ```
+
+use experiments::figures;
+use experiments::runner::Scale;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut ids: Vec<String> = Vec::new();
+    let mut out_dir: Option<String> = None;
+    let mut iter = args.into_iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--out" => {
+                out_dir = iter.next();
+                if out_dir.is_none() {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }
+            }
+            "--list" => {
+                for id in figures::all_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("Usage: repro [--quick] [--out DIR] <id>... | all | --list");
+                println!("ids: {}", figures::all_ids().join(" "));
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("no artifact requested; try `repro --list` or `repro all`");
+        std::process::exit(2);
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = figures::all_ids().iter().map(|s| s.to_string()).collect();
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    let mut produced: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for id in &ids {
+        if produced.contains(id) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let reports = figures::generate(id, scale);
+        if reports.is_empty() {
+            eprintln!("unknown artifact id: {id} (try --list)");
+            std::process::exit(2);
+        }
+        for report in reports {
+            println!("{report}");
+            println!("[generated in {:.1}s]\n", start.elapsed().as_secs_f64());
+            if let Some(dir) = &out_dir {
+                let path = format!("{dir}/{}.txt", report.id);
+                let mut f = std::fs::File::create(&path).expect("create artifact file");
+                write!(f, "{report}").expect("write artifact");
+            }
+            produced.insert(report.id.clone());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! CSV export of run traces — for plotting the timeline figures with
+//! external tools (no plotting dependencies in this workspace).
+//!
+//! ```no_run
+//! use experiments::{run, GovernorKind, RunConfig, Scale};
+//! use workload::{AppKind, LoadLevel, LoadSpec};
+//!
+//! let cfg = RunConfig::new(
+//!     AppKind::Memcached,
+//!     LoadSpec::preset(AppKind::Memcached, LoadLevel::High),
+//!     GovernorKind::Ondemand,
+//!     Scale::Quick,
+//! )
+//! .with_traces();
+//! let result = run(cfg);
+//! experiments::export::write_traces_csv(&result, "out_dir").unwrap();
+//! ```
+
+use crate::runner::RunResult;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders the per-response latency series as CSV
+/// (`recv_time_us,latency_us`).
+pub fn responses_csv(result: &RunResult) -> String {
+    let mut out = String::from("recv_time_us,latency_us\n");
+    if let Some(t) = &result.traces {
+        for &(tt, lat) in &t.responses {
+            let _ = writeln!(
+                out,
+                "{:.3},{:.3}",
+                tt.as_nanos() as f64 / 1e3,
+                lat.as_micros_f64()
+            );
+        }
+    }
+    out
+}
+
+/// Renders core 0's P-state step trace as CSV (`time_us,pstate`).
+pub fn pstates_csv(result: &RunResult) -> String {
+    let mut out = String::from("time_us,pstate\n");
+    if let Some(t) = &result.traces {
+        for &(tt, p) in &t.pstates_core0 {
+            let _ = writeln!(out, "{:.3},{p}", tt.as_nanos() as f64 / 1e3);
+        }
+    }
+    out
+}
+
+/// Renders core 0's NAPI activity as CSV
+/// (`time_us,kind,value` with kind ∈ {intr, poll, ksoftirqd_wake}).
+pub fn napi_csv(result: &RunResult) -> String {
+    let mut out = String::from("time_us,kind,value\n");
+    if let Some(t) = &result.traces {
+        for &(tt, n) in &t.intr_batches_core0 {
+            let _ = writeln!(out, "{:.3},intr,{n}", tt.as_nanos() as f64 / 1e3);
+        }
+        for &(tt, n) in &t.poll_batches_core0 {
+            let _ = writeln!(out, "{:.3},poll,{n}", tt.as_nanos() as f64 / 1e3);
+        }
+        for &tt in &t.ksoftirqd_wakes_core0 {
+            let _ = writeln!(out, "{:.3},ksoftirqd_wake,1", tt.as_nanos() as f64 / 1e3);
+        }
+    }
+    out
+}
+
+/// Writes the three trace CSVs (`responses.csv`, `pstates.csv`,
+/// `napi.csv`) into `dir`, creating it if needed.
+///
+/// # Errors
+///
+/// Returns any filesystem error; fails with `InvalidInput` if the run
+/// was made without [`with_traces`](crate::RunConfig::with_traces).
+pub fn write_traces_csv(result: &RunResult, dir: impl AsRef<Path>) -> io::Result<()> {
+    if result.traces.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "run was executed without trace collection",
+        ));
+    }
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("responses.csv"), responses_csv(result))?;
+    std::fs::write(dir.join("pstates.csv"), pstates_csv(result))?;
+    std::fs::write(dir.join("napi.csv"), napi_csv(result))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, GovernorKind, RunConfig, Scale};
+    use simcore::SimDuration;
+    use workload::{AppKind, LoadSpec};
+
+    fn traced_result() -> RunResult {
+        run(RunConfig {
+            warmup: SimDuration::from_millis(50),
+            duration: SimDuration::from_millis(150),
+            ..RunConfig::new(
+                AppKind::Memcached,
+                LoadSpec::custom(30_000.0, SimDuration::from_millis(100), 0.4, 0.3),
+                GovernorKind::Ondemand,
+                Scale::Quick,
+            )
+        }
+        .with_traces())
+    }
+
+    #[test]
+    fn csv_has_headers_and_rows() {
+        let r = traced_result();
+        let resp = responses_csv(&r);
+        assert!(resp.starts_with("recv_time_us,latency_us\n"));
+        assert!(resp.lines().count() > 100, "responses present");
+        let napi = napi_csv(&r);
+        assert!(napi.contains(",intr,"));
+        let ps = pstates_csv(&r);
+        assert!(ps.lines().count() >= 2, "at least one P-state change");
+        // Every data line has the right arity.
+        for line in resp.lines().skip(1).take(50) {
+            assert_eq!(line.split(',').count(), 2, "bad row {line}");
+        }
+    }
+
+    #[test]
+    fn write_traces_creates_files() {
+        let r = traced_result();
+        let dir = std::env::temp_dir().join("nmap_repro_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_traces_csv(&r, &dir).unwrap();
+        for f in ["responses.csv", "pstates.csv", "napi.csv"] {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn untraced_run_is_rejected() {
+        let r = run(RunConfig {
+            warmup: SimDuration::from_millis(10),
+            duration: SimDuration::from_millis(20),
+            ..RunConfig::new(
+                AppKind::Memcached,
+                LoadSpec::custom(10_000.0, SimDuration::from_millis(100), 0.4, 0.3),
+                GovernorKind::Performance,
+                Scale::Quick,
+            )
+        });
+        let err = write_traces_csv(&r, std::env::temp_dir().join("never")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -1,0 +1,245 @@
+//! Ablations of NMAP's design choices (DESIGN.md §4):
+//!
+//! * `ablation-ni` — NI_TH sensitivity: how the threshold trades
+//!   early boosting (energy) against detection (tail latency);
+//! * `ablation-timer` — the monitor/decision timer interval
+//!   (§6.1 uses 10 ms);
+//! * `ablation-scope` — per-core vs chip-wide DVFS (the advantage
+//!   NMAP claims over NCAP);
+//! * `ablation-retrans` — sensitivity to the re-transition latency
+//!   (desktop-class ~30 µs vs server-class ~520 µs DVFS).
+
+use crate::report::{self, FigureReport};
+use crate::runner::{run_many, GovernorKind, RunConfig, RunResult, Scale};
+use crate::thresholds;
+use cpusim::dvfs::RetransitionModel;
+use cpusim::{DvfsScope, ProcessorProfile};
+use nmap::NmapConfig;
+use simcore::SimDuration;
+use workload::{AppKind, LoadLevel, LoadSpec};
+
+fn result_row(label: String, r: &RunResult, baseline_energy: f64) -> Vec<String> {
+    vec![
+        label,
+        report::fmt_dur(r.p99),
+        report::fmt_pct(r.frac_above_slo),
+        report::fmt_norm(r.energy_j, baseline_energy),
+        r.dvfs_transitions.to_string(),
+    ]
+}
+
+const HEADERS: [&str; 5] = ["variant", "p99", "over_slo", "energy_norm", "transitions"];
+
+/// NI_TH sensitivity at memcached high load.
+pub fn ni_threshold(scale: Scale) -> FigureReport {
+    let base = thresholds::nmap_config(AppKind::Memcached);
+    let load = LoadSpec::preset(AppKind::Memcached, LoadLevel::High);
+    let factors = [0.25, 0.5, 1.0, 4.0, 16.0, 64.0];
+    let configs: Vec<RunConfig> = factors
+        .iter()
+        .map(|&f| {
+            let ni = ((base.ni_threshold as f64 * f).round() as u64).max(1);
+            let cfg = NmapConfig::new(ni, base.cu_threshold);
+            RunConfig::new(AppKind::Memcached, load, GovernorKind::Nmap(cfg), scale)
+        })
+        .chain(std::iter::once(RunConfig::new(
+            AppKind::Memcached,
+            load,
+            GovernorKind::Performance,
+            scale,
+        )))
+        .collect();
+    let results = run_many(configs);
+    let baseline = results.last().unwrap().energy_j;
+    let rows = factors
+        .iter()
+        .zip(&results)
+        .map(|(&f, r)| {
+            let ni = ((base.ni_threshold as f64 * f).round() as u64).max(1);
+            result_row(format!("NI_TH={ni} ({f}x)"), r, baseline)
+        })
+        .collect();
+    let mut body = report::table(&HEADERS, rows);
+    body.push_str(
+        "\nExpected: small NI_TH boosts aggressively (near-performance energy, lowest \
+         tail); very large NI_TH stops detecting bursts and the tail degrades toward \
+         ondemand's.\n",
+    );
+    FigureReport::new("ablation-ni", "NI_TH sensitivity (memcached, high load)", body)
+}
+
+/// Monitor timer interval sweep at memcached medium load.
+pub fn timer_interval(scale: Scale) -> FigureReport {
+    let base = thresholds::nmap_config(AppKind::Memcached);
+    let load = LoadSpec::preset(AppKind::Memcached, LoadLevel::Medium);
+    let intervals_ms = [1u64, 5, 10, 50, 100];
+    let configs: Vec<RunConfig> = intervals_ms
+        .iter()
+        .map(|&ms| {
+            let cfg = base.with_timer(SimDuration::from_millis(ms));
+            RunConfig::new(AppKind::Memcached, load, GovernorKind::Nmap(cfg), scale)
+        })
+        .chain(std::iter::once(RunConfig::new(
+            AppKind::Memcached,
+            load,
+            GovernorKind::Performance,
+            scale,
+        )))
+        .collect();
+    let results = run_many(configs);
+    let baseline = results.last().unwrap().energy_j;
+    let rows = intervals_ms
+        .iter()
+        .zip(&results)
+        .map(|(&ms, r)| result_row(format!("timer={ms}ms"), r, baseline))
+        .collect();
+    let mut body = report::table(&HEADERS, rows);
+    body.push_str(
+        "\nExpected: the boost path is timer-independent (notifications are \
+         event-driven), so the tail barely moves; a slower timer delays the fallback \
+         to CPU-utilization mode and costs energy.\n",
+    );
+    FigureReport::new(
+        "ablation-timer",
+        "Monitor timer interval (memcached, medium load)",
+        body,
+    )
+}
+
+/// Per-core vs chip-wide DVFS, across memcached loads.
+pub fn dvfs_scope(scale: Scale) -> FigureReport {
+    let base = thresholds::nmap_config(AppKind::Memcached);
+    let mut configs = Vec::new();
+    for level in LoadLevel::all() {
+        let load = LoadSpec::preset(AppKind::Memcached, level);
+        for scope in [DvfsScope::PerCore, DvfsScope::ChipWide] {
+            configs.push(
+                RunConfig::new(AppKind::Memcached, load, GovernorKind::Nmap(base), scale)
+                    .with_scope(scope),
+            );
+        }
+        configs.push(RunConfig::new(
+            AppKind::Memcached,
+            load,
+            GovernorKind::Performance,
+            scale,
+        ));
+    }
+    let results = run_many(configs);
+    let mut rows = Vec::new();
+    for (li, level) in LoadLevel::all().iter().enumerate() {
+        let baseline = results[li * 3 + 2].energy_j;
+        rows.push(result_row(format!("{level}/per-core"), &results[li * 3], baseline));
+        rows.push(result_row(format!("{level}/chip-wide"), &results[li * 3 + 1], baseline));
+    }
+    let mut body = report::table(&HEADERS, rows);
+    body.push_str(
+        "\nExpected: chip-wide NMAP boosts all eight cores whenever one detects a \
+         burst, costing extra energy — the per-core advantage NMAP claims over \
+         NCAP (§6.3).\n",
+    );
+    FigureReport::new("ablation-scope", "Per-core vs chip-wide DVFS (memcached)", body)
+}
+
+/// Re-transition latency sensitivity: the Gold 6134 with its stock
+/// ~520 µs re-transition vs a hypothetical desktop-class (~30 µs)
+/// and a zero-cost DVFS.
+pub fn retransition(scale: Scale) -> FigureReport {
+    let base_cfg = thresholds::nmap_config(AppKind::Memcached);
+    let load = LoadSpec::preset(AppKind::Memcached, LoadLevel::High);
+    let stock = ProcessorProfile::xeon_gold_6134();
+    let desktop_like = ProcessorProfile {
+        retransition: RetransitionModel::desktop(20.6, 6.6, 33.9, 11.2, 3.5),
+        settle_window: SimDuration::from_micros(30),
+        ..ProcessorProfile::xeon_gold_6134()
+    };
+    let instant = ProcessorProfile {
+        retransition: RetransitionModel::desktop(0.01, 0.0, 0.01, 0.0, 0.0),
+        settle_window: SimDuration::ZERO,
+        base_transition: SimDuration::from_nanos(100),
+        ..ProcessorProfile::xeon_gold_6134()
+    };
+    let variants = [
+        ("server (~520us retrans)", stock),
+        ("desktop (~30us retrans)", desktop_like),
+        ("ideal (instant DVFS)", instant),
+    ];
+    let mut configs: Vec<RunConfig> = variants
+        .iter()
+        .map(|(_, p)| {
+            let mut c = RunConfig::new(AppKind::Memcached, load, GovernorKind::Nmap(base_cfg), scale);
+            c.profile_override = Some(p.clone());
+            c
+        })
+        .collect();
+    configs.push(RunConfig::new(
+        AppKind::Memcached,
+        load,
+        GovernorKind::Performance,
+        scale,
+    ));
+    let results = run_many(configs);
+    let baseline = results.last().unwrap().energy_j;
+    let rows = variants
+        .iter()
+        .zip(&results)
+        .map(|((label, _), r)| result_row(label.to_string(), r, baseline))
+        .collect();
+    let mut body = report::table(&HEADERS, rows);
+    body.push_str(
+        "\nExpected: NMAP tolerates the server-class re-transition because it changes \
+         V/F once per burst edge, not per request — the §5.1 argument for why \
+         coarser-than-per-request DVFS is the practical design point.\n",
+    );
+    FigureReport::new(
+        "ablation-retrans",
+        "Re-transition latency sensitivity (memcached, high load)",
+        body,
+    )
+}
+
+/// All ablations.
+pub fn all(scale: Scale) -> Vec<FigureReport> {
+    vec![
+        ni_threshold(scale),
+        timer_interval(scale),
+        dvfs_scope(scale),
+        retransition(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_ablation_shows_per_core_saves_energy() {
+        let rep = dvfs_scope(Scale::Quick);
+        let grab = |label: &str| -> f64 {
+            rep.body
+                .lines()
+                .find(|l| l.starts_with(label))
+                .and_then(|l| {
+                    l.split_whitespace()
+                        .find(|c| c.ends_with('x'))
+                        .and_then(|v| v.trim_end_matches('x').parse().ok())
+                })
+                .expect("row")
+        };
+        // At low load the chip-wide boost penalty is largest.
+        let per_core = grab("low/per-core");
+        let chip = grab("low/chip-wide");
+        assert!(
+            chip >= per_core,
+            "chip-wide ({chip}) must cost at least per-core ({per_core})"
+        );
+    }
+
+    #[test]
+    fn timer_ablation_runs_all_intervals() {
+        let rep = timer_interval(Scale::Quick);
+        for ms in [1, 5, 10, 50, 100] {
+            assert!(rep.body.contains(&format!("timer={ms}ms")));
+        }
+    }
+}

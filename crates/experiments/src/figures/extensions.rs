@@ -1,0 +1,137 @@
+//! Beyond-paper extensions:
+//!
+//! * `extra-online` — NMAP with **online threshold adaptation**
+//!   (§4.2's future work): no offline profiling step, thresholds
+//!   self-calibrate in production. Compared against offline-profiled
+//!   NMAP across all loads and under the Fig 16 varying-load
+//!   workload.
+//! * `extra-schedutil` — the modern kernel default `schedutil`
+//!   governor: faster than ondemand (1 ms effective rate limit) but
+//!   still utilization-driven, so still blind to burst fronts.
+
+use crate::report::{self, FigureReport};
+use crate::runner::{run_many, GovernorKind, RunConfig, Scale};
+use crate::thresholds;
+use workload::{AppKind, LoadLevel, LoadSpec};
+
+/// NMAP-online vs offline-profiled NMAP.
+pub fn online_adaptation(scale: Scale) -> FigureReport {
+    let mut configs = Vec::new();
+    for app in [AppKind::Memcached, AppKind::Nginx] {
+        let offline = GovernorKind::Nmap(thresholds::nmap_config(app));
+        for level in LoadLevel::all() {
+            let load = LoadSpec::preset(app, level);
+            configs.push(RunConfig::new(app, load, offline, scale));
+            configs.push(RunConfig::new(app, load, GovernorKind::NmapOnline, scale));
+            configs.push(RunConfig::new(app, load, GovernorKind::Performance, scale));
+        }
+    }
+    let results = run_many(configs);
+    let mut rows = Vec::new();
+    for (ai, app) in [AppKind::Memcached, AppKind::Nginx].iter().enumerate() {
+        for (li, level) in LoadLevel::all().iter().enumerate() {
+            let base = (ai * 3 + li) * 3;
+            let perf_energy = results[base + 2].energy_j;
+            for slot in 0..2 {
+                let r = &results[base + slot];
+                rows.push(vec![
+                    format!("{app}/{level}"),
+                    r.governor.clone(),
+                    report::fmt_dur(r.p99),
+                    report::fmt_pct(r.frac_above_slo),
+                    report::fmt_norm(r.energy_j, perf_energy),
+                    if r.meets_slo() { "meets".into() } else { "VIOLATES".into() },
+                ]);
+            }
+        }
+    }
+    let mut body = report::table(
+        &["workload", "governor", "p99", "over_slo", "energy_vs_perf", "slo"],
+        rows,
+    );
+    body.push_str(
+        "\nExpected: NMAP-online tracks the offline-profiled NMAP closely at every \
+         load — the adaptation converges onto thresholds equivalent to the §4.2 \
+         profiling — while requiring no per-application offline step.\n",
+    );
+    FigureReport::new(
+        "extra-online",
+        "Beyond-paper: online threshold adaptation vs offline profiling",
+        body,
+    )
+}
+
+/// schedutil vs ondemand vs NMAP.
+pub fn schedutil(scale: Scale) -> FigureReport {
+    let mut configs = Vec::new();
+    for app in [AppKind::Memcached, AppKind::Nginx] {
+        let nmap = GovernorKind::Nmap(thresholds::nmap_config(app));
+        for level in LoadLevel::all() {
+            let load = LoadSpec::preset(app, level);
+            for gov in [GovernorKind::Ondemand, GovernorKind::Schedutil, nmap] {
+                configs.push(RunConfig::new(app, load, gov, scale));
+            }
+        }
+    }
+    let results = run_many(configs);
+    let mut rows = Vec::new();
+    for (ai, app) in [AppKind::Memcached, AppKind::Nginx].iter().enumerate() {
+        for (li, level) in LoadLevel::all().iter().enumerate() {
+            let base = (ai * 3 + li) * 3;
+            for slot in 0..3 {
+                let r = &results[base + slot];
+                rows.push(vec![
+                    format!("{app}/{level}"),
+                    r.governor.clone(),
+                    report::fmt_dur(r.p99),
+                    report::fmt_pct(r.frac_above_slo),
+                    format!("{:.1}W", r.avg_power_w),
+                    if r.meets_slo() { "meets".into() } else { "VIOLATES".into() },
+                ]);
+            }
+        }
+    }
+    let mut body = report::table(&["workload", "governor", "p99", "over_slo", "power", "slo"], rows);
+    body.push_str(
+        "\nExpected: schedutil's 1 ms rate limit shrinks ondemand's burst lag but the \
+         governor remains reactive-by-utilization; NMAP's event-driven boost still \
+         wins the tail at the highest loads.\n",
+    );
+    FigureReport::new(
+        "extra-schedutil",
+        "Beyond-paper: the modern schedutil governor vs NMAP",
+        body,
+    )
+}
+
+/// Both extension studies.
+pub fn all(scale: Scale) -> Vec<FigureReport> {
+    vec![online_adaptation(scale), schedutil(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_nmap_meets_slo_like_offline() {
+        let rep = online_adaptation(Scale::Quick);
+        let violations = rep
+            .body
+            .lines()
+            .filter(|l| l.contains("NMAP-online") && l.contains("VIOLATES"))
+            .count();
+        assert_eq!(violations, 0, "NMAP-online must meet every SLO:\n{}", rep.body);
+    }
+
+    #[test]
+    fn schedutil_report_covers_all_cells() {
+        let rep = schedutil(Scale::Quick);
+        let rows = rep
+            .body
+            .lines()
+            .filter(|l| l.contains(" schedutil ") && (l.contains("meets") || l.contains("VIOLATES")))
+            .count();
+        assert_eq!(rows, 6, "2 apps × 3 loads");
+    }
+}

@@ -1,0 +1,74 @@
+//! One module per paper artifact. Every function returns a
+//! [`crate::report::FigureReport`] whose body is the
+//! text rendering of the table/figure the paper shows.
+//!
+//! | id | paper artifact |
+//! |---|---|
+//! | `fig2` | NAPI mode counts, ksoftirqd wakes, ondemand P-state timeline |
+//! | `fig3` | per-request latency over 0.5 s, ondemand vs performance |
+//! | `fig4` | latency CDF, ondemand vs performance |
+//! | `table1` | re-transition latency, 4 CPUs × 6 transitions |
+//! | `table2` | C-state wake-up latency, 4 CPUs |
+//! | `fig7` | CC6 entries vs packet modes, low & high load |
+//! | `fig8` | latency-load curve + energy across sleep policies |
+//! | `fig9` | NMAP timeline (as fig2 under NMAP) |
+//! | `fig10` | per-request latency under NMAP |
+//! | `fig11` | latency CDF under NMAP |
+//! | `fig12` | P99 matrix: 5 governors × 3 sleep policies × 3 loads × 2 apps |
+//! | `fig13` | energy matrix (same cells, normalized to performance+menu) |
+//! | `fig14` | P99 vs state of the art (NCAP variants), normalized to SLO |
+//! | `fig15` | energy vs state of the art |
+//! | `fig16` | varying-load trace: NMAP vs Parties |
+//! | `ablation` | NI_TH/CU_TH/timer/scope/re-transition sensitivity |
+//! | `extra` | beyond-paper: online threshold adaptation, schedutil |
+
+pub mod ablations;
+pub mod comparison;
+pub mod extensions;
+pub mod motivation;
+pub mod nmap_behavior;
+pub mod sleep;
+pub mod sota;
+pub mod tables;
+pub mod varying;
+
+use crate::report::FigureReport;
+use crate::runner::Scale;
+
+/// All artifact ids in paper order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "fig2", "fig3", "fig4", "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "fig14", "fig15", "fig16", "ablation", "extra",
+    ]
+}
+
+/// Generates the artifacts for `id` (some ids share their underlying
+/// sweep and are produced together; the requested one is returned
+/// along with any siblings computed for free).
+pub fn generate(id: &str, scale: Scale) -> Vec<FigureReport> {
+    match id {
+        "fig2" => vec![motivation::fig2(scale)],
+        "fig3" => vec![motivation::fig3(scale)],
+        "fig4" => vec![motivation::fig4(scale)],
+        "table1" => vec![tables::table1()],
+        "table2" => vec![tables::table2()],
+        "fig7" => vec![sleep::fig7(scale)],
+        "fig8" => vec![sleep::fig8(scale)],
+        "fig9" => vec![nmap_behavior::fig9(scale)],
+        "fig10" => vec![nmap_behavior::fig10(scale)],
+        "fig11" => vec![nmap_behavior::fig11(scale)],
+        "fig12" | "fig13" => {
+            let (a, b) = comparison::fig12_13(scale);
+            vec![a, b]
+        }
+        "fig14" | "fig15" => {
+            let (a, b) = sota::fig14_15(scale);
+            vec![a, b]
+        }
+        "fig16" => vec![varying::fig16(scale)],
+        "ablation" => ablations::all(scale),
+        "extra" | "extra-online" | "extra-schedutil" => extensions::all(scale),
+        _ => Vec::new(),
+    }
+}

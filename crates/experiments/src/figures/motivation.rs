@@ -1,0 +1,228 @@
+//! Motivation figures (§3): Fig 2 (NAPI mode timeline under
+//! ondemand), Fig 3 (per-request latency scatter), Fig 4 (latency
+//! CDF) — ondemand vs performance, both applications at high load.
+
+use crate::report::{self, FigureReport};
+use crate::runner::{run, GovernorKind, RunConfig, RunResult, Scale};
+use simcore::{SimDuration, SimTime};
+use workload::{AppKind, LoadLevel, LoadSpec};
+
+fn traced_run(app: AppKind, governor: GovernorKind, scale: Scale) -> RunResult {
+    let load = LoadSpec::preset(app, LoadLevel::High);
+    run(RunConfig::new(app, load, governor, scale).with_traces())
+}
+
+/// Renders a 1-ms-binned NAPI/P-state timeline over one burst period
+/// plus margins (120 ms), core 0.
+pub(crate) fn render_timeline(r: &RunResult, window_ms: u64) -> String {
+    let t = r.traces.as_ref().expect("timeline needs traces");
+    let start = t.measure_start;
+    let end = (start + SimDuration::from_millis(window_ms)).min(t.measure_end);
+    let bin = SimDuration::from_millis(1);
+    let nbins = (end - start).as_millis() as usize;
+    let bin_of = |tt: SimTime| -> Option<usize> {
+        (tt >= start && tt < end).then(|| (tt.saturating_since(start) / bin) as usize)
+    };
+    let mut intr = vec![0u64; nbins];
+    let mut poll = vec![0u64; nbins];
+    let mut wakes = vec![0u64; nbins];
+    for &(tt, n) in &t.intr_batches_core0 {
+        if let Some(i) = bin_of(tt) {
+            intr[i] += n;
+        }
+    }
+    for &(tt, n) in &t.poll_batches_core0 {
+        if let Some(i) = bin_of(tt) {
+            poll[i] += n;
+        }
+    }
+    for &tt in &t.ksoftirqd_wakes_core0 {
+        if let Some(i) = bin_of(tt) {
+            wakes[i] += 1;
+        }
+    }
+    // P-state step trace sampled at bin starts.
+    let mut pstates = vec![15u8; nbins];
+    {
+        let mut cur = 15u8; // governors boot at the slowest state
+        let mut events = t.pstates_core0.iter().peekable();
+        for (i, slot) in pstates.iter_mut().enumerate() {
+            let bin_start = start + bin * i as u64;
+            while let Some(&&(tt, p)) = events.peek() {
+                if tt <= bin_start {
+                    cur = p;
+                    events.next();
+                } else {
+                    break;
+                }
+            }
+            *slot = cur;
+        }
+    }
+    let rows: Vec<Vec<String>> = (0..nbins)
+        .map(|i| {
+            vec![
+                format!("{i}"),
+                format!("P{}", pstates[i]),
+                intr[i].to_string(),
+                poll[i].to_string(),
+                if wakes[i] > 0 { format!("{}x", wakes[i]) } else { String::new() },
+            ]
+        })
+        .collect();
+    report::table(&["ms", "pstate", "intr_pkts", "poll_pkts", "ksoftirqd_wake"], rows)
+}
+
+/// Fig 2: mode counts (interrupt vs polling), ksoftirqd wake-ups, and
+/// the ondemand governor's P-state over time, per application.
+pub fn fig2(scale: Scale) -> FigureReport {
+    let mut body = String::new();
+    for app in [AppKind::Memcached, AppKind::Nginx] {
+        let r = traced_run(app, GovernorKind::Ondemand, scale);
+        body.push_str(&format!(
+            "\n[{app} @ high load, ondemand governor — core 0, first 120 ms of measurement]\n"
+        ));
+        body.push_str(&render_timeline(&r, 120));
+        let t = r.traces.as_ref().unwrap();
+        let max_intr_per_ms = {
+            let bins = 120usize;
+            let mut v = vec![0u64; bins];
+            for &(tt, n) in &t.intr_batches_core0 {
+                let i = (tt.saturating_since(t.measure_start) / SimDuration::from_millis(1)) as usize;
+                if i < bins {
+                    v[i] += n;
+                }
+            }
+            v.into_iter().max().unwrap_or(0)
+        };
+        body.push_str(&format!(
+            "interrupt-mode packets are capped (max {max_intr_per_ms}/ms on core 0) while \
+             polling scales with the burst; ksoftirqd wakes near burst peaks.\n"
+        ));
+    }
+    body.push_str(
+        "\nPaper shape: interrupt-mode packets cap out (152/ms memcached, 89/ms nginx) \
+         while polling grows with load; ondemand raises V/F only mid/late burst.\n",
+    );
+    FigureReport::new("fig2", "NAPI mode transitions and ondemand P-state under bursts", body)
+}
+
+/// Renders a per-request latency summary over a 0.5 s window, binned
+/// at 25 ms (the scatter's envelope).
+pub(crate) fn render_scatter(r: &RunResult, slo: SimDuration) -> String {
+    let t = r.traces.as_ref().expect("scatter needs traces");
+    let start = t.measure_start;
+    let window = SimDuration::from_millis(500);
+    let bin = SimDuration::from_millis(25);
+    let nbins = (window / bin) as usize;
+    let mut max_lat = vec![SimDuration::ZERO; nbins];
+    let mut count = vec![0u64; nbins];
+    let mut over = vec![0u64; nbins];
+    for &(tt, lat) in &t.responses {
+        let off = tt.saturating_since(start);
+        if off >= window {
+            continue;
+        }
+        let i = (off / bin) as usize;
+        count[i] += 1;
+        max_lat[i] = max_lat[i].max(lat);
+        if lat > slo {
+            over[i] += 1;
+        }
+    }
+    let rows: Vec<Vec<String>> = (0..nbins)
+        .map(|i| {
+            vec![
+                format!("{}-{}", i * 25, (i + 1) * 25),
+                count[i].to_string(),
+                report::fmt_dur(max_lat[i]),
+                over[i].to_string(),
+            ]
+        })
+        .collect();
+    report::table(&["window_ms", "responses", "max_latency", "over_slo"], rows)
+}
+
+/// Fig 3: response latency of every request over 0.5 s, ondemand vs
+/// performance.
+pub fn fig3(scale: Scale) -> FigureReport {
+    let mut body = String::new();
+    for app in [AppKind::Memcached, AppKind::Nginx] {
+        for gov in [GovernorKind::Ondemand, GovernorKind::Performance] {
+            let r = traced_run(app, gov, scale);
+            body.push_str(&format!(
+                "\n[{app} @ high load, {} — 0.5 s of responses; SLO {}]\n",
+                r.governor,
+                report::fmt_dur(r.slo)
+            ));
+            body.push_str(&render_scatter(&r, r.slo));
+        }
+    }
+    body.push_str(
+        "\nPaper shape: ondemand shows latency spikes tracking each burst; the \
+         performance governor keeps every request low and flat.\n",
+    );
+    FigureReport::new("fig3", "Per-request response latency over 0.5 s", body)
+}
+
+/// Renders the latency CDF at fixed quantiles plus the fraction of
+/// requests within the SLO (the paper's headline percentages).
+pub(crate) fn render_cdf(r: &RunResult) -> String {
+    let t = r.traces.as_ref().expect("cdf needs traces");
+    let mut cdf: simcore::Cdf = t.responses.iter().map(|&(_, l)| l.as_nanos()).collect();
+    let mut rows = Vec::new();
+    for q in [0.50, 0.90, 0.95, 0.99, 0.999] {
+        rows.push(vec![
+            format!("p{:.1}", q * 100.0),
+            report::fmt_dur(SimDuration::from_nanos(cdf.quantile(q))),
+        ]);
+    }
+    let within = cdf.fraction_at_or_below(r.slo.as_nanos());
+    rows.push(vec!["within SLO".into(), report::fmt_pct(within)]);
+    report::table(&["quantile", "latency"], rows)
+}
+
+/// Fig 4: latency CDFs, ondemand vs performance.
+pub fn fig4(scale: Scale) -> FigureReport {
+    let mut body = String::new();
+    for app in [AppKind::Memcached, AppKind::Nginx] {
+        for gov in [GovernorKind::Ondemand, GovernorKind::Performance] {
+            let r = traced_run(app, gov, scale);
+            body.push_str(&format!(
+                "\n[{app} @ high load, {} — SLO {}]\n",
+                r.governor,
+                report::fmt_dur(r.slo)
+            ));
+            body.push_str(&render_cdf(&r));
+        }
+    }
+    body.push_str(
+        "\nPaper shape: ondemand leaves a substantial fraction of requests past the \
+         SLO (their testbed: only 18.1% under 1 ms for memcached, 57.2% under 10 ms \
+         for nginx); performance keeps ≥99.9% within it.\n",
+    );
+    FigureReport::new("fig4", "Latency CDF, ondemand vs performance", body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_produces_timelines_for_both_apps() {
+        let rep = fig2(Scale::Quick);
+        assert_eq!(rep.id, "fig2");
+        assert!(rep.body.contains("memcached"));
+        assert!(rep.body.contains("nginx"));
+        assert!(rep.body.contains("ksoftirqd_wake"));
+        // 120 rows per app plus headers.
+        assert!(rep.body.lines().count() > 240);
+    }
+
+    #[test]
+    fn fig4_reports_slo_fractions() {
+        let rep = fig4(Scale::Quick);
+        assert!(rep.body.contains("within SLO"));
+        assert!(rep.body.contains("p99"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Fig 14 / Fig 15 (§6.3): comparison with the state of the art —
+//! NCAP-menu, NCAP, NMAP-simpl, NMAP. P99 normalized to the SLO,
+//! energy normalized to performance+menu. All runs use the menu
+//! sleep policy (NCAP's own variant gates it during bursts).
+
+use crate::report::{self, FigureReport};
+use crate::runner::{run_many, GovernorKind, RunConfig, RunResult, Scale};
+use crate::thresholds;
+use workload::{AppKind, LoadLevel, LoadSpec};
+
+const LABELS: [&str; 4] = ["NCAP-menu", "NCAP", "NMAP-simpl", "NMAP"];
+
+fn governors(app: AppKind) -> [GovernorKind; 4] {
+    let ncap_th = thresholds::ncap_threshold(app);
+    [
+        GovernorKind::NcapMenu(ncap_th),
+        GovernorKind::Ncap(ncap_th),
+        GovernorKind::NmapSimpl,
+        GovernorKind::Nmap(thresholds::nmap_config(app)),
+    ]
+}
+
+fn sweep(scale: Scale) -> Vec<RunResult> {
+    let mut configs = Vec::new();
+    for app in [AppKind::Memcached, AppKind::Nginx] {
+        let govs = governors(app);
+        for level in LoadLevel::all() {
+            let load = LoadSpec::preset(app, level);
+            // Baseline first, then the four contenders.
+            configs.push(RunConfig::new(app, load, GovernorKind::Performance, scale));
+            for gov in govs {
+                configs.push(RunConfig::new(app, load, gov, scale));
+            }
+        }
+    }
+    run_many(configs)
+}
+
+fn index(app: usize, level: usize, slot: usize) -> usize {
+    (app * 3 + level) * 5 + slot
+}
+
+/// Builds both figures from one sweep.
+pub fn fig14_15(scale: Scale) -> (FigureReport, FigureReport) {
+    let results = sweep(scale);
+    let mut p99_body = String::new();
+    let mut energy_body = String::new();
+    for (ai, app) in [AppKind::Memcached, AppKind::Nginx].iter().enumerate() {
+        p99_body.push_str(&format!("\n[{app} — P99 normalized to the SLO ('*' = violation)]\n"));
+        energy_body.push_str(&format!(
+            "\n[{app} — energy normalized to performance+menu]\n"
+        ));
+        let mut p99_rows = Vec::new();
+        let mut energy_rows = Vec::new();
+        for (li, level) in LoadLevel::all().iter().enumerate() {
+            let baseline = results[index(ai, li, 0)].energy_j;
+            let mut p99_row = vec![level.to_string()];
+            let mut energy_row = vec![level.to_string()];
+            for slot in 1..=4 {
+                let r = &results[index(ai, li, slot)];
+                let mark = if r.meets_slo() { "" } else { "*" };
+                p99_row.push(format!("{:.2}{mark}", r.p99_norm_slo()));
+                energy_row.push(report::fmt_norm(r.energy_j, baseline));
+            }
+            p99_rows.push(p99_row);
+            energy_rows.push(energy_row);
+        }
+        let mut headers = vec!["load"];
+        headers.extend(LABELS);
+        p99_body.push_str(&report::table(&headers, p99_rows));
+        energy_body.push_str(&report::table(&headers, energy_rows));
+    }
+    p99_body.push_str(
+        "\nPaper shape: NCAP and NCAP-menu are indistinguishable (the processor \
+         rarely sleeps mid-burst anyway); NCAP and NMAP meet the SLO at every load; \
+         NMAP-simpl fails at high load.\n",
+    );
+    energy_body.push_str(
+        "\nPaper shape: NMAP undercuts NCAP's energy at every load — by 4.2-9% \
+         (memcached) and 11-14.7% (nginx) on their testbed — because per-core DVFS \
+         lets unaffected cores stay slow while NCAP boosts the whole chip.\n",
+    );
+    (
+        FigureReport::new("fig14", "P99 vs state-of-the-art power management", p99_body),
+        FigureReport::new("fig15", "Energy vs state-of-the-art power management", energy_body),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmap_beats_ncap_energy() {
+        let (_p99, energy) = fig14_15(Scale::Quick);
+        // For every load row, NMAP's normalized energy ≤ NCAP's.
+        let mut checked = 0;
+        for line in energy.body.lines() {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            if cells.len() == 5 && (cells[0] == "low" || cells[0] == "medium" || cells[0] == "high")
+            {
+                let ncap: f64 = cells[2].trim_end_matches('x').parse().unwrap();
+                let nmap: f64 = cells[4].trim_end_matches('x').parse().unwrap();
+                // At low load NCAP's tuned threshold never trips, so it
+                // degenerates to ondemand and the two roughly tie; the
+                // per-core advantage bites at medium/high.
+                let slack = if cells[0] == "low" { 1.08 } else { 1.02 };
+                assert!(
+                    nmap <= ncap * slack,
+                    "NMAP ({nmap}) must not exceed NCAP ({ncap}) beyond {slack}: {line}"
+                );
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 6, "both apps × three loads");
+    }
+
+    #[test]
+    fn ncap_meets_slo_everywhere() {
+        let (p99, _) = fig14_15(Scale::Quick);
+        for line in p99.body.lines() {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            if cells.len() == 5 && (cells[0] == "low" || cells[0] == "medium" || cells[0] == "high")
+            {
+                assert!(!cells[2].ends_with('*'), "NCAP violated: {line}");
+                assert!(!cells[4].ends_with('*'), "NMAP violated: {line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # experiments — regenerating every table and figure
+//!
+//! The harness behind `cargo run -p experiments --bin repro`:
+//!
+//! * [`runner`] — one fully specified simulation run ([`RunConfig`] →
+//!   [`RunResult`]) plus a thread-parallel sweep helper;
+//! * [`thresholds`] — the offline NMAP threshold profiling (§4.2) and
+//!   NCAP's tuned boost threshold;
+//! * [`figures`] — one module per paper artifact (Fig 2-4, Table 1-2,
+//!   Fig 7-16, plus the ablations), each returning a printable
+//!   [`report::FigureReport`];
+//! * [`report`] — plain-text table formatting;
+//! * [`export`] — CSV trace export for external plotting.
+//!
+//! Absolute numbers come from the calibrated simulator, so reports
+//! should be read for *shape* (who wins, where SLOs break) — see
+//! EXPERIMENTS.md for the paper-vs-measured comparison.
+
+pub mod export;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod thresholds;
+
+pub use report::FigureReport;
+pub use runner::{run, run_many, GovernorKind, ProfileKind, RunConfig, RunResult, Scale, SleepKind};

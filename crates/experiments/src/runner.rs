@@ -1,0 +1,504 @@
+//! The scenario runner: build a testbed from a declarative
+//! [`RunConfig`], simulate warm-up + measured window, and extract the
+//! metrics the paper reports.
+
+use appsim::{AppModel, Testbed, TestbedConfig};
+use cpusim::{CState, DvfsScope, ProcessorProfile, PState};
+use governors::{
+    C6OnlyPolicy, Conservative, DisablePolicy, IntelPowersave, MenuPolicy, Ncap, NcapConfig,
+    Ondemand, Parties, PartiesConfig, Performance, PStateGovernor, Powersave, SleepPolicy,
+    Userspace,
+};
+use governors::ncap::NcapSleepGate;
+use nmap::{NmapConfig, NmapGovernor, NmapSimpl};
+use simcore::{EventLog, SimDuration, SimTime, Simulator};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use workload::{AppKind, LoadSpec};
+
+/// Which processor model a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfileKind {
+    /// Intel i7-6700 (desktop).
+    I76700,
+    /// Intel i7-7700 (desktop).
+    I77700,
+    /// Intel Xeon E5-2620v4 (server).
+    XeonE5V4,
+    /// Intel Xeon Gold 6134 (the paper's testbed; default).
+    XeonGold,
+}
+
+impl ProfileKind {
+    /// Materializes the profile.
+    pub fn profile(self) -> ProcessorProfile {
+        match self {
+            ProfileKind::I76700 => ProcessorProfile::i7_6700(),
+            ProfileKind::I77700 => ProcessorProfile::i7_7700(),
+            ProfileKind::XeonE5V4 => ProcessorProfile::xeon_e5_2620v4(),
+            ProfileKind::XeonGold => ProcessorProfile::xeon_gold_6134(),
+        }
+    }
+}
+
+/// Which V/F governor a run uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GovernorKind {
+    /// cpufreq `performance` (static max).
+    Performance,
+    /// cpufreq `powersave` (static min).
+    Powersave,
+    /// cpufreq `userspace` pinned at the given index.
+    Userspace(u8),
+    /// cpufreq `ondemand`.
+    Ondemand,
+    /// cpufreq `conservative`.
+    Conservative,
+    /// `schedutil` (modern kernel default; beyond-paper baseline).
+    Schedutil,
+    /// `intel_pstate` powersave.
+    IntelPowersave,
+    /// NMAP-simpl (§4.1).
+    NmapSimpl,
+    /// Full NMAP with profiled thresholds (§4.2).
+    Nmap(NmapConfig),
+    /// NMAP with online threshold adaptation (beyond-paper: the
+    /// future work §4.2 names).
+    NmapOnline,
+    /// Software NCAP with sleep gating, boost threshold in pps.
+    Ncap(f64),
+    /// NCAP with the menu governor left on.
+    NcapMenu(f64),
+    /// Parties (500 ms latency feedback).
+    Parties,
+}
+
+/// Which sleep policy a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SleepKind {
+    /// Linux menu governor (default).
+    Menu,
+    /// Sleep states disabled.
+    Disable,
+    /// Always the deepest state.
+    C6Only,
+}
+
+impl SleepKind {
+    /// All three, in report order.
+    pub fn all() -> [SleepKind; 3] {
+        [SleepKind::Menu, SleepKind::Disable, SleepKind::C6Only]
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SleepKind::Menu => "menu",
+            SleepKind::Disable => "disable",
+            SleepKind::C6Only => "c6only",
+        }
+    }
+}
+
+/// How long experiments run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Short windows for CI / quick checks.
+    Quick,
+    /// The full windows used for reported numbers.
+    Full,
+}
+
+impl Scale {
+    /// Warm-up before measurement begins.
+    pub fn warmup(self) -> SimDuration {
+        match self {
+            Scale::Quick => SimDuration::from_millis(200),
+            Scale::Full => SimDuration::from_millis(300),
+        }
+    }
+
+    /// Measured-window length.
+    pub fn duration(self) -> SimDuration {
+        match self {
+            Scale::Quick => SimDuration::from_millis(800),
+            Scale::Full => SimDuration::from_millis(2_000),
+        }
+    }
+}
+
+/// A fully specified simulation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Application under test.
+    pub app: AppKind,
+    /// Offered load.
+    pub load: LoadSpec,
+    /// V/F governor.
+    pub governor: GovernorKind,
+    /// Sleep policy.
+    pub sleep: SleepKind,
+    /// Processor model.
+    pub profile: ProfileKind,
+    /// Fully custom processor (ablations); overrides `profile`.
+    pub profile_override: Option<ProcessorProfile>,
+    /// DVFS scope.
+    pub scope: DvfsScope,
+    /// RNG seed.
+    pub seed: u64,
+    /// Warm-up length (excluded from statistics).
+    pub warmup: SimDuration,
+    /// Measured-window length.
+    pub duration: SimDuration,
+    /// Collect per-event traces (timeline figures).
+    pub collect_traces: bool,
+}
+
+impl RunConfig {
+    /// A default-testbed run of `governor` on `app` at `load`.
+    pub fn new(app: AppKind, load: LoadSpec, governor: GovernorKind, scale: Scale) -> Self {
+        RunConfig {
+            app,
+            load,
+            governor,
+            sleep: SleepKind::Menu,
+            profile: ProfileKind::XeonGold,
+            profile_override: None,
+            scope: DvfsScope::PerCore,
+            seed: 42,
+            warmup: scale.warmup(),
+            duration: scale.duration(),
+            collect_traces: false,
+        }
+    }
+
+    /// Sets the sleep policy.
+    pub fn with_sleep(mut self, sleep: SleepKind) -> Self {
+        self.sleep = sleep;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables trace collection.
+    pub fn with_traces(mut self) -> Self {
+        self.collect_traces = true;
+        self
+    }
+
+    /// Sets the DVFS scope.
+    pub fn with_scope(mut self, scope: DvfsScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Sets the processor model.
+    pub fn with_profile(mut self, profile: ProfileKind) -> Self {
+        self.profile = profile;
+        self
+    }
+}
+
+/// Per-event traces collected when `collect_traces` is set.
+#[derive(Debug, Clone, Default)]
+pub struct RunTraces {
+    /// Per-response `(receive time, latency)`.
+    pub responses: Vec<(SimTime, SimDuration)>,
+    /// Core 0 P-state changes `(time, state index)`.
+    pub pstates_core0: Vec<(SimTime, u8)>,
+    /// Core 0 interrupt-mode packet batches `(time, count)`.
+    pub intr_batches_core0: Vec<(SimTime, u64)>,
+    /// Core 0 polling-mode packet batches `(time, count)`.
+    pub poll_batches_core0: Vec<(SimTime, u64)>,
+    /// Core 0 ksoftirqd wake times.
+    pub ksoftirqd_wakes_core0: Vec<SimTime>,
+    /// Core 0 C-state entries `(time, state)`.
+    pub cstates_core0: Vec<(SimTime, CState)>,
+    /// Start of the measured window.
+    pub measure_start: SimTime,
+    /// End of the measured window.
+    pub measure_end: SimTime,
+}
+
+/// Metrics extracted from one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Governor display name.
+    pub governor: String,
+    /// Sleep policy display name.
+    pub sleep: String,
+    /// Requests sent within the measured window.
+    pub sent: u64,
+    /// Responses received within the measured window.
+    pub received: u64,
+    /// P99 end-to-end latency.
+    pub p99: SimDuration,
+    /// P50 end-to-end latency.
+    pub p50: SimDuration,
+    /// Fraction of responses above the application SLO.
+    pub frac_above_slo: f64,
+    /// The SLO the fraction was computed against.
+    pub slo: SimDuration,
+    /// Package energy over the measured window, joules.
+    pub energy_j: f64,
+    /// Measured-window length.
+    pub duration: SimDuration,
+    /// Average package power, watts.
+    pub avg_power_w: f64,
+    /// Rx packets dropped at the NIC.
+    pub rx_dropped: u64,
+    /// DVFS transitions started.
+    pub dvfs_transitions: u64,
+    /// CC6 entries across cores.
+    pub c6_entries: u64,
+    /// Traces, if requested.
+    pub traces: Option<RunTraces>,
+}
+
+impl RunResult {
+    /// True if P99 meets the SLO.
+    pub fn meets_slo(&self) -> bool {
+        self.p99 <= self.slo
+    }
+
+    /// P99 normalized to the SLO (Fig 14's y-axis).
+    pub fn p99_norm_slo(&self) -> f64 {
+        self.p99.as_secs_f64() / self.slo.as_secs_f64()
+    }
+}
+
+fn build_policies(
+    cfg: &RunConfig,
+    profile: &ProcessorProfile,
+    app: &AppModel,
+) -> (Box<dyn PStateGovernor>, Box<dyn SleepPolicy>) {
+    let cores = profile.cores;
+    let table = profile.pstates.clone();
+    let sleep: Box<dyn SleepPolicy> = match cfg.sleep {
+        SleepKind::Menu => Box::new(MenuPolicy::new(cores)),
+        SleepKind::Disable => Box::new(DisablePolicy::new()),
+        SleepKind::C6Only => Box::new(C6OnlyPolicy::new()),
+    };
+    match cfg.governor {
+        GovernorKind::Performance => (Box::new(Performance::new()), sleep),
+        GovernorKind::Powersave => (Box::new(Powersave::new(table.slowest())), sleep),
+        GovernorKind::Userspace(idx) => {
+            (Box::new(Userspace::new(table.clamp(PState::new(idx)))), sleep)
+        }
+        GovernorKind::Ondemand => (Box::new(Ondemand::new(table, cores)), sleep),
+        GovernorKind::Conservative => (Box::new(Conservative::new(table, cores)), sleep),
+        GovernorKind::Schedutil => (Box::new(governors::Schedutil::new(table, cores)), sleep),
+        GovernorKind::IntelPowersave => (Box::new(IntelPowersave::new(table, cores)), sleep),
+        GovernorKind::NmapSimpl => (Box::new(NmapSimpl::new(table, cores)), sleep),
+        GovernorKind::Nmap(config) => (Box::new(NmapGovernor::new(table, cores, config)), sleep),
+        GovernorKind::NmapOnline => (
+            Box::new(nmap::OnlineNmap::new(table, cores, nmap::OnlineConfig::default())),
+            sleep,
+        ),
+        GovernorKind::Ncap(threshold) => {
+            let ncap = Ncap::new(table, cores, NcapConfig::with_threshold(threshold));
+            let gate = NcapSleepGate::new(MenuPolicy::new(cores), ncap.burst_flag());
+            (Box::new(ncap), Box::new(gate))
+        }
+        GovernorKind::NcapMenu(threshold) => {
+            let mut nc = NcapConfig::with_threshold(threshold);
+            nc.gate_sleep = false;
+            (Box::new(Ncap::new(table, cores, nc)), sleep)
+        }
+        GovernorKind::Parties => (
+            Box::new(Parties::new(table, PartiesConfig::new(app.slo))),
+            sleep,
+        ),
+    }
+}
+
+/// Executes one run to completion and extracts its metrics.
+pub fn run(cfg: RunConfig) -> RunResult {
+    let (result, _tb) = run_with_testbed(cfg, |_, _| {});
+    result
+}
+
+/// Like [`run`], but lets the caller hook the testbed right after
+/// construction (install observers, schedule load switches) and hands
+/// the final testbed back for custom extraction.
+pub fn run_with_testbed(
+    cfg: RunConfig,
+    setup: impl FnOnce(&mut Testbed, &mut Simulator<Testbed>),
+) -> (RunResult, Testbed) {
+    let app = AppModel::for_kind(cfg.app);
+    let profile = cfg
+        .profile_override
+        .clone()
+        .unwrap_or_else(|| cfg.profile.profile());
+    let tb_cfg = TestbedConfig::new(app, cfg.load)
+        .with_seed(cfg.seed)
+        .with_profile(profile.clone())
+        .with_scope(cfg.scope);
+    let (governor, sleep) = build_policies(&cfg, &profile, &app);
+    let mut sim: Simulator<Testbed> = Simulator::new();
+    let mut tb = Testbed::new(tb_cfg, governor, sleep, &mut sim);
+    setup(&mut tb, &mut sim);
+
+    let warmup_end = SimTime::ZERO + cfg.warmup;
+    sim.run_until(&mut tb, warmup_end);
+    tb.begin_measurement(warmup_end);
+    let end = warmup_end + cfg.duration;
+    sim.run_until(&mut tb, end);
+
+    let sent = tb.client.sent();
+    let received = tb.client.received();
+    let slo = app.slo;
+    let p99 = tb.client.latencies_mut().p99();
+    let p50 = SimDuration::from_nanos(tb.client.latencies_mut().quantile(0.50));
+    let frac_above_slo = tb.client.latencies_mut().fraction_above(slo.as_nanos());
+    let energy_j = tb.measured_energy(end);
+    let duration = tb.measured_duration(end);
+    let avg_power_w = if duration.is_zero() {
+        0.0
+    } else {
+        energy_j / duration.as_secs_f64()
+    };
+    let traces = cfg.collect_traces.then(|| {
+        let core0 = tb.processor.core(cpusim::CoreId(0));
+        RunTraces {
+            responses: tb.client.response_log().to_vec(),
+            pstates_core0: log_map(core0.pstate_log(), |p| p.index()),
+            intr_batches_core0: log_map(tb.napi[0].interrupt_packet_log(), |&n| n),
+            poll_batches_core0: log_map(tb.napi[0].polling_packet_log(), |&n| n),
+            ksoftirqd_wakes_core0: tb.ksoftirqd_log[0]
+                .iter()
+                .filter(|&&(_, awake)| awake)
+                .map(|&(t, _)| t)
+                .collect(),
+            cstates_core0: log_map(core0.cstate_log(), |&c| c),
+            measure_start: warmup_end,
+            measure_end: end,
+        }
+    });
+    let result = RunResult {
+        governor: tb.governor.name(),
+        sleep: tb.sleep.name(),
+        sent,
+        received,
+        p99,
+        p50,
+        frac_above_slo,
+        slo,
+        energy_j,
+        duration,
+        avg_power_w,
+        rx_dropped: tb.nic.total_rx_dropped(),
+        dvfs_transitions: tb.processor.total_transitions(),
+        c6_entries: tb.processor.cores().iter().map(|c| c.c6_entries()).sum(),
+        traces,
+    };
+    (result, tb)
+}
+
+fn log_map<T, U>(log: &EventLog<T>, f: impl Fn(&T) -> U) -> Vec<(SimTime, U)> {
+    log.iter().map(|(t, v)| (*t, f(v))).collect()
+}
+
+/// Runs many configs across worker threads (one testbed per thread),
+/// preserving input order in the output.
+pub fn run_many(configs: Vec<RunConfig>) -> Vec<RunResult> {
+    if configs.len() <= 1 {
+        return configs.into_iter().map(run).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4)
+        .min(configs.len());
+    let jobs: Mutex<VecDeque<(usize, RunConfig)>> =
+        Mutex::new(configs.into_iter().enumerate().collect());
+    let n = jobs.lock().unwrap().len();
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; n]);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let job = jobs.lock().unwrap().pop_front();
+                let Some((idx, cfg)) = job else { break };
+                let result = run(cfg);
+                results.lock().unwrap()[idx] = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("worker skipped a job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(governor: GovernorKind) -> RunConfig {
+        RunConfig {
+            warmup: SimDuration::from_millis(100),
+            duration: SimDuration::from_millis(300),
+            ..RunConfig::new(
+                AppKind::Memcached,
+                LoadSpec::custom(20_000.0, SimDuration::from_millis(100), 0.4, 0.3),
+                governor,
+                Scale::Quick,
+            )
+        }
+    }
+
+    #[test]
+    fn performance_run_produces_metrics() {
+        let r = run(tiny(GovernorKind::Performance));
+        assert_eq!(r.governor, "performance");
+        assert!(r.received > 1_000);
+        assert!(r.p99 > SimDuration::from_micros(40));
+        assert!(r.energy_j > 0.0);
+        assert!(r.avg_power_w > 1.0);
+    }
+
+    #[test]
+    fn traces_are_collected_on_request() {
+        let r = run(tiny(GovernorKind::Ondemand).with_traces());
+        let t = r.traces.expect("traces requested");
+        assert!(!t.responses.is_empty());
+        assert_eq!(t.measure_end - t.measure_start, SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn run_many_preserves_order() {
+        let configs = vec![
+            tiny(GovernorKind::Performance),
+            tiny(GovernorKind::Powersave),
+            tiny(GovernorKind::Ondemand),
+        ];
+        let results = run_many(configs);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].governor, "performance");
+        assert_eq!(results[1].governor, "powersave");
+        assert_eq!(results[2].governor, "ondemand");
+    }
+
+    #[test]
+    fn powersave_uses_less_power_than_performance() {
+        let perf = run(tiny(GovernorKind::Performance));
+        let save = run(tiny(GovernorKind::Powersave));
+        assert!(save.avg_power_w < perf.avg_power_w);
+        assert!(save.p99 >= perf.p99);
+    }
+
+    #[test]
+    fn sleep_kinds_are_wired() {
+        let menu = run(tiny(GovernorKind::Performance));
+        let disable = run(tiny(GovernorKind::Performance).with_sleep(SleepKind::Disable));
+        assert_eq!(disable.sleep, "disable");
+        assert_eq!(disable.c6_entries, 0, "disable must never reach CC6");
+        assert!(disable.avg_power_w > menu.avg_power_w, "idling in C0 costs power");
+    }
+}

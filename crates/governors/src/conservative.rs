@@ -1,0 +1,135 @@
+//! The `conservative` governor: like ondemand, but steps gradually.
+//!
+//! §2.2: "the conservative governor gradually adjusts the next V/F
+//! state by transitioning to a value near the current V/F state
+//! (e.g., P1→P0 or P1→P2)."
+
+use crate::traits::{Action, PStateGovernor};
+use cpusim::core::UtilSample;
+use cpusim::pstate::PStateTable;
+use cpusim::{CoreId, PState};
+use simcore::{SimDuration, SimTime};
+
+/// Gradual utilization-driven DVFS.
+#[derive(Debug, Clone)]
+pub struct Conservative {
+    table: PStateTable,
+    current: Vec<PState>,
+    up_threshold: f64,
+    down_threshold: f64,
+    interval: SimDuration,
+}
+
+impl Conservative {
+    /// Creates the governor with Linux defaults (80 % / 20 %
+    /// thresholds, 10 ms sampling, one-state steps).
+    pub fn new(table: PStateTable, cores: usize) -> Self {
+        let slowest = table.slowest();
+        Conservative {
+            table,
+            current: vec![slowest; cores],
+            up_threshold: 0.80,
+            down_threshold: 0.20,
+            interval: SimDuration::from_millis(10),
+        }
+    }
+}
+
+impl PStateGovernor for Conservative {
+    fn name(&self) -> String {
+        "conservative".into()
+    }
+
+    fn sampling_interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    fn on_core_sample(
+        &mut self,
+        core: CoreId,
+        sample: UtilSample,
+        _now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        let cur = self.current[core.0];
+        let next = if sample.busy_frac > self.up_threshold {
+            cur.faster()
+        } else if sample.busy_frac < self.down_threshold {
+            cur.slower(self.table.slowest())
+        } else {
+            cur
+        };
+        if next != cur {
+            self.current[core.0] = next;
+            actions.push(Action::SetCore(core, next));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpusim::ProcessorProfile;
+
+    fn gov() -> Conservative {
+        Conservative::new(ProcessorProfile::xeon_gold_6134().pstates, 8)
+    }
+
+    fn sample(busy: f64) -> UtilSample {
+        UtilSample {
+            busy_frac: busy,
+            c0_frac: 1.0,
+            window: SimDuration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn steps_one_state_at_a_time() {
+        let mut g = gov();
+        let slowest = g.table.slowest();
+        let mut actions = Vec::new();
+        g.on_core_sample(CoreId(0), sample(0.95), SimTime::ZERO, &mut actions);
+        assert_eq!(
+            actions,
+            vec![Action::SetCore(CoreId(0), PState::new(slowest.index() - 1))]
+        );
+    }
+
+    #[test]
+    fn needs_many_samples_to_reach_p0() {
+        let mut g = gov();
+        let n = g.table.len();
+        let mut last = g.table.slowest();
+        for i in 0..(n - 1) {
+            let mut actions = Vec::new();
+            g.on_core_sample(CoreId(0), sample(0.95), SimTime::from_millis(10 * i as u64), &mut actions);
+            let Action::SetCore(_, p) = actions[0] else { panic!() };
+            assert_eq!(p, PState::new(last.index() - 1));
+            last = p;
+        }
+        assert_eq!(last, PState::P0);
+        // At P0 further hot samples emit nothing.
+        let mut actions = Vec::new();
+        g.on_core_sample(CoreId(0), sample(0.95), SimTime::from_secs(1), &mut actions);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn stable_in_the_middle_band() {
+        let mut g = gov();
+        let mut actions = Vec::new();
+        g.on_core_sample(CoreId(0), sample(0.5), SimTime::ZERO, &mut actions);
+        assert!(actions.is_empty(), "within thresholds → hold");
+    }
+
+    #[test]
+    fn steps_down_on_low_load() {
+        let mut g = gov();
+        let mut actions = Vec::new();
+        // Warm up one step.
+        g.on_core_sample(CoreId(0), sample(0.95), SimTime::ZERO, &mut actions);
+        actions.clear();
+        g.on_core_sample(CoreId(0), sample(0.05), SimTime::from_millis(10), &mut actions);
+        assert_eq!(actions, vec![Action::SetCore(CoreId(0), g.table.slowest())]);
+    }
+}

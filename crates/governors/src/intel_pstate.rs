@@ -1,0 +1,131 @@
+//! `intel_powersave` — the default governor of the `intel_pstate`
+//! driver (§2.2).
+//!
+//! Same shape as ondemand, but the utilization input is the core's
+//! **CC0 residency** rather than busy time. This reproduces the
+//! interaction §6.2 calls out: with the `disable` sleep policy a core
+//! never leaves CC0, the residency reads 100 %, and the governor pins
+//! P0 — "intel_powersave always operates cores at P0 with disable
+//! since it calculates the CPU utilization based on the residency
+//! time at CC0."
+
+use crate::traits::{Action, PStateGovernor};
+use cpusim::core::UtilSample;
+use cpusim::pstate::PStateTable;
+use cpusim::{CoreId, PState};
+use simcore::{SimDuration, SimTime};
+
+/// CC0-residency-driven DVFS.
+#[derive(Debug, Clone)]
+pub struct IntelPowersave {
+    table: PStateTable,
+    current: Vec<PState>,
+    setpoint: f64,
+    interval: SimDuration,
+}
+
+impl IntelPowersave {
+    /// Creates the governor (97 % busy setpoint as in the kernel's
+    /// PID-era default, 10 ms sampling per §6.1).
+    pub fn new(table: PStateTable, cores: usize) -> Self {
+        let slowest = table.slowest();
+        IntelPowersave {
+            table,
+            current: vec![slowest; cores],
+            setpoint: 0.97,
+            interval: SimDuration::from_millis(10),
+        }
+    }
+}
+
+impl PStateGovernor for IntelPowersave {
+    fn name(&self) -> String {
+        "intel_powersave".into()
+    }
+
+    fn sampling_interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    fn on_core_sample(
+        &mut self,
+        core: CoreId,
+        sample: UtilSample,
+        _now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        // CC0 residency is the utilization proxy.
+        let util = sample.c0_frac;
+        let next = if util >= self.setpoint {
+            PState::P0
+        } else {
+            let cur_freq = self.table.frequency(self.current[core.0]) as f64;
+            let target = cur_freq * util / self.setpoint;
+            self.table.state_for_max_frequency(target.ceil() as u64)
+        };
+        self.current[core.0] = next;
+        actions.push(Action::SetCore(core, next));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpusim::ProcessorProfile;
+
+    fn gov() -> IntelPowersave {
+        IntelPowersave::new(ProcessorProfile::xeon_gold_6134().pstates, 8)
+    }
+
+    #[test]
+    fn pins_p0_when_never_sleeping() {
+        // The `disable` sleep-policy interaction: busy 10 %, but CC0
+        // residency 100 % → P0 regardless.
+        let mut g = gov();
+        let mut actions = Vec::new();
+        g.on_core_sample(
+            CoreId(0),
+            UtilSample {
+                busy_frac: 0.10,
+                c0_frac: 1.0,
+                window: SimDuration::from_millis(10),
+            },
+            SimTime::ZERO,
+            &mut actions,
+        );
+        assert_eq!(actions, vec![Action::SetCore(CoreId(0), PState::P0)]);
+    }
+
+    #[test]
+    fn scales_down_when_cores_sleep() {
+        // With menu/c6only, residency tracks busy time and the governor
+        // behaves like ondemand.
+        let mut g = gov();
+        let mut actions = Vec::new();
+        g.on_core_sample(
+            CoreId(0),
+            UtilSample {
+                busy_frac: 0.10,
+                c0_frac: 0.12,
+                window: SimDuration::from_millis(10),
+            },
+            SimTime::ZERO,
+            &mut actions,
+        );
+        let Action::SetCore(_, p) = actions[0] else { panic!() };
+        assert_eq!(p, g.table.slowest(), "12% residency from Pmin → stay at Pmin");
+    }
+
+    #[test]
+    fn high_residency_from_fast_state_stays_fast() {
+        let mut g = gov();
+        let mut actions = Vec::new();
+        let hot = UtilSample {
+            busy_frac: 0.99,
+            c0_frac: 0.99,
+            window: SimDuration::from_millis(10),
+        };
+        g.on_core_sample(CoreId(0), hot, SimTime::ZERO, &mut actions);
+        assert_eq!(actions, vec![Action::SetCore(CoreId(0), PState::P0)]);
+    }
+}

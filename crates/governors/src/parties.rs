@@ -1,0 +1,198 @@
+//! Parties (Chen et al., ASPLOS'19) — the long-term DVFS baseline of
+//! §6.3 / Fig 16.
+//!
+//! Parties monitors tail latency and adjusts V/F by the *slack*
+//! between the SLO and the measured latency, deciding every 500 ms
+//! ("such feedback-based techniques typically have relatively long
+//! decision-making intervals since they obtain tail response latency
+//! from clients; Parties decides the V/F state every 500 ms").
+//! The long interval is exactly why it misses sub-100 ms bursts.
+
+use crate::traits::{Action, PStateGovernor};
+use cpusim::pstate::PStateTable;
+use cpusim::PState;
+use simcore::{Cdf, SimDuration, SimTime};
+
+/// Parties tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct PartiesConfig {
+    /// Decision interval (paper: 500 ms).
+    pub interval: SimDuration,
+    /// The application's SLO (P99 target).
+    pub slo: SimDuration,
+    /// Slack fraction above which the governor steps down
+    /// (latency well under SLO → save power).
+    pub step_down_slack: f64,
+    /// Slack fraction below which it steps up.
+    pub step_up_slack: f64,
+}
+
+impl PartiesConfig {
+    /// Defaults matching the paper's description.
+    pub fn new(slo: SimDuration) -> Self {
+        PartiesConfig {
+            interval: SimDuration::from_millis(500),
+            slo,
+            step_down_slack: 0.35,
+            step_up_slack: 0.10,
+        }
+    }
+}
+
+/// The slack-feedback controller (applies one chip-wide step per
+/// interval, as Parties does for its V/F resource).
+pub struct Parties {
+    config: PartiesConfig,
+    table: PStateTable,
+    current: PState,
+    window: Cdf,
+    next_decision: SimTime,
+}
+
+impl Parties {
+    /// Creates the controller starting from the slowest state.
+    pub fn new(table: PStateTable, config: PartiesConfig) -> Self {
+        let current = table.slowest();
+        Parties {
+            config,
+            table,
+            current,
+            window: Cdf::new(),
+            next_decision: SimTime::ZERO + config.interval,
+        }
+    }
+
+    /// The state the controller currently holds.
+    pub fn current(&self) -> PState {
+        self.current
+    }
+}
+
+impl PStateGovernor for Parties {
+    fn name(&self) -> String {
+        "Parties".into()
+    }
+
+    fn sampling_interval(&self) -> SimDuration {
+        // Utilization samples are unused; run the hook at the decision
+        // cadence so `on_request_latency` timing drives everything.
+        self.config.interval
+    }
+
+    fn on_request_latency(
+        &mut self,
+        latency: SimDuration,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        self.window.record_duration(latency);
+        if now < self.next_decision {
+            return;
+        }
+        self.next_decision = now + self.config.interval;
+        if self.window.is_empty() {
+            return;
+        }
+        let p99 = self.window.p99();
+        self.window = Cdf::new();
+        let slo = self.config.slo.as_secs_f64();
+        let slack = (slo - p99.as_secs_f64()) / slo;
+        let next = if slack < self.config.step_up_slack {
+            self.current.faster()
+        } else if slack > self.config.step_down_slack {
+            self.current.slower(self.table.slowest())
+        } else {
+            self.current
+        };
+        if next != self.current {
+            self.current = next;
+            actions.push(Action::SetAll(next));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpusim::ProcessorProfile;
+
+    fn parties() -> Parties {
+        Parties::new(
+            ProcessorProfile::xeon_gold_6134().pstates,
+            PartiesConfig::new(SimDuration::from_millis(1)),
+        )
+    }
+
+    fn feed(g: &mut Parties, latency_us: u64, t: SimTime, actions: &mut Vec<Action>) {
+        g.on_request_latency(SimDuration::from_micros(latency_us), t, actions);
+    }
+
+    #[test]
+    fn no_decision_before_interval() {
+        let mut g = parties();
+        let mut actions = Vec::new();
+        for i in 0..100 {
+            feed(&mut g, 5_000, SimTime::from_millis(i), &mut actions); // 5× SLO!
+        }
+        assert!(actions.is_empty(), "no reaction inside the 500 ms window");
+    }
+
+    #[test]
+    fn slo_violation_steps_up_once_per_interval() {
+        let mut g = parties();
+        let slowest = g.table.slowest();
+        let mut actions = Vec::new();
+        for i in 0..=500 {
+            feed(&mut g, 5_000, SimTime::from_millis(i), &mut actions);
+        }
+        assert_eq!(
+            actions,
+            vec![Action::SetAll(PState::new(slowest.index() - 1))],
+            "one step per decision, not a jump to P0"
+        );
+    }
+
+    #[test]
+    fn comfortable_slack_steps_down() {
+        let mut g = parties();
+        // Start from a faster state so there is room to step down.
+        g.current = PState::new(5);
+        let mut actions = Vec::new();
+        for i in 0..=500 {
+            feed(&mut g, 100, SimTime::from_millis(i), &mut actions); // 10% of SLO
+        }
+        assert_eq!(actions, vec![Action::SetAll(PState::new(6))]);
+    }
+
+    #[test]
+    fn in_band_latency_holds_state() {
+        let mut g = parties();
+        g.current = PState::new(5);
+        let mut actions = Vec::new();
+        for i in 0..=500 {
+            feed(&mut g, 800, SimTime::from_millis(i), &mut actions); // slack 0.2
+        }
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn reaction_takes_many_intervals_to_reach_p0() {
+        // The Fig 16 phenomenon: from Pmin, reaching P0 takes
+        // (n-1) × 500 ms — far longer than any burst.
+        let mut g = parties();
+        let steps = g.table.len() - 1;
+        let mut actions = Vec::new();
+        let mut t = SimTime::ZERO;
+        for _ in 0..steps {
+            for _ in 0..=500 {
+                t += SimDuration::from_millis(1);
+                feed(&mut g, 5_000, t, &mut actions);
+            }
+        }
+        assert_eq!(g.current(), PState::P0);
+        assert!(
+            t >= SimTime::from_millis(500 * steps as u64),
+            "needed at least {steps} intervals"
+        );
+    }
+}

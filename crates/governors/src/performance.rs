@@ -1,0 +1,82 @@
+//! The `performance` governor: statically the highest V/F state.
+//!
+//! The paper's latency floor and energy ceiling (§6.2): "the
+//! performance governor always shows the shortest tail latency …
+//! while showing the most energy consumption."
+
+use crate::traits::{Action, PStateGovernor};
+use cpusim::core::UtilSample;
+use cpusim::{CoreId, PState};
+use simcore::SimTime;
+
+/// Pins every core at P0.
+///
+/// # Examples
+///
+/// ```
+/// use governors::{Performance, PStateGovernor};
+/// use cpusim::{CoreId, PState};
+/// use cpusim::core::UtilSample;
+/// use simcore::{SimDuration, SimTime};
+///
+/// let mut g = Performance::new();
+/// let mut actions = Vec::new();
+/// let sample = UtilSample { busy_frac: 0.0, c0_frac: 0.0, window: SimDuration::from_millis(10) };
+/// g.on_core_sample(CoreId(3), sample, SimTime::ZERO, &mut actions);
+/// assert_eq!(actions, vec![governors::Action::SetCore(CoreId(3), PState::P0)]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Performance;
+
+impl Performance {
+    /// Creates the governor.
+    pub fn new() -> Self {
+        Performance
+    }
+}
+
+impl PStateGovernor for Performance {
+    fn name(&self) -> String {
+        "performance".into()
+    }
+
+    fn on_core_sample(
+        &mut self,
+        core: CoreId,
+        _sample: UtilSample,
+        _now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        // Re-asserting P0 every sample is free: the DVFS domain
+        // no-ops when already there.
+        actions.push(Action::SetCore(core, PState::P0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn always_requests_p0() {
+        let mut g = Performance::new();
+        let mut actions = Vec::new();
+        for i in 0..4 {
+            g.on_core_sample(
+                CoreId(i),
+                UtilSample {
+                    busy_frac: 0.01 * i as f64,
+                    c0_frac: 1.0,
+                    window: SimDuration::from_millis(10),
+                },
+                SimTime::from_millis(10),
+                &mut actions,
+            );
+        }
+        assert_eq!(actions.len(), 4);
+        for (i, a) in actions.iter().enumerate() {
+            assert_eq!(*a, Action::SetCore(CoreId(i), PState::P0));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The cpufreq `powersave` governor: statically the lowest V/F state.
+
+use crate::traits::{Action, PStateGovernor};
+use cpusim::core::UtilSample;
+use cpusim::{CoreId, PState};
+use simcore::SimTime;
+
+/// Pins every core at the slowest P-state.
+#[derive(Debug, Clone, Copy)]
+pub struct Powersave {
+    slowest: PState,
+}
+
+impl Powersave {
+    /// Creates the governor for a table whose slowest state is
+    /// `slowest`.
+    pub fn new(slowest: PState) -> Self {
+        Powersave { slowest }
+    }
+}
+
+impl PStateGovernor for Powersave {
+    fn name(&self) -> String {
+        "powersave".into()
+    }
+
+    fn on_core_sample(
+        &mut self,
+        core: CoreId,
+        _sample: UtilSample,
+        _now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        actions.push(Action::SetCore(core, self.slowest));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn always_requests_slowest() {
+        let mut g = Powersave::new(PState::new(15));
+        let mut actions = Vec::new();
+        g.on_core_sample(
+            CoreId(0),
+            UtilSample {
+                busy_frac: 1.0, // even fully busy
+                c0_frac: 1.0,
+                window: SimDuration::from_millis(10),
+            },
+            SimTime::ZERO,
+            &mut actions,
+        );
+        assert_eq!(actions, vec![Action::SetCore(CoreId(0), PState::new(15))]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Sleep-state (C-state) policies: `menu`, `disable`, `c6only`.
+//!
+//! §5.2 compares three policies under the performance governor:
+//! `disable` (never sleep) costs +53.2 % energy vs `menu`, while
+//! `c6only` (always the deepest state) saves 10.3 % — with no notable
+//! P99 difference, because CC6's ~54 µs worst-case wake penalty is
+//! negligible against millisecond SLOs.
+
+use crate::traits::SleepPolicy;
+use cpusim::{CoreId, CState};
+use simcore::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Never sleep: the core idles in CC0 with clocks running.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DisablePolicy;
+
+impl DisablePolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        DisablePolicy
+    }
+}
+
+impl SleepPolicy for DisablePolicy {
+    fn name(&self) -> String {
+        "disable".into()
+    }
+
+    fn on_idle(&mut self, _core: CoreId, _now: SimTime) -> CState {
+        CState::C0
+    }
+}
+
+/// Always enter the deepest state (CC6) when idle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct C6OnlyPolicy;
+
+impl C6OnlyPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        C6OnlyPolicy
+    }
+}
+
+impl SleepPolicy for C6OnlyPolicy {
+    fn name(&self) -> String {
+        "c6only".into()
+    }
+
+    fn on_idle(&mut self, _core: CoreId, _now: SimTime) -> CState {
+        CState::C6
+    }
+}
+
+/// The Linux `menu` idle governor (Pallipadi et al., OLS'07):
+/// predicts the upcoming idle interval from recent history and picks
+/// the deepest C-state whose target residency fits the prediction.
+///
+/// Our prediction is the **minimum** of the last eight observed idle
+/// intervals — a faithful simplification of menu's conservatism: its
+/// correction factors shrink the estimate whenever recent sleeps were
+/// cut short, so one short idle in the recent past keeps the governor
+/// shallow. This is why real menu under-sleeps inside bursts (and why
+/// §5.2's `c6only` saves ~10% over it).
+#[derive(Debug, Clone)]
+pub struct MenuPolicy {
+    history: Vec<VecDeque<SimDuration>>,
+    idle_started: Vec<Option<SimTime>>,
+    c1_target: SimDuration,
+    c6_target: SimDuration,
+}
+
+impl MenuPolicy {
+    /// History samples kept per core.
+    const HISTORY: usize = 8;
+
+    /// Creates the policy for `cores` cores with typical Intel target
+    /// residencies (CC1: 2 µs, CC6: 100 µs).
+    pub fn new(cores: usize) -> Self {
+        MenuPolicy {
+            history: vec![VecDeque::with_capacity(Self::HISTORY); cores],
+            idle_started: vec![None; cores],
+            c1_target: SimDuration::from_micros(2),
+            c6_target: SimDuration::from_micros(100),
+        }
+    }
+
+    fn predict(&self, core: CoreId) -> Option<SimDuration> {
+        self.history[core.0].iter().copied().min()
+    }
+}
+
+impl SleepPolicy for MenuPolicy {
+    fn name(&self) -> String {
+        "menu".into()
+    }
+
+    fn on_idle(&mut self, core: CoreId, now: SimTime) -> CState {
+        self.idle_started[core.0] = Some(now);
+        match self.predict(core) {
+            // No history yet: be conservative, shallow sleep.
+            None => CState::C1,
+            Some(predicted) => {
+                if predicted >= self.c6_target {
+                    CState::C6
+                } else if predicted >= self.c1_target {
+                    CState::C1
+                } else {
+                    CState::C0
+                }
+            }
+        }
+    }
+
+    fn on_tick(&mut self, core: CoreId, idle_elapsed: SimDuration, _now: SimTime) -> Option<CState> {
+        // The idle outlived the deep state's target residency: the
+        // history-based prediction was wrong, promote (real menu
+        // re-decides at every tick with the observed idle dominating).
+        (idle_elapsed >= self.c6_target).then(|| {
+            // Teach the history so the next prediction remembers this
+            // long idle even if it is interrupted soon after.
+            let h = &mut self.history[core.0];
+            if h.len() == Self::HISTORY {
+                h.pop_front();
+            }
+            h.push_back(idle_elapsed);
+            CState::C6
+        })
+    }
+
+    fn on_wake(&mut self, core: CoreId, now: SimTime) {
+        if let Some(start) = self.idle_started[core.0].take() {
+            let h = &mut self.history[core.0];
+            if h.len() == Self::HISTORY {
+                h.pop_front();
+            }
+            h.push_back(now.saturating_since(start));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disable_never_sleeps() {
+        let mut p = DisablePolicy::new();
+        assert_eq!(p.on_idle(CoreId(0), SimTime::ZERO), CState::C0);
+    }
+
+    #[test]
+    fn c6only_always_deepest() {
+        let mut p = C6OnlyPolicy::new();
+        assert_eq!(p.on_idle(CoreId(0), SimTime::ZERO), CState::C6);
+    }
+
+    fn feed_idles(p: &mut MenuPolicy, core: CoreId, idle: SimDuration, n: usize) {
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            p.on_idle(core, t);
+            t += idle;
+            p.on_wake(core, t);
+            t += SimDuration::from_micros(10); // busy gap
+        }
+    }
+
+    #[test]
+    fn menu_learns_long_idles_choose_c6() {
+        let mut p = MenuPolicy::new(1);
+        feed_idles(&mut p, CoreId(0), SimDuration::from_millis(5), 8);
+        assert_eq!(p.on_idle(CoreId(0), SimTime::from_secs(1)), CState::C6);
+    }
+
+    #[test]
+    fn menu_learns_short_idles_choose_shallow() {
+        let mut p = MenuPolicy::new(1);
+        feed_idles(&mut p, CoreId(0), SimDuration::from_micros(10), 8);
+        assert_eq!(p.on_idle(CoreId(0), SimTime::from_secs(1)), CState::C1);
+    }
+
+    #[test]
+    fn menu_first_idle_is_conservative() {
+        let mut p = MenuPolicy::new(1);
+        assert_eq!(p.on_idle(CoreId(0), SimTime::ZERO), CState::C1);
+    }
+
+    #[test]
+    fn menu_adapts_when_pattern_changes() {
+        let mut p = MenuPolicy::new(1);
+        feed_idles(&mut p, CoreId(0), SimDuration::from_millis(2), 8);
+        assert_eq!(p.on_idle(CoreId(0), SimTime::from_secs(1)), CState::C6);
+        p.on_wake(CoreId(0), SimTime::from_secs(1)); // instant wake
+        // A run of tiny idles pushes the prediction down.
+        feed_idles(&mut p, CoreId(0), SimDuration::from_micros(5), 8);
+        assert_eq!(p.on_idle(CoreId(0), SimTime::from_secs(2)), CState::C1);
+    }
+
+    #[test]
+    fn menu_cores_learn_independently() {
+        let mut p = MenuPolicy::new(2);
+        feed_idles(&mut p, CoreId(0), SimDuration::from_millis(5), 8);
+        assert_eq!(p.on_idle(CoreId(0), SimTime::from_secs(1)), CState::C6);
+        assert_eq!(p.on_idle(CoreId(1), SimTime::from_secs(1)), CState::C1);
+    }
+}

@@ -1,0 +1,69 @@
+//! The `userspace` governor: whatever state the operator set.
+
+use crate::traits::{Action, PStateGovernor};
+use cpusim::core::UtilSample;
+use cpusim::{CoreId, PState};
+use simcore::SimTime;
+
+/// Pins every core at a user-chosen P-state.
+#[derive(Debug, Clone, Copy)]
+pub struct Userspace {
+    target: PState,
+}
+
+impl Userspace {
+    /// Creates the governor pinned at `target`.
+    pub fn new(target: PState) -> Self {
+        Userspace { target }
+    }
+
+    /// Changes the pinned state (takes effect at the next sample).
+    pub fn set_target(&mut self, target: PState) {
+        self.target = target;
+    }
+
+    /// The pinned state.
+    pub fn target(&self) -> PState {
+        self.target
+    }
+}
+
+impl PStateGovernor for Userspace {
+    fn name(&self) -> String {
+        format!("userspace({})", self.target)
+    }
+
+    fn on_core_sample(
+        &mut self,
+        core: CoreId,
+        _sample: UtilSample,
+        _now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        actions.push(Action::SetCore(core, self.target));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn pins_and_retargets() {
+        let mut g = Userspace::new(PState::new(7));
+        assert_eq!(g.name(), "userspace(P7)");
+        let mut actions = Vec::new();
+        let s = UtilSample {
+            busy_frac: 0.5,
+            c0_frac: 0.5,
+            window: SimDuration::from_millis(10),
+        };
+        g.on_core_sample(CoreId(0), s, SimTime::ZERO, &mut actions);
+        assert_eq!(actions, vec![Action::SetCore(CoreId(0), PState::new(7))]);
+        g.set_target(PState::new(2));
+        actions.clear();
+        g.on_core_sample(CoreId(0), s, SimTime::ZERO, &mut actions);
+        assert_eq!(actions, vec![Action::SetCore(CoreId(0), PState::new(2))]);
+    }
+}

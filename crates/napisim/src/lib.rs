@@ -1,0 +1,24 @@
+//! # napisim — the Linux NAPI packet-processing model
+//!
+//! NMAP's input signal is the behaviour of NAPI (New API, §2.1 of the
+//! paper): the kernel's transition between **interrupt mode** (an IRQ
+//! kicks a softirq that drains a bounded batch) and **polling mode**
+//! (the softirq keeps polling with the IRQ masked), plus the
+//! conditions under which packet processing migrates to the
+//! **ksoftirqd** thread:
+//!
+//! 1. the softirq handler overuses scheduler ticks (2 jiffies);
+//! 2. it fails to empty the Rx/Tx queues for too many iterations;
+//! 3. the per-invocation budget is exhausted / reschedule requested.
+//!
+//! This crate implements those state machines as pure, heavily tested
+//! components; the server glue in `appsim` drives them from simulator
+//! events.
+
+pub mod napi;
+pub mod params;
+pub mod runqueue;
+
+pub use napi::{NapiContext, NapiMode, PollClass, PollOutcome, PollVerdict, ProcContext};
+pub use params::StackParams;
+pub use runqueue::{RunQueue, TaskId};

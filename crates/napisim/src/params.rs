@@ -1,0 +1,103 @@
+//! Network-stack parameters (Linux defaults, §2.1).
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// Tunables of the simulated kernel network stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StackParams {
+    /// NAPI weight: max descriptors per `poll()` call (Linux: 64).
+    pub napi_weight: usize,
+    /// netdev budget: max descriptors per softirq invocation before
+    /// handoff to ksoftirqd (Linux: 300).
+    pub softirq_budget: usize,
+    /// Scheduler tick length (Linux 250 Hz → 4 ms).
+    pub jiffy: SimDuration,
+    /// Softirq hands off to ksoftirqd after this many jiffies of
+    /// continuous processing (Linux: 2).
+    pub handoff_jiffies: u32,
+    /// ... or after this many consecutive non-empty poll iterations
+    /// (paper §2.1: "more than ten iterations").
+    pub handoff_nonempty_iters: u32,
+    /// ... or, when a reschedule is pending (runnable thread waiting —
+    /// paper §2.1 condition 3, the IPI/resched-flag case), after this
+    /// many non-empty iterations.
+    pub handoff_resched_iters: u32,
+    /// CPU cycles for the hardirq handler (interrupt entry, ack, NAPI
+    /// schedule).
+    pub hardirq_cycles: u64,
+    /// CPU cycles of softirq work per Rx descriptor (driver +
+    /// netif_receive_skb + IP/TCP to the socket queue).
+    pub rx_pkt_cycles: u64,
+    /// CPU cycles to clean one Tx completion descriptor.
+    pub tx_clean_cycles: u64,
+    /// CPU cycles of fixed overhead per poll iteration.
+    pub poll_overhead_cycles: u64,
+    /// Round-robin quantum for ksoftirqd and application threads.
+    pub sched_quantum: SimDuration,
+}
+
+impl Default for StackParams {
+    fn default() -> Self {
+        Self::linux_defaults()
+    }
+}
+
+impl StackParams {
+    /// Linux defaults used throughout the evaluation.
+    pub fn linux_defaults() -> Self {
+        StackParams {
+            napi_weight: 64,
+            softirq_budget: 300,
+            jiffy: SimDuration::from_millis(4),
+            handoff_jiffies: 2,
+            handoff_nonempty_iters: 10,
+            handoff_resched_iters: 2,
+            hardirq_cycles: 1_500,
+            rx_pkt_cycles: 4_000,
+            tx_clean_cycles: 400,
+            poll_overhead_cycles: 600,
+            sched_quantum: SimDuration::from_millis(1),
+        }
+    }
+
+    /// The softirq time limit before ksoftirqd handoff.
+    pub fn handoff_time(&self) -> SimDuration {
+        self.jiffy * self.handoff_jiffies as u64
+    }
+
+    /// Cycles to process one poll batch of `rx` Rx descriptors and
+    /// `tx` Tx completions.
+    pub fn poll_batch_cycles(&self, rx: usize, tx: usize) -> u64 {
+        self.poll_overhead_cycles
+            + self.rx_pkt_cycles * rx as u64
+            + self.tx_clean_cycles * tx as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_defaults_match_paper() {
+        let p = StackParams::linux_defaults();
+        assert_eq!(p.napi_weight, 64);
+        assert_eq!(p.softirq_budget, 300);
+        assert_eq!(p.jiffy, SimDuration::from_millis(4));
+        assert_eq!(p.handoff_time(), SimDuration::from_millis(8)); // "8ms in 250Hz"
+        assert_eq!(p.handoff_nonempty_iters, 10);
+    }
+
+    #[test]
+    fn batch_cycles_scale_with_work() {
+        let p = StackParams::linux_defaults();
+        let empty = p.poll_batch_cycles(0, 0);
+        let some = p.poll_batch_cycles(64, 10);
+        assert_eq!(empty, p.poll_overhead_cycles);
+        assert_eq!(
+            some,
+            p.poll_overhead_cycles + 64 * p.rx_pkt_cycles + 10 * p.tx_clean_cycles
+        );
+    }
+}

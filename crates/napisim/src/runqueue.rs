@@ -1,0 +1,169 @@
+//! A per-core round-robin run queue for thread-class work.
+//!
+//! Models the scheduling relationship §2.1 relies on: the softirq
+//! handler outranks threads, while **ksoftirqd runs at the same
+//! priority as application threads** — that equality is the whole
+//! point of ksoftirqd (it prevents softirq work from starving the
+//! application). We model the thread class as round-robin with a
+//! fixed quantum, which captures the interference NMAP reacts to
+//! without simulating full CFS.
+
+use std::collections::VecDeque;
+
+/// A schedulable thread on one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskId {
+    /// The per-core ksoftirqd kernel thread.
+    Ksoftirqd,
+    /// An application worker thread (index within the core).
+    App(usize),
+}
+
+/// Round-robin run queue (thread class only; hardirq/softirq preempt
+/// externally).
+///
+/// # Examples
+///
+/// ```
+/// use napisim::{RunQueue, TaskId};
+/// let mut rq = RunQueue::new();
+/// rq.make_runnable(TaskId::App(0));
+/// rq.make_runnable(TaskId::Ksoftirqd);
+/// assert_eq!(rq.pick_next(), Some(TaskId::App(0)));
+/// rq.requeue_current(); // quantum expired
+/// assert_eq!(rq.pick_next(), Some(TaskId::Ksoftirqd));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunQueue {
+    queue: VecDeque<TaskId>,
+    current: Option<TaskId>,
+}
+
+impl RunQueue {
+    /// Creates an empty run queue.
+    pub fn new() -> Self {
+        RunQueue::default()
+    }
+
+    /// Adds a task to the tail if not already queued or running.
+    /// Returns true if the task was added.
+    pub fn make_runnable(&mut self, task: TaskId) -> bool {
+        if self.current == Some(task) || self.queue.contains(&task) {
+            return false;
+        }
+        self.queue.push_back(task);
+        true
+    }
+
+    /// Picks the next task to run (moves it to `current`). Returns
+    /// `None` if nothing is runnable. The previous current task, if
+    /// any, must have been handled first (requeued or blocked).
+    pub fn pick_next(&mut self) -> Option<TaskId> {
+        debug_assert!(self.current.is_none(), "pick_next with a task still current");
+        self.current = self.queue.pop_front();
+        self.current
+    }
+
+    /// The task currently on the CPU (thread class).
+    pub fn current(&self) -> Option<TaskId> {
+        self.current
+    }
+
+    /// Quantum expiry: the current task goes to the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task is current.
+    pub fn requeue_current(&mut self) {
+        let task = self.current.take().expect("no current task to requeue");
+        self.queue.push_back(task);
+    }
+
+    /// The current task blocks (sleeps); it leaves the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task is current.
+    pub fn block_current(&mut self) {
+        self.current.take().expect("no current task to block");
+    }
+
+    /// True if any task is runnable or running.
+    pub fn has_work(&self) -> bool {
+        self.current.is_some() || !self.queue.is_empty()
+    }
+
+    /// True if `task` is queued or current.
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.current == Some(task) || self.queue.contains(&task)
+    }
+
+    /// Number of runnable tasks including the current one.
+    pub fn len(&self) -> usize {
+        self.queue.len() + usize::from(self.current.is_some())
+    }
+
+    /// True if no tasks at all.
+    pub fn is_empty(&self) -> bool {
+        !self.has_work()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_order() {
+        let mut rq = RunQueue::new();
+        rq.make_runnable(TaskId::App(0));
+        rq.make_runnable(TaskId::App(1));
+        rq.make_runnable(TaskId::Ksoftirqd);
+        assert_eq!(rq.pick_next(), Some(TaskId::App(0)));
+        rq.requeue_current();
+        assert_eq!(rq.pick_next(), Some(TaskId::App(1)));
+        rq.requeue_current();
+        assert_eq!(rq.pick_next(), Some(TaskId::Ksoftirqd));
+        rq.requeue_current();
+        assert_eq!(rq.pick_next(), Some(TaskId::App(0)), "wrapped around");
+    }
+
+    #[test]
+    fn no_duplicate_enqueue() {
+        let mut rq = RunQueue::new();
+        assert!(rq.make_runnable(TaskId::Ksoftirqd));
+        assert!(!rq.make_runnable(TaskId::Ksoftirqd));
+        assert_eq!(rq.len(), 1);
+        rq.pick_next();
+        // Still can't double-add while running.
+        assert!(!rq.make_runnable(TaskId::Ksoftirqd));
+    }
+
+    #[test]
+    fn block_removes_task() {
+        let mut rq = RunQueue::new();
+        rq.make_runnable(TaskId::App(0));
+        rq.pick_next();
+        rq.block_current();
+        assert!(!rq.has_work());
+        assert_eq!(rq.pick_next(), None);
+    }
+
+    #[test]
+    fn contains_sees_current_and_queued() {
+        let mut rq = RunQueue::new();
+        rq.make_runnable(TaskId::App(0));
+        rq.make_runnable(TaskId::App(1));
+        rq.pick_next();
+        assert!(rq.contains(TaskId::App(0)));
+        assert!(rq.contains(TaskId::App(1)));
+        assert!(!rq.contains(TaskId::Ksoftirqd));
+    }
+
+    #[test]
+    #[should_panic(expected = "no current task")]
+    fn requeue_without_current_panics() {
+        let mut rq = RunQueue::new();
+        rq.requeue_current();
+    }
+}

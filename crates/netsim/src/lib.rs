@@ -1,0 +1,35 @@
+//! # netsim — network device model
+//!
+//! The NIC side of the NMAP reproduction: an Intel 82599-style
+//! multi-queue NIC with Receive Side Scaling and interrupt
+//! moderation, plus descriptor rings and a 10 GbE link-delay model.
+//!
+//! The NIC is a pure state machine: methods return *directives*
+//! ("raise an IRQ to core k at time t") that the server glue turns
+//! into simulator events, keeping this crate independent of the
+//! world type.
+//!
+//! # Examples
+//!
+//! ```
+//! use netsim::{Nic, NicConfig, Packet, RequestId, FlowId};
+//! use simcore::SimTime;
+//!
+//! let mut nic = Nic::new(NicConfig::intel_82599(8));
+//! let pkt = Packet::request(RequestId(1), FlowId(77), 64, SimTime::ZERO);
+//! let queue = nic.rss_queue(pkt.flow);
+//! let outcome = nic.enqueue_rx(queue, pkt, SimTime::ZERO);
+//! assert!(outcome.irq_at.is_some()); // first packet raises an IRQ
+//! ```
+
+pub mod link;
+pub mod nic;
+pub mod packet;
+pub mod ring;
+pub mod rss;
+
+pub use link::LinkModel;
+pub use nic::{Nic, NicConfig, QueueId, RxOutcome};
+pub use packet::{FlowId, Packet, PacketKind, RequestId};
+pub use ring::DescRing;
+pub use rss::RssHasher;

@@ -1,0 +1,509 @@
+//! The multi-queue NIC with interrupt moderation.
+//!
+//! Models the Intel 82599 of the paper's testbed (§6.1, §5.1):
+//!
+//! * one Rx descriptor ring and one Tx-completion ring per queue,
+//!   sharing a single interrupt vector (as with `ixgbe` MSI-X);
+//! * **interrupt moderation** (ITR): interrupts on one vector are
+//!   spaced at least `itr` apart — 10 µs for the 82599, which is why
+//!   the paper's §5.1 argues per-request DVFS needs sub-10 µs V/F
+//!   transitions;
+//! * per-queue IRQ masking, driven by NAPI: the softirq disables the
+//!   queue's IRQ when it enters polling mode and re-enables it when
+//!   the rings drain.
+//!
+//! The NIC never touches the event queue itself; methods return the
+//! time at which an IRQ should fire and the caller schedules it.
+
+use crate::packet::Packet;
+use crate::ring::DescRing;
+use crate::rss::RssHasher;
+use crate::packet::FlowId;
+use simcore::{SimDuration, SimTime};
+
+/// Index of a NIC queue (= index of the core it interrupts, with the
+/// usual one-queue-per-core affinity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueueId(pub usize);
+
+/// Interrupt-moderation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItrMode {
+    /// Fixed minimum interrupt spacing (the 82599's hardware floor is
+    /// 10 µs — the figure §5.1's per-request-DVFS argument rests on).
+    Fixed(SimDuration),
+    /// `ixgbe`-style adaptive moderation: the spacing grows with the
+    /// observed descriptor rate (10 µs in the low-latency regime,
+    /// 25 µs at bulk, 50 µs at line-rate-ish loads).
+    Adaptive,
+}
+
+/// NIC construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NicConfig {
+    /// Number of Rx/Tx queue pairs.
+    pub queues: usize,
+    /// Rx descriptor ring size per queue.
+    pub rx_ring_size: usize,
+    /// Tx-completion ring size per queue.
+    pub tx_ring_size: usize,
+    /// Interrupt-moderation policy.
+    pub itr: ItrMode,
+}
+
+impl NicConfig {
+    /// The 82599 defaults as the `ixgbe` driver configures them:
+    /// 1024-descriptor rings, adaptive interrupt moderation.
+    pub fn intel_82599(queues: usize) -> Self {
+        NicConfig {
+            queues,
+            rx_ring_size: 1024,
+            tx_ring_size: 1024,
+            itr: ItrMode::Adaptive,
+        }
+    }
+
+    /// Fixed-ITR variant (latency-tuned, §5.1's 10 µs floor).
+    pub fn intel_82599_fixed_itr(queues: usize, itr: SimDuration) -> Self {
+        NicConfig {
+            itr: ItrMode::Fixed(itr),
+            ..Self::intel_82599(queues)
+        }
+    }
+}
+
+/// Result of an Rx enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxOutcome {
+    /// False if the ring was full and the packet was dropped.
+    pub accepted: bool,
+    /// If set, the caller must deliver an IRQ to the queue's core at
+    /// this time (≥ now, delayed by ITR when needed).
+    pub irq_at: Option<SimTime>,
+}
+
+/// What one NAPI poll retrieved.
+#[derive(Debug, Clone)]
+pub struct PollResult {
+    /// Rx packets drained, oldest first.
+    pub rx: Vec<Packet>,
+    /// Number of Tx completions cleaned.
+    pub tx_cleaned: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Queue {
+    rx: DescRing<Packet>,
+    tx_clean: DescRing<()>,
+    irq_enabled: bool,
+    irq_pending: bool,
+    last_irq: Option<SimTime>,
+    irqs_raised: u64,
+    /// Descriptors seen since the last delivered IRQ (adaptive ITR).
+    descs_since_irq: u64,
+    /// Current adaptive spacing.
+    current_itr: SimDuration,
+}
+
+impl Queue {
+    fn has_work(&self) -> bool {
+        !self.rx.is_empty() || !self.tx_clean.is_empty()
+    }
+}
+
+/// The NIC device.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct Nic {
+    config: NicConfig,
+    queues: Vec<Queue>,
+    rss: RssHasher,
+}
+
+impl Nic {
+    /// Creates a NIC from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.queues` is zero.
+    pub fn new(config: NicConfig) -> Self {
+        assert!(config.queues > 0, "need at least one queue");
+        let queues = (0..config.queues)
+            .map(|_| Queue {
+                rx: DescRing::new(config.rx_ring_size),
+                tx_clean: DescRing::new(config.tx_ring_size),
+                irq_enabled: true,
+                irq_pending: false,
+                last_irq: None,
+                irqs_raised: 0,
+                descs_since_irq: 0,
+                current_itr: SimDuration::from_micros(10),
+            })
+            .collect();
+        Nic {
+            queues,
+            rss: RssHasher::new(config.queues),
+            config,
+        }
+    }
+
+    /// Number of queues.
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The configuration this NIC was built with.
+    pub fn config(&self) -> &NicConfig {
+        &self.config
+    }
+
+    /// The RSS queue for a flow.
+    pub fn rss_queue(&self, flow: FlowId) -> QueueId {
+        self.rss.queue_for(flow)
+    }
+
+    /// When an IRQ may fire on `q` given the ITR window.
+    fn irq_time(&self, q: QueueId, now: SimTime) -> SimTime {
+        let queue = &self.queues[q.0];
+        match queue.last_irq {
+            Some(last) => now.max(last + queue.current_itr),
+            None => now,
+        }
+    }
+
+    /// Re-derives the adaptive ITR after an IRQ, from the descriptor
+    /// count accumulated over the previous inter-interrupt window —
+    /// the shape of ixgbe's `ixgbe_update_itr` buckets.
+    fn update_itr(&mut self, q: QueueId, window: SimDuration) {
+        let queue = &mut self.queues[q.0];
+        let new_itr = match self.config.itr {
+            ItrMode::Fixed(itr) => itr,
+            ItrMode::Adaptive => {
+                let secs = window.as_secs_f64().max(1e-6);
+                let rate = queue.descs_since_irq as f64 / secs;
+                if rate < 20_000.0 {
+                    SimDuration::from_micros(10) // lowest latency
+                } else if rate < 100_000.0 {
+                    SimDuration::from_micros(25) // low latency
+                } else {
+                    SimDuration::from_micros(50) // bulk
+                }
+            }
+        };
+        queue.current_itr = new_itr;
+        queue.descs_since_irq = 0;
+    }
+
+    /// Considers raising an IRQ on `q`; returns the fire time if one
+    /// was armed (IRQs enabled, none already pending).
+    fn maybe_arm_irq(&mut self, q: QueueId, now: SimTime) -> Option<SimTime> {
+        let fire_at = self.irq_time(q, now);
+        let queue = &mut self.queues[q.0];
+        if !queue.irq_enabled || queue.irq_pending || !queue.has_work() {
+            return None;
+        }
+        queue.irq_pending = true;
+        Some(fire_at)
+    }
+
+    /// A packet arrives from the wire into `q`'s Rx ring.
+    pub fn enqueue_rx(&mut self, q: QueueId, pkt: Packet, now: SimTime) -> RxOutcome {
+        if self.queues[q.0].rx.push(pkt).is_err() {
+            return RxOutcome {
+                accepted: false,
+                irq_at: None,
+            };
+        }
+        self.queues[q.0].descs_since_irq += 1;
+        RxOutcome {
+            accepted: true,
+            irq_at: self.maybe_arm_irq(q, now),
+        }
+    }
+
+    /// The driver transmits a packet on `q`. The packet goes on the
+    /// wire immediately (the caller applies link delay); a Tx
+    /// completion descriptor lands in the queue's clean ring and may
+    /// raise an IRQ like Rx work does (shared vector).
+    pub fn enqueue_tx(&mut self, q: QueueId, pkt: &Packet, now: SimTime) -> Option<SimTime> {
+        self.enqueue_tx_with_completions(q, pkt, 1, now)
+    }
+
+    /// Like [`enqueue_tx`](Nic::enqueue_tx) for a payload that leaves
+    /// as `segments` wire segments (large responses): one Tx
+    /// completion descriptor lands per segment.
+    pub fn enqueue_tx_with_completions(
+        &mut self,
+        q: QueueId,
+        _pkt: &Packet,
+        segments: usize,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        // A full clean ring loses only bookkeeping work, never data.
+        for _ in 0..segments {
+            let _ = self.queues[q.0].tx_clean.push(());
+        }
+        self.queues[q.0].descs_since_irq += segments as u64;
+        self.maybe_arm_irq(q, now)
+    }
+
+    /// The scheduled IRQ for `q` fires now. Returns `true` if the IRQ
+    /// is delivered (it is suppressed if NAPI disabled the vector
+    /// while the IRQ was in flight, as the hardware mask would).
+    pub fn irq_fired(&mut self, q: QueueId, now: SimTime) -> bool {
+        let queue = &mut self.queues[q.0];
+        queue.irq_pending = false;
+        if !queue.irq_enabled {
+            return false;
+        }
+        let window = match queue.last_irq {
+            Some(last) => now.saturating_since(last),
+            None => SimDuration::from_micros(100),
+        };
+        queue.last_irq = Some(now);
+        queue.irqs_raised += 1;
+        self.update_itr(q, window);
+        true
+    }
+
+    /// The spacing the moderation currently enforces on `q`.
+    pub fn current_itr(&self, q: QueueId) -> SimDuration {
+        self.queues[q.0].current_itr
+    }
+
+    /// NAPI disables `q`'s IRQ on entering polling mode.
+    pub fn disable_irq(&mut self, q: QueueId) {
+        self.queues[q.0].irq_enabled = false;
+    }
+
+    /// NAPI re-enables `q`'s IRQ on leaving polling mode. If work
+    /// arrived during the final poll (the classic race), an IRQ is
+    /// armed immediately and its fire time returned.
+    pub fn enable_irq(&mut self, q: QueueId, now: SimTime) -> Option<SimTime> {
+        self.queues[q.0].irq_enabled = true;
+        self.maybe_arm_irq(q, now)
+    }
+
+    /// True if `q`'s IRQ vector is enabled.
+    pub fn irq_enabled(&self, q: QueueId) -> bool {
+        self.queues[q.0].irq_enabled
+    }
+
+    /// One NAPI poll on `q`: cleans Tx completions first (cheap), then
+    /// drains Rx packets, together bounded by `budget` descriptors.
+    pub fn poll(&mut self, q: QueueId, budget: usize) -> PollResult {
+        let queue = &mut self.queues[q.0];
+        let tx_cleaned = queue.tx_clean.pop_up_to(budget).len();
+        let rx = queue.rx.pop_up_to(budget - tx_cleaned);
+        PollResult { rx, tx_cleaned }
+    }
+
+    /// Rx descriptors waiting on `q`.
+    pub fn rx_backlog(&self, q: QueueId) -> usize {
+        self.queues[q.0].rx.len()
+    }
+
+    /// Tx completions waiting on `q`.
+    pub fn tx_backlog(&self, q: QueueId) -> usize {
+        self.queues[q.0].tx_clean.len()
+    }
+
+    /// True if `q` has any pending descriptors.
+    pub fn has_work(&self, q: QueueId) -> bool {
+        self.queues[q.0].has_work()
+    }
+
+    /// Packets dropped on `q` due to Rx ring overflow.
+    pub fn rx_dropped(&self, q: QueueId) -> u64 {
+        self.queues[q.0].rx.dropped()
+    }
+
+    /// Total packets dropped across all queues.
+    pub fn total_rx_dropped(&self) -> u64 {
+        self.queues.iter().map(|q| q.rx.dropped()).sum()
+    }
+
+    /// IRQs delivered on `q`.
+    pub fn irqs_raised(&self, q: QueueId) -> u64 {
+        self.queues[q.0].irqs_raised
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, RequestId};
+
+    fn pkt(n: u64) -> Packet {
+        Packet::request(RequestId(n), FlowId(n), 64, SimTime::ZERO)
+    }
+
+    fn nic() -> Nic {
+        Nic::new(NicConfig::intel_82599(2))
+    }
+
+    #[test]
+    fn first_packet_raises_immediate_irq() {
+        let mut n = nic();
+        let out = n.enqueue_rx(QueueId(0), pkt(1), SimTime::from_micros(3));
+        assert!(out.accepted);
+        assert_eq!(out.irq_at, Some(SimTime::from_micros(3)));
+    }
+
+    #[test]
+    fn itr_spaces_interrupts() {
+        let mut n = nic();
+        let q = QueueId(0);
+        let t0 = SimTime::from_micros(0);
+        let out = n.enqueue_rx(q, pkt(1), t0);
+        let fire1 = out.irq_at.unwrap();
+        assert!(n.irq_fired(q, fire1));
+        // Drain so the next packet re-arms.
+        n.poll(q, 64);
+        // A packet 2 µs later must wait for the 10 µs ITR window.
+        let t1 = SimTime::from_micros(2);
+        let out2 = n.enqueue_rx(q, pkt(2), t1);
+        assert_eq!(out2.irq_at, Some(SimTime::from_micros(10)));
+    }
+
+    #[test]
+    fn no_second_irq_while_pending() {
+        let mut n = nic();
+        let q = QueueId(0);
+        let out1 = n.enqueue_rx(q, pkt(1), SimTime::ZERO);
+        assert!(out1.irq_at.is_some());
+        let out2 = n.enqueue_rx(q, pkt(2), SimTime::ZERO);
+        assert_eq!(out2.irq_at, None, "IRQ already pending");
+    }
+
+    #[test]
+    fn masked_vector_suppresses_inflight_irq() {
+        let mut n = nic();
+        let q = QueueId(0);
+        let fire = n.enqueue_rx(q, pkt(1), SimTime::ZERO).irq_at.unwrap();
+        n.disable_irq(q);
+        assert!(!n.irq_fired(q, fire), "IRQ must be suppressed by the mask");
+        assert_eq!(n.irqs_raised(q), 0);
+    }
+
+    #[test]
+    fn no_irq_while_disabled_and_reenable_rearms() {
+        let mut n = nic();
+        let q = QueueId(0);
+        n.disable_irq(q);
+        let out = n.enqueue_rx(q, pkt(1), SimTime::from_micros(1));
+        assert!(out.accepted);
+        assert_eq!(out.irq_at, None);
+        // Re-enable with work pending → immediate IRQ.
+        let irq = n.enable_irq(q, SimTime::from_micros(5));
+        assert_eq!(irq, Some(SimTime::from_micros(5)));
+    }
+
+    #[test]
+    fn reenable_with_empty_rings_stays_quiet() {
+        let mut n = nic();
+        let q = QueueId(0);
+        n.disable_irq(q);
+        assert_eq!(n.enable_irq(q, SimTime::from_micros(5)), None);
+    }
+
+    #[test]
+    fn poll_budget_covers_tx_then_rx() {
+        let mut n = nic();
+        let q = QueueId(0);
+        n.disable_irq(q);
+        for i in 0..10 {
+            n.enqueue_rx(q, pkt(i), SimTime::ZERO);
+        }
+        for i in 0..5 {
+            n.enqueue_tx(q, &pkt(100 + i), SimTime::ZERO);
+        }
+        let r = n.poll(q, 8);
+        assert_eq!(r.tx_cleaned, 5);
+        assert_eq!(r.rx.len(), 3);
+        assert_eq!(n.rx_backlog(q), 7);
+        let r2 = n.poll(q, 64);
+        assert_eq!(r2.rx.len(), 7);
+        assert!(!n.has_work(q));
+    }
+
+    #[test]
+    fn overflow_drops_are_counted() {
+        let mut n = Nic::new(NicConfig {
+            queues: 1,
+            rx_ring_size: 2,
+            tx_ring_size: 2,
+            itr: ItrMode::Fixed(SimDuration::from_micros(10)),
+        });
+        let q = QueueId(0);
+        for i in 0..5 {
+            n.enqueue_rx(q, pkt(i), SimTime::ZERO);
+        }
+        assert_eq!(n.rx_dropped(q), 3);
+        assert_eq!(n.total_rx_dropped(), 3);
+        assert_eq!(n.rx_backlog(q), 2);
+    }
+
+    #[test]
+    fn queues_are_independent() {
+        let mut n = nic();
+        n.disable_irq(QueueId(0));
+        let out = n.enqueue_rx(QueueId(1), pkt(1), SimTime::ZERO);
+        assert!(out.irq_at.is_some(), "queue 1 unaffected by queue 0 mask");
+    }
+
+    #[test]
+    fn adaptive_itr_widens_under_load_and_recovers() {
+        let mut n = Nic::new(NicConfig::intel_82599(1));
+        let q = QueueId(0);
+        assert_eq!(n.current_itr(q), SimDuration::from_micros(10), "starts low-latency");
+        // Burst: 60 descriptors over 200 µs between two IRQs → 300K/s.
+        let fire = n.enqueue_rx(q, pkt(0), SimTime::ZERO).irq_at.unwrap();
+        n.irq_fired(q, fire);
+        n.poll(q, 64);
+        for i in 1..=60 {
+            n.enqueue_rx(q, pkt(i), SimTime::from_micros(i * 3));
+        }
+        let fire2 = SimTime::from_micros(200);
+        n.irq_fired(q, fire2);
+        assert_eq!(n.current_itr(q), SimDuration::from_micros(50), "bulk regime");
+        n.poll(q, 64);
+        // Quiet period: one packet in 10 ms → back to low latency.
+        n.enqueue_rx(q, pkt(99), SimTime::from_millis(10));
+        n.irq_fired(q, SimTime::from_millis(10));
+        assert_eq!(n.current_itr(q), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn fixed_itr_never_adapts() {
+        let mut n = Nic::new(NicConfig::intel_82599_fixed_itr(1, SimDuration::from_micros(10)));
+        let q = QueueId(0);
+        for i in 0..200 {
+            n.enqueue_rx(q, pkt(i), SimTime::from_micros(i));
+        }
+        n.irq_fired(q, SimTime::from_micros(200));
+        assert_eq!(n.current_itr(q), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn multi_segment_tx_counts_completions() {
+        let mut n = nic();
+        let q = QueueId(0);
+        n.disable_irq(q);
+        n.enqueue_tx_with_completions(q, &pkt(1), 6, SimTime::ZERO);
+        assert_eq!(n.tx_backlog(q), 6);
+        let r = n.poll(q, 64);
+        assert_eq!(r.tx_cleaned, 6);
+    }
+
+    #[test]
+    fn rss_respects_queue_count() {
+        let n = nic();
+        for f in 0..100 {
+            assert!(n.rss_queue(FlowId(f)).0 < n.num_queues());
+        }
+    }
+}

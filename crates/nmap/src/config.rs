@@ -1,0 +1,72 @@
+//! NMAP configuration: the two thresholds and the monitor timer.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// NMAP tunables (§4.2, §6.1).
+///
+/// The thresholds are per-application, obtained by the offline
+/// profiling of [`ThresholdProfiler`](crate::ThresholdProfiler); they
+/// do **not** need re-tuning when the load level changes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NmapConfig {
+    /// `NI_TH`: polling-mode packets within one interrupt episode
+    /// above which the core enters Network Intensive Mode
+    /// (Algorithm 1 line 4).
+    pub ni_threshold: u64,
+    /// `CU_TH`: polling-to-interrupt packet ratio below which the
+    /// core falls back to CPU Utilization based Mode
+    /// (Algorithm 2 line 8).
+    pub cu_threshold: f64,
+    /// The periodic monitor timer (§6.1: 10 ms).
+    pub timer_interval: SimDuration,
+}
+
+impl NmapConfig {
+    /// Creates a config with the paper's 10 ms timer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cu_threshold` is not positive and finite.
+    pub fn new(ni_threshold: u64, cu_threshold: f64) -> Self {
+        assert!(
+            cu_threshold > 0.0 && cu_threshold.is_finite(),
+            "CU_TH must be positive and finite"
+        );
+        NmapConfig {
+            ni_threshold,
+            cu_threshold,
+            timer_interval: SimDuration::from_millis(10),
+        }
+    }
+
+    /// Overrides the monitor timer (interval ablation).
+    pub fn with_timer(mut self, interval: SimDuration) -> Self {
+        self.timer_interval = interval;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_use_paper_timer() {
+        let c = NmapConfig::new(64, 1.5);
+        assert_eq!(c.timer_interval, SimDuration::from_millis(10));
+        assert_eq!(c.ni_threshold, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "CU_TH must be positive")]
+    fn rejects_bad_cu_threshold() {
+        let _ = NmapConfig::new(64, 0.0);
+    }
+
+    #[test]
+    fn timer_override() {
+        let c = NmapConfig::new(64, 1.5).with_timer(SimDuration::from_millis(1));
+        assert_eq!(c.timer_interval, SimDuration::from_millis(1));
+    }
+}

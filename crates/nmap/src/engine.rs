@@ -1,0 +1,154 @@
+//! The Decision Engine (Algorithm 2).
+//!
+//! Per core, the engine holds one of two power-management modes:
+//!
+//! * **Network Intensive Mode** — entered on a monitor notification:
+//!   the utilization governor is suspended and the core's V/F is
+//!   maximized (lines 2-5);
+//! * **CPU Utilization based Mode** — entered when the periodic
+//!   polling-to-interrupt ratio drops below `CU_TH`: the ondemand
+//!   governor resumes (lines 7-13).
+
+use simcore::{EventLog, SimTime};
+
+/// The power-management mode of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerMode {
+    /// V/F pinned at maximum; utilization governor suspended.
+    NetworkIntensive,
+    /// The CPU-utilization governor (ondemand) decides.
+    CpuUtilization,
+}
+
+/// Per-core Algorithm 2 state.
+///
+/// # Examples
+///
+/// ```
+/// use nmap::{DecisionEngine, PowerMode};
+/// use simcore::SimTime;
+///
+/// let mut e = DecisionEngine::new(1.5);
+/// assert_eq!(e.mode(), PowerMode::CpuUtilization);
+/// assert!(e.on_notification(SimTime::ZERO)); // burst! → NI mode
+/// assert_eq!(e.mode(), PowerMode::NetworkIntensive);
+/// // Ratio fell under CU_TH → fall back.
+/// assert!(e.on_timer(0.4, SimTime::from_millis(10)));
+/// assert_eq!(e.mode(), PowerMode::CpuUtilization);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionEngine {
+    cu_threshold: f64,
+    mode: PowerMode,
+    mode_log: EventLog<PowerMode>,
+}
+
+impl DecisionEngine {
+    /// Creates an engine in CPU Utilization based Mode.
+    pub fn new(cu_threshold: f64) -> Self {
+        DecisionEngine {
+            cu_threshold,
+            mode: PowerMode::CpuUtilization,
+            mode_log: EventLog::new(),
+        }
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> PowerMode {
+        self.mode
+    }
+
+    /// A Network-Intensive notification arrived from the monitor.
+    /// Returns `true` if this call switched the mode (the caller then
+    /// disables ondemand and maximizes V/F — Algorithm 2 lines 3-5).
+    pub fn on_notification(&mut self, now: SimTime) -> bool {
+        if self.mode == PowerMode::NetworkIntensive {
+            return false;
+        }
+        self.mode = PowerMode::NetworkIntensive;
+        self.mode_log.push(now, self.mode);
+        true
+    }
+
+    /// The periodic timer fired with the window's polling-to-interrupt
+    /// ratio. Returns `true` if the engine fell back to CPU
+    /// Utilization based Mode (the caller re-enables ondemand and
+    /// enforces its decision — lines 8-12).
+    pub fn on_timer(&mut self, poll_to_intr_ratio: f64, now: SimTime) -> bool {
+        if self.mode == PowerMode::NetworkIntensive && poll_to_intr_ratio < self.cu_threshold {
+            self.mode = PowerMode::CpuUtilization;
+            self.mode_log.push(now, self.mode);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The configured `CU_TH`.
+    pub fn cu_threshold(&self) -> f64 {
+        self.cu_threshold
+    }
+
+    /// Replaces `CU_TH` (online threshold adaptation).
+    pub fn set_cu_threshold(&mut self, cu_threshold: f64) {
+        self.cu_threshold = cu_threshold;
+    }
+
+    /// Log of mode changes `(time, new mode)`.
+    pub fn mode_log(&self) -> &EventLog<PowerMode> {
+        &self.mode_log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_in_cpu_util_mode() {
+        let e = DecisionEngine::new(1.0);
+        assert_eq!(e.mode(), PowerMode::CpuUtilization);
+    }
+
+    #[test]
+    fn notification_is_edge_triggered() {
+        let mut e = DecisionEngine::new(1.0);
+        assert!(e.on_notification(SimTime::ZERO));
+        assert!(!e.on_notification(SimTime::from_millis(1)), "already NI");
+        assert_eq!(e.mode_log().len(), 1);
+    }
+
+    #[test]
+    fn falls_back_only_below_threshold() {
+        let mut e = DecisionEngine::new(1.5);
+        e.on_notification(SimTime::ZERO);
+        assert!(!e.on_timer(2.0, SimTime::from_millis(10)), "still intense");
+        assert!(!e.on_timer(1.5, SimTime::from_millis(20)), "at threshold: hold");
+        assert!(e.on_timer(1.49, SimTime::from_millis(30)));
+        assert_eq!(e.mode(), PowerMode::CpuUtilization);
+    }
+
+    #[test]
+    fn timer_in_cpu_mode_is_a_noop() {
+        let mut e = DecisionEngine::new(1.5);
+        assert!(!e.on_timer(100.0, SimTime::ZERO), "ratio only matters in NI mode");
+        assert_eq!(e.mode(), PowerMode::CpuUtilization);
+    }
+
+    #[test]
+    fn infinite_ratio_never_falls_back() {
+        let mut e = DecisionEngine::new(1.5);
+        e.on_notification(SimTime::ZERO);
+        assert!(!e.on_timer(f64::INFINITY, SimTime::from_millis(10)));
+        assert_eq!(e.mode(), PowerMode::NetworkIntensive);
+    }
+
+    #[test]
+    fn mode_log_records_both_directions() {
+        let mut e = DecisionEngine::new(1.0);
+        e.on_notification(SimTime::from_millis(1));
+        e.on_timer(0.0, SimTime::from_millis(20));
+        let modes: Vec<PowerMode> = e.mode_log().iter().map(|&(_, m)| m).collect();
+        assert_eq!(modes, vec![PowerMode::NetworkIntensive, PowerMode::CpuUtilization]);
+    }
+}

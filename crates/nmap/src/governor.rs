@@ -1,0 +1,243 @@
+//! The full NMAP governor (§4.2): Mode Transition Monitor + Decision
+//! Engine per core, with ondemand as the CPU Utilization based Mode.
+
+use crate::config::NmapConfig;
+use crate::engine::{DecisionEngine, PowerMode};
+use crate::monitor::ModeTransitionMonitor;
+use cpusim::core::UtilSample;
+use cpusim::pstate::PStateTable;
+use cpusim::{CoreId, PState};
+use governors::{Action, Ondemand, PStateGovernor};
+use napisim::PollClass;
+use simcore::{SimDuration, SimTime};
+
+/// NMAP: per-core, NAPI-mode-aware DVFS.
+///
+/// Wiring (Fig 6): every NAPI poll batch feeds the per-core monitor;
+/// a Network-Intensive notification immediately maximizes that core's
+/// V/F; the periodic timer (10 ms) compares the window's
+/// polling-to-interrupt ratio against `CU_TH` and falls back to the
+/// ondemand decision when the burst subsides.
+pub struct NmapGovernor {
+    config: NmapConfig,
+    monitors: Vec<ModeTransitionMonitor>,
+    engines: Vec<DecisionEngine>,
+    fallback: Ondemand,
+    /// Last utilization sample per core, for the fallback enforcement
+    /// (Algorithm 2 line 10) at the moment of mode exit.
+    last_busy: Vec<f64>,
+}
+
+impl NmapGovernor {
+    /// Creates NMAP for `cores` cores with profiled thresholds.
+    pub fn new(table: PStateTable, cores: usize, config: NmapConfig) -> Self {
+        NmapGovernor {
+            monitors: (0..cores)
+                .map(|_| ModeTransitionMonitor::new(config.ni_threshold))
+                .collect(),
+            engines: (0..cores).map(|_| DecisionEngine::new(config.cu_threshold)).collect(),
+            fallback: Ondemand::new(table, cores),
+            last_busy: vec![0.0; cores],
+            config,
+        }
+    }
+
+    /// The mode of one core (experiment introspection).
+    pub fn mode(&self, core: CoreId) -> PowerMode {
+        self.engines[core.0].mode()
+    }
+
+    /// Total Network-Intensive notifications across cores.
+    pub fn total_notifications(&self) -> u64 {
+        self.monitors.iter().map(|m| m.total_notifications()).sum()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &NmapConfig {
+        &self.config
+    }
+
+    /// Replaces both thresholds at runtime (online adaptation; the
+    /// timer interval is unchanged).
+    pub fn set_thresholds(&mut self, ni_threshold: u64, cu_threshold: f64) {
+        self.config.ni_threshold = ni_threshold;
+        self.config.cu_threshold = cu_threshold;
+        for m in &mut self.monitors {
+            m.set_ni_threshold(ni_threshold);
+        }
+        for e in &mut self.engines {
+            e.set_cu_threshold(cu_threshold);
+        }
+    }
+}
+
+impl PStateGovernor for NmapGovernor {
+    fn name(&self) -> String {
+        "NMAP".into()
+    }
+
+    fn sampling_interval(&self) -> SimDuration {
+        self.config.timer_interval
+    }
+
+    fn on_poll_batch(
+        &mut self,
+        core: CoreId,
+        class: PollClass,
+        rx_packets: u64,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        let notify = self.monitors[core.0].record_batch(class, rx_packets);
+        if notify && self.engines[core.0].on_notification(now) {
+            // Algorithm 2 lines 3-5: disable ondemand (implicit — we
+            // stop consulting it), maximize V/F immediately.
+            self.fallback.note_pstate(core, PState::P0);
+            actions.push(Action::SetCore(core, PState::P0));
+        }
+    }
+
+    fn on_core_sample(
+        &mut self,
+        core: CoreId,
+        sample: UtilSample,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        self.last_busy[core.0] = sample.busy_frac;
+        let ratio = self.monitors[core.0].window_ratio();
+        let _ = self.monitors[core.0].take_window();
+        match self.engines[core.0].mode() {
+            PowerMode::NetworkIntensive => {
+                if self.engines[core.0].on_timer(ratio, now) {
+                    // Fell back: enforce the utilization-based state
+                    // and re-enable ondemand (lines 9-11).
+                    self.fallback.on_core_sample(core, sample, now, actions);
+                } else {
+                    // Still intense: keep the core maximized.
+                    actions.push(Action::SetCore(core, PState::P0));
+                }
+            }
+            PowerMode::CpuUtilization => {
+                self.fallback.on_core_sample(core, sample, now, actions);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpusim::ProcessorProfile;
+
+    fn nmap() -> NmapGovernor {
+        let p = ProcessorProfile::xeon_gold_6134();
+        NmapGovernor::new(p.pstates, 8, NmapConfig::new(100, 1.5))
+    }
+
+    fn sample(busy: f64) -> UtilSample {
+        UtilSample {
+            busy_frac: busy,
+            c0_frac: busy,
+            window: SimDuration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn burst_maximizes_vf_immediately() {
+        let mut g = nmap();
+        let mut actions = Vec::new();
+        g.on_poll_batch(CoreId(0), PollClass::Interrupt, 64, SimTime::ZERO, &mut actions);
+        assert!(actions.is_empty());
+        g.on_poll_batch(CoreId(0), PollClass::Polling, 64, SimTime::from_micros(50), &mut actions);
+        assert!(actions.is_empty(), "64 ≤ NI_TH=100");
+        g.on_poll_batch(CoreId(0), PollClass::Polling, 64, SimTime::from_micros(100), &mut actions);
+        assert_eq!(
+            actions,
+            vec![Action::SetCore(CoreId(0), PState::P0)],
+            "128 > NI_TH → immediate P0"
+        );
+        assert_eq!(g.mode(CoreId(0)), PowerMode::NetworkIntensive);
+    }
+
+    #[test]
+    fn stays_maximized_while_ratio_high() {
+        let mut g = nmap();
+        let mut actions = Vec::new();
+        g.on_poll_batch(CoreId(0), PollClass::Interrupt, 10, SimTime::ZERO, &mut actions);
+        g.on_poll_batch(CoreId(0), PollClass::Polling, 200, SimTime::from_micros(50), &mut actions);
+        actions.clear();
+        // Timer: ratio 200/10 = 20 ≥ CU_TH → hold NI mode, re-assert P0.
+        g.on_core_sample(CoreId(0), sample(0.5), SimTime::from_millis(10), &mut actions);
+        assert_eq!(actions, vec![Action::SetCore(CoreId(0), PState::P0)]);
+        assert_eq!(g.mode(CoreId(0)), PowerMode::NetworkIntensive);
+    }
+
+    #[test]
+    fn falls_back_when_burst_subsides() {
+        let mut g = nmap();
+        let mut actions = Vec::new();
+        // Enter NI mode.
+        g.on_poll_batch(CoreId(0), PollClass::Interrupt, 10, SimTime::ZERO, &mut actions);
+        g.on_poll_batch(CoreId(0), PollClass::Polling, 200, SimTime::from_micros(50), &mut actions);
+        g.on_core_sample(CoreId(0), sample(0.9), SimTime::from_millis(10), &mut actions);
+        actions.clear();
+        // Next window: mostly interrupt-mode traffic → ratio under CU_TH.
+        g.on_poll_batch(CoreId(0), PollClass::Interrupt, 100, SimTime::from_millis(12), &mut actions);
+        g.on_poll_batch(CoreId(0), PollClass::Polling, 20, SimTime::from_millis(13), &mut actions);
+        actions.clear();
+        g.on_core_sample(CoreId(0), sample(0.1), SimTime::from_millis(20), &mut actions);
+        assert_eq!(g.mode(CoreId(0)), PowerMode::CpuUtilization);
+        // The fallback enforcement is an ondemand decision, not P0.
+        assert_eq!(actions.len(), 1);
+        let Action::SetCore(c, p) = actions[0] else { panic!() };
+        assert_eq!(c, CoreId(0));
+        assert_ne!(p, PState::P0, "low load must not stay at P0");
+    }
+
+    #[test]
+    fn cpu_mode_behaves_like_ondemand() {
+        let mut g = nmap();
+        // Saturated samples climb ondemand's staircase, not an
+        // immediate P0 jump — only the NI path is immediate.
+        let mut last = PState::new(15);
+        for i in 0..4 {
+            let mut actions = Vec::new();
+            g.on_core_sample(CoreId(2), sample(0.97), SimTime::from_millis(10 * (i + 1)), &mut actions);
+            let Action::SetCore(_, p) = actions[0] else { panic!() };
+            assert!(p.is_faster_than(last));
+            last = p;
+        }
+        assert_eq!(last, PState::P0);
+        let mut actions = Vec::new();
+        g.on_core_sample(CoreId(3), sample(0.0), SimTime::from_millis(10), &mut actions);
+        let Action::SetCore(_, p) = actions[0] else { panic!() };
+        assert_ne!(p, PState::P0);
+    }
+
+    #[test]
+    fn cores_transition_independently() {
+        let mut g = nmap();
+        let mut actions = Vec::new();
+        g.on_poll_batch(CoreId(1), PollClass::Interrupt, 10, SimTime::ZERO, &mut actions);
+        g.on_poll_batch(CoreId(1), PollClass::Polling, 500, SimTime::from_micros(1), &mut actions);
+        assert_eq!(g.mode(CoreId(1)), PowerMode::NetworkIntensive);
+        assert_eq!(g.mode(CoreId(0)), PowerMode::CpuUtilization);
+        assert_eq!(g.mode(CoreId(7)), PowerMode::CpuUtilization);
+    }
+
+    #[test]
+    fn empty_window_in_ni_mode_falls_back() {
+        // Ratio of an empty window is 0 < CU_TH: the burst is over.
+        let mut g = nmap();
+        let mut actions = Vec::new();
+        g.on_poll_batch(CoreId(0), PollClass::Interrupt, 10, SimTime::ZERO, &mut actions);
+        g.on_poll_batch(CoreId(0), PollClass::Polling, 500, SimTime::from_micros(1), &mut actions);
+        g.on_core_sample(CoreId(0), sample(0.9), SimTime::from_millis(10), &mut actions);
+        assert_eq!(g.mode(CoreId(0)), PowerMode::NetworkIntensive);
+        actions.clear();
+        // No traffic at all in the next window.
+        g.on_core_sample(CoreId(0), sample(0.0), SimTime::from_millis(20), &mut actions);
+        assert_eq!(g.mode(CoreId(0)), PowerMode::CpuUtilization);
+    }
+}

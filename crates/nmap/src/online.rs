@@ -1,0 +1,280 @@
+//! Online threshold adaptation — the paper's stated future work
+//! (§4.2: "We leave further exploration of on-line profiling
+//! techniques as our future work").
+//!
+//! [`OnlineNmap`] removes the per-application offline profiling step:
+//! it continuously re-derives `NI_TH` and `CU_TH` from the episodes
+//! it observes in production.
+//!
+//! * **`NI_TH`** adapts to a high percentile of the per-episode
+//!   polling counts observed while the core was in *CPU Utilization
+//!   based Mode* — i.e. of "normal" episodes. Crossing well beyond
+//!   normal is the burst signal, exactly the role the offline max
+//!   played; using only CPU-mode episodes keeps the threshold from
+//!   chasing the bursts it reacts to (a feedback runaway).
+//! * **`CU_TH`** adapts to an exponential moving average of the
+//!   windowed polling-to-interrupt ratio, scaled by the same safety
+//!   factor a deployment would apply to the offline value.
+//!
+//! Adaptation runs on a slow clock (default 1 s) so the inner
+//! NMAP's 10 ms dynamics are unaffected within a burst.
+
+use crate::config::NmapConfig;
+use crate::governor::NmapGovernor;
+use crate::engine::PowerMode;
+use cpusim::core::UtilSample;
+use cpusim::pstate::PStateTable;
+use cpusim::CoreId;
+use governors::{Action, PStateGovernor};
+use napisim::PollClass;
+use simcore::{SimDuration, SimTime};
+
+/// Tunables for the online adapter.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// How often the thresholds are re-derived.
+    pub adaptation_interval: SimDuration,
+    /// Percentile of normal-episode polling used for `NI_TH`.
+    pub ni_quantile: f64,
+    /// Safety factor applied to the ratio EMA for `CU_TH`.
+    pub cu_factor: f64,
+    /// EMA weight of the newest window ratio.
+    pub ema_alpha: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            adaptation_interval: SimDuration::from_secs(1),
+            ni_quantile: 0.95,
+            cu_factor: 0.5,
+            ema_alpha: 0.3,
+        }
+    }
+}
+
+/// NMAP with self-calibrating thresholds.
+pub struct OnlineNmap {
+    inner: NmapGovernor,
+    online: OnlineConfig,
+    /// Closed-episode polling counts observed in CPU mode since the
+    /// last adaptation (across cores).
+    normal_episodes: Vec<u64>,
+    /// Open episode accumulator per core, with the mode it started in.
+    open_episode: Vec<(u64, PowerMode)>,
+    ratio_ema: Option<f64>,
+    window_poll: u64,
+    window_intr: u64,
+    next_adaptation: SimTime,
+    adaptations: u64,
+}
+
+impl OnlineNmap {
+    /// Creates the adapter with conservative initial thresholds
+    /// (`NI_TH = 64`, one NAPI weight; `CU_TH = 1.0`).
+    pub fn new(table: PStateTable, cores: usize, online: OnlineConfig) -> Self {
+        let seed_config = NmapConfig::new(64, 1.0);
+        OnlineNmap {
+            inner: NmapGovernor::new(table, cores, seed_config),
+            online,
+            normal_episodes: Vec::new(),
+            open_episode: vec![(0, PowerMode::CpuUtilization); cores],
+            ratio_ema: None,
+            window_poll: 0,
+            window_intr: 0,
+            next_adaptation: SimTime::ZERO + online.adaptation_interval,
+            adaptations: 0,
+        }
+    }
+
+    /// The thresholds currently in force.
+    pub fn current_config(&self) -> NmapConfig {
+        *self.inner.config()
+    }
+
+    /// How many adaptation rounds have run.
+    pub fn adaptations(&self) -> u64 {
+        self.adaptations
+    }
+
+    fn adapt(&mut self) {
+        self.adaptations += 1;
+        let current = *self.inner.config();
+        let ni = if self.normal_episodes.is_empty() {
+            current.ni_threshold
+        } else {
+            self.normal_episodes.sort_unstable();
+            let rank = ((self.online.ni_quantile * self.normal_episodes.len() as f64).ceil()
+                as usize)
+                .clamp(1, self.normal_episodes.len());
+            // Never adapt below one poll batch: sub-weight thresholds
+            // fire on every stray packet.
+            self.normal_episodes[rank - 1].max(8)
+        };
+        let cu = match self.ratio_ema {
+            Some(ema) => (ema * self.online.cu_factor).max(f64::MIN_POSITIVE),
+            None => current.cu_threshold,
+        };
+        self.inner.set_thresholds(ni, cu);
+        self.normal_episodes.clear();
+    }
+}
+
+impl PStateGovernor for OnlineNmap {
+    fn name(&self) -> String {
+        "NMAP-online".into()
+    }
+
+    fn sampling_interval(&self) -> SimDuration {
+        self.inner.sampling_interval()
+    }
+
+    fn on_poll_batch(
+        &mut self,
+        core: CoreId,
+        class: PollClass,
+        rx_packets: u64,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        // Episode bookkeeping mirrors the offline profiler.
+        match class {
+            PollClass::Interrupt => {
+                let (count, started_mode) = self.open_episode[core.0];
+                if started_mode == PowerMode::CpuUtilization {
+                    self.normal_episodes.push(count);
+                }
+                self.open_episode[core.0] = (0, self.inner.mode(core));
+                self.window_intr += rx_packets;
+            }
+            PollClass::Polling => {
+                self.open_episode[core.0].0 += rx_packets;
+                self.window_poll += rx_packets;
+            }
+        }
+        self.inner.on_poll_batch(core, class, rx_packets, now, actions);
+    }
+
+    fn on_core_sample(
+        &mut self,
+        core: CoreId,
+        sample: UtilSample,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        self.inner.on_core_sample(core, sample, now, actions);
+        if now >= self.next_adaptation {
+            self.next_adaptation = now + self.online.adaptation_interval;
+            if self.window_intr > 0 {
+                let ratio = self.window_poll as f64 / self.window_intr as f64;
+                self.ratio_ema = Some(match self.ratio_ema {
+                    Some(ema) => {
+                        ema * (1.0 - self.online.ema_alpha) + ratio * self.online.ema_alpha
+                    }
+                    None => ratio,
+                });
+            }
+            self.window_poll = 0;
+            self.window_intr = 0;
+            self.adapt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpusim::ProcessorProfile;
+
+    fn online() -> OnlineNmap {
+        OnlineNmap::new(
+            ProcessorProfile::xeon_gold_6134().pstates,
+            8,
+            OnlineConfig::default(),
+        )
+    }
+
+    fn sample() -> UtilSample {
+        UtilSample {
+            busy_frac: 0.3,
+            c0_frac: 0.3,
+            window: SimDuration::from_millis(10),
+        }
+    }
+
+    fn feed_episode(g: &mut OnlineNmap, core: CoreId, poll: u64, t: SimTime) {
+        let mut actions = Vec::new();
+        g.on_poll_batch(core, PollClass::Interrupt, 10, t, &mut actions);
+        if poll > 0 {
+            g.on_poll_batch(core, PollClass::Polling, poll, t, &mut actions);
+        }
+    }
+
+    #[test]
+    fn adapts_ni_to_observed_normal_episodes() {
+        let mut g = online();
+        // Normal operation: episodes of ~20 polling packets.
+        for i in 0..50 {
+            feed_episode(&mut g, CoreId(0), 20, SimTime::from_millis(i));
+        }
+        let mut actions = Vec::new();
+        // Cross the adaptation boundary.
+        g.on_core_sample(CoreId(0), sample(), SimTime::from_secs(1), &mut actions);
+        assert_eq!(g.adaptations(), 1);
+        let cfg = g.current_config();
+        assert!(
+            (8..=25).contains(&cfg.ni_threshold),
+            "NI_TH should settle near the normal episode size, got {}",
+            cfg.ni_threshold
+        );
+    }
+
+    #[test]
+    fn cu_tracks_ratio_ema_with_safety_factor() {
+        let mut g = online();
+        // Window ratio: 100 polling / 50 interrupt = 2.0.
+        let mut actions = Vec::new();
+        for i in 0..5 {
+            g.on_poll_batch(CoreId(0), PollClass::Interrupt, 10, SimTime::from_millis(i), &mut actions);
+            g.on_poll_batch(CoreId(0), PollClass::Polling, 20, SimTime::from_millis(i), &mut actions);
+        }
+        g.on_core_sample(CoreId(0), sample(), SimTime::from_secs(1), &mut actions);
+        let cfg = g.current_config();
+        assert!((cfg.cu_threshold - 1.0).abs() < 1e-9, "2.0 · 0.5 = 1.0, got {}", cfg.cu_threshold);
+    }
+
+    #[test]
+    fn burst_episodes_do_not_poison_the_threshold() {
+        let mut g = online();
+        let mut actions = Vec::new();
+        // Small normal episodes…
+        for i in 0..40 {
+            feed_episode(&mut g, CoreId(0), 20, SimTime::from_millis(i));
+        }
+        // …then a giant burst, which flips core 0 into NI mode
+        // (seed NI_TH = 64) so its episodes stop counting as normal.
+        g.on_poll_batch(CoreId(0), PollClass::Polling, 100_000, SimTime::from_millis(50), &mut actions);
+        feed_episode(&mut g, CoreId(0), 90_000, SimTime::from_millis(60));
+        g.on_core_sample(CoreId(0), sample(), SimTime::from_secs(1), &mut actions);
+        let cfg = g.current_config();
+        assert!(
+            cfg.ni_threshold < 1_000,
+            "burst-mode episodes must not inflate NI_TH (got {})",
+            cfg.ni_threshold
+        );
+    }
+
+    #[test]
+    fn no_adaptation_before_interval() {
+        let mut g = online();
+        let mut actions = Vec::new();
+        g.on_core_sample(CoreId(0), sample(), SimTime::from_millis(500), &mut actions);
+        assert_eq!(g.adaptations(), 0);
+        assert_eq!(g.current_config().ni_threshold, 64, "seed threshold holds");
+    }
+
+    #[test]
+    fn name_distinguishes_the_variant() {
+        assert_eq!(online().name(), "NMAP-online");
+    }
+}

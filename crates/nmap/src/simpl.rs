@@ -1,0 +1,155 @@
+//! NMAP-simpl (§4.1): the simplified policy driven purely by
+//! ksoftirqd scheduling events.
+//!
+//! ksoftirqd wakes only when the softirq handler is overwhelmed
+//! (§2.1), so its wake-up is a ready-made "excessive packet
+//! processing" signal that needs no application knowledge and no
+//! thresholds. NMAP-simpl maximizes the core's V/F while ksoftirqd is
+//! awake and falls back to ondemand when it sleeps. The paper shows
+//! this satisfies SLOs at low/medium load but reacts too late at high
+//! load (§6.2) — reproduced in Fig 12/14.
+
+use cpusim::core::UtilSample;
+use cpusim::pstate::PStateTable;
+use cpusim::{CoreId, PState};
+use governors::{Action, Ondemand, PStateGovernor};
+use simcore::{SimDuration, SimTime};
+
+/// The ksoftirqd-driven simplified NMAP.
+pub struct NmapSimpl {
+    fallback: Ondemand,
+    ksoftirqd_awake: Vec<bool>,
+    wake_events: u64,
+}
+
+impl NmapSimpl {
+    /// Creates NMAP-simpl for `cores` cores.
+    pub fn new(table: PStateTable, cores: usize) -> Self {
+        NmapSimpl {
+            fallback: Ondemand::new(table, cores),
+            ksoftirqd_awake: vec![false; cores],
+            wake_events: 0,
+        }
+    }
+
+    /// True if `core`'s ksoftirqd is currently considered awake.
+    pub fn is_boosted(&self, core: CoreId) -> bool {
+        self.ksoftirqd_awake[core.0]
+    }
+
+    /// Total ksoftirqd wake events observed.
+    pub fn wake_events(&self) -> u64 {
+        self.wake_events
+    }
+}
+
+impl PStateGovernor for NmapSimpl {
+    fn name(&self) -> String {
+        "NMAP-simpl".into()
+    }
+
+    fn sampling_interval(&self) -> SimDuration {
+        SimDuration::from_millis(10)
+    }
+
+    fn on_ksoftirqd(&mut self, core: CoreId, awake: bool, _now: SimTime, actions: &mut Vec<Action>) {
+        let was = self.ksoftirqd_awake[core.0];
+        self.ksoftirqd_awake[core.0] = awake;
+        if awake && !was {
+            self.wake_events += 1;
+            self.fallback.note_pstate(core, PState::P0);
+            actions.push(Action::SetCore(core, PState::P0));
+        }
+        // On sleep we do nothing immediately; ondemand resumes at the
+        // next utilization sample (the paper's "falls back to the CPU
+        // utilization based governor").
+    }
+
+    fn on_core_sample(
+        &mut self,
+        core: CoreId,
+        sample: UtilSample,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        if self.ksoftirqd_awake[core.0] {
+            actions.push(Action::SetCore(core, PState::P0));
+        } else {
+            self.fallback.on_core_sample(core, sample, now, actions);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpusim::ProcessorProfile;
+
+    fn simpl() -> NmapSimpl {
+        NmapSimpl::new(ProcessorProfile::xeon_gold_6134().pstates, 8)
+    }
+
+    fn sample(busy: f64) -> UtilSample {
+        UtilSample {
+            busy_frac: busy,
+            c0_frac: busy,
+            window: SimDuration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn wake_boosts_immediately() {
+        let mut g = simpl();
+        let mut actions = Vec::new();
+        g.on_ksoftirqd(CoreId(0), true, SimTime::ZERO, &mut actions);
+        assert_eq!(actions, vec![Action::SetCore(CoreId(0), PState::P0)]);
+        assert!(g.is_boosted(CoreId(0)));
+        assert_eq!(g.wake_events(), 1);
+    }
+
+    #[test]
+    fn repeated_wake_is_idempotent() {
+        let mut g = simpl();
+        let mut actions = Vec::new();
+        g.on_ksoftirqd(CoreId(0), true, SimTime::ZERO, &mut actions);
+        actions.clear();
+        g.on_ksoftirqd(CoreId(0), true, SimTime::from_millis(1), &mut actions);
+        assert!(actions.is_empty());
+        assert_eq!(g.wake_events(), 1);
+    }
+
+    #[test]
+    fn sleep_falls_back_at_next_sample() {
+        let mut g = simpl();
+        let mut actions = Vec::new();
+        g.on_ksoftirqd(CoreId(0), true, SimTime::ZERO, &mut actions);
+        g.on_ksoftirqd(CoreId(0), false, SimTime::from_millis(5), &mut actions);
+        actions.clear();
+        g.on_core_sample(CoreId(0), sample(0.05), SimTime::from_millis(10), &mut actions);
+        let Action::SetCore(_, p) = actions[0] else { panic!() };
+        assert_ne!(p, PState::P0, "ondemand resumed on low load");
+    }
+
+    #[test]
+    fn samples_while_awake_hold_p0() {
+        let mut g = simpl();
+        let mut actions = Vec::new();
+        g.on_ksoftirqd(CoreId(0), true, SimTime::ZERO, &mut actions);
+        actions.clear();
+        g.on_core_sample(CoreId(0), sample(0.05), SimTime::from_millis(10), &mut actions);
+        assert_eq!(actions, vec![Action::SetCore(CoreId(0), PState::P0)]);
+    }
+
+    #[test]
+    fn per_core_independence() {
+        let mut g = simpl();
+        let mut actions = Vec::new();
+        g.on_ksoftirqd(CoreId(3), true, SimTime::ZERO, &mut actions);
+        assert!(g.is_boosted(CoreId(3)));
+        assert!(!g.is_boosted(CoreId(0)));
+        actions.clear();
+        g.on_core_sample(CoreId(0), sample(0.0), SimTime::from_millis(10), &mut actions);
+        let Action::SetCore(_, p) = actions[0] else { panic!() };
+        assert_ne!(p, PState::P0);
+    }
+}

@@ -1,0 +1,337 @@
+//! The event queue and simulation loop.
+//!
+//! [`Simulator<W>`] is generic over a user-supplied *world* type `W`
+//! holding all model state (cores, NIC, queues, governors…). Events
+//! are boxed closures receiving `(&mut W, &mut Simulator<W>)`, so an
+//! event can both mutate the world and schedule or cancel further
+//! events. Determinism is guaranteed by FIFO tie-breaking on equal
+//! timestamps (a monotone sequence number).
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, usable with [`Simulator::cancel`].
+///
+/// Ids are unique for the lifetime of a simulator and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type Action<W> = Box<dyn FnOnce(&mut W, &mut Simulator<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops
+        // first, with FIFO order among equal timestamps.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{Simulator, SimTime, SimDuration};
+///
+/// let mut hits: Vec<u64> = Vec::new();
+/// let mut sim: Simulator<Vec<u64>> = Simulator::new();
+/// for i in 0..3 {
+///     sim.schedule_at(SimTime::from_micros(10 - i), move |w, _| w.push(i));
+/// }
+/// sim.run_until(&mut hits, SimTime::from_millis(1));
+/// assert_eq!(hits, vec![2, 1, 0]); // time order, not insertion order
+/// ```
+pub struct Simulator<W> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<W>>,
+    next_seq: u64,
+    /// Ids scheduled but not yet executed or cancelled.
+    live: HashSet<EventId>,
+    executed: u64,
+}
+
+impl<W> Default for Simulator<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Simulator<W> {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            live: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (cancelled events excluded).
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Schedules `action` to run at absolute time `time`.
+    ///
+    /// Events scheduled in the past run "now": they are clamped to the
+    /// current time and execute before the simulator advances, which
+    /// keeps model code free of re-entrancy special cases.
+    pub fn schedule_at(
+        &mut self,
+        time: SimTime,
+        action: impl FnOnce(&mut W, &mut Simulator<W>) + 'static,
+    ) -> EventId {
+        let time = time.max(self.now);
+        let id = EventId(self.next_seq);
+        self.queue.push(Scheduled {
+            time,
+            seq: self.next_seq,
+            id,
+            action: Box::new(action),
+        });
+        self.live.insert(id);
+        self.next_seq += 1;
+        id
+    }
+
+    /// Schedules `action` to run `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut W, &mut Simulator<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event was still
+    /// pending (i.e. this call prevented it from running).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // An id absent from `live` was never issued, already executed,
+        // or already cancelled; all of those report false.
+        self.live.remove(&id)
+    }
+
+    /// Runs a single event. Returns `false` if the queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        loop {
+            let Some(ev) = self.queue.pop() else {
+                return false;
+            };
+            if !self.live.remove(&ev.id) {
+                continue; // cancelled
+            }
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.action)(world, self);
+            return true;
+        }
+    }
+
+    /// Runs events until the queue is exhausted or `deadline` is
+    /// reached; the simulator clock ends at exactly `deadline` unless
+    /// the queue drains earlier. Returns the number of events executed.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> u64 {
+        let start = self.executed;
+        loop {
+            // Peek past cancelled events to find the next live one.
+            let next_time = loop {
+                match self.queue.peek() {
+                    None => break None,
+                    Some(ev) if !self.live.contains(&ev.id) => {
+                        self.queue.pop();
+                    }
+                    Some(ev) => break Some(ev.time),
+                }
+            };
+            match next_time {
+                Some(t) if t <= deadline => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.executed - start
+    }
+
+    /// Runs until the queue drains, or until `max_events` have run.
+    /// Returns the number of events executed.
+    pub fn run_to_completion(&mut self, world: &mut W, max_events: u64) -> u64 {
+        let start = self.executed;
+        while self.executed - start < max_events {
+            if !self.step(world) {
+                break;
+            }
+        }
+        self.executed - start
+    }
+}
+
+impl<W> std::fmt::Debug for Simulator<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.pending())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_in_time_order() {
+        let mut sim: Simulator<Vec<u32>> = Simulator::new();
+        let mut w = Vec::new();
+        sim.schedule_at(SimTime::from_nanos(30), |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_at(SimTime::from_nanos(10), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(SimTime::from_nanos(20), |w: &mut Vec<u32>, _| w.push(2));
+        sim.run_until(&mut w, SimTime::from_micros(1));
+        assert_eq!(w, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_ties() {
+        let mut sim: Simulator<Vec<u32>> = Simulator::new();
+        let mut w = Vec::new();
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_nanos(7), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run_until(&mut w, SimTime::from_micros(1));
+        assert_eq!(w, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_scheduling() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let mut w = 0;
+        sim.schedule_in(SimDuration::from_nanos(1), |w: &mut u32, sim| {
+            *w += 1;
+            sim.schedule_in(SimDuration::from_nanos(1), |w: &mut u32, sim| {
+                *w += 10;
+                sim.schedule_in(SimDuration::from_nanos(1), |w: &mut u32, _| *w += 100);
+            });
+        });
+        sim.run_until(&mut w, SimTime::from_micros(1));
+        assert_eq!(w, 111);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let mut w = 0;
+        let id = sim.schedule_at(SimTime::from_nanos(5), |w: &mut u32, _| *w += 1);
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double cancel must report false");
+        sim.run_until(&mut w, SimTime::from_micros(1));
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    fn cancel_after_run_is_false() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let mut w = 0;
+        let id = sim.schedule_at(SimTime::from_nanos(5), |w: &mut u32, _| *w += 1);
+        sim.run_until(&mut w, SimTime::from_micros(1));
+        assert_eq!(w, 1);
+        assert!(!sim.cancel(id));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_clamps_clock() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let mut w = 0;
+        sim.schedule_at(SimTime::from_micros(10), |w: &mut u32, _| *w += 1);
+        sim.schedule_at(SimTime::from_micros(30), |w: &mut u32, _| *w += 1);
+        let n = sim.run_until(&mut w, SimTime::from_micros(20));
+        assert_eq!(n, 1);
+        assert_eq!(w, 1);
+        assert_eq!(sim.now(), SimTime::from_micros(20));
+        // The later event still runs on the next call.
+        sim.run_until(&mut w, SimTime::from_micros(40));
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let mut w = 0;
+        sim.schedule_at(SimTime::from_micros(10), |_, sim| {
+            // schedule "in the past" — must run at now, not violate order
+            sim.schedule_at(SimTime::from_micros(1), |w: &mut u32, _| *w += 1);
+        });
+        sim.run_until(&mut w, SimTime::from_micros(20));
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn run_to_completion_respects_cap() {
+        let mut sim: Simulator<u64> = Simulator::new();
+        let mut w = 0u64;
+        // Self-perpetuating event chain.
+        fn tick(w: &mut u64, sim: &mut Simulator<u64>) {
+            *w += 1;
+            sim.schedule_in(SimDuration::from_nanos(1), tick);
+        }
+        sim.schedule_in(SimDuration::from_nanos(1), tick);
+        let n = sim.run_to_completion(&mut w, 100);
+        assert_eq!(n, 100);
+        assert_eq!(w, 100);
+    }
+
+    #[test]
+    fn pending_count_excludes_cancelled() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let a = sim.schedule_at(SimTime::from_nanos(1), |_, _| {});
+        let _b = sim.schedule_at(SimTime::from_nanos(2), |_, _| {});
+        assert_eq!(sim.pending(), 2);
+        sim.cancel(a);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn unknown_id_cancel_is_false() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        assert!(!sim.cancel(EventId(42)));
+    }
+}

@@ -1,0 +1,40 @@
+//! # simcore — discrete-event simulation engine
+//!
+//! The foundation for the NMAP reproduction: a deterministic
+//! discrete-event simulator with integer-nanosecond virtual time,
+//! cancellable events, seeded random-number streams, and the
+//! statistics toolkit (histograms, CDFs, time series) used by every
+//! experiment in the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::{Simulator, SimTime, SimDuration};
+//!
+//! // The "world" is any user state the events mutate.
+//! let mut world = 0u64;
+//! let mut sim: Simulator<u64> = Simulator::new();
+//! sim.schedule_in(SimDuration::from_micros(5), |w, sim| {
+//!     *w += 1;
+//!     // Events may schedule follow-up events.
+//!     sim.schedule_in(SimDuration::from_micros(5), |w, _| *w += 10);
+//! });
+//! sim.run_until(&mut world, SimTime::from_micros(100));
+//! assert_eq!(world, 11);
+//! assert_eq!(sim.now(), SimTime::from_micros(100));
+//! ```
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{EventId, Simulator};
+pub use rng::RngStream;
+pub use stats::cdf::Cdf;
+pub use stats::histogram::Histogram;
+pub use stats::running::RunningStats;
+pub use stats::timeseries::TimeSeries;
+pub use time::{SimDuration, SimTime};
+pub use trace::EventLog;

@@ -1,0 +1,222 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic component (arrival process, service-time sampler,
+//! RSS hash, …) draws from its own [`RngStream`], derived from a
+//! master seed plus a component label. Runs with the same master seed
+//! are bit-for-bit reproducible regardless of event interleaving,
+//! which the experiment harness relies on for paper-figure
+//! regeneration.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A named, seeded random stream.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::RngStream;
+/// let mut a = RngStream::derive(42, "client", 0);
+/// let mut b = RngStream::derive(42, "client", 0);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same derivation → same stream
+/// let mut c = RngStream::derive(42, "client", 1);
+/// assert_ne!(a.next_u64(), c.next_u64()); // different index → different stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    rng: SmallRng,
+}
+
+impl RngStream {
+    /// Creates a stream directly from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        RngStream {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives a stream from a master seed, a component label, and an
+    /// instance index (e.g. a queue or core id). The derivation is a
+    /// stable FNV-1a hash, so streams never collide accidentally
+    /// between components.
+    pub fn derive(master: u64, label: &str, index: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for b in master.to_le_bytes() {
+            mix(b);
+        }
+        for b in label.bytes() {
+            mix(b);
+        }
+        for b in index.to_le_bytes() {
+            mix(b);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty uniform range");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is empty");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // 1 - U avoids ln(0).
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// Standard normal variate via Box–Muller (one value per call;
+    /// the twin is discarded to keep the stream stateless).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.uniform()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal variate with mean `mu` and standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        mu + sigma * self.standard_normal()
+    }
+
+    /// Log-normal variate parameterized by the *target* mean and the
+    /// sigma of the underlying normal. Used for heavy-tailed service
+    /// times: the returned distribution has mean `mean` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive or `sigma` is negative.
+    pub fn lognormal_mean(&mut self, mean: f64, sigma: f64) -> f64 {
+        assert!(mean > 0.0, "lognormal mean must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) = mean
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Pareto variate with minimum `xm` and shape `alpha` (bounded
+    /// heavy tail for burst sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xm` or `alpha` is not positive.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        xm / (1.0 - self.uniform()).powf(1.0 / alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_stable_and_distinct() {
+        let mut a = RngStream::derive(1, "nic", 3);
+        let mut b = RngStream::derive(1, "nic", 3);
+        let mut c = RngStream::derive(1, "nic", 4);
+        let mut d = RngStream::derive(1, "app", 3);
+        let va = a.next_u64();
+        assert_eq!(va, b.next_u64());
+        assert_ne!(va, c.next_u64());
+        assert_ne!(va, d.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = RngStream::from_seed(7);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = RngStream::from_seed(11);
+        let n = 200_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let est = sum / n as f64;
+        assert!((est - mean).abs() < 0.05 * mean, "estimated {est}");
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut r = RngStream::from_seed(13);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_is_calibrated() {
+        let mut r = RngStream::from_seed(17);
+        let n = 400_000;
+        let target = 2.2;
+        let sum: f64 = (0..n).map(|_| r.lognormal_mean(target, 0.5)).sum();
+        let est = sum / n as f64;
+        assert!((est - target).abs() < 0.03 * target, "estimated {est}");
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut r = RngStream::from_seed(19);
+        for _ in 0..10_000 {
+            assert!(r.pareto(3.0, 2.0) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = RngStream::from_seed(23);
+        for _ in 0..1_000 {
+            assert!(r.below(8) < 8);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Log-bucketed latency histogram with percentile queries.
+//!
+//! The layout follows the HdrHistogram idea: values are grouped by
+//! binary magnitude, with `1 << SUB_BITS` linear sub-buckets per
+//! magnitude, giving a bounded relative error (< 1/64 ≈ 1.6 % with
+//! the default 6 sub-bucket bits) across the full `u64` range. That
+//! is plenty for P99 comparisons against millisecond-scale SLOs while
+//! staying allocation-free after construction.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+const SUB_BITS: u32 = 6;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+// Block 0 holds values < SUB_COUNT; blocks 1..=58 hold binary
+// magnitudes 6..=63, covering the whole u64 range.
+const BLOCKS: usize = 64 - SUB_BITS as usize + 1;
+
+/// A histogram of non-negative integer samples (typically nanoseconds).
+///
+/// # Examples
+///
+/// ```
+/// use simcore::Histogram;
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.value_at_quantile(0.50);
+/// assert!((490..=515).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BLOCKS * SUB_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index_of(value: u64) -> usize {
+        if value < SUB_COUNT as u64 {
+            return value as usize;
+        }
+        let magnitude = 63 - value.leading_zeros(); // >= SUB_BITS
+        let shift = magnitude - SUB_BITS;
+        let sub = (value >> shift) as usize & (SUB_COUNT - 1);
+        ((magnitude - SUB_BITS + 1) as usize) * SUB_COUNT + sub
+    }
+
+    /// The lowest value that maps to `index` (used to report
+    /// percentiles as representative values).
+    fn value_of(index: usize) -> u64 {
+        let magnitude = index / SUB_COUNT;
+        let sub = index % SUB_COUNT;
+        if magnitude == 0 {
+            return sub as u64;
+        }
+        let shift = (magnitude - 1) as u32;
+        ((SUB_COUNT + sub) as u64) << shift
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index_of(value);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a duration sample in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The representative value at quantile `q` in `[0, 1]`: the
+    /// smallest bucket value such that at least `q * count` samples
+    /// are ≤ it. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Clamp to the true max to avoid overshooting from
+                // bucket granularity at the top quantiles.
+                return Self::value_of(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// P99 as a duration (the paper's SLO metric).
+    pub fn p99(&self) -> SimDuration {
+        SimDuration::from_nanos(self.value_at_quantile(0.99))
+    }
+
+    /// P50 (median) as a duration.
+    pub fn p50(&self) -> SimDuration {
+        SimDuration::from_nanos(self.value_at_quantile(0.50))
+    }
+
+    /// Fraction of samples strictly greater than `threshold` —
+    /// "x % of requests exceed the SLO" in the paper's wording.
+    pub fn fraction_above(&self, threshold: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        // Count buckets fully above the threshold; the bucket holding
+        // the threshold itself is attributed below it (consistent with
+        // value_at_quantile's "≤" convention).
+        let idx = Self::index_of(threshold);
+        let above: u64 = self.buckets[idx + 1..].iter().sum();
+        above as f64 / self.count as f64
+    }
+
+    /// Fraction of samples ≤ `threshold`.
+    pub fn fraction_at_or_below(&self, threshold: u64) -> f64 {
+        1.0 - self.fraction_above(threshold)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Resets to empty.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.value_at_quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = Histogram::new();
+        h.record(123_456);
+        assert_eq!(h.count(), 1);
+        let p99 = h.value_at_quantile(0.99);
+        assert!(relative_error(p99, 123_456) < 0.02, "p99 {p99}");
+        assert_eq!(h.min(), 123_456);
+        assert_eq!(h.max(), 123_456);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for &(q, expect) in &[(0.5, 50_000u64), (0.9, 90_000), (0.99, 99_000)] {
+            let got = h.value_at_quantile(q);
+            assert!(
+                relative_error(got, expect) < 0.02,
+                "q={q}: got {got}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        let mut h = Histogram::new();
+        // 99 fast samples, 1 slow.
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(10_000_000);
+        assert!((h.fraction_above(1_000_000) - 0.01).abs() < 1e-9);
+        assert!((h.fraction_at_or_below(1_000_000) - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn index_value_roundtrip_error_bounded() {
+        for &v in &[1u64, 63, 64, 65, 100, 1_000, 123_456, 1_000_000, u32::MAX as u64, 1 << 40] {
+            let idx = Histogram::index_of(v);
+            let rep = Histogram::value_of(idx);
+            assert!(rep <= v, "representative must not exceed value");
+            assert!(
+                relative_error(rep, v) < 1.0 / 32.0,
+                "v={v} rep={rep}"
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+    }
+
+    fn relative_error(got: u64, expect: u64) -> f64 {
+        if expect == 0 {
+            return got as f64;
+        }
+        ((got as f64) - (expect as f64)).abs() / expect as f64
+    }
+}

@@ -1,0 +1,9 @@
+//! Statistics toolkit used by the experiment harness: latency
+//! histograms with percentile queries, exact CDFs, running
+//! mean/stdev, and time-series recording for the paper's timeline
+//! figures.
+
+pub mod cdf;
+pub mod histogram;
+pub mod running;
+pub mod timeseries;

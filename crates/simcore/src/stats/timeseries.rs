@@ -1,0 +1,225 @@
+//! Time-series recording for the paper's timeline figures
+//! (Fig 2/7/9/16: P-state traces, per-millisecond packet counts,
+//! ksoftirqd wake-up marks).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An append-only series of `(time, value)` points.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{TimeSeries, SimTime, SimDuration};
+/// let mut ts = TimeSeries::new();
+/// ts.push(SimTime::from_millis(1), 2.0);
+/// ts.push(SimTime::from_millis(3), 4.0);
+/// // Bin into 1 ms buckets, summing values per bucket:
+/// let bins = ts.binned_sum(SimTime::ZERO, SimTime::from_millis(4), SimDuration::from_millis(1));
+/// assert_eq!(bins, vec![0.0, 2.0, 0.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a point. Times should be non-decreasing; out-of-order
+    /// appends are accepted but binning assumes rough order.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        self.points.push((t, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Iterator over the points.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, f64)> {
+        self.points.iter()
+    }
+
+    /// Sums point values into fixed-width bins over `[start, end)`.
+    /// Points outside the window are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `end < start`.
+    pub fn binned_sum(&self, start: SimTime, end: SimTime, width: SimDuration) -> Vec<f64> {
+        assert!(!width.is_zero(), "bin width must be positive");
+        assert!(end >= start, "window must be non-negative");
+        let nbins = end.saturating_since(start).as_nanos().div_ceil(width.as_nanos());
+        let mut bins = vec![0.0; nbins as usize];
+        for &(t, v) in &self.points {
+            if t >= start && t < end {
+                let idx = (t.saturating_since(start) / width) as usize;
+                if idx < bins.len() {
+                    bins[idx] += v;
+                }
+            }
+        }
+        bins
+    }
+
+    /// Counts points per bin (ignores values) — packet counts per
+    /// millisecond in Fig 2.
+    pub fn binned_count(&self, start: SimTime, end: SimTime, width: SimDuration) -> Vec<u64> {
+        assert!(!width.is_zero(), "bin width must be positive");
+        assert!(end >= start, "window must be non-negative");
+        let nbins =
+            end.saturating_since(start).as_nanos().div_ceil(width.as_nanos());
+        let mut bins = vec![0u64; nbins as usize];
+        for &(t, _) in &self.points {
+            if t >= start && t < end {
+                let idx = (t.saturating_since(start) / width) as usize;
+                if idx < bins.len() {
+                    bins[idx] += 1;
+                }
+            }
+        }
+        bins
+    }
+
+    /// Interprets the series as a step function (value holds until the
+    /// next point) and samples it at `at`. Returns `default` before
+    /// the first point.
+    pub fn step_value_at(&self, at: SimTime, default: f64) -> f64 {
+        let mut current = default;
+        for &(t, v) in &self.points {
+            if t <= at {
+                current = v;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Time-weighted average of the step function over `[start, end)`,
+    /// starting from `initial` before the first point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn step_time_average(&self, start: SimTime, end: SimTime, initial: f64) -> f64 {
+        assert!(end > start, "window must be positive");
+        let mut acc = 0.0;
+        let mut cur_t = start;
+        let mut cur_v = self.step_value_at(start, initial);
+        for &(t, v) in &self.points {
+            if t <= start {
+                continue;
+            }
+            if t >= end {
+                break;
+            }
+            acc += cur_v * (t - cur_t).as_secs_f64();
+            cur_t = t;
+            cur_v = v;
+        }
+        acc += cur_v * (end - cur_t).as_secs_f64();
+        acc / (end - start).as_secs_f64()
+    }
+
+    /// Clears all points.
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (SimTime, f64)>>(iter: I) -> Self {
+        TimeSeries {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(SimTime, f64)> for TimeSeries {
+    fn extend<I: IntoIterator<Item = (SimTime, f64)>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn binned_sum_basics() {
+        let ts: TimeSeries = [(ms(0), 1.0), (ms(1), 2.0), (ms(1), 3.0), (ms(5), 4.0)]
+            .into_iter()
+            .collect();
+        let bins = ts.binned_sum(ms(0), ms(6), SimDuration::from_millis(1));
+        assert_eq!(bins, vec![1.0, 5.0, 0.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn binned_sum_ignores_outside_window() {
+        let ts: TimeSeries = [(ms(0), 1.0), (ms(10), 1.0)].into_iter().collect();
+        let bins = ts.binned_sum(ms(1), ms(5), SimDuration::from_millis(1));
+        assert_eq!(bins.iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn binned_count_counts_points() {
+        let ts: TimeSeries = [(ms(0), 9.0), (ms(0), 9.0), (ms(2), 9.0)].into_iter().collect();
+        let counts = ts.binned_count(ms(0), ms(3), SimDuration::from_millis(1));
+        assert_eq!(counts, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn step_sampling() {
+        let ts: TimeSeries = [(ms(2), 10.0), (ms(4), 20.0)].into_iter().collect();
+        assert_eq!(ts.step_value_at(ms(1), 0.0), 0.0);
+        assert_eq!(ts.step_value_at(ms(2), 0.0), 10.0);
+        assert_eq!(ts.step_value_at(ms(3), 0.0), 10.0);
+        assert_eq!(ts.step_value_at(ms(9), 0.0), 20.0);
+    }
+
+    #[test]
+    fn step_time_average() {
+        // value 0 on [0,2), 10 on [2,4), 20 on [4,6) → avg over [0,6) = (0*2+10*2+20*2)/6 = 10
+        let ts: TimeSeries = [(ms(2), 10.0), (ms(4), 20.0)].into_iter().collect();
+        let avg = ts.step_time_average(ms(0), ms(6), 0.0);
+        assert!((avg - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_average_with_no_points_is_initial() {
+        let ts = TimeSeries::new();
+        assert!((ts.step_time_average(ms(0), ms(5), 7.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_final_bin() {
+        let ts: TimeSeries = [(SimTime::from_micros(2500), 1.0)].into_iter().collect();
+        let bins = ts.binned_sum(
+            SimTime::ZERO,
+            SimTime::from_micros(2600),
+            SimDuration::from_millis(1),
+        );
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[2], 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Arrival processes.
+//!
+//! [`BurstyArrivals`] is the paper's workload shape: a periodic
+//! envelope of *idle → linear ramp → peak* repeated every burst
+//! period, sampled as a non-homogeneous Poisson process by thinning.
+//! The ramp matters: NMAP's claim is that it reacts during the
+//! *early part* of the burst, before the load reaches the peak
+//! (§4.2), so the burst must actually have an early part.
+
+use simcore::{RngStream, SimDuration, SimTime};
+
+/// A point process producing request send times.
+pub trait ArrivalProcess {
+    /// The first arrival strictly after `t`, or `None` if the process
+    /// has ended.
+    fn next_after(&mut self, t: SimTime, rng: &mut RngStream) -> Option<SimTime>;
+
+    /// Long-run average arrivals per second.
+    fn average_rate(&self) -> f64;
+}
+
+/// Homogeneous Poisson arrivals at a constant rate.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonArrivals {
+    rate_per_sec: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not positive.
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        PoissonArrivals { rate_per_sec }
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_after(&mut self, t: SimTime, rng: &mut RngStream) -> Option<SimTime> {
+        let gap = rng.exponential(1.0 / self.rate_per_sec);
+        Some(t + SimDuration::from_secs_f64(gap))
+    }
+
+    fn average_rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+}
+
+/// Periodic bursts: each period of length `period` starts with a
+/// burst of `duty · period`, inside which the rate ramps linearly
+/// from 0 to `peak_rps` over the first `ramp_frac` of the burst and
+/// then holds the peak; the rest of the period is idle.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{ArrivalProcess, BurstyArrivals};
+/// use simcore::{RngStream, SimDuration, SimTime};
+///
+/// // 100 ms period, 40% burst duty, average 100k rps.
+/// let mut arr = BurstyArrivals::from_average(100_000.0, SimDuration::from_millis(100), 0.4, 0.3);
+/// assert!((arr.average_rate() - 100_000.0).abs() < 1.0);
+/// let mut rng = RngStream::from_seed(1);
+/// let t = arr.next_after(SimTime::ZERO, &mut rng).unwrap();
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BurstyArrivals {
+    peak_rps: f64,
+    period: SimDuration,
+    duty: f64,
+    ramp_frac: f64,
+}
+
+impl BurstyArrivals {
+    /// Creates the process from its peak rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < duty ≤ 1`, `0 ≤ ramp_frac < 1`, the period
+    /// is positive and `peak_rps` is positive.
+    pub fn new(peak_rps: f64, period: SimDuration, duty: f64, ramp_frac: f64) -> Self {
+        assert!(peak_rps > 0.0, "peak rate must be positive");
+        assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1]");
+        assert!((0.0..1.0).contains(&ramp_frac), "ramp_frac must be in [0, 1)");
+        assert!(!period.is_zero(), "period must be positive");
+        BurstyArrivals {
+            peak_rps,
+            period,
+            duty,
+            ramp_frac,
+        }
+    }
+
+    /// Creates the process from the desired *average* rate. With a
+    /// linear ramp over `ramp_frac` of the burst, the average is
+    /// `peak · duty · (1 - ramp_frac/2)`.
+    pub fn from_average(avg_rps: f64, period: SimDuration, duty: f64, ramp_frac: f64) -> Self {
+        let effective = duty * (1.0 - ramp_frac / 2.0);
+        Self::new(avg_rps / effective, period, duty, ramp_frac)
+    }
+
+    /// The peak rate during the burst plateau.
+    pub fn peak_rps(&self) -> f64 {
+        self.peak_rps
+    }
+
+    /// The burst period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Burst length within each period.
+    pub fn burst_len(&self) -> SimDuration {
+        self.period.mul_f64(self.duty)
+    }
+
+    /// Instantaneous rate at absolute time `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let pos = SimDuration::from_nanos(t.as_nanos() % self.period.as_nanos());
+        let burst_len = self.burst_len();
+        if pos >= burst_len {
+            return 0.0;
+        }
+        let ramp_len = burst_len.mul_f64(self.ramp_frac);
+        if ramp_len.is_zero() || pos >= ramp_len {
+            self.peak_rps
+        } else {
+            self.peak_rps * pos.as_secs_f64() / ramp_len.as_secs_f64()
+        }
+    }
+
+    /// Start of the burst containing-or-after `t`.
+    fn next_burst_start(&self, t: SimTime) -> SimTime {
+        let pos = t.as_nanos() % self.period.as_nanos();
+        if pos < self.burst_len().as_nanos() {
+            t
+        } else {
+            SimTime::from_nanos(t.as_nanos() - pos + self.period.as_nanos())
+        }
+    }
+}
+
+impl ArrivalProcess for BurstyArrivals {
+    fn next_after(&mut self, t: SimTime, rng: &mut RngStream) -> Option<SimTime> {
+        // Thinning against the peak rate, with an explicit skip over
+        // idle stretches so gaps cost nothing.
+        let mut t = t;
+        loop {
+            t = self.next_burst_start(t);
+            let gap = rng.exponential(1.0 / self.peak_rps);
+            t += SimDuration::from_secs_f64(gap.max(1e-9));
+            let rate = self.rate_at(t);
+            if rate > 0.0 && rng.uniform() < rate / self.peak_rps {
+                return Some(t);
+            }
+        }
+    }
+
+    fn average_rate(&self) -> f64 {
+        self.peak_rps * self.duty * (1.0 - self.ramp_frac / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_converges() {
+        let mut p = PoissonArrivals::new(10_000.0);
+        let mut rng = RngStream::from_seed(3);
+        let mut t = SimTime::ZERO;
+        let mut n = 0u64;
+        while t < SimTime::from_secs(10) {
+            t = p.next_after(t, &mut rng).unwrap();
+            n += 1;
+        }
+        let rate = n as f64 / 10.0;
+        assert!((rate - 10_000.0).abs() < 300.0, "rate {rate}");
+    }
+
+    #[test]
+    fn bursty_average_rate_converges() {
+        let mut a =
+            BurstyArrivals::from_average(50_000.0, SimDuration::from_millis(100), 0.4, 0.3);
+        let mut rng = RngStream::from_seed(5);
+        let mut t = SimTime::ZERO;
+        let mut n = 0u64;
+        while t < SimTime::from_secs(20) {
+            t = a.next_after(t, &mut rng).unwrap();
+            n += 1;
+        }
+        let rate = n as f64 / 20.0;
+        assert!(
+            (rate - 50_000.0).abs() < 0.03 * 50_000.0,
+            "average rate {rate}"
+        );
+    }
+
+    #[test]
+    fn idle_gaps_are_empty() {
+        let mut a = BurstyArrivals::from_average(50_000.0, SimDuration::from_millis(100), 0.4, 0.3);
+        let mut rng = RngStream::from_seed(7);
+        let mut t = SimTime::ZERO;
+        let burst_len = a.burst_len();
+        for _ in 0..50_000 {
+            t = a.next_after(t, &mut rng).unwrap();
+            let pos = SimDuration::from_nanos(t.as_nanos() % a.period().as_nanos());
+            assert!(pos < burst_len, "arrival at {pos} outside the burst window");
+        }
+    }
+
+    #[test]
+    fn ramp_grows_towards_peak() {
+        let a = BurstyArrivals::new(100_000.0, SimDuration::from_millis(100), 0.4, 0.5);
+        // Ramp covers the first 20 ms of the 40 ms burst.
+        assert_eq!(a.rate_at(SimTime::ZERO), 0.0);
+        let early = a.rate_at(SimTime::from_millis(5));
+        let later = a.rate_at(SimTime::from_millis(15));
+        assert!(early < later && later < 100_000.0);
+        assert_eq!(a.rate_at(SimTime::from_millis(25)), 100_000.0);
+        assert_eq!(a.rate_at(SimTime::from_millis(60)), 0.0, "idle tail");
+    }
+
+    #[test]
+    fn periodic_envelope_repeats() {
+        let a = BurstyArrivals::new(100_000.0, SimDuration::from_millis(100), 0.4, 0.25);
+        for ms in [3u64, 17, 33, 77] {
+            assert_eq!(
+                a.rate_at(SimTime::from_millis(ms)),
+                a.rate_at(SimTime::from_millis(ms + 300)),
+                "rate at {ms}ms differs a few periods later"
+            );
+        }
+    }
+
+    #[test]
+    fn from_average_inverts_peak_formula() {
+        let a = BurstyArrivals::from_average(80_000.0, SimDuration::from_millis(100), 0.4, 0.3);
+        assert!((a.average_rate() - 80_000.0).abs() < 1e-6);
+        // peak = avg / (duty·(1 - ramp/2)) = 80k / (0.4·0.85)
+        assert!((a.peak_rps() - 80_000.0 / 0.34).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arrivals_strictly_advance() {
+        let mut a = BurstyArrivals::from_average(500_000.0, SimDuration::from_millis(100), 0.75, 0.3);
+        let mut rng = RngStream::from_seed(11);
+        let mut t = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let next = a.next_after(t, &mut rng).unwrap();
+            assert!(next > t);
+            t = next;
+        }
+    }
+}

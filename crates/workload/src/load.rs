@@ -1,0 +1,165 @@
+//! Load-level presets (§6.1).
+//!
+//! The paper drives memcached at 30K / 290K / 750K RPS and nginx at
+//! 18K / 48K / 56K RPS from 20 client threads. Burstiness decreases
+//! with offered load — a fixed client population produces relatively
+//! shallower bursts as it approaches saturation — so each preset
+//! carries its own duty cycle. The duty ladder is a calibration
+//! choice (DESIGN.md §5) that puts each load level in the regime the
+//! paper reports: low safe even at Pmin, medium overloading Pmin
+//! only, high overloading everything below ~P4 while fitting P0.
+
+use crate::arrivals::BurstyArrivals;
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+use std::fmt;
+
+/// Which latency-critical application is being driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// memcached: µs-scale in-memory key-value store, SLO 1 ms.
+    Memcached,
+    /// nginx: tens-of-µs web server, SLO 10 ms.
+    Nginx,
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppKind::Memcached => write!(f, "memcached"),
+            AppKind::Nginx => write!(f, "nginx"),
+        }
+    }
+}
+
+/// The paper's three load levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoadLevel {
+    /// 30K RPS memcached / 18K RPS nginx.
+    Low,
+    /// 290K RPS memcached / 48K RPS nginx.
+    Medium,
+    /// 750K RPS memcached / 56K RPS nginx.
+    High,
+}
+
+impl LoadLevel {
+    /// All three, in report order.
+    pub fn all() -> [LoadLevel; 3] {
+        [LoadLevel::Low, LoadLevel::Medium, LoadLevel::High]
+    }
+}
+
+impl fmt::Display for LoadLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadLevel::Low => write!(f, "low"),
+            LoadLevel::Medium => write!(f, "medium"),
+            LoadLevel::High => write!(f, "high"),
+        }
+    }
+}
+
+/// A fully specified offered load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadSpec {
+    /// Average requests per second across the whole server.
+    pub avg_rps: f64,
+    /// Burst envelope period.
+    pub burst_period: SimDuration,
+    /// Fraction of the period that is burst (rest is idle).
+    pub duty: f64,
+    /// Fraction of the burst spent ramping linearly to the peak.
+    pub ramp_frac: f64,
+}
+
+impl LoadSpec {
+    /// The preset for `app` at `level` (§6.1 rates).
+    pub fn preset(app: AppKind, level: LoadLevel) -> Self {
+        let period = SimDuration::from_millis(100);
+        let ramp_frac = 0.3;
+        let (avg_rps, duty) = match (app, level) {
+            (AppKind::Memcached, LoadLevel::Low) => (30_000.0, 0.25),
+            (AppKind::Memcached, LoadLevel::Medium) => (290_000.0, 0.40),
+            (AppKind::Memcached, LoadLevel::High) => (750_000.0, 0.75),
+            (AppKind::Nginx, LoadLevel::Low) => (18_000.0, 0.55),
+            (AppKind::Nginx, LoadLevel::Medium) => (48_000.0, 0.80),
+            (AppKind::Nginx, LoadLevel::High) => (56_000.0, 0.92),
+        };
+        LoadSpec {
+            avg_rps,
+            burst_period: period,
+            duty,
+            ramp_frac,
+        }
+    }
+
+    /// A custom steady or bursty load.
+    pub fn custom(avg_rps: f64, burst_period: SimDuration, duty: f64, ramp_frac: f64) -> Self {
+        LoadSpec {
+            avg_rps,
+            burst_period,
+            duty,
+            ramp_frac,
+        }
+    }
+
+    /// Builds the arrival process for this spec.
+    pub fn arrivals(&self) -> BurstyArrivals {
+        BurstyArrivals::from_average(self.avg_rps, self.burst_period, self.duty, self.ramp_frac)
+    }
+
+    /// Peak requests per second during the burst plateau.
+    pub fn peak_rps(&self) -> f64 {
+        self.arrivals().peak_rps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_rates() {
+        assert_eq!(
+            LoadSpec::preset(AppKind::Memcached, LoadLevel::High).avg_rps,
+            750_000.0
+        );
+        assert_eq!(
+            LoadSpec::preset(AppKind::Memcached, LoadLevel::Low).avg_rps,
+            30_000.0
+        );
+        assert_eq!(LoadSpec::preset(AppKind::Nginx, LoadLevel::Medium).avg_rps, 48_000.0);
+        assert_eq!(LoadSpec::preset(AppKind::Nginx, LoadLevel::High).avg_rps, 56_000.0);
+    }
+
+    #[test]
+    fn peaks_exceed_averages() {
+        for app in [AppKind::Memcached, AppKind::Nginx] {
+            for level in LoadLevel::all() {
+                let spec = LoadSpec::preset(app, level);
+                assert!(
+                    spec.peak_rps() > spec.avg_rps,
+                    "{app}/{level}: peak must exceed average"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burstiness_decreases_with_load() {
+        // Peak-to-average ratio shrinks as offered load grows.
+        let ratio = |l| {
+            let s = LoadSpec::preset(AppKind::Memcached, l);
+            s.peak_rps() / s.avg_rps
+        };
+        assert!(ratio(LoadLevel::Low) > ratio(LoadLevel::Medium));
+        assert!(ratio(LoadLevel::Medium) > ratio(LoadLevel::High));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AppKind::Memcached.to_string(), "memcached");
+        assert_eq!(LoadLevel::Medium.to_string(), "medium");
+    }
+}

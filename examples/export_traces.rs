@@ -1,0 +1,37 @@
+//! Export a run's raw traces to CSV for plotting with external tools
+//! (gnuplot, matplotlib, …): per-response latencies, core 0's P-state
+//! steps, and the NAPI interrupt/polling/ksoftirqd activity.
+//!
+//! ```sh
+//! cargo run --release --example export_traces -- /tmp/nmap_traces nmap
+//! ```
+
+use experiments::{run, thresholds, GovernorKind, RunConfig, Scale};
+use workload::{AppKind, LoadLevel, LoadSpec};
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "nmap_traces".into());
+    let which = std::env::args().nth(2).unwrap_or_else(|| "nmap".into());
+    let app = AppKind::Memcached;
+    let gov = match which.as_str() {
+        "ondemand" => GovernorKind::Ondemand,
+        "performance" => GovernorKind::Performance,
+        "online" => GovernorKind::NmapOnline,
+        _ => GovernorKind::Nmap(thresholds::nmap_config(app)),
+    };
+    let cfg = RunConfig::new(app, LoadSpec::preset(app, LoadLevel::High), gov, Scale::Quick)
+        .with_traces();
+    let result = run(cfg);
+    experiments::export::write_traces_csv(&result, &dir).expect("write CSVs");
+    println!(
+        "wrote responses.csv / pstates.csv / napi.csv to {dir}/ ({} responses, governor {})",
+        result.received, result.governor
+    );
+    println!(
+        "p99 = {}, {} above SLO, avg package power {:.1} W",
+        experiments::report::fmt_dur(result.p99),
+        experiments::report::fmt_pct(result.frac_above_slo),
+        result.avg_power_w
+    );
+    println!("\nplot e.g.:  gnuplot -e \"set datafile separator ','; plot '{dir}/responses.csv' every ::1 using 1:2 with dots\"");
+}

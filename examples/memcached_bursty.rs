@@ -1,0 +1,63 @@
+//! Watch NAPI mode transitions track a burst (the paper's Fig 2/9
+//! view): per-millisecond interrupt-mode vs polling-mode packet
+//! counts, ksoftirqd wake-ups, and the P-state trace of one core.
+//!
+//! ```sh
+//! cargo run --release --example memcached_bursty [ondemand|nmap|performance]
+//! ```
+
+use experiments::{runner, thresholds, GovernorKind, RunConfig, Scale};
+use simcore::{SimDuration, SimTime};
+use workload::{AppKind, LoadLevel, LoadSpec};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "ondemand".into());
+    let app = AppKind::Memcached;
+    let gov = match which.as_str() {
+        "nmap" => GovernorKind::Nmap(thresholds::nmap_config(app)),
+        "performance" => GovernorKind::Performance,
+        _ => GovernorKind::Ondemand,
+    };
+    let cfg = RunConfig::new(app, LoadSpec::preset(app, LoadLevel::High), gov, Scale::Quick)
+        .with_traces();
+    let (r, _tb) = runner::run_with_testbed(cfg, |_, _| {});
+    let t = r.traces.as_ref().unwrap();
+    println!(
+        "memcached @ high load under {} — core 0, one 100 ms burst period\n",
+        r.governor
+    );
+    println!("{:>4} {:>7} {:>10} {:>10} {:>6}", "ms", "pstate", "intr_pkts", "poll_pkts", "wakes");
+    let start = t.measure_start;
+    let bin = SimDuration::from_millis(1);
+    let mut pstate = 15u8;
+    let mut events = t.pstates_core0.iter().peekable();
+    for ms in 0..100u64 {
+        let lo = start + bin * ms;
+        let hi = lo + bin;
+        while let Some(&&(tt, p)) = events.peek() {
+            if tt <= lo {
+                pstate = p;
+                events.next();
+            } else {
+                break;
+            }
+        }
+        let sum_in = |log: &[(SimTime, u64)]| -> u64 {
+            log.iter().filter(|&&(tt, _)| tt >= lo && tt < hi).map(|&(_, n)| n).sum()
+        };
+        let intr = sum_in(&t.intr_batches_core0);
+        let poll = sum_in(&t.poll_batches_core0);
+        let wakes = t
+            .ksoftirqd_wakes_core0
+            .iter()
+            .filter(|&&tt| tt >= lo && tt < hi)
+            .count();
+        let bar = "#".repeat(((intr + poll) / 20).min(40) as usize);
+        println!("{ms:>4} {:>7} {intr:>10} {poll:>10} {wakes:>6}  {bar}", format!("P{pstate}"));
+    }
+    println!(
+        "\np99 = {}, {} over SLO — try `nmap` vs `ondemand` to see the early boost.",
+        experiments::report::fmt_dur(r.p99),
+        experiments::report::fmt_pct(r.frac_above_slo),
+    );
+}

@@ -1,0 +1,39 @@
+//! Trace nginx's latency-load curve (how the paper picks SLOs: the
+//! inflection point of P99 vs offered load, §3.1) under two
+//! governors.
+//!
+//! ```sh
+//! cargo run --release --example nginx_latency_load
+//! ```
+
+use experiments::{run_many, GovernorKind, RunConfig, Scale};
+use simcore::SimDuration;
+use workload::{AppKind, LoadSpec};
+
+fn main() {
+    let loads = [10_000.0, 20_000.0, 30_000.0, 40_000.0, 48_000.0, 56_000.0, 62_000.0];
+    let mut configs = Vec::new();
+    for &rps in &loads {
+        // Burstiness grows mild with load, as in the presets.
+        let duty = 0.5 + 0.4 * (rps - 10_000.0) / 52_000.0;
+        let load = LoadSpec::custom(rps, SimDuration::from_millis(100), duty, 0.3);
+        configs.push(RunConfig::new(AppKind::Nginx, load, GovernorKind::Performance, Scale::Quick));
+        configs.push(RunConfig::new(AppKind::Nginx, load, GovernorKind::Ondemand, Scale::Quick));
+    }
+    let results = run_many(configs);
+    println!("nginx latency-load curve (P99), SLO = 10 ms\n");
+    println!("{:>8} {:>14} {:>14}", "RPS", "performance", "ondemand");
+    for (i, &rps) in loads.iter().enumerate() {
+        let perf = &results[2 * i];
+        let ond = &results[2 * i + 1];
+        println!(
+            "{:>8} {:>14} {:>13}{}",
+            rps as u64,
+            experiments::report::fmt_dur(perf.p99),
+            experiments::report::fmt_dur(ond.p99),
+            if ond.meets_slo() { " " } else { "*" },
+        );
+    }
+    println!("\n'*' marks an SLO violation. The knee of the performance curve is where");
+    println!("the paper's methodology would place the SLO for this testbed.");
+}

@@ -1,0 +1,197 @@
+//! Property-based tests (proptest) on the core data structures and
+//! state machines: statistics consistency, DVFS protocol safety, NAPI
+//! counter conservation, ring/RSS behaviour, arrival monotonicity.
+
+use cpusim::dvfs::{CompletionResult, CoreDvfs, TransitionOutcome};
+use cpusim::{ProcessorProfile, PState};
+use napisim::{NapiContext, PollVerdict, ProcContext, StackParams};
+use netsim::{DescRing, FlowId, RssHasher};
+use proptest::prelude::*;
+use simcore::{Cdf, Histogram, RngStream, RunningStats, SimDuration, SimTime};
+use workload::{ArrivalProcess, BurstyArrivals};
+
+proptest! {
+    /// The log-bucketed histogram's quantiles stay within its relative
+    /// error bound of the exact CDF's.
+    #[test]
+    fn histogram_tracks_exact_cdf(samples in prop::collection::vec(1u64..10_000_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        let mut c = Cdf::new();
+        for &s in &samples {
+            h.record(s);
+            c.record(s);
+        }
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let exact = c.quantile(q);
+            let approx = h.value_at_quantile(q);
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(err < 0.04, "q={q}: approx {approx} vs exact {exact}");
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+    }
+
+    /// Welford merging is order-independent and matches the direct sum.
+    #[test]
+    fn running_stats_merge_consistency(
+        a in prop::collection::vec(-1e6f64..1e6, 1..100),
+        b in prop::collection::vec(-1e6f64..1e6, 1..100),
+    ) {
+        let sa: RunningStats = a.iter().copied().collect();
+        let sb: RunningStats = b.iter().copied().collect();
+        let mut merged = sa;
+        merged.merge(&sb);
+        let direct: RunningStats = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert!((merged.mean() - direct.mean()).abs() < 1e-6);
+        prop_assert!((merged.population_variance() - direct.population_variance()).abs() < 1e-3);
+    }
+
+    /// The DVFS state machine never loses a transition: after any
+    /// request sequence, driving completions settles at the last
+    /// requested state.
+    #[test]
+    fn dvfs_always_settles_at_last_request(
+        targets in prop::collection::vec(0u8..16, 1..40),
+        seed in 0u64..1000,
+    ) {
+        let profile = ProcessorProfile::xeon_gold_6134();
+        let mut rng = RngStream::from_seed(seed);
+        let mut dvfs = CoreDvfs::new(profile.pstates.slowest());
+        let mut now = SimTime::ZERO;
+        let mut pending: Option<(SimTime, u64)> = None;
+        let mut last = dvfs.current();
+        for &t in &targets {
+            let target = PState::new(t);
+            last = target;
+            match dvfs.request(target, now, &profile, &mut rng) {
+                TransitionOutcome::Started { completes_at, token } => {
+                    pending = Some((completes_at, token));
+                }
+                TransitionOutcome::Queued | TransitionOutcome::AlreadyThere => {}
+            }
+            now += SimDuration::from_micros(seed % 40 + 1);
+        }
+        // Drain completions.
+        let mut guard = 0;
+        while let Some((at, token)) = pending.take() {
+            let at = at.max(now);
+            match dvfs.complete(token, at, &profile, &mut rng) {
+                CompletionResult::FollowUp { completes_at, token, .. } => {
+                    pending = Some((completes_at, token));
+                }
+                CompletionResult::Settled { .. } | CompletionResult::Stale => {}
+            }
+            now = at;
+            guard += 1;
+            prop_assert!(guard < 100, "completion chain does not terminate");
+        }
+        prop_assert_eq!(dvfs.current(), last);
+        prop_assert!(!dvfs.is_transitioning());
+    }
+
+    /// NAPI per-mode counters exactly cover every Rx packet fed in.
+    #[test]
+    fn napi_counters_conserve_packets(
+        batches in prop::collection::vec((0usize..100, any::<bool>()), 1..60),
+    ) {
+        let mut napi = NapiContext::new(StackParams::linux_defaults());
+        let mut t = SimTime::ZERO;
+        let mut fed = 0u64;
+        let mut active = false;
+        let mut kso = false;
+        for (rx, drain_hint) in batches {
+            if !active {
+                napi.on_irq(t);
+                active = true;
+                kso = false;
+            }
+            t += SimDuration::from_micros(10);
+            let ctx = if kso { ProcContext::Ksoftirqd } else { ProcContext::SoftIrq };
+            let out = napi.record_poll(rx, 0, drain_hint, false, ctx, t);
+            fed += rx as u64;
+            match out.verdict {
+                PollVerdict::Complete => active = false,
+                PollVerdict::Handoff => {
+                    napi.ksoftirqd_takeover();
+                    kso = true;
+                }
+                PollVerdict::Continue => {}
+            }
+        }
+        prop_assert_eq!(napi.total_interrupt_packets() + napi.total_polling_packets(), fed);
+    }
+
+    /// Rings never lose accepted items and report drops exactly.
+    #[test]
+    fn ring_conservation(capacity in 1usize..64, pushes in 1usize..200) {
+        let mut ring = DescRing::new(capacity);
+        let mut accepted = 0u64;
+        for i in 0..pushes {
+            if ring.push(i).is_ok() {
+                accepted += 1;
+            }
+        }
+        prop_assert_eq!(accepted, ring.total_enqueued());
+        prop_assert_eq!(ring.dropped() + accepted, pushes as u64);
+        let mut popped = 0u64;
+        while ring.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, accepted.min(capacity as u64));
+    }
+
+    /// RSS is total and stable for any queue count and flow.
+    #[test]
+    fn rss_total_and_stable(queues in 1usize..64, flow in any::<u64>()) {
+        let rss = RssHasher::new(queues);
+        let q = rss.queue_for(FlowId(flow));
+        prop_assert!(q.0 < queues);
+        prop_assert_eq!(q, rss.queue_for(FlowId(flow)));
+    }
+
+    /// Bursty arrivals strictly advance and stay inside burst windows.
+    #[test]
+    fn arrivals_advance_within_bursts(
+        avg in 1_000.0f64..200_000.0,
+        duty in 0.05f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let period = SimDuration::from_millis(100);
+        let mut arr = BurstyArrivals::from_average(avg, period, duty, 0.3);
+        let mut rng = RngStream::from_seed(seed);
+        let mut t = SimTime::ZERO;
+        for _ in 0..200 {
+            let next = arr.next_after(t, &mut rng).unwrap();
+            prop_assert!(next > t, "arrivals must strictly advance");
+            let pos = next.as_nanos() % period.as_nanos();
+            prop_assert!(
+                pos < arr.burst_len().as_nanos().max(1),
+                "arrival outside burst window"
+            );
+            t = next;
+        }
+    }
+
+    /// Core utilization samples are always within [0, 1] and busy
+    /// never exceeds CC0 residency.
+    #[test]
+    fn utilization_sample_bounds(
+        busy_periods in prop::collection::vec((0u64..500, 0u64..500), 1..20),
+    ) {
+        let profile = ProcessorProfile::xeon_gold_6134();
+        let mut core = cpusim::Core::new(cpusim::CoreId(0), &profile);
+        let mut t = SimTime::ZERO;
+        for (busy_us, idle_us) in busy_periods {
+            core.set_busy(true, t, &profile);
+            t += SimDuration::from_micros(busy_us);
+            core.set_busy(false, t, &profile);
+            t += SimDuration::from_micros(idle_us);
+        }
+        let sample = core.take_sample(t + SimDuration::from_micros(1), &profile);
+        prop_assert!((0.0..=1.0).contains(&sample.busy_frac));
+        prop_assert!((0.0..=1.0).contains(&sample.c0_frac));
+        prop_assert!(sample.busy_frac <= sample.c0_frac + 1e-9);
+    }
+}
