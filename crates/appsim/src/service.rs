@@ -12,12 +12,11 @@
 //! regimes the paper reports (low safe even at Pmin, medium
 //! overloading Pmin, high overloading everything but the top states).
 
-use serde::{Deserialize, Serialize};
 use simcore::{RngStream, SimDuration};
 use workload::AppKind;
 
 /// A latency-critical application's resource model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppModel {
     /// Which application this models.
     pub kind: AppKind,
@@ -108,7 +107,10 @@ mod tests {
     fn memcached_is_microsecond_scale_at_p0() {
         let m = AppModel::memcached();
         let t = m.mean_service_time(3_200_000_000);
-        assert!(t > SimDuration::from_nanos(1_000) && t < SimDuration::from_micros(5), "{t}");
+        assert!(
+            t > SimDuration::from_nanos(1_000) && t < SimDuration::from_micros(5),
+            "{t}"
+        );
         assert_eq!(m.slo, SimDuration::from_millis(1));
         assert!(m.rx_packets_per_request >= 1);
         assert!(m.tx_segments_per_response >= 1);
@@ -144,7 +146,10 @@ mod tests {
 
     #[test]
     fn for_kind_roundtrip() {
-        assert_eq!(AppModel::for_kind(AppKind::Memcached).kind, AppKind::Memcached);
+        assert_eq!(
+            AppModel::for_kind(AppKind::Memcached).kind,
+            AppKind::Memcached
+        );
         assert_eq!(AppModel::for_kind(AppKind::Nginx).kind, AppKind::Nginx);
     }
 }

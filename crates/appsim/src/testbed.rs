@@ -21,11 +21,12 @@
 use crate::service::AppModel;
 use cpusim::dvfs::{CompletionResult, TransitionOutcome};
 use cpusim::power::CoreActivity;
-use cpusim::{CoreId, DvfsScope, Processor, ProcessorProfile, PState};
+use cpusim::{CoreId, DvfsScope, PState, Processor, ProcessorProfile};
 use governors::{Action, PStateGovernor, SleepPolicy};
 use napisim::{NapiContext, PollClass, PollVerdict, ProcContext, RunQueue, StackParams, TaskId};
 use netsim::nic::PollResult;
 use netsim::{LinkModel, Nic, NicConfig, Packet, QueueId};
+use simcore::audit::{Account, AuditReport, ConservationLedger};
 use simcore::{EventLog, RngStream, SimDuration, SimTime, Simulator};
 use std::collections::VecDeque;
 use workload::{ArrivalProcess, BurstyArrivals, Client, LoadSpec};
@@ -170,6 +171,10 @@ pub struct Testbed {
     /// Optional per-poll-batch observer (threshold profiling).
     #[allow(clippy::type_complexity)]
     pub poll_observer: Option<Box<dyn FnMut(CoreId, PollClass, u64, SimTime)>>,
+    /// Conservation ledger every event path credits; audited by
+    /// [`audit_report`](Testbed::audit_report). Zero-sized no-op
+    /// without the `audit` feature.
+    pub ledger: ConservationLedger,
 
     profile: ProcessorProfile,
     app: AppModel,
@@ -199,6 +204,10 @@ pub struct Testbed {
     arrival_gen: u64,
     measure_start: SimTime,
     measure_start_energy: f64,
+    /// Ledger latency-sample balance at measurement start, so the
+    /// audit can compare post-warm-up samples against the client's
+    /// (reset) histogram.
+    measure_start_samples: u64,
     actions: Vec<Action>,
 }
 
@@ -225,6 +234,7 @@ impl Testbed {
             sleep,
             ksoftirqd_log: (0..cores).map(|_| EventLog::new()).collect(),
             poll_observer: None,
+            ledger: ConservationLedger::new(),
             profile: config.profile.clone(),
             app: config.app,
             stack: config.stack,
@@ -247,6 +257,7 @@ impl Testbed {
             arrival_gen: 0,
             measure_start: SimTime::ZERO,
             measure_start_energy: 0.0,
+            measure_start_samples: 0,
             actions: Vec::new(),
         };
         // All cores start idle under the sleep policy.
@@ -287,6 +298,7 @@ impl Testbed {
         self.client.reset_stats();
         self.measure_start = now;
         self.measure_start_energy = self.processor.package_energy_joules(now);
+        self.measure_start_samples = self.ledger.balance(Account::LatencySamples);
     }
 
     /// Package energy consumed since `begin_measurement`, in joules.
@@ -309,6 +321,7 @@ impl Testbed {
             return; // stale chain (load switched) or run winding down
         }
         let pkt = self.client.build_request(now, &mut self.rng_client);
+        self.ledger.credit(Account::RequestsSent, 1);
         let delay = self.link.delay(&pkt);
         sim.schedule_in(delay, move |w, sim| w.ev_server_rx(sim, pkt));
         let mut rng = self.rng_arrival.clone();
@@ -340,6 +353,8 @@ impl Testbed {
     fn ev_client_recv(&mut self, sim: &mut Simulator<Testbed>, pkt: Packet) {
         let now = sim.now();
         let latency = self.client.on_response(&pkt, now);
+        self.ledger.credit(Account::ResponsesReceived, 1);
+        self.ledger.credit(Account::LatencySamples, 1);
         let mut actions = std::mem::take(&mut self.actions);
         self.governor.on_request_latency(latency, now, &mut actions);
         self.apply_actions(sim, &mut actions);
@@ -353,6 +368,7 @@ impl Testbed {
     fn ev_server_rx(&mut self, sim: &mut Simulator<Testbed>, pkt: Packet) {
         let now = sim.now();
         let q = self.nic.rss_queue(pkt.flow);
+        self.ledger.credit(Account::RequestsArrivedAtNic, 1);
         // The request plus its TCP companion packets (ACKs): all cost
         // kernel processing, only the request reaches the application.
         for i in 0..self.app.rx_packets_per_request {
@@ -360,6 +376,12 @@ impl Testbed {
             let out = self.nic.enqueue_rx(q, wire, now);
             if out.accepted {
                 self.nic_window_rx += 1;
+                self.ledger.credit(Account::RxWireEnqueued, 1);
+            } else {
+                self.ledger.credit(Account::RxWireDropped, 1);
+                if i == 0 {
+                    self.ledger.credit(Account::RequestsDroppedAtNic, 1);
+                }
             }
             if let Some(t) = out.irq_at {
                 sim.schedule_at(t, move |w, sim| w.ev_irq_fire(sim, q));
@@ -440,7 +462,10 @@ impl Testbed {
         extra_delay: SimDuration,
     ) {
         let now = sim.now();
-        debug_assert!(self.exec[core.0].running.is_none(), "core already executing");
+        debug_assert!(
+            self.exec[core.0].running.is_none(),
+            "core already executing"
+        );
         let debt = std::mem::replace(&mut self.exec[core.0].cache_debt, SimDuration::ZERO);
         {
             let c = self.processor.core_mut(core);
@@ -488,8 +513,16 @@ impl Testbed {
     fn start_poll(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, ctx: ProcContext) {
         let q = QueueId(core.0);
         let batch = self.nic.poll(q, self.stack.napi_weight);
-        let cycles = self.stack.poll_batch_cycles(batch.rx.len(), batch.tx_cleaned);
-        self.start_exec(sim, core, RunKind::Poll { ctx, batch }, cycles, SimDuration::ZERO);
+        let cycles = self
+            .stack
+            .poll_batch_cycles(batch.rx.len(), batch.tx_cleaned);
+        self.start_exec(
+            sim,
+            core,
+            RunKind::Poll { ctx, batch },
+            cycles,
+            SimDuration::ZERO,
+        );
     }
 
     fn finish_poll(
@@ -503,12 +536,16 @@ impl Testbed {
         let q = QueueId(core.0);
         let rx_n = batch.rx.len();
         let tx_n = batch.tx_cleaned;
+        self.ledger.credit(Account::RxWirePolled, rx_n as u64);
+        self.ledger
+            .credit(Account::TxCompletionsCleaned, tx_n as u64);
         // Deliver request packets to the socket backlog (ACK-class
         // packets end at the transport layer); the app thread wakes.
         let mut delivered = false;
         for pkt in batch.rx {
             if pkt.kind == netsim::PacketKind::Request {
                 self.backlog[core.0].push_back(pkt);
+                self.ledger.credit(Account::RequestsDelivered, 1);
                 delivered = true;
             }
         }
@@ -581,9 +618,15 @@ impl Testbed {
     fn finish_app(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, pkt: Packet) {
         let now = sim.now();
         let resp = Packet::response_to(&pkt, self.app.response_size);
+        self.ledger.credit(Account::RequestsCompleted, 1);
         let q = QueueId(core.0);
         let segments = self.app.tx_segments_per_response as usize;
-        if let Some(t) = self.nic.enqueue_tx_with_completions(q, &resp, segments, now) {
+        self.ledger
+            .credit(Account::TxCompletionsQueued, segments as u64);
+        if let Some(t) = self
+            .nic
+            .enqueue_tx_with_completions(q, &resp, segments, now)
+        {
             sim.schedule_at(t, move |w, sim| w.ev_irq_fire(sim, q));
         }
         let delay = self.link.delay(&resp);
@@ -674,7 +717,9 @@ impl Testbed {
         // cpuidle re-decides at scheduler ticks: a shallow pick can be
         // promoted once the idle proves long.
         let epoch = self.idle_epoch[core.0];
-        sim.schedule_in(self.stack.jiffy, move |w, sim| w.ev_sleep_tick(sim, core, epoch));
+        sim.schedule_in(self.stack.jiffy, move |w, sim| {
+            w.ev_sleep_tick(sim, core, epoch)
+        });
     }
 
     fn ev_sleep_tick(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, epoch: u64) {
@@ -690,7 +735,9 @@ impl Testbed {
                     .enter_sleep(state, now, &self.profile);
             }
         }
-        sim.schedule_in(self.stack.jiffy, move |w, sim| w.ev_sleep_tick(sim, core, epoch));
+        sim.schedule_in(self.stack.jiffy, move |w, sim| {
+            w.ev_sleep_tick(sim, core, epoch)
+        });
     }
 
     // ------------------------------------------------------------------
@@ -702,8 +749,12 @@ impl Testbed {
         let mut actions = std::mem::take(&mut self.actions);
         for i in 0..self.processor.num_cores() {
             let core = CoreId(i);
-            let sample = self.processor.core_mut(core).take_sample(now, &self.profile);
-            self.governor.on_core_sample(core, sample, now, &mut actions);
+            let sample = self
+                .processor
+                .core_mut(core)
+                .take_sample(now, &self.profile);
+            self.governor
+                .on_core_sample(core, sample, now, &mut actions);
         }
         let rx = std::mem::take(&mut self.nic_window_rx);
         self.governor.on_nic_window(rx, now, &mut actions);
@@ -728,8 +779,12 @@ impl Testbed {
 
     fn request_pstate(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, p: PState) {
         let now = sim.now();
-        if let TransitionOutcome::Started { completes_at, token } =
-            self.processor.request_pstate(core, p, now, &mut self.rng_dvfs)
+        if let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = self
+            .processor
+            .request_pstate(core, p, now, &mut self.rng_dvfs)
         {
             sim.schedule_at(completes_at, move |w, sim| w.ev_dvfs_done(sim, core, token));
         }
@@ -782,9 +837,8 @@ impl Testbed {
         }
         let remaining_cycles =
             (remaining_wall.as_nanos() as u128 * old_freq as u128) / 1_000_000_000;
-        let new_wall = SimDuration::from_nanos(
-            ((remaining_cycles * 1_000_000_000) / new_freq as u128) as u64,
-        );
+        let new_wall =
+            SimDuration::from_nanos(((remaining_cycles * 1_000_000_000) / new_freq as u128) as u64);
         sim.cancel(running.done_ev);
         self.exec[core.0].seq += 1;
         let seq = self.exec[core.0].seq;
@@ -814,6 +868,176 @@ impl Testbed {
     pub fn total_backlog(&self) -> usize {
         self.backlog.iter().map(|b| b.len()).sum()
     }
+
+    /// Requests currently held by a core: executing as an app chunk or
+    /// parked preempted. Each holds exactly one delivered request that
+    /// is neither in a backlog nor completed.
+    fn requests_in_execution(&self) -> u64 {
+        self.exec
+            .iter()
+            .map(|e| {
+                let running = matches!(
+                    e.running.as_ref().map(|r| &r.kind),
+                    Some(RunKind::App { .. })
+                ) as u64;
+                running + e.preempted.is_some() as u64
+            })
+            .sum()
+    }
+
+    /// Rx packets, request packets, and Tx cleanups claimed from the
+    /// NIC by in-flight poll batches (between `start_poll` and
+    /// `finish_poll`). The ring counters count them as polled the
+    /// moment the batch is claimed; the ledger credits them only when
+    /// the poll retires, so an audit taken mid-poll must count them
+    /// where they sit.
+    fn in_flight_poll(&self) -> (u64, u64, u64) {
+        let mut rx = 0u64;
+        let mut requests = 0u64;
+        let mut tx = 0u64;
+        for e in &self.exec {
+            if let Some(RunKind::Poll { batch, .. }) = e.running.as_ref().map(|r| &r.kind) {
+                rx += batch.rx.len() as u64;
+                requests += batch
+                    .rx
+                    .iter()
+                    .filter(|p| p.kind == netsim::PacketKind::Request)
+                    .count() as u64;
+                tx += batch.tx_cleaned as u64;
+            }
+        }
+        (rx, requests, tx)
+    }
+
+    /// Evaluates every conservation identity the testbed maintains,
+    /// valid at *any* simulation time (quantities still in flight are
+    /// counted where they currently sit). Returns `None` when the
+    /// `audit` feature is off and the ledger never counted.
+    ///
+    /// The identities cross-check two independent accounting paths:
+    /// the event-path [`ledger`](Testbed::ledger) against each
+    /// component's internal bookkeeping (NIC ring counters, NAPI
+    /// per-mode totals, client statistics, and the incremental vs
+    /// residency-ledger energy integrals).
+    pub fn audit_report(&mut self, now: SimTime) -> Option<AuditReport> {
+        if !ConservationLedger::ENABLED {
+            return None;
+        }
+        let l = &self.ledger;
+        let (poll_rx, poll_requests, poll_tx) = self.in_flight_poll();
+        let mut report = AuditReport::new();
+
+        // Wire-level Rx conservation, ledger vs NIC ring counters.
+        report.check_exact(
+            "rx wire: ledger enqueued == ring enqueued",
+            l.balance(Account::RxWireEnqueued),
+            self.nic.total_rx_enqueued(),
+        );
+        report.check_exact(
+            "rx wire: ledger dropped == ring dropped",
+            l.balance(Account::RxWireDropped),
+            self.nic.total_rx_dropped(),
+        );
+        report.check_exact(
+            "rx wire: ledger polled + in poll flight == ring polled",
+            l.balance(Account::RxWirePolled) + poll_rx,
+            self.nic.total_rx_polled(),
+        );
+        let rx_in_rings: u64 = (0..self.nic.num_queues())
+            .map(|q| self.nic.rx_backlog(QueueId(q)) as u64)
+            .sum();
+        report.check_exact(
+            "rx wire: enqueued == polled + in poll flight + in rings",
+            l.balance(Account::RxWireEnqueued),
+            l.balance(Account::RxWirePolled) + poll_rx + rx_in_rings,
+        );
+
+        // Request-level conservation through the whole server.
+        report.check_exact(
+            "requests: ledger nic drops == kind-aware ring drops",
+            l.balance(Account::RequestsDroppedAtNic),
+            self.nic.total_rx_req_dropped(),
+        );
+        report.check_exact(
+            "requests: arrived == dropped + in rings + in poll flight + delivered",
+            l.balance(Account::RequestsArrivedAtNic),
+            l.balance(Account::RequestsDroppedAtNic)
+                + self.nic.total_rx_backlog_requests()
+                + poll_requests
+                + l.balance(Account::RequestsDelivered),
+        );
+        report.check_exact(
+            "requests: delivered == backlog + executing + completed",
+            l.balance(Account::RequestsDelivered),
+            self.total_backlog() as u64
+                + self.requests_in_execution()
+                + l.balance(Account::RequestsCompleted),
+        );
+
+        // Client accounting: ledger vs the client's own counters.
+        report.check_exact(
+            "client: ledger sent == client sent",
+            l.balance(Account::RequestsSent),
+            self.client.sent(),
+        );
+        report.check_exact(
+            "client: ledger responses == client received",
+            l.balance(Account::ResponsesReceived),
+            self.client.received(),
+        );
+        report.check_exact(
+            "latency: one sample per response",
+            l.balance(Account::LatencySamples),
+            l.balance(Account::ResponsesReceived),
+        );
+        report.check_exact(
+            "latency: measured samples == client histogram",
+            l.balance(Account::LatencySamples) - self.measure_start_samples,
+            self.client.latencies().len() as u64,
+        );
+
+        // Tx completion descriptors (overflowed descriptors lose only
+        // bookkeeping, so they sit in the ring drop counter).
+        let tx_in_rings: u64 = (0..self.nic.num_queues())
+            .map(|q| self.nic.tx_backlog(QueueId(q)) as u64)
+            .sum();
+        report.check_exact(
+            "tx completions: queued == cleaned + in poll flight + in rings + dropped",
+            l.balance(Account::TxCompletionsQueued),
+            l.balance(Account::TxCompletionsCleaned)
+                + poll_tx
+                + tx_in_rings
+                + self.nic.total_tx_dropped(),
+        );
+
+        // NAPI per-mode totals must cover exactly the polled packets.
+        let napi_packets: u64 = self
+            .napi
+            .iter()
+            .map(|n| n.total_interrupt_packets() + n.total_polling_packets())
+            .sum();
+        report.check_exact(
+            "napi: per-mode packet totals == polled packets",
+            napi_packets,
+            l.balance(Account::RxWirePolled),
+        );
+
+        // Energy: incremental integral vs the residency-ledger
+        // recomputation (different summation order → tolerance).
+        let direct = self.processor.package_energy_joules(now);
+        let audited = self
+            .processor
+            .audited_package_energy_joules(now)
+            .expect("audit feature is enabled");
+        report.check_close(
+            "energy: incremental == residency ledger",
+            direct,
+            audited,
+            1e-6,
+        );
+
+        Some(report)
+    }
 }
 
 #[cfg(test)]
@@ -825,10 +1049,7 @@ mod tests {
         LoadSpec::custom(rps, SimDuration::from_millis(100), 0.4, 0.3)
     }
 
-    fn build(
-        rps: f64,
-        governor: Box<dyn PStateGovernor>,
-    ) -> (Simulator<Testbed>, Testbed) {
+    fn build(rps: f64, governor: Box<dyn PStateGovernor>) -> (Simulator<Testbed>, Testbed) {
         let cfg = TestbedConfig::new(AppModel::memcached(), small_load(rps)).with_seed(123);
         let cores = cfg.profile.cores;
         let mut sim = Simulator::new();
@@ -855,9 +1076,15 @@ mod tests {
         sim.run_until(&mut tb, SimTime::from_millis(300));
         // Minimum possible: 2 link traversals (~40 µs) + processing.
         let min = tb.client.latencies_mut().quantile(0.0);
-        assert!(min >= 40_000, "min latency {min} ns below the physical floor");
+        assert!(
+            min >= 40_000,
+            "min latency {min} ns below the physical floor"
+        );
         let p50 = tb.client.latencies_mut().quantile(0.5);
-        assert!(p50 < 1_000_000, "p50 {p50} ns should be well under 1 ms at this load");
+        assert!(
+            p50 < 1_000_000,
+            "p50 {p50} ns should be well under 1 ms at this load"
+        );
     }
 
     #[test]
@@ -881,7 +1108,10 @@ mod tests {
             .iter()
             .filter(|c| c.pstate() == PState::P0)
             .count();
-        assert!(p0_cores < 8, "ondemand pinned everything at P0 under low load");
+        assert!(
+            p0_cores < 8,
+            "ondemand pinned everything at P0 under low load"
+        );
         assert!(tb.client.received() > 0);
     }
 
@@ -903,7 +1133,11 @@ mod tests {
         let (mut sim, mut tb) = build(20_000.0, Box::new(Performance::new()));
         sim.run_until(&mut tb, SimTime::from_millis(100));
         tb.begin_measurement(sim.now());
-        assert_eq!(tb.client.latencies().len(), 0, "stats reset at measurement start");
+        assert_eq!(
+            tb.client.latencies().len(),
+            0,
+            "stats reset at measurement start"
+        );
         sim.run_until(&mut tb, SimTime::from_millis(400));
         let e = tb.measured_energy(sim.now());
         assert!(e > 0.0);
@@ -943,16 +1177,47 @@ mod tests {
         assert_eq!(run(), run());
     }
 
+    #[cfg(feature = "audit")]
+    #[test]
+    fn conservation_holds_mid_run_and_after_drain() {
+        let (mut sim, mut tb) = build(80_000.0, Box::new(Performance::new()));
+        // Mid-run: packets are in flight everywhere, yet every identity
+        // must still balance.
+        sim.run_until(&mut tb, SimTime::from_millis(40));
+        tb.begin_measurement(sim.now());
+        sim.run_until(&mut tb, SimTime::from_millis(150));
+        tb.audit_report(sim.now())
+            .expect("audit enabled")
+            .assert_balanced();
+        // After drain: stop sends and let the pipeline empty.
+        tb.stop_sends_at(sim.now());
+        sim.run_until(&mut tb, SimTime::from_millis(400));
+        let report = tb.audit_report(sim.now()).expect("audit enabled");
+        report.assert_balanced();
+        assert!(report.checks.len() >= 10, "audit must cover the full stack");
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn conservation_holds_under_ring_overflow() {
+        // Tiny rings + heavy load force Rx tail drops; the dropped
+        // packets must land in the drop accounts, not vanish.
+        let table = ProcessorProfile::xeon_gold_6134().pstates;
+        let slowest = table.slowest();
+        let (mut sim, mut tb) = build(600_000.0, Box::new(governors::Userspace::new(slowest)));
+        sim.run_until(&mut tb, SimTime::from_millis(200));
+        tb.audit_report(sim.now())
+            .expect("audit enabled")
+            .assert_balanced();
+    }
+
     #[test]
     fn ksoftirqd_wakes_under_overload() {
         // Heavy sustained load through a powersave-pinned (slowest)
         // core forces softirq overruns.
         let table = ProcessorProfile::xeon_gold_6134().pstates;
         let slowest = table.slowest();
-        let (mut sim, mut tb) = build(
-            600_000.0,
-            Box::new(governors::Userspace::new(slowest)),
-        );
+        let (mut sim, mut tb) = build(600_000.0, Box::new(governors::Userspace::new(slowest)));
         sim.run_until(&mut tb, SimTime::from_millis(500));
         let wakes: usize = tb
             .ksoftirqd_log

@@ -1,11 +1,12 @@
 //! Ablation benches: the design-choice sensitivity cells DESIGN.md
 //! calls out — NI_TH, monitor timer, DVFS scope, re-transition cost.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cpusim::DvfsScope;
 use experiments::{GovernorKind, RunConfig, Scale};
 use nmap::NmapConfig;
+use nmap_bench::criterion::{black_box, Criterion};
 use nmap_bench::nmap_cfg;
+use nmap_bench::{criterion_group, criterion_main};
 use simcore::SimDuration;
 use workload::{AppKind, LoadLevel, LoadSpec};
 
@@ -58,7 +59,10 @@ fn timer_interval(c: &mut Criterion) {
 fn dvfs_scope(c: &mut Criterion) {
     let cfg = nmap_cfg(AppKind::Memcached);
     let mut group = c.benchmark_group("ablation_scope");
-    for (name, scope) in [("per_core", DvfsScope::PerCore), ("chip_wide", DvfsScope::ChipWide)] {
+    for (name, scope) in [
+        ("per_core", DvfsScope::PerCore),
+        ("chip_wide", DvfsScope::ChipWide),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 black_box(short(

@@ -1,9 +1,10 @@
 //! Simulation-engine microbenchmarks: event queue, statistics, RNG,
 //! and the NIC/NAPI hot paths that dominate experiment runtime.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use napisim::{NapiContext, PollVerdict, ProcContext, StackParams};
 use netsim::{FlowId, Nic, NicConfig, Packet, RequestId};
+use nmap_bench::criterion::{black_box, Criterion};
+use nmap_bench::{criterion_group, criterion_main};
 use simcore::{Cdf, Histogram, RngStream, SimDuration, SimTime, Simulator};
 
 fn bench_event_queue(c: &mut Criterion) {

@@ -3,11 +3,12 @@
 //! tables are regenerated with
 //! `cargo run --release -p experiments --bin repro -- all`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cpusim::dvfs::{CompletionResult, CoreDvfs, TransitionOutcome};
-use cpusim::{CState, ProcessorProfile, PState};
+use cpusim::{CState, PState, ProcessorProfile};
 use experiments::GovernorKind;
+use nmap_bench::criterion::{black_box, Criterion};
 use nmap_bench::{bench_cell, nmap_cfg};
+use nmap_bench::{criterion_group, criterion_main};
 use simcore::RngStream;
 use simcore::SimTime;
 use workload::{AppKind, LoadLevel};
@@ -37,7 +38,13 @@ fn fig03_04(c: &mut Criterion) {
         })
     });
     c.bench_function("fig04_latency_cdf/ondemand_nginx_high", |b| {
-        b.iter(|| black_box(bench_cell(AppKind::Nginx, LoadLevel::High, GovernorKind::Ondemand)))
+        b.iter(|| {
+            black_box(bench_cell(
+                AppKind::Nginx,
+                LoadLevel::High,
+                GovernorKind::Ondemand,
+            ))
+        })
     });
 }
 
@@ -56,8 +63,10 @@ fn table1(c: &mut Criterion) {
                 } else {
                     PState::P0
                 };
-                let TransitionOutcome::Started { completes_at, token } =
-                    dvfs.request(target, now, &profile, &mut rng)
+                let TransitionOutcome::Started {
+                    completes_at,
+                    token,
+                } = dvfs.request(target, now, &profile, &mut rng)
                 else {
                     unreachable!()
                 };
@@ -82,7 +91,10 @@ fn table2(c: &mut Criterion) {
                 let mut rng = RngStream::from_seed(11);
                 for state in [CState::C6, CState::C1] {
                     for _ in 0..100 {
-                        acc += profile.cstate_latencies.sample_wake(state, &mut rng).as_nanos();
+                        acc += profile
+                            .cstate_latencies
+                            .sample_wake(state, &mut rng)
+                            .as_nanos();
                     }
                 }
             }
@@ -117,11 +129,23 @@ fn fig07_08(c: &mut Criterion) {
 fn fig09_11(c: &mut Criterion) {
     let cfg = nmap_cfg(AppKind::Memcached);
     c.bench_function("fig09_nmap_timeline/nmap_memcached_high", |b| {
-        b.iter(|| black_box(bench_cell(AppKind::Memcached, LoadLevel::High, GovernorKind::Nmap(cfg))))
+        b.iter(|| {
+            black_box(bench_cell(
+                AppKind::Memcached,
+                LoadLevel::High,
+                GovernorKind::Nmap(cfg),
+            ))
+        })
     });
     let cfg_n = nmap_cfg(AppKind::Nginx);
     c.bench_function("fig10_11_nmap_latency/nmap_nginx_high", |b| {
-        b.iter(|| black_box(bench_cell(AppKind::Nginx, LoadLevel::High, GovernorKind::Nmap(cfg_n))))
+        b.iter(|| {
+            black_box(bench_cell(
+                AppKind::Nginx,
+                LoadLevel::High,
+                GovernorKind::Nmap(cfg_n),
+            ))
+        })
     });
 }
 
@@ -147,7 +171,13 @@ fn fig12_13(c: &mut Criterion) {
 fn fig14_15(c: &mut Criterion) {
     let th = experiments::thresholds::ncap_threshold(AppKind::Memcached);
     c.bench_function("fig14_sota_p99/ncap_memcached_high", |b| {
-        b.iter(|| black_box(bench_cell(AppKind::Memcached, LoadLevel::High, GovernorKind::Ncap(th))))
+        b.iter(|| {
+            black_box(bench_cell(
+                AppKind::Memcached,
+                LoadLevel::High,
+                GovernorKind::Ncap(th),
+            ))
+        })
     });
     c.bench_function("fig15_sota_energy/ncap_menu_memcached_medium", |b| {
         b.iter(|| {

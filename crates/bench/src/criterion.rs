@@ -1,0 +1,191 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds without network access, so the bench targets
+//! can't link the real criterion. This module re-implements the small
+//! API surface the suite uses — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — with
+//! wall-clock timing and a plain-text report. Numbers are indicative,
+//! not statistically rigorous; the point is that `cargo bench` keeps
+//! compiling and exercising every figure/table cell.
+//!
+//! A positional command-line argument acts as a substring filter on
+//! bench names, mirroring `cargo bench <filter>`.
+//!
+//! [`criterion_group!`]: crate::criterion_group
+//! [`criterion_main!`]: crate::criterion_main
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Times closures handed to [`iter`](Bencher::iter).
+pub struct Bencher {
+    samples: u64,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs the routine once as warm-up, then `samples` timed times.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// The benchmark driver: configuration plus name filtering.
+pub struct Criterion {
+    sample_size: u64,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards its trailing args; the first
+        // non-flag argument is the usual name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each bench runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        if !self.matches(name) {
+            return;
+        }
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        b.times.sort();
+        let total: Duration = b.times.iter().sum();
+        let n = b.times.len().max(1);
+        let mean = total / n as u32;
+        let median = b.times.get(n / 2).copied().unwrap_or_default();
+        let min = b.times.first().copied().unwrap_or_default();
+        println!(
+            "bench {name:<55} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}  ({n} samples)"
+        );
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        self.run_one(&name, f);
+    }
+
+    /// Opens a named group; benches inside report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benches.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.prefix, name.into());
+        self.criterion.run_one(&full, f);
+    }
+
+    /// Ends the group (report lines are printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::criterion::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::criterion::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: None,
+        };
+        let mut runs = 0u64;
+        c.bench_function("unit/counts", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 timed.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 1,
+            filter: Some("wanted".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other/name", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("the/wanted/one", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion {
+            sample_size: 1,
+            filter: Some("grp/inner".into()),
+        };
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("inner", |b| b.iter(|| ran = true));
+            g.finish();
+        }
+        assert!(ran);
+    }
+}

@@ -77,6 +77,10 @@ pub struct Core {
     // --- energy integration ---
     energy_j: f64,
     last_account: SimTime,
+    /// Residency per (activity, P-state) — the independent side of
+    /// the energy conservation audit (`audit` feature only).
+    #[cfg(feature = "audit")]
+    residency: Vec<(CoreActivity, PState, SimDuration)>,
     // --- sampling window ---
     window_start: SimTime,
     busy_in_window: SimDuration,
@@ -102,6 +106,8 @@ impl Core {
             busy: false,
             energy_j: 0.0,
             last_account: SimTime::ZERO,
+            #[cfg(feature = "audit")]
+            residency: Vec::new(),
             window_start: SimTime::ZERO,
             busy_in_window: SimDuration::ZERO,
             c0_in_window: SimDuration::ZERO,
@@ -167,8 +173,21 @@ impl Core {
             return;
         }
         let activity = self.activity();
-        let power = profile.power.core_power(profile.pstates.point(self.pstate), activity);
+        let power = profile
+            .power
+            .core_power(profile.pstates.point(self.pstate), activity);
         self.energy_j += power * dt.as_secs_f64();
+        #[cfg(feature = "audit")]
+        {
+            match self
+                .residency
+                .iter_mut()
+                .find(|(a, p, _)| *a == activity && *p == self.pstate)
+            {
+                Some((_, _, total)) => *total += dt,
+                None => self.residency.push((activity, self.pstate, dt)),
+            }
+        }
         if self.busy {
             self.busy_in_window += dt;
             self.total_busy += dt;
@@ -223,7 +242,12 @@ impl Core {
     /// in CC0 wakes for free. After this call the core is in CC0
     /// (idle); the caller applies `latency` before running work and
     /// spreads `cache_refill` over post-wake execution.
-    pub fn wake(&mut self, now: SimTime, profile: &ProcessorProfile, rng: &mut RngStream) -> WakeCost {
+    pub fn wake(
+        &mut self,
+        now: SimTime,
+        profile: &ProcessorProfile,
+        rng: &mut RngStream,
+    ) -> WakeCost {
         if self.cstate == CState::C0 {
             return WakeCost {
                 latency: SimDuration::ZERO,
@@ -241,8 +265,7 @@ impl Core {
                 .sleep_started
                 .map(|t| now.saturating_since(t))
                 .unwrap_or(SimDuration::ZERO);
-            let cold_frac =
-                0.2 + 0.8 * (residency.as_secs_f64() / 0.01).min(1.0);
+            let cold_frac = 0.2 + 0.8 * (residency.as_secs_f64() / 0.01).min(1.0);
             profile.cc6_cache_refill.mul_f64(cold_frac)
         } else {
             SimDuration::ZERO
@@ -250,7 +273,10 @@ impl Core {
         self.cstate = CState::C0;
         self.sleep_started = None;
         self.cstate_log.push(now, CState::C0);
-        WakeCost { latency, cache_refill }
+        WakeCost {
+            latency,
+            cache_refill,
+        }
     }
 
     /// Requests a P-state change on this core's own DVFS domain
@@ -340,6 +366,39 @@ impl Core {
         self.energy_j
     }
 
+    /// Recomputes this core's energy from the residency ledger —
+    /// Σ power(activity, P-state) × residency — independently of the
+    /// incremental integral [`energy_joules`](Self::energy_joules)
+    /// maintains. The two must agree to ~1e-6 relative error; the
+    /// conservation audit compares them. Returns `None` without the
+    /// `audit` feature.
+    pub fn audited_energy_joules(
+        &mut self,
+        now: SimTime,
+        profile: &ProcessorProfile,
+    ) -> Option<f64> {
+        #[cfg(feature = "audit")]
+        {
+            self.account(now, profile);
+            Some(
+                self.residency
+                    .iter()
+                    .map(|&(activity, pstate, dur)| {
+                        profile
+                            .power
+                            .core_power(profile.pstates.point(pstate), activity)
+                            * dur.as_secs_f64()
+                    })
+                    .sum(),
+            )
+        }
+        #[cfg(not(feature = "audit"))]
+        {
+            let _ = (now, profile);
+            None
+        }
+    }
+
     /// Lifetime busy time.
     pub fn total_busy(&self) -> SimDuration {
         self.total_busy
@@ -414,8 +473,10 @@ mod tests {
 
         // At P0 the same busy time costs more energy.
         let (_, mut fast_core, _) = setup();
-        let TransitionOutcome::Started { completes_at, token } =
-            fast_core.request_pstate(PState::P0, SimTime::ZERO, &p, &mut rng)
+        let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = fast_core.request_pstate(PState::P0, SimTime::ZERO, &p, &mut rng)
         else {
             panic!()
         };
@@ -503,8 +564,10 @@ mod tests {
     #[test]
     fn pstate_log_records_changes() {
         let (p, mut c, mut rng) = setup();
-        let TransitionOutcome::Started { completes_at, token } =
-            c.request_pstate(PState::P0, SimTime::ZERO, &p, &mut rng)
+        let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = c.request_pstate(PState::P0, SimTime::ZERO, &p, &mut rng)
         else {
             panic!()
         };

@@ -8,12 +8,11 @@
 //! * **CC6** — power-gated with private caches flushed, ~27 µs
 //!   wake-up plus a cache-refill penalty after waking.
 
-use serde::{Deserialize, Serialize};
 use simcore::{RngStream, SimDuration};
 use std::fmt;
 
 /// A core sleep state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CState {
     /// Active: the core executes instructions or spins in the idle
     /// loop with clocks running ("polling idle").
@@ -48,7 +47,7 @@ impl fmt::Display for CState {
 
 /// Wake-up latency parameters (Table 2): mean and stdev of the
 /// CC1→CC0 and CC6→CC0 transitions, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CStateLatencies {
     /// Mean CC1→CC0 wake-up (µs).
     pub c1_wake_mean_us: f64,

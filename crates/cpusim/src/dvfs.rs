@@ -20,7 +20,6 @@
 
 use crate::profiles::ProcessorProfile;
 use crate::pstate::PState;
-use serde::{Deserialize, Serialize};
 use simcore::{RngStream, SimDuration, SimTime};
 
 /// Re-transition latency model fitted to Table 1.
@@ -29,7 +28,7 @@ use simcore::{RngStream, SimDuration, SimTime};
 /// costs more than lowering on desktop parts) and the normalized
 /// *distance* between the states (Pmin→Pmax costs more than P1→P0):
 /// `mean_µs = base + span · distance_fraction`, with Gaussian noise.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetransitionModel {
     down_base_us: f64,
     down_span_us: f64,
@@ -206,7 +205,10 @@ impl CoreDvfs {
         profile: &ProcessorProfile,
         rng: &mut RngStream,
     ) -> TransitionOutcome {
-        assert!(profile.pstates.contains(target), "target P-state out of range");
+        assert!(
+            profile.pstates.contains(target),
+            "target P-state out of range"
+        );
         if let Some(inflight) = self.in_flight {
             if inflight.target == target {
                 // Already heading there; drop any stale queued request
@@ -256,7 +258,10 @@ impl CoreDvfs {
             completes_at,
             token,
         });
-        TransitionOutcome::Started { completes_at, token }
+        TransitionOutcome::Started {
+            completes_at,
+            token,
+        }
     }
 
     /// Completes the in-flight transition identified by `token`.
@@ -276,7 +281,10 @@ impl CoreDvfs {
         if inflight.token != token {
             return CompletionResult::Stale;
         }
-        debug_assert_eq!(now, inflight.completes_at, "completion fired at the wrong time");
+        debug_assert_eq!(
+            now, inflight.completes_at,
+            "completion fired at the wrong time"
+        );
         self.current = inflight.target;
         self.in_flight = None;
         self.last_complete = Some(now);
@@ -287,8 +295,10 @@ impl CoreDvfs {
                 let up = q.is_faster_than(new_state);
                 let frac = profile.pstates.distance_fraction(new_state, q);
                 let latency = profile.retransition.sample(rng, up, frac);
-                let TransitionOutcome::Started { completes_at, token } =
-                    self.begin(q, now, latency)
+                let TransitionOutcome::Started {
+                    completes_at,
+                    token,
+                } = self.begin(q, now, latency)
                 else {
                     unreachable!("begin always starts");
                 };
@@ -330,8 +340,10 @@ mod tests {
     fn state_changes_only_at_completion() {
         let (p, mut d, mut rng) = setup();
         let slowest = p.pstates.slowest();
-        let TransitionOutcome::Started { completes_at, token } =
-            d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
+        let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
         else {
             panic!()
         };
@@ -345,15 +357,18 @@ mod tests {
     #[test]
     fn request_within_settle_window_pays_retransition() {
         let (p, mut d, mut rng) = setup();
-        let TransitionOutcome::Started { completes_at, token } =
-            d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
+        let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
         else {
             panic!()
         };
         d.complete(token, completes_at, &p, &mut rng);
         // Immediately request a change back: must take ~520 µs, not 10 µs.
-        let TransitionOutcome::Started { completes_at: c2, .. } =
-            d.request(p.pstates.slowest(), completes_at, &p, &mut rng)
+        let TransitionOutcome::Started {
+            completes_at: c2, ..
+        } = d.request(p.pstates.slowest(), completes_at, &p, &mut rng)
         else {
             panic!()
         };
@@ -367,15 +382,18 @@ mod tests {
     #[test]
     fn request_after_settle_window_uses_base_latency() {
         let (p, mut d, mut rng) = setup();
-        let TransitionOutcome::Started { completes_at, token } =
-            d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
+        let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
         else {
             panic!()
         };
         d.complete(token, completes_at, &p, &mut rng);
         let later = completes_at + p.settle_window + SimDuration::from_micros(1);
-        let TransitionOutcome::Started { completes_at: c2, .. } =
-            d.request(p.pstates.slowest(), later, &p, &mut rng)
+        let TransitionOutcome::Started {
+            completes_at: c2, ..
+        } = d.request(p.pstates.slowest(), later, &p, &mut rng)
         else {
             panic!()
         };
@@ -385,8 +403,10 @@ mod tests {
     #[test]
     fn queued_request_becomes_followup() {
         let (p, mut d, mut rng) = setup();
-        let TransitionOutcome::Started { completes_at, token } =
-            d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
+        let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
         else {
             panic!()
         };
@@ -398,10 +418,17 @@ mod tests {
         );
         assert_eq!(d.target(), PState::new(8));
         match d.complete(token, completes_at, &p, &mut rng) {
-            CompletionResult::FollowUp { new_state, completes_at: c2, .. } => {
+            CompletionResult::FollowUp {
+                new_state,
+                completes_at: c2,
+                ..
+            } => {
                 assert_eq!(new_state, PState::P0);
                 let latency = c2 - completes_at;
-                assert!(latency > SimDuration::from_micros(400), "follow-up is a re-transition");
+                assert!(
+                    latency > SimDuration::from_micros(400),
+                    "follow-up is a re-transition"
+                );
             }
             other => panic!("expected FollowUp, got {other:?}"),
         }
@@ -411,8 +438,10 @@ mod tests {
     #[test]
     fn request_matching_inflight_target_drops_queue() {
         let (p, mut d, mut rng) = setup();
-        let TransitionOutcome::Started { completes_at, token } =
-            d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
+        let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
         else {
             panic!()
         };
@@ -422,15 +451,19 @@ mod tests {
         assert_eq!(d.target(), PState::P0);
         assert_eq!(
             d.complete(token, completes_at, &p, &mut rng),
-            CompletionResult::Settled { new_state: PState::P0 }
+            CompletionResult::Settled {
+                new_state: PState::P0
+            }
         );
     }
 
     #[test]
     fn stale_token_ignored() {
         let (p, mut d, mut rng) = setup();
-        let TransitionOutcome::Started { completes_at, token } =
-            d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
+        let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = d.request(PState::P0, SimTime::ZERO, &p, &mut rng)
         else {
             panic!()
         };
@@ -471,6 +504,10 @@ mod tests {
             stats.push(m.sample(&mut rng, true, 1.0).as_micros_f64());
         }
         assert!((stats.mean() - 527.5).abs() < 0.5, "mean {}", stats.mean());
-        assert!((stats.sample_stdev() - 6.0).abs() < 0.5, "stdev {}", stats.sample_stdev());
+        assert!(
+            (stats.sample_stdev() - 6.0).abs() < 0.5,
+            "stdev {}",
+            stats.sample_stdev()
+        );
     }
 }

@@ -17,10 +17,9 @@
 
 use crate::cstate::CState;
 use crate::pstate::OperatingPoint;
-use serde::{Deserialize, Serialize};
 
 /// What a core is doing, for power purposes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoreActivity {
     /// Executing instructions in CC0.
     Busy,
@@ -50,7 +49,7 @@ impl CoreActivity {
 }
 
 /// Power-model coefficients for one processor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Dynamic coefficient: W per (V² · GHz).
     pub c_dyn: f64,

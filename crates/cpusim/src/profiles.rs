@@ -15,11 +15,10 @@ use crate::cstate::CStateLatencies;
 use crate::dvfs::RetransitionModel;
 use crate::power::PowerModel;
 use crate::pstate::PStateTable;
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 /// A complete description of one processor model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProcessorProfile {
     /// Marketing name, e.g. `"Intel Xeon Gold 6134"`.
     pub name: &'static str,
@@ -174,10 +173,14 @@ mod tests {
     #[test]
     fn server_retransition_dwarfs_base() {
         let p = ProcessorProfile::xeon_gold_6134();
-        let mean = p
-            .retransition
-            .mean_micros(true, p.pstates.distance_fraction(PState::P0, p.pstates.slowest()));
-        assert!(mean > 500.0, "server re-transition should be ~520 µs, got {mean}");
+        let mean = p.retransition.mean_micros(
+            true,
+            p.pstates.distance_fraction(PState::P0, p.pstates.slowest()),
+        );
+        assert!(
+            mean > 500.0,
+            "server re-transition should be ~520 µs, got {mean}"
+        );
         assert!(mean > 50.0 * p.base_transition.as_micros_f64() * 0.9);
     }
 

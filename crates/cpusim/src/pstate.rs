@@ -5,7 +5,6 @@
 //! testbed exposes 16 P-states from 3.2 GHz (P0) down to 1.2 GHz
 //! (P15).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A P-state index. `PState(0)` (= [`PState::P0`]) is the fastest.
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert!(PState::P0.is_faster_than(PState::new(3)));
 /// assert_eq!(PState::new(3).index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PState(u8);
 
 impl PState {
@@ -58,7 +57,7 @@ impl fmt::Display for PState {
 }
 
 /// One operating point: frequency and supply voltage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     /// Core clock in Hz.
     pub frequency_hz: u64,
@@ -78,7 +77,7 @@ pub struct OperatingPoint {
 /// assert_eq!(t.frequency(PState::P0), 3_200_000_000);
 /// assert!(t.voltage(PState::P0) > t.voltage(t.slowest()));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PStateTable {
     points: Vec<OperatingPoint>,
 }
@@ -248,8 +247,14 @@ mod tests {
     #[should_panic(expected = "strictly decrease")]
     fn non_monotone_table_rejected() {
         PStateTable::new(vec![
-            OperatingPoint { frequency_hz: 1_000, voltage_v: 1.0 },
-            OperatingPoint { frequency_hz: 2_000, voltage_v: 1.0 },
+            OperatingPoint {
+                frequency_hz: 1_000,
+                voltage_v: 1.0,
+            },
+            OperatingPoint {
+                frequency_hz: 2_000,
+                voltage_v: 1.0,
+            },
         ]);
     }
 

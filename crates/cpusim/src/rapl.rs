@@ -85,7 +85,10 @@ mod tests {
         // Only ~1 s of energy, not 11 s.
         let mut p2 = Processor::new(ProcessorProfile::xeon_gold_6134(), DvfsScope::PerCore);
         let one_sec = p2.package_energy_joules(SimTime::from_secs(1));
-        assert!((e - one_sec).abs() < 0.05 * one_sec, "e={e} one_sec={one_sec}");
+        assert!(
+            (e - one_sec).abs() < 0.05 * one_sec,
+            "e={e} one_sec={one_sec}"
+        );
     }
 
     #[test]
@@ -93,7 +96,8 @@ mod tests {
         let mut idle = Processor::new(ProcessorProfile::xeon_gold_6134(), DvfsScope::PerCore);
         let mut busy = Processor::new(ProcessorProfile::xeon_gold_6134(), DvfsScope::PerCore);
         let profile = busy.profile().clone();
-        busy.core_mut(crate::CoreId(0)).set_busy(true, SimTime::ZERO, &profile);
+        busy.core_mut(crate::CoreId(0))
+            .set_busy(true, SimTime::ZERO, &profile);
         let t = SimTime::from_secs(1);
         assert!(busy.package_energy_joules(t) > idle.package_energy_joules(t));
     }

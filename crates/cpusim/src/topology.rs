@@ -168,6 +168,20 @@ impl Processor {
         core_energy + self.profile.power.uncore_w * now.as_secs_f64()
     }
 
+    /// Package energy recomputed from every core's residency ledger
+    /// plus the uncore term — the independent cross-check the
+    /// conservation audit compares against
+    /// [`package_energy_joules`](Self::package_energy_joules). Returns
+    /// `None` without the `audit` feature.
+    pub fn audited_package_energy_joules(&mut self, now: SimTime) -> Option<f64> {
+        let profile = self.profile.clone();
+        let mut core_energy = 0.0;
+        for c in &mut self.cores {
+            core_energy += c.audited_energy_joules(now, &profile)?;
+        }
+        Some(core_energy + profile.power.uncore_w * now.as_secs_f64())
+    }
+
     /// Total DVFS transitions started across all domains.
     pub fn total_transitions(&self) -> u64 {
         match self.scope {
@@ -199,8 +213,10 @@ mod tests {
     #[test]
     fn per_core_domains_are_independent() {
         let (mut p, mut rng) = per_core();
-        let TransitionOutcome::Started { completes_at, token } =
-            p.request_pstate(CoreId(0), PState::P0, SimTime::ZERO, &mut rng)
+        let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = p.request_pstate(CoreId(0), PState::P0, SimTime::ZERO, &mut rng)
         else {
             panic!()
         };
@@ -228,7 +244,11 @@ mod tests {
         };
         loop {
             match p.complete_pstate(CoreId(0), tok, t, &mut rng) {
-                CompletionResult::FollowUp { completes_at, token, .. } => {
+                CompletionResult::FollowUp {
+                    completes_at,
+                    token,
+                    ..
+                } => {
                     t = completes_at;
                     tok = token;
                 }
@@ -250,8 +270,10 @@ mod tests {
         // Everyone asks for P0 first.
         let mut pending = Vec::new();
         for i in 0..p.num_cores() {
-            if let TransitionOutcome::Started { completes_at, token } =
-                p.request_pstate(CoreId(i), PState::P0, SimTime::ZERO, &mut rng)
+            if let TransitionOutcome::Started {
+                completes_at,
+                token,
+            } = p.request_pstate(CoreId(i), PState::P0, SimTime::ZERO, &mut rng)
             {
                 pending.push((completes_at, token));
             }
@@ -271,7 +293,33 @@ mod tests {
         let (mut p, _) = per_core();
         let e = p.package_energy_joules(SimTime::from_secs(1));
         let uncore = p.profile().power.uncore_w;
-        assert!(e > uncore * 0.99, "package energy {e} must include uncore {uncore}");
+        assert!(
+            e > uncore * 0.99,
+            "package energy {e} must include uncore {uncore}"
+        );
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audited_energy_matches_incremental_integral() {
+        let (mut p, mut rng) = per_core();
+        // Exercise a few transitions so the residency ledger spans
+        // multiple (activity, P-state) cells.
+        if let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = p.request_pstate(CoreId(0), PState::P0, SimTime::ZERO, &mut rng)
+        {
+            p.complete_pstate(CoreId(0), token, completes_at, &mut rng);
+        }
+        let now = SimTime::from_millis(40);
+        let direct = p.package_energy_joules(now);
+        let audited = p.audited_package_energy_joules(now).expect("audit enabled");
+        let rel = (direct - audited).abs() / direct.max(1e-12);
+        assert!(
+            rel < 1e-6,
+            "direct {direct} vs audited {audited} (rel {rel})"
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ pub fn ni_threshold(scale: Scale) -> FigureReport {
          tail); very large NI_TH stops detecting bursts and the tail degrades toward \
          ondemand's.\n",
     );
-    FigureReport::new("ablation-ni", "NI_TH sensitivity (memcached, high load)", body)
+    FigureReport::new(
+        "ablation-ni",
+        "NI_TH sensitivity (memcached, high load)",
+        body,
+    )
 }
 
 /// Monitor timer interval sweep at memcached medium load.
@@ -129,8 +133,16 @@ pub fn dvfs_scope(scale: Scale) -> FigureReport {
     let mut rows = Vec::new();
     for (li, level) in LoadLevel::all().iter().enumerate() {
         let baseline = results[li * 3 + 2].energy_j;
-        rows.push(result_row(format!("{level}/per-core"), &results[li * 3], baseline));
-        rows.push(result_row(format!("{level}/chip-wide"), &results[li * 3 + 1], baseline));
+        rows.push(result_row(
+            format!("{level}/per-core"),
+            &results[li * 3],
+            baseline,
+        ));
+        rows.push(result_row(
+            format!("{level}/chip-wide"),
+            &results[li * 3 + 1],
+            baseline,
+        ));
     }
     let mut body = report::table(&HEADERS, rows);
     body.push_str(
@@ -138,7 +150,11 @@ pub fn dvfs_scope(scale: Scale) -> FigureReport {
          burst, costing extra energy — the per-core advantage NMAP claims over \
          NCAP (§6.3).\n",
     );
-    FigureReport::new("ablation-scope", "Per-core vs chip-wide DVFS (memcached)", body)
+    FigureReport::new(
+        "ablation-scope",
+        "Per-core vs chip-wide DVFS (memcached)",
+        body,
+    )
 }
 
 /// Re-transition latency sensitivity: the Gold 6134 with its stock
@@ -167,7 +183,12 @@ pub fn retransition(scale: Scale) -> FigureReport {
     let mut configs: Vec<RunConfig> = variants
         .iter()
         .map(|(_, p)| {
-            let mut c = RunConfig::new(AppKind::Memcached, load, GovernorKind::Nmap(base_cfg), scale);
+            let mut c = RunConfig::new(
+                AppKind::Memcached,
+                load,
+                GovernorKind::Nmap(base_cfg),
+                scale,
+            );
             c.profile_override = Some(p.clone());
             c
         })

@@ -9,7 +9,13 @@ use crate::runner::{run_many, GovernorKind, RunConfig, RunResult, Scale, SleepKi
 use crate::thresholds;
 use workload::{AppKind, LoadLevel, LoadSpec};
 
-const GOV_LABELS: [&str; 5] = ["intel_powersave", "ondemand", "performance", "NMAP-simpl", "NMAP"];
+const GOV_LABELS: [&str; 5] = [
+    "intel_powersave",
+    "ondemand",
+    "performance",
+    "NMAP-simpl",
+    "NMAP",
+];
 
 fn governors(app: AppKind) -> [GovernorKind; 5] {
     [
@@ -94,8 +100,16 @@ pub fn fig12_13(scale: Scale) -> (FigureReport, FigureReport) {
          policy, disable the most expensive.\n",
     );
     (
-        FigureReport::new("fig12", "P99 latency across governors and sleep policies", p99_body),
-        FigureReport::new("fig13", "Energy across governors and sleep policies", energy_body),
+        FigureReport::new(
+            "fig12",
+            "P99 latency across governors and sleep policies",
+            p99_body,
+        ),
+        FigureReport::new(
+            "fig13",
+            "Energy across governors and sleep policies",
+            energy_body,
+        ),
     )
 }
 
@@ -110,21 +124,19 @@ mod tests {
         let data_rows = p99
             .body
             .lines()
-            .filter(|l| {
-                l.starts_with("low/") || l.starts_with("medium/") || l.starts_with("high/")
-            })
+            .filter(|l| l.starts_with("low/") || l.starts_with("medium/") || l.starts_with("high/"))
             .count();
         assert_eq!(data_rows, 18, "9 rows per app");
-        assert!(energy.body.contains("1.000x"), "baseline normalizes to itself");
+        assert!(
+            energy.body.contains("1.000x"),
+            "baseline normalizes to itself"
+        );
         // performance must never carry a violation mark: find its column.
         for line in p99.body.lines() {
             if line.starts_with("high/menu") || line.starts_with("medium/menu") {
                 let cells: Vec<&str> = line.split_whitespace().collect();
                 // columns: label, intel, ondemand, performance, simpl, nmap
-                assert!(
-                    !cells[3].ends_with('*'),
-                    "performance violated SLO: {line}"
-                );
+                assert!(!cells[3].ends_with('*'), "performance violated SLO: {line}");
                 assert!(!cells[5].ends_with('*'), "NMAP violated SLO: {line}");
             }
         }
@@ -133,17 +145,15 @@ mod tests {
     #[test]
     fn ondemand_violates_at_high_memcached() {
         let (p99, _) = fig12_13(Scale::Quick);
-        let mem_section: String = p99
-            .body
-            .split("[nginx")
-            .next()
-            .unwrap()
-            .to_string();
+        let mem_section: String = p99.body.split("[nginx").next().unwrap().to_string();
         let line = mem_section
             .lines()
             .find(|l| l.starts_with("high/menu"))
             .expect("high/menu row");
         let cells: Vec<&str> = line.split_whitespace().collect();
-        assert!(cells[2].ends_with('*'), "ondemand must violate at high: {line}");
+        assert!(
+            cells[2].ends_with('*'),
+            "ondemand must violate at high: {line}"
+        );
     }
 }

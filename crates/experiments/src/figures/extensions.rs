@@ -40,13 +40,24 @@ pub fn online_adaptation(scale: Scale) -> FigureReport {
                     report::fmt_dur(r.p99),
                     report::fmt_pct(r.frac_above_slo),
                     report::fmt_norm(r.energy_j, perf_energy),
-                    if r.meets_slo() { "meets".into() } else { "VIOLATES".into() },
+                    if r.meets_slo() {
+                        "meets".into()
+                    } else {
+                        "VIOLATES".into()
+                    },
                 ]);
             }
         }
     }
     let mut body = report::table(
-        &["workload", "governor", "p99", "over_slo", "energy_vs_perf", "slo"],
+        &[
+            "workload",
+            "governor",
+            "p99",
+            "over_slo",
+            "energy_vs_perf",
+            "slo",
+        ],
         rows,
     );
     body.push_str(
@@ -86,12 +97,19 @@ pub fn schedutil(scale: Scale) -> FigureReport {
                     report::fmt_dur(r.p99),
                     report::fmt_pct(r.frac_above_slo),
                     format!("{:.1}W", r.avg_power_w),
-                    if r.meets_slo() { "meets".into() } else { "VIOLATES".into() },
+                    if r.meets_slo() {
+                        "meets".into()
+                    } else {
+                        "VIOLATES".into()
+                    },
                 ]);
             }
         }
     }
-    let mut body = report::table(&["workload", "governor", "p99", "over_slo", "power", "slo"], rows);
+    let mut body = report::table(
+        &["workload", "governor", "p99", "over_slo", "power", "slo"],
+        rows,
+    );
     body.push_str(
         "\nExpected: schedutil's 1 ms rate limit shrinks ondemand's burst lag but the \
          governor remains reactive-by-utilization; NMAP's event-driven boost still \
@@ -121,7 +139,11 @@ mod tests {
             .lines()
             .filter(|l| l.contains("NMAP-online") && l.contains("VIOLATES"))
             .count();
-        assert_eq!(violations, 0, "NMAP-online must meet every SLO:\n{}", rep.body);
+        assert_eq!(
+            violations, 0,
+            "NMAP-online must meet every SLO:\n{}",
+            rep.body
+        );
     }
 
     #[test]
@@ -130,7 +152,9 @@ mod tests {
         let rows = rep
             .body
             .lines()
-            .filter(|l| l.contains(" schedutil ") && (l.contains("meets") || l.contains("VIOLATES")))
+            .filter(|l| {
+                l.contains(" schedutil ") && (l.contains("meets") || l.contains("VIOLATES"))
+            })
             .count();
         assert_eq!(rows, 6, "2 apps × 3 loads");
     }

@@ -66,11 +66,18 @@ pub(crate) fn render_timeline(r: &RunResult, window_ms: u64) -> String {
                 format!("P{}", pstates[i]),
                 intr[i].to_string(),
                 poll[i].to_string(),
-                if wakes[i] > 0 { format!("{}x", wakes[i]) } else { String::new() },
+                if wakes[i] > 0 {
+                    format!("{}x", wakes[i])
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
-    report::table(&["ms", "pstate", "intr_pkts", "poll_pkts", "ksoftirqd_wake"], rows)
+    report::table(
+        &["ms", "pstate", "intr_pkts", "poll_pkts", "ksoftirqd_wake"],
+        rows,
+    )
 }
 
 /// Fig 2: mode counts (interrupt vs polling), ksoftirqd wake-ups, and
@@ -88,7 +95,8 @@ pub fn fig2(scale: Scale) -> FigureReport {
             let bins = 120usize;
             let mut v = vec![0u64; bins];
             for &(tt, n) in &t.intr_batches_core0 {
-                let i = (tt.saturating_since(t.measure_start) / SimDuration::from_millis(1)) as usize;
+                let i =
+                    (tt.saturating_since(t.measure_start) / SimDuration::from_millis(1)) as usize;
                 if i < bins {
                     v[i] += n;
                 }
@@ -104,7 +112,11 @@ pub fn fig2(scale: Scale) -> FigureReport {
         "\nPaper shape: interrupt-mode packets cap out (152/ms memcached, 89/ms nginx) \
          while polling grows with load; ondemand raises V/F only mid/late burst.\n",
     );
-    FigureReport::new("fig2", "NAPI mode transitions and ondemand P-state under bursts", body)
+    FigureReport::new(
+        "fig2",
+        "NAPI mode transitions and ondemand P-state under bursts",
+        body,
+    )
 }
 
 /// Renders a per-request latency summary over a 0.5 s window, binned

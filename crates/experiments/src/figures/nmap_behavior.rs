@@ -32,7 +32,11 @@ pub fn fig9(scale: Scale) -> FigureReport {
          of each burst and lowers it promptly as the polling-to-interrupt ratio \
          falls, instead of reacting mid-burst.\n",
     );
-    FigureReport::new("fig9", "NMAP timeline: P-state, NAPI modes, ksoftirqd", body)
+    FigureReport::new(
+        "fig9",
+        "NMAP timeline: P-state, NAPI modes, ksoftirqd",
+        body,
+    )
 }
 
 /// Fig 10: response latency of every request over 0.5 s with NMAP.

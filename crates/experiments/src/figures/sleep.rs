@@ -59,7 +59,10 @@ pub fn fig7(scale: Scale) -> FigureReport {
                 ]
             })
             .collect();
-        body.push_str(&report::table(&["ms", "cc6_entries", "intr_pkts", "poll_pkts"], rows));
+        body.push_str(&report::table(
+            &["ms", "cc6_entries", "intr_pkts", "poll_pkts"],
+            rows,
+        ));
         let total_cc6: u64 = cc6.iter().sum();
         body.push_str(&format!("total CC6 entries in window: {total_cc6}\n"));
     }
@@ -74,7 +77,9 @@ pub fn fig7(scale: Scale) -> FigureReport {
 /// policies under the performance governor (memcached; energy
 /// normalized to menu).
 pub fn fig8(scale: Scale) -> FigureReport {
-    let loads = [30_000.0, 150_000.0, 290_000.0, 450_000.0, 600_000.0, 750_000.0];
+    let loads = [
+        30_000.0, 150_000.0, 290_000.0, 450_000.0, 600_000.0, 750_000.0,
+    ];
     // Burstiness interpolated across the preset ladder.
     let duty_for = |rps: f64| -> f64 {
         let (lo, hi) = (30_000.0, 750_000.0);
@@ -107,7 +112,10 @@ pub fn fig8(scale: Scale) -> FigureReport {
         }
     }
     let mut body = String::from("\nP99 latency by load (performance governor):\n");
-    body.push_str(&report::table(&["load_rps", "menu", "disable", "c6only"], rows));
+    body.push_str(&report::table(
+        &["load_rps", "menu", "disable", "c6only"],
+        rows,
+    ));
     body.push_str("\nTotal energy across the sweep, normalized to menu:\n");
     let menu = energy_totals[0];
     body.push_str(&report::table(
@@ -123,7 +131,11 @@ pub fn fig8(scale: Scale) -> FigureReport {
          tens of µs vs a 1 ms SLO), while disable costs +53.2% energy and c6only \
          saves 10.3% vs menu on their testbed.\n",
     );
-    FigureReport::new("fig8", "Latency-load curve and energy by sleep policy", body)
+    FigureReport::new(
+        "fig8",
+        "Latency-load curve and energy by sleep policy",
+        body,
+    )
 }
 
 #[cfg(test)]
@@ -144,7 +156,10 @@ mod tests {
         };
         let disable = grab("disable");
         let c6only = grab("c6only");
-        assert!(disable > 1.1, "disable must cost notably more than menu ({disable})");
+        assert!(
+            disable > 1.1,
+            "disable must cost notably more than menu ({disable})"
+        );
         assert!(c6only < 1.0, "c6only must save energy vs menu ({c6only})");
     }
 

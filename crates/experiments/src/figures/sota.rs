@@ -46,7 +46,9 @@ pub fn fig14_15(scale: Scale) -> (FigureReport, FigureReport) {
     let mut p99_body = String::new();
     let mut energy_body = String::new();
     for (ai, app) in [AppKind::Memcached, AppKind::Nginx].iter().enumerate() {
-        p99_body.push_str(&format!("\n[{app} — P99 normalized to the SLO ('*' = violation)]\n"));
+        p99_body.push_str(&format!(
+            "\n[{app} — P99 normalized to the SLO ('*' = violation)]\n"
+        ));
         energy_body.push_str(&format!(
             "\n[{app} — energy normalized to performance+menu]\n"
         ));
@@ -81,8 +83,16 @@ pub fn fig14_15(scale: Scale) -> (FigureReport, FigureReport) {
          lets unaffected cores stay slow while NCAP boosts the whole chip.\n",
     );
     (
-        FigureReport::new("fig14", "P99 vs state-of-the-art power management", p99_body),
-        FigureReport::new("fig15", "Energy vs state-of-the-art power management", energy_body),
+        FigureReport::new(
+            "fig14",
+            "P99 vs state-of-the-art power management",
+            p99_body,
+        ),
+        FigureReport::new(
+            "fig15",
+            "Energy vs state-of-the-art power management",
+            energy_body,
+        ),
     )
 }
 

@@ -4,7 +4,7 @@
 
 use crate::report::{self, FigureReport};
 use cpusim::dvfs::{CompletionResult, CoreDvfs, TransitionOutcome};
-use cpusim::{CState, ProcessorProfile, PState};
+use cpusim::{CState, PState, ProcessorProfile};
 use simcore::{RngStream, RunningStats, SimTime};
 
 /// One Table 1 measurement: alternate between `a` and `b` back-to-back
@@ -26,8 +26,10 @@ fn measure_retransition(
     // as in a repetitive-update loop.
     for i in 0..(2 * trials + 1) {
         let target = if dvfs.current() == a { b } else { a };
-        let TransitionOutcome::Started { completes_at, token } =
-            dvfs.request(target, now, profile, rng)
+        let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = dvfs.request(target, now, profile, rng)
         else {
             panic!("quiescent domain must start immediately");
         };
@@ -143,7 +145,13 @@ mod tests {
             .lines()
             .find(|l| l.contains("Gold 6134") && l.contains("Pmin -> Pmax"))
             .expect("gold Pmin->Pmax row");
-        let mean: f64 = gold_row.split_whitespace().rev().nth(1).unwrap().parse().unwrap();
+        let mean: f64 = gold_row
+            .split_whitespace()
+            .rev()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!((500.0..560.0).contains(&mean), "gold mean {mean}");
     }
 
@@ -173,7 +181,13 @@ mod tests {
             .lines()
             .find(|l| l.contains("Gold 6134") && l.contains("CC6"))
             .expect("row");
-        let mean: f64 = gold_c6.split_whitespace().rev().nth(1).unwrap().parse().unwrap();
+        let mean: f64 = gold_c6
+            .split_whitespace()
+            .rev()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!((25.0..30.0).contains(&mean), "CC6 wake {mean}");
     }
 }

@@ -78,14 +78,23 @@ pub fn fig16(scale: Scale) -> FigureReport {
         ]);
     }
     body.push_str(&report::table(
-        &["governor", "p99", "over_slo", "avg_pstate(core0)", "dvfs_transitions"],
+        &[
+            "governor",
+            "p99",
+            "over_slo",
+            "avg_pstate(core0)",
+            "dvfs_transitions",
+        ],
         rows,
     ));
 
     // A 150 ms excerpt of the P-state trace for each governor.
     for r in [&nmap, &parties] {
         let t = r.traces.as_ref().unwrap();
-        body.push_str(&format!("\nP-state changes, {} (first 150 ms):\n", r.governor));
+        body.push_str(&format!(
+            "\nP-state changes, {} (first 150 ms):\n",
+            r.governor
+        ));
         let mut shown = 0;
         for &(tt, p) in &t.pstates_core0 {
             let off = tt.saturating_since(t.measure_start);
@@ -134,6 +143,9 @@ mod tests {
             "Parties ({parties_viol}%) must violate more than NMAP ({nmap_viol}%)"
         );
         assert!(nmap_viol < 2.0, "NMAP must stay near-SLO ({nmap_viol}%)");
-        assert!(parties_viol > 5.0, "Parties must miss bursts ({parties_viol}%)");
+        assert!(
+            parties_viol > 5.0,
+            "Parties must miss bursts ({parties_viol}%)"
+        );
     }
 }

@@ -23,4 +23,6 @@ pub mod runner;
 pub mod thresholds;
 
 pub use report::FigureReport;
-pub use runner::{run, run_many, GovernorKind, ProfileKind, RunConfig, RunResult, Scale, SleepKind};
+pub use runner::{
+    run, run_many, GovernorKind, ProfileKind, RunConfig, RunResult, Scale, SleepKind,
+};

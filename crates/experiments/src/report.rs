@@ -63,7 +63,10 @@ pub fn table(headers: &[&str], rows: Vec<Vec<String>>) -> String {
         }
         line.trim_end().to_string()
     };
-    out.push_str(&render(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&render(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
     out.push('\n');

@@ -3,13 +3,13 @@
 //! metrics the paper reports.
 
 use appsim::{AppModel, Testbed, TestbedConfig};
-use cpusim::{CState, DvfsScope, ProcessorProfile, PState};
+use cpusim::{CState, DvfsScope, PState, ProcessorProfile};
+use governors::ncap::NcapSleepGate;
 use governors::{
     C6OnlyPolicy, Conservative, DisablePolicy, IntelPowersave, MenuPolicy, Ncap, NcapConfig,
-    Ondemand, Parties, PartiesConfig, Performance, PStateGovernor, Powersave, SleepPolicy,
+    Ondemand, PStateGovernor, Parties, PartiesConfig, Performance, Powersave, SleepPolicy,
     Userspace,
 };
-use governors::ncap::NcapSleepGate;
 use nmap::{NmapConfig, NmapGovernor, NmapSimpl};
 use simcore::{EventLog, SimDuration, SimTime, Simulator};
 use std::collections::VecDeque;
@@ -204,7 +204,10 @@ impl RunConfig {
 }
 
 /// Per-event traces collected when `collect_traces` is set.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` so determinism suites can compare whole trace sets
+/// between same-seed runs.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunTraces {
     /// Per-response `(receive time, latency)`.
     pub responses: Vec<(SimTime, SimDuration)>,
@@ -225,7 +228,11 @@ pub struct RunTraces {
 }
 
 /// Metrics extracted from one run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (including traces when present):
+/// two same-seed runs must compare equal, which is what the
+/// determinism suites assert.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Governor display name.
     pub governor: String,
@@ -286,9 +293,10 @@ fn build_policies(
     match cfg.governor {
         GovernorKind::Performance => (Box::new(Performance::new()), sleep),
         GovernorKind::Powersave => (Box::new(Powersave::new(table.slowest())), sleep),
-        GovernorKind::Userspace(idx) => {
-            (Box::new(Userspace::new(table.clamp(PState::new(idx)))), sleep)
-        }
+        GovernorKind::Userspace(idx) => (
+            Box::new(Userspace::new(table.clamp(PState::new(idx)))),
+            sleep,
+        ),
         GovernorKind::Ondemand => (Box::new(Ondemand::new(table, cores)), sleep),
         GovernorKind::Conservative => (Box::new(Conservative::new(table, cores)), sleep),
         GovernorKind::Schedutil => (Box::new(governors::Schedutil::new(table, cores)), sleep),
@@ -296,7 +304,11 @@ fn build_policies(
         GovernorKind::NmapSimpl => (Box::new(NmapSimpl::new(table, cores)), sleep),
         GovernorKind::Nmap(config) => (Box::new(NmapGovernor::new(table, cores, config)), sleep),
         GovernorKind::NmapOnline => (
-            Box::new(nmap::OnlineNmap::new(table, cores, nmap::OnlineConfig::default())),
+            Box::new(nmap::OnlineNmap::new(
+                table,
+                cores,
+                nmap::OnlineConfig::default(),
+            )),
             sleep,
         ),
         GovernorKind::Ncap(threshold) => {
@@ -379,6 +391,11 @@ pub fn run_with_testbed(
             measure_end: end,
         }
     });
+    // Self-audit: with the `audit` feature on, every run proves its
+    // conservation identities before reporting metrics.
+    if let Some(report) = tb.audit_report(end) {
+        report.assert_balanced();
+    }
     let result = RunResult {
         governor: tb.governor.name(),
         sleep: tb.sleep.name(),
@@ -417,17 +434,16 @@ pub fn run_many(configs: Vec<RunConfig>) -> Vec<RunResult> {
         Mutex::new(configs.into_iter().enumerate().collect());
     let n = jobs.lock().unwrap().len();
     let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; n]);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let job = jobs.lock().unwrap().pop_front();
                 let Some((idx, cfg)) = job else { break };
                 let result = run(cfg);
                 results.lock().unwrap()[idx] = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_inner()
         .unwrap()
@@ -468,7 +484,10 @@ mod tests {
         let r = run(tiny(GovernorKind::Ondemand).with_traces());
         let t = r.traces.expect("traces requested");
         assert!(!t.responses.is_empty());
-        assert_eq!(t.measure_end - t.measure_start, SimDuration::from_millis(300));
+        assert_eq!(
+            t.measure_end - t.measure_start,
+            SimDuration::from_millis(300)
+        );
     }
 
     #[test]
@@ -499,6 +518,9 @@ mod tests {
         let disable = run(tiny(GovernorKind::Performance).with_sleep(SleepKind::Disable));
         assert_eq!(disable.sleep, "disable");
         assert_eq!(disable.c6_entries, 0, "disable must never reach CC6");
-        assert!(disable.avg_power_w > menu.avg_power_w, "idling in C0 costs power");
+        assert!(
+            disable.avg_power_w > menu.avg_power_w,
+            "idling in C0 costs power"
+        );
     }
 }

@@ -95,8 +95,14 @@ mod tests {
             let low = LoadSpec::preset(app, LoadLevel::Low).peak_rps() * rx;
             let med = LoadSpec::preset(app, LoadLevel::Medium).peak_rps() * rx;
             let th = ncap_threshold(app);
-            assert!(th > low, "{app}: threshold {th} must ignore the low preset ({low})");
-            assert!(th < med, "{app}: threshold {th} must catch the medium preset ({med})");
+            assert!(
+                th > low,
+                "{app}: threshold {th} must ignore the low preset ({low})"
+            );
+            assert!(
+                th < med,
+                "{app}: threshold {th} must catch the medium preset ({med})"
+            );
         }
     }
 
@@ -105,7 +111,11 @@ mod tests {
         let cfg = nmap_config(AppKind::Memcached);
         // High load must actually exercise polling mode.
         assert!(cfg.ni_threshold > 1, "NI_TH {} too small", cfg.ni_threshold);
-        assert!(cfg.ni_threshold < 1_000_000, "NI_TH {} absurd", cfg.ni_threshold);
+        assert!(
+            cfg.ni_threshold < 1_000_000,
+            "NI_TH {} absurd",
+            cfg.ni_threshold
+        );
         assert!(cfg.cu_threshold > 0.0);
         // Memoization returns the identical config.
         assert_eq!(nmap_config(AppKind::Memcached), cfg);

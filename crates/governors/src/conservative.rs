@@ -102,8 +102,15 @@ mod tests {
         let mut last = g.table.slowest();
         for i in 0..(n - 1) {
             let mut actions = Vec::new();
-            g.on_core_sample(CoreId(0), sample(0.95), SimTime::from_millis(10 * i as u64), &mut actions);
-            let Action::SetCore(_, p) = actions[0] else { panic!() };
+            g.on_core_sample(
+                CoreId(0),
+                sample(0.95),
+                SimTime::from_millis(10 * i as u64),
+                &mut actions,
+            );
+            let Action::SetCore(_, p) = actions[0] else {
+                panic!()
+            };
             assert_eq!(p, PState::new(last.index() - 1));
             last = p;
         }
@@ -129,7 +136,12 @@ mod tests {
         // Warm up one step.
         g.on_core_sample(CoreId(0), sample(0.95), SimTime::ZERO, &mut actions);
         actions.clear();
-        g.on_core_sample(CoreId(0), sample(0.05), SimTime::from_millis(10), &mut actions);
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.05),
+            SimTime::from_millis(10),
+            &mut actions,
+        );
         assert_eq!(actions, vec![Action::SetCore(CoreId(0), g.table.slowest())]);
     }
 }

@@ -112,8 +112,14 @@ mod tests {
             SimTime::ZERO,
             &mut actions,
         );
-        let Action::SetCore(_, p) = actions[0] else { panic!() };
-        assert_eq!(p, g.table.slowest(), "12% residency from Pmin → stay at Pmin");
+        let Action::SetCore(_, p) = actions[0] else {
+            panic!()
+        };
+        assert_eq!(
+            p,
+            g.table.slowest(),
+            "12% residency from Pmin → stay at Pmin"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::ondemand::Ondemand;
 use crate::traits::{Action, PStateGovernor, SleepPolicy};
 use cpusim::core::UtilSample;
 use cpusim::pstate::PStateTable;
-use cpusim::{CoreId, CState, PState};
+use cpusim::{CState, CoreId, PState};
 use simcore::{SimDuration, SimTime};
 use std::cell::Cell;
 use std::rc::Rc;

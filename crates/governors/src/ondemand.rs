@@ -167,15 +167,26 @@ mod tests {
         let mut states = Vec::new();
         for i in 0..4 {
             let mut actions = Vec::new();
-            g.on_core_sample(CoreId(0), sample(0.97), SimTime::from_millis(10 * i), &mut actions);
-            let Action::SetCore(_, p) = actions[0] else { panic!() };
+            g.on_core_sample(
+                CoreId(0),
+                sample(0.97),
+                SimTime::from_millis(10 * i),
+                &mut actions,
+            );
+            let Action::SetCore(_, p) = actions[0] else {
+                panic!()
+            };
             states.push(p);
         }
         assert_ne!(states[0], PState::P0, "no immediate jump to P0");
         for w in states.windows(2) {
             assert!(w[1].is_faster_than(w[0]), "each sample climbs");
         }
-        assert_eq!(*states.last().unwrap(), PState::P0, "P0 reached in 4 samples");
+        assert_eq!(
+            *states.last().unwrap(),
+            PState::P0,
+            "P0 reached in 4 samples"
+        );
     }
 
     #[test]
@@ -205,12 +216,20 @@ mod tests {
         let mut last = g.table.slowest();
         for i in 0..4 {
             let mut actions = Vec::new();
-            g.on_core_sample(CoreId(0), sample(0.5), SimTime::from_millis(10 * i), &mut actions);
+            g.on_core_sample(
+                CoreId(0),
+                sample(0.5),
+                SimTime::from_millis(10 * i),
+                &mut actions,
+            );
             if let Some(Action::SetCore(_, p)) = actions.first() {
                 last = *p;
             }
         }
-        assert!(last != PState::P0 && last != g.table.slowest(), "got {last}");
+        assert!(
+            last != PState::P0 && last != g.table.slowest(),
+            "got {last}"
+        );
         assert!(g.table.frequency(last) <= 2_200_000_000);
         assert!(g.table.frequency(last) >= 1_900_000_000);
     }
@@ -222,8 +241,15 @@ mod tests {
         g.on_core_sample(CoreId(0), sample(0.97), SimTime::ZERO, &mut actions);
         actions.clear();
         // Range mapping: 20% load → 1.6 GHz target, near the bottom.
-        g.on_core_sample(CoreId(0), sample(0.02), SimTime::from_millis(10), &mut actions);
-        let Action::SetCore(_, p) = actions[0] else { panic!() };
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.02),
+            SimTime::from_millis(10),
+            &mut actions,
+        );
+        let Action::SetCore(_, p) = actions[0] else {
+            panic!()
+        };
         assert_eq!(p, g.table.slowest());
     }
 
@@ -249,7 +275,9 @@ mod tests {
         let mut actions = Vec::new();
         g.on_core_sample(CoreId(0), sample(0.99), SimTime::ZERO, &mut actions);
         g.on_core_sample(CoreId(1), sample(0.0), SimTime::ZERO, &mut actions);
-        let Action::SetCore(c0, p0) = actions[0] else { panic!() };
+        let Action::SetCore(c0, p0) = actions[0] else {
+            panic!()
+        };
         assert_eq!(c0, CoreId(0));
         assert!(p0.is_faster_than(g.table.slowest()), "core 0 climbed");
         assert_eq!(actions[1], Action::SetCore(CoreId(1), g.table.slowest()));

@@ -118,7 +118,12 @@ mod tests {
         g.on_core_sample(CoreId(0), sample(0.5), SimTime::ZERO, &mut actions);
         assert_eq!(actions.len(), 1);
         actions.clear();
-        g.on_core_sample(CoreId(0), sample(0.5), SimTime::from_millis(1), &mut actions);
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.5),
+            SimTime::from_millis(1),
+            &mut actions,
+        );
         assert!(actions.is_empty(), "unchanged decision emits nothing");
     }
 }

@@ -7,7 +7,7 @@
 //! negligible against millisecond SLOs.
 
 use crate::traits::SleepPolicy;
-use cpusim::{CoreId, CState};
+use cpusim::{CState, CoreId};
 use simcore::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -113,7 +113,12 @@ impl SleepPolicy for MenuPolicy {
         }
     }
 
-    fn on_tick(&mut self, core: CoreId, idle_elapsed: SimDuration, _now: SimTime) -> Option<CState> {
+    fn on_tick(
+        &mut self,
+        core: CoreId,
+        idle_elapsed: SimDuration,
+        _now: SimTime,
+    ) -> Option<CState> {
         // The idle outlived the deep state's target residency: the
         // history-based prediction was wrong, promote (real menu
         // re-decides at every tick with the observed idle dominating).
@@ -192,7 +197,7 @@ mod tests {
         feed_idles(&mut p, CoreId(0), SimDuration::from_millis(2), 8);
         assert_eq!(p.on_idle(CoreId(0), SimTime::from_secs(1)), CState::C6);
         p.on_wake(CoreId(0), SimTime::from_secs(1)); // instant wake
-        // A run of tiny idles pushes the prediction down.
+                                                     // A run of tiny idles pushes the prediction down.
         feed_idles(&mut p, CoreId(0), SimDuration::from_micros(5), 8);
         assert_eq!(p.on_idle(CoreId(0), SimTime::from_secs(2)), CState::C1);
     }

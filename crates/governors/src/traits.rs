@@ -6,7 +6,7 @@
 //! governor implements only the signals it consumes.
 
 use cpusim::core::UtilSample;
-use cpusim::{CoreId, CState, PState};
+use cpusim::{CState, CoreId, PState};
 use napisim::PollClass;
 use simcore::{SimDuration, SimTime};
 
@@ -85,7 +85,12 @@ pub trait PStateGovernor {
 
     /// A request completed with the given end-to-end latency
     /// (measured at the client).
-    fn on_request_latency(&mut self, latency: SimDuration, now: SimTime, actions: &mut Vec<Action>) {
+    fn on_request_latency(
+        &mut self,
+        latency: SimDuration,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
         let _ = (latency, now, actions);
     }
 }

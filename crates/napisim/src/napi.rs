@@ -376,7 +376,11 @@ mod tests {
             assert_eq!(out.verdict, PollVerdict::Continue, "iter {i}");
         }
         let out = n.record_poll(8, 0, false, false, ProcContext::SoftIrq, t(100));
-        assert_eq!(out.verdict, PollVerdict::Handoff, "10th non-empty iteration");
+        assert_eq!(
+            out.verdict,
+            PollVerdict::Handoff,
+            "10th non-empty iteration"
+        );
     }
 
     #[test]
@@ -439,12 +443,14 @@ mod tests {
         // But 5 such batches blow the 300-descriptor budget.
         for _ in 0..3 {
             assert_eq!(
-                n.record_poll(0, 64, false, false, ProcContext::SoftIrq, t(20)).verdict,
+                n.record_poll(0, 64, false, false, ProcContext::SoftIrq, t(20))
+                    .verdict,
                 PollVerdict::Continue
             );
         }
         assert_eq!(
-            n.record_poll(0, 64, false, false, ProcContext::SoftIrq, t(30)).verdict,
+            n.record_poll(0, 64, false, false, ProcContext::SoftIrq, t(30))
+                .verdict,
             PollVerdict::Handoff
         );
     }

@@ -1,10 +1,9 @@
 //! Network-stack parameters (Linux defaults, §2.1).
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 /// Tunables of the simulated kernel network stack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StackParams {
     /// NAPI weight: max descriptors per `poll()` call (Linux: 64).
     pub napi_weight: usize,

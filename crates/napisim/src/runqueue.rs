@@ -59,7 +59,10 @@ impl RunQueue {
     /// `None` if nothing is runnable. The previous current task, if
     /// any, must have been handled first (requeued or blocked).
     pub fn pick_next(&mut self) -> Option<TaskId> {
-        debug_assert!(self.current.is_none(), "pick_next with a task still current");
+        debug_assert!(
+            self.current.is_none(),
+            "pick_next with a task still current"
+        );
         self.current = self.queue.pop_front();
         self.current
     }

@@ -77,4 +77,22 @@ mod tests {
         let pkt = Packet::request(RequestId(1), FlowId(1), 1500, SimTime::ZERO);
         assert_eq!(link.delay(&pkt), SimDuration::ZERO);
     }
+
+    #[test]
+    fn delay_is_base_plus_linear_serialization() {
+        let link = LinkModel {
+            base: SimDuration::from_micros(7),
+            per_byte: SimDuration::from_nanos(3),
+        };
+        let zero = Packet::request(RequestId(1), FlowId(1), 0, SimTime::ZERO);
+        assert_eq!(link.delay(&zero), SimDuration::from_micros(7));
+        let big = Packet::request(RequestId(2), FlowId(1), 9000, SimTime::ZERO);
+        assert_eq!(
+            link.delay(&big),
+            SimDuration::from_micros(7) + SimDuration::from_nanos(27_000)
+        );
+        // Delay depends on size alone, not kind.
+        let resp = Packet::response_to(&big, 9000);
+        assert_eq!(link.delay(&resp), link.delay(&big));
+    }
 }

@@ -1,13 +1,12 @@
 //! Packets, requests, and flows.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use std::fmt;
 
 /// Globally unique id of an application-level request. Responses
 /// carry the id of the request they answer, which is how the client
 /// measures end-to-end latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(pub u64);
 
 impl fmt::Display for RequestId {
@@ -18,11 +17,11 @@ impl fmt::Display for RequestId {
 
 /// A transport flow (client connection). RSS hashes the flow id to
 /// pick the Rx queue, so all packets of one connection hit one core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u64);
 
 /// What a packet carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketKind {
     /// A client request (Rx at the server).
     Request,
@@ -35,7 +34,7 @@ pub enum PacketKind {
 }
 
 /// A network packet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// The request this packet belongs to.
     pub id: RequestId,
@@ -105,5 +104,16 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(RequestId(3).to_string(), "req3");
+    }
+
+    #[test]
+    fn ack_rides_the_reference_flow() {
+        let req = Packet::request(RequestId(7), FlowId(2), 512, SimTime::from_micros(11));
+        let ack = Packet::ack_on(&req);
+        assert_eq!(ack.kind, PacketKind::Ack);
+        assert_eq!(ack.id, req.id);
+        assert_eq!(ack.flow, req.flow, "ACK must hash to the same RSS queue");
+        assert_eq!(ack.client_sent_at, req.client_sent_at);
+        assert_eq!(ack.size_bytes, 64, "ACKs are minimum-size frames");
     }
 }

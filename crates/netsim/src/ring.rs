@@ -92,6 +92,11 @@ impl<T> DescRing<T> {
         self.capacity
     }
 
+    /// Iterates over queued items, oldest first, without consuming.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
     /// Items dropped due to overflow since creation.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -143,5 +148,44 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = DescRing::<u8>::new(0);
+    }
+
+    #[test]
+    fn wrap_around_at_capacity_preserves_order_and_counts() {
+        // Cycle the ring through many fill/drain rounds so the head
+        // wraps the backing buffer repeatedly; FIFO order and the
+        // lifetime counters must survive every wrap.
+        let mut r = DescRing::new(4);
+        let mut next = 0u32;
+        let mut expect_pop = 0u32;
+        for round in 0..25 {
+            while !r.is_full() {
+                r.push(next).unwrap();
+                next += 1;
+            }
+            // Overflow while full is a tail drop, never a displacement.
+            assert_eq!(r.push(u32::MAX), Err(u32::MAX));
+            let drain = 1 + (round % 4);
+            for _ in 0..drain {
+                assert_eq!(r.pop(), Some(expect_pop));
+                expect_pop += 1;
+            }
+        }
+        assert_eq!(r.total_enqueued(), u64::from(next));
+        assert_eq!(r.dropped(), 25);
+        let queued: Vec<u32> = r.iter().copied().collect();
+        let expect: Vec<u32> = (expect_pop..next).collect();
+        assert_eq!(queued, expect, "iter sees exactly the in-flight window");
+        assert_eq!(r.len(), queued.len());
+    }
+
+    #[test]
+    fn iter_does_not_consume() {
+        let mut r = DescRing::new(3);
+        r.push('x').unwrap();
+        r.push('y').unwrap();
+        assert_eq!(r.iter().count(), 2);
+        assert_eq!(r.iter().count(), 2);
+        assert_eq!(r.pop(), Some('x'));
     }
 }

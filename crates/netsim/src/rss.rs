@@ -79,7 +79,10 @@ mod tests {
         let expect = flows as f64 / 8.0;
         for (q, &c) in counts.iter().enumerate() {
             let dev = (c as f64 - expect).abs() / expect;
-            assert!(dev < 0.05, "queue {q} holds {c} flows ({dev:.3} off uniform)");
+            assert!(
+                dev < 0.05,
+                "queue {q} holds {c} flows ({dev:.3} off uniform)"
+            );
         }
     }
 
@@ -95,5 +98,55 @@ mod tests {
     #[should_panic(expected = "at least one queue")]
     fn zero_queues_rejected() {
         let _ = RssHasher::new(0);
+    }
+
+    #[test]
+    fn structured_key_patterns_do_not_skew() {
+        // Real flow-id populations are rarely dense integers: ephemeral
+        // ports stride by small constants, and ids often share a queue
+        // count as a factor. A weak hash (e.g. identity + modulo) would
+        // alias such patterns onto a subset of queues; the mixer must
+        // keep every pattern near uniform.
+        fn check_pattern(name: &str, gen: fn(u64) -> u64) {
+            let rss = RssHasher::new(8);
+            let mut counts = [0u32; 8];
+            let flows = 8_000;
+            for i in 0..flows {
+                counts[rss.queue_for(FlowId(gen(i))).0] += 1;
+            }
+            let expect = flows as f64 / 8.0;
+            for (q, &c) in counts.iter().enumerate() {
+                let dev = (c as f64 - expect).abs() / expect;
+                assert!(
+                    dev < 0.10,
+                    "pattern '{name}': queue {q} holds {c} ({dev:.3} off)"
+                );
+            }
+        }
+        check_pattern("multiples of queue count", |i| i * 8);
+        check_pattern("stride 4096", |i| 1_000_000 + i * 4096);
+        check_pattern("high-bit flows", |i| (1 << 60) | i);
+    }
+
+    #[test]
+    fn non_power_of_two_queue_counts_stay_uniform() {
+        // Modulo by a non-power-of-two adds its own bias term; with a
+        // 64-bit mixed key the bias is ~queues/2^64 — unobservable.
+        for queues in [3usize, 5, 7] {
+            let rss = RssHasher::new(queues);
+            let mut counts = vec![0u32; queues];
+            let flows = 21_000;
+            for f in 0..flows {
+                counts[rss.queue_for(FlowId(f)).0] += 1;
+            }
+            let expect = flows as f64 / queues as f64;
+            for (q, &c) in counts.iter().enumerate() {
+                let dev = (c as f64 - expect).abs() / expect;
+                assert!(
+                    dev < 0.05,
+                    "{queues} queues: queue {q} holds {c} ({dev:.3} off)"
+                );
+            }
+        }
     }
 }

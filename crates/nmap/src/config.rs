@@ -1,6 +1,5 @@
 //! NMAP configuration: the two thresholds and the monitor timer.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 /// NMAP tunables (§4.2, §6.1).
@@ -8,7 +7,7 @@ use simcore::SimDuration;
 /// The thresholds are per-application, obtained by the offline
 /// profiling of [`ThresholdProfiler`](crate::ThresholdProfiler); they
 /// do **not** need re-tuning when the load level changes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NmapConfig {
     /// `NI_TH`: polling-mode packets within one interrupt episode
     /// above which the core enters Network Intensive Mode

@@ -123,7 +123,10 @@ mod tests {
         let mut e = DecisionEngine::new(1.5);
         e.on_notification(SimTime::ZERO);
         assert!(!e.on_timer(2.0, SimTime::from_millis(10)), "still intense");
-        assert!(!e.on_timer(1.5, SimTime::from_millis(20)), "at threshold: hold");
+        assert!(
+            !e.on_timer(1.5, SimTime::from_millis(20)),
+            "at threshold: hold"
+        );
         assert!(e.on_timer(1.49, SimTime::from_millis(30)));
         assert_eq!(e.mode(), PowerMode::CpuUtilization);
     }
@@ -131,7 +134,10 @@ mod tests {
     #[test]
     fn timer_in_cpu_mode_is_a_noop() {
         let mut e = DecisionEngine::new(1.5);
-        assert!(!e.on_timer(100.0, SimTime::ZERO), "ratio only matters in NI mode");
+        assert!(
+            !e.on_timer(100.0, SimTime::ZERO),
+            "ratio only matters in NI mode"
+        );
         assert_eq!(e.mode(), PowerMode::CpuUtilization);
     }
 
@@ -149,6 +155,9 @@ mod tests {
         e.on_notification(SimTime::from_millis(1));
         e.on_timer(0.0, SimTime::from_millis(20));
         let modes: Vec<PowerMode> = e.mode_log().iter().map(|&(_, m)| m).collect();
-        assert_eq!(modes, vec![PowerMode::NetworkIntensive, PowerMode::CpuUtilization]);
+        assert_eq!(
+            modes,
+            vec![PowerMode::NetworkIntensive, PowerMode::CpuUtilization]
+        );
     }
 }

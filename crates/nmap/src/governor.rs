@@ -35,7 +35,9 @@ impl NmapGovernor {
             monitors: (0..cores)
                 .map(|_| ModeTransitionMonitor::new(config.ni_threshold))
                 .collect(),
-            engines: (0..cores).map(|_| DecisionEngine::new(config.cu_threshold)).collect(),
+            engines: (0..cores)
+                .map(|_| DecisionEngine::new(config.cu_threshold))
+                .collect(),
             fallback: Ondemand::new(table, cores),
             last_busy: vec![0.0; cores],
             config,
@@ -147,11 +149,29 @@ mod tests {
     fn burst_maximizes_vf_immediately() {
         let mut g = nmap();
         let mut actions = Vec::new();
-        g.on_poll_batch(CoreId(0), PollClass::Interrupt, 64, SimTime::ZERO, &mut actions);
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Interrupt,
+            64,
+            SimTime::ZERO,
+            &mut actions,
+        );
         assert!(actions.is_empty());
-        g.on_poll_batch(CoreId(0), PollClass::Polling, 64, SimTime::from_micros(50), &mut actions);
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Polling,
+            64,
+            SimTime::from_micros(50),
+            &mut actions,
+        );
         assert!(actions.is_empty(), "64 ≤ NI_TH=100");
-        g.on_poll_batch(CoreId(0), PollClass::Polling, 64, SimTime::from_micros(100), &mut actions);
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Polling,
+            64,
+            SimTime::from_micros(100),
+            &mut actions,
+        );
         assert_eq!(
             actions,
             vec![Action::SetCore(CoreId(0), PState::P0)],
@@ -164,11 +184,28 @@ mod tests {
     fn stays_maximized_while_ratio_high() {
         let mut g = nmap();
         let mut actions = Vec::new();
-        g.on_poll_batch(CoreId(0), PollClass::Interrupt, 10, SimTime::ZERO, &mut actions);
-        g.on_poll_batch(CoreId(0), PollClass::Polling, 200, SimTime::from_micros(50), &mut actions);
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Interrupt,
+            10,
+            SimTime::ZERO,
+            &mut actions,
+        );
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Polling,
+            200,
+            SimTime::from_micros(50),
+            &mut actions,
+        );
         actions.clear();
         // Timer: ratio 200/10 = 20 ≥ CU_TH → hold NI mode, re-assert P0.
-        g.on_core_sample(CoreId(0), sample(0.5), SimTime::from_millis(10), &mut actions);
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.5),
+            SimTime::from_millis(10),
+            &mut actions,
+        );
         assert_eq!(actions, vec![Action::SetCore(CoreId(0), PState::P0)]);
         assert_eq!(g.mode(CoreId(0)), PowerMode::NetworkIntensive);
     }
@@ -178,19 +215,55 @@ mod tests {
         let mut g = nmap();
         let mut actions = Vec::new();
         // Enter NI mode.
-        g.on_poll_batch(CoreId(0), PollClass::Interrupt, 10, SimTime::ZERO, &mut actions);
-        g.on_poll_batch(CoreId(0), PollClass::Polling, 200, SimTime::from_micros(50), &mut actions);
-        g.on_core_sample(CoreId(0), sample(0.9), SimTime::from_millis(10), &mut actions);
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Interrupt,
+            10,
+            SimTime::ZERO,
+            &mut actions,
+        );
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Polling,
+            200,
+            SimTime::from_micros(50),
+            &mut actions,
+        );
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.9),
+            SimTime::from_millis(10),
+            &mut actions,
+        );
         actions.clear();
         // Next window: mostly interrupt-mode traffic → ratio under CU_TH.
-        g.on_poll_batch(CoreId(0), PollClass::Interrupt, 100, SimTime::from_millis(12), &mut actions);
-        g.on_poll_batch(CoreId(0), PollClass::Polling, 20, SimTime::from_millis(13), &mut actions);
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Interrupt,
+            100,
+            SimTime::from_millis(12),
+            &mut actions,
+        );
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Polling,
+            20,
+            SimTime::from_millis(13),
+            &mut actions,
+        );
         actions.clear();
-        g.on_core_sample(CoreId(0), sample(0.1), SimTime::from_millis(20), &mut actions);
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.1),
+            SimTime::from_millis(20),
+            &mut actions,
+        );
         assert_eq!(g.mode(CoreId(0)), PowerMode::CpuUtilization);
         // The fallback enforcement is an ondemand decision, not P0.
         assert_eq!(actions.len(), 1);
-        let Action::SetCore(c, p) = actions[0] else { panic!() };
+        let Action::SetCore(c, p) = actions[0] else {
+            panic!()
+        };
         assert_eq!(c, CoreId(0));
         assert_ne!(p, PState::P0, "low load must not stay at P0");
     }
@@ -203,15 +276,29 @@ mod tests {
         let mut last = PState::new(15);
         for i in 0..4 {
             let mut actions = Vec::new();
-            g.on_core_sample(CoreId(2), sample(0.97), SimTime::from_millis(10 * (i + 1)), &mut actions);
-            let Action::SetCore(_, p) = actions[0] else { panic!() };
+            g.on_core_sample(
+                CoreId(2),
+                sample(0.97),
+                SimTime::from_millis(10 * (i + 1)),
+                &mut actions,
+            );
+            let Action::SetCore(_, p) = actions[0] else {
+                panic!()
+            };
             assert!(p.is_faster_than(last));
             last = p;
         }
         assert_eq!(last, PState::P0);
         let mut actions = Vec::new();
-        g.on_core_sample(CoreId(3), sample(0.0), SimTime::from_millis(10), &mut actions);
-        let Action::SetCore(_, p) = actions[0] else { panic!() };
+        g.on_core_sample(
+            CoreId(3),
+            sample(0.0),
+            SimTime::from_millis(10),
+            &mut actions,
+        );
+        let Action::SetCore(_, p) = actions[0] else {
+            panic!()
+        };
         assert_ne!(p, PState::P0);
     }
 
@@ -219,8 +306,20 @@ mod tests {
     fn cores_transition_independently() {
         let mut g = nmap();
         let mut actions = Vec::new();
-        g.on_poll_batch(CoreId(1), PollClass::Interrupt, 10, SimTime::ZERO, &mut actions);
-        g.on_poll_batch(CoreId(1), PollClass::Polling, 500, SimTime::from_micros(1), &mut actions);
+        g.on_poll_batch(
+            CoreId(1),
+            PollClass::Interrupt,
+            10,
+            SimTime::ZERO,
+            &mut actions,
+        );
+        g.on_poll_batch(
+            CoreId(1),
+            PollClass::Polling,
+            500,
+            SimTime::from_micros(1),
+            &mut actions,
+        );
         assert_eq!(g.mode(CoreId(1)), PowerMode::NetworkIntensive);
         assert_eq!(g.mode(CoreId(0)), PowerMode::CpuUtilization);
         assert_eq!(g.mode(CoreId(7)), PowerMode::CpuUtilization);
@@ -231,13 +330,35 @@ mod tests {
         // Ratio of an empty window is 0 < CU_TH: the burst is over.
         let mut g = nmap();
         let mut actions = Vec::new();
-        g.on_poll_batch(CoreId(0), PollClass::Interrupt, 10, SimTime::ZERO, &mut actions);
-        g.on_poll_batch(CoreId(0), PollClass::Polling, 500, SimTime::from_micros(1), &mut actions);
-        g.on_core_sample(CoreId(0), sample(0.9), SimTime::from_millis(10), &mut actions);
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Interrupt,
+            10,
+            SimTime::ZERO,
+            &mut actions,
+        );
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Polling,
+            500,
+            SimTime::from_micros(1),
+            &mut actions,
+        );
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.9),
+            SimTime::from_millis(10),
+            &mut actions,
+        );
         assert_eq!(g.mode(CoreId(0)), PowerMode::NetworkIntensive);
         actions.clear();
         // No traffic at all in the next window.
-        g.on_core_sample(CoreId(0), sample(0.0), SimTime::from_millis(20), &mut actions);
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.0),
+            SimTime::from_millis(20),
+            &mut actions,
+        );
         assert_eq!(g.mode(CoreId(0)), PowerMode::CpuUtilization);
     }
 }

@@ -142,7 +142,10 @@ mod tests {
     fn notification_on_crossing_threshold() {
         let mut m = ModeTransitionMonitor::new(100);
         m.record_batch(PollClass::Interrupt, 64);
-        assert!(!m.record_batch(PollClass::Polling, 100), "exactly at NI_TH: no");
+        assert!(
+            !m.record_batch(PollClass::Polling, 100),
+            "exactly at NI_TH: no"
+        );
         assert!(m.record_batch(PollClass::Polling, 1), "past NI_TH: yes");
         assert_eq!(m.total_notifications(), 1);
     }

@@ -20,8 +20,8 @@
 //! NMAP's 10 ms dynamics are unaffected within a burst.
 
 use crate::config::NmapConfig;
-use crate::governor::NmapGovernor;
 use crate::engine::PowerMode;
+use crate::governor::NmapGovernor;
 use cpusim::core::UtilSample;
 use cpusim::pstate::PStateTable;
 use cpusim::CoreId;
@@ -152,7 +152,8 @@ impl PStateGovernor for OnlineNmap {
                 self.window_poll += rx_packets;
             }
         }
-        self.inner.on_poll_batch(core, class, rx_packets, now, actions);
+        self.inner
+            .on_poll_batch(core, class, rx_packets, now, actions);
     }
 
     fn on_core_sample(
@@ -235,12 +236,28 @@ mod tests {
         // Window ratio: 100 polling / 50 interrupt = 2.0.
         let mut actions = Vec::new();
         for i in 0..5 {
-            g.on_poll_batch(CoreId(0), PollClass::Interrupt, 10, SimTime::from_millis(i), &mut actions);
-            g.on_poll_batch(CoreId(0), PollClass::Polling, 20, SimTime::from_millis(i), &mut actions);
+            g.on_poll_batch(
+                CoreId(0),
+                PollClass::Interrupt,
+                10,
+                SimTime::from_millis(i),
+                &mut actions,
+            );
+            g.on_poll_batch(
+                CoreId(0),
+                PollClass::Polling,
+                20,
+                SimTime::from_millis(i),
+                &mut actions,
+            );
         }
         g.on_core_sample(CoreId(0), sample(), SimTime::from_secs(1), &mut actions);
         let cfg = g.current_config();
-        assert!((cfg.cu_threshold - 1.0).abs() < 1e-9, "2.0 · 0.5 = 1.0, got {}", cfg.cu_threshold);
+        assert!(
+            (cfg.cu_threshold - 1.0).abs() < 1e-9,
+            "2.0 · 0.5 = 1.0, got {}",
+            cfg.cu_threshold
+        );
     }
 
     #[test]
@@ -253,7 +270,13 @@ mod tests {
         }
         // …then a giant burst, which flips core 0 into NI mode
         // (seed NI_TH = 64) so its episodes stop counting as normal.
-        g.on_poll_batch(CoreId(0), PollClass::Polling, 100_000, SimTime::from_millis(50), &mut actions);
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Polling,
+            100_000,
+            SimTime::from_millis(50),
+            &mut actions,
+        );
         feed_episode(&mut g, CoreId(0), 90_000, SimTime::from_millis(60));
         g.on_core_sample(CoreId(0), sample(), SimTime::from_secs(1), &mut actions);
         let cfg = g.current_config();

@@ -149,7 +149,10 @@ mod tests {
             p.record_batch(CoreId(0), PollClass::Interrupt, 1);
             p.record_batch(CoreId(0), PollClass::Polling, 10);
         }
-        assert_eq!(p.episodes_observed(CoreId(0)), ThresholdProfiler::EPISODE_LIMIT);
+        assert_eq!(
+            p.episodes_observed(CoreId(0)),
+            ThresholdProfiler::EPISODE_LIMIT
+        );
         // …then a huge one (episode 102, beyond the limit, but still
         // open — open episodes only count until a new interrupt closes
         // them past the cap).

@@ -52,7 +52,13 @@ impl PStateGovernor for NmapSimpl {
         SimDuration::from_millis(10)
     }
 
-    fn on_ksoftirqd(&mut self, core: CoreId, awake: bool, _now: SimTime, actions: &mut Vec<Action>) {
+    fn on_ksoftirqd(
+        &mut self,
+        core: CoreId,
+        awake: bool,
+        _now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
         let was = self.ksoftirqd_awake[core.0];
         self.ksoftirqd_awake[core.0] = awake;
         if awake && !was {
@@ -125,8 +131,15 @@ mod tests {
         g.on_ksoftirqd(CoreId(0), true, SimTime::ZERO, &mut actions);
         g.on_ksoftirqd(CoreId(0), false, SimTime::from_millis(5), &mut actions);
         actions.clear();
-        g.on_core_sample(CoreId(0), sample(0.05), SimTime::from_millis(10), &mut actions);
-        let Action::SetCore(_, p) = actions[0] else { panic!() };
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.05),
+            SimTime::from_millis(10),
+            &mut actions,
+        );
+        let Action::SetCore(_, p) = actions[0] else {
+            panic!()
+        };
         assert_ne!(p, PState::P0, "ondemand resumed on low load");
     }
 
@@ -136,7 +149,12 @@ mod tests {
         let mut actions = Vec::new();
         g.on_ksoftirqd(CoreId(0), true, SimTime::ZERO, &mut actions);
         actions.clear();
-        g.on_core_sample(CoreId(0), sample(0.05), SimTime::from_millis(10), &mut actions);
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.05),
+            SimTime::from_millis(10),
+            &mut actions,
+        );
         assert_eq!(actions, vec![Action::SetCore(CoreId(0), PState::P0)]);
     }
 
@@ -148,8 +166,15 @@ mod tests {
         assert!(g.is_boosted(CoreId(3)));
         assert!(!g.is_boosted(CoreId(0)));
         actions.clear();
-        g.on_core_sample(CoreId(0), sample(0.0), SimTime::from_millis(10), &mut actions);
-        let Action::SetCore(_, p) = actions[0] else { panic!() };
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.0),
+            SimTime::from_millis(10),
+            &mut actions,
+        );
+        let Action::SetCore(_, p) = actions[0] else {
+            panic!()
+        };
         assert_ne!(p, PState::P0);
     }
 }

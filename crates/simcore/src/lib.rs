@@ -24,12 +24,15 @@
 //! assert_eq!(sim.now(), SimTime::from_micros(100));
 //! ```
 
+pub mod audit;
+pub mod check;
 pub mod engine;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use audit::{Account, AuditCheck, AuditReport, ConservationLedger};
 pub use engine::{EventId, Simulator};
 pub use rng::RngStream;
 pub use stats::cdf::Cdf;

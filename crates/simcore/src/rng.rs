@@ -7,10 +7,13 @@
 //! which the experiment harness relies on for paper-figure
 //! regeneration.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// A named, seeded random stream.
+///
+/// Internally a xoshiro256++ generator (the same family `rand`'s
+/// `SmallRng` uses on 64-bit targets), seeded through splitmix64 so
+/// that even adjacent seeds produce decorrelated streams. The
+/// implementation is local to keep the simulator free of external
+/// dependencies and bit-stable across toolchain upgrades.
 ///
 /// # Examples
 ///
@@ -24,14 +27,29 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct RngStream {
-    rng: SmallRng,
+    state: [u64; 4],
+}
+
+/// splitmix64 step — expands a 64-bit seed into the xoshiro state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl RngStream {
     /// Creates a stream directly from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
+        let mut s = seed;
         RngStream {
-            rng: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
@@ -57,14 +75,23 @@ impl RngStream {
         Self::from_seed(h)
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.rng.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)`, from the top 53 bits of one draw.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -84,7 +111,16 @@ impl RngStream {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is empty");
-        self.rng.gen_range(0..n)
+        // Debiased multiply-shift (Lemire): rejection keeps the
+        // distribution exactly uniform for any n.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Bernoulli trial with probability `p` of `true`.
@@ -143,7 +179,10 @@ impl RngStream {
     ///
     /// Panics if `xm` or `alpha` is not positive.
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         xm / (1.0 - self.uniform()).powf(1.0 / alpha)
     }
 }

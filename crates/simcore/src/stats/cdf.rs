@@ -6,7 +6,6 @@
 //! bounded experiment windows; use the histogram for long runs.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A builder/holder for an exact empirical distribution.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cdf.fraction_at_or_below(4), 0.8);
 /// assert_eq!(cdf.quantile(0.5), 3);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Cdf {
     samples: Vec<u64>,
     sorted: bool,

@@ -8,7 +8,6 @@
 //! staying allocation-free after construction.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 const SUB_BITS: u32 = 6;
 const SUB_COUNT: usize = 1 << SUB_BITS;
@@ -30,7 +29,7 @@ const BLOCKS: usize = 64 - SUB_BITS as usize + 1;
 /// let p50 = h.value_at_quantile(0.50);
 /// assert!((490..=515).contains(&p50), "p50 was {p50}");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -279,14 +278,22 @@ mod tests {
 
     #[test]
     fn index_value_roundtrip_error_bounded() {
-        for &v in &[1u64, 63, 64, 65, 100, 1_000, 123_456, 1_000_000, u32::MAX as u64, 1 << 40] {
+        for &v in &[
+            1u64,
+            63,
+            64,
+            65,
+            100,
+            1_000,
+            123_456,
+            1_000_000,
+            u32::MAX as u64,
+            1 << 40,
+        ] {
             let idx = Histogram::index_of(v);
             let rep = Histogram::value_of(idx);
             assert!(rep <= v, "representative must not exceed value");
-            assert!(
-                relative_error(rep, v) < 1.0 / 32.0,
-                "v={v} rep={rep}"
-            );
+            assert!(relative_error(rep, v) < 1.0 / 32.0, "v={v} rep={rep}");
         }
     }
 

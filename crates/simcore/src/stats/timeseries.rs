@@ -3,7 +3,6 @@
 //! ksoftirqd wake-up marks).
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// An append-only series of `(time, value)` points.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let bins = ts.binned_sum(SimTime::ZERO, SimTime::from_millis(4), SimDuration::from_millis(1));
 /// assert_eq!(bins, vec![0.0, 2.0, 0.0, 4.0]);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
 }
@@ -64,7 +63,10 @@ impl TimeSeries {
     pub fn binned_sum(&self, start: SimTime, end: SimTime, width: SimDuration) -> Vec<f64> {
         assert!(!width.is_zero(), "bin width must be positive");
         assert!(end >= start, "window must be non-negative");
-        let nbins = end.saturating_since(start).as_nanos().div_ceil(width.as_nanos());
+        let nbins = end
+            .saturating_since(start)
+            .as_nanos()
+            .div_ceil(width.as_nanos());
         let mut bins = vec![0.0; nbins as usize];
         for &(t, v) in &self.points {
             if t >= start && t < end {
@@ -82,8 +84,10 @@ impl TimeSeries {
     pub fn binned_count(&self, start: SimTime, end: SimTime, width: SimDuration) -> Vec<u64> {
         assert!(!width.is_zero(), "bin width must be positive");
         assert!(end >= start, "window must be non-negative");
-        let nbins =
-            end.saturating_since(start).as_nanos().div_ceil(width.as_nanos());
+        let nbins = end
+            .saturating_since(start)
+            .as_nanos()
+            .div_ceil(width.as_nanos());
         let mut bins = vec![0u64; nbins as usize];
         for &(t, _) in &self.points {
             if t >= start && t < end {
@@ -183,7 +187,9 @@ mod tests {
 
     #[test]
     fn binned_count_counts_points() {
-        let ts: TimeSeries = [(ms(0), 9.0), (ms(0), 9.0), (ms(2), 9.0)].into_iter().collect();
+        let ts: TimeSeries = [(ms(0), 9.0), (ms(0), 9.0), (ms(2), 9.0)]
+            .into_iter()
+            .collect();
         let counts = ts.binned_count(ms(0), ms(3), SimDuration::from_millis(1));
         assert_eq!(counts, vec![2, 0, 1]);
     }

@@ -6,7 +6,6 @@
 //! the full range the paper needs — from the NIC's 10 µs interrupt
 //! moderation window up to multi-second experiment runs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
@@ -21,7 +20,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 /// let t = SimTime::ZERO + SimDuration::from_millis(3);
 /// assert_eq!(t.as_micros(), 3_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of virtual time in nanoseconds.
@@ -32,7 +31,7 @@ pub struct SimTime(u64);
 /// use simcore::SimDuration;
 /// assert_eq!(SimDuration::from_micros(10) * 3, SimDuration::from_micros(30));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -126,7 +125,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or NaN.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs >= 0.0 && secs.is_finite(), "duration must be non-negative and finite");
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "duration must be non-negative and finite"
+        );
         SimDuration((secs * 1e9).round().min(u64::MAX as f64) as u64)
     }
 
@@ -137,7 +139,10 @@ impl SimDuration {
     ///
     /// Panics if `micros` is negative or NaN.
     pub fn from_micros_f64(micros: f64) -> Self {
-        assert!(micros >= 0.0 && micros.is_finite(), "duration must be non-negative and finite");
+        assert!(
+            micros >= 0.0 && micros.is_finite(),
+            "duration must be non-negative and finite"
+        );
         SimDuration((micros * 1e3).round().min(u64::MAX as f64) as u64)
     }
 
@@ -183,7 +188,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor >= 0.0 && factor.is_finite(), "factor must be non-negative and finite");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "factor must be non-negative and finite"
+        );
         SimDuration((self.0 as f64 * factor).round().min(u64::MAX as f64) as u64)
     }
 }

@@ -5,7 +5,6 @@
 //! times the paper's timeline figures (Fig 2, 7, 9) plot as marks.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// An append-only log of timestamped markers.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(log.len(), 2);
 /// assert_eq!(log.iter().next().unwrap().1, "wake");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventLog<T> {
     entries: Vec<(SimTime, T)>,
 }
@@ -33,7 +32,9 @@ impl<T> Default for EventLog<T> {
 impl<T> EventLog<T> {
     /// Creates an empty log.
     pub fn new() -> Self {
-        EventLog { entries: Vec::new() }
+        EventLog {
+            entries: Vec::new(),
+        }
     }
 
     /// Appends a marker at time `t`.
@@ -63,7 +64,9 @@ impl<T> EventLog<T> {
 
     /// Entries with time in `[start, end)`.
     pub fn window(&self, start: SimTime, end: SimTime) -> impl Iterator<Item = &(SimTime, T)> {
-        self.entries.iter().filter(move |(t, _)| *t >= start && *t < end)
+        self.entries
+            .iter()
+            .filter(move |(t, _)| *t >= start && *t < end)
     }
 
     /// Number of markers per fixed-width bin over `[start, end)`.
@@ -74,8 +77,10 @@ impl<T> EventLog<T> {
     pub fn binned_count(&self, start: SimTime, end: SimTime, width: SimDuration) -> Vec<u64> {
         assert!(!width.is_zero(), "bin width must be positive");
         assert!(end >= start, "window must be non-negative");
-        let nbins =
-            end.saturating_since(start).as_nanos().div_ceil(width.as_nanos());
+        let nbins = end
+            .saturating_since(start)
+            .as_nanos()
+            .div_ceil(width.as_nanos());
         let mut bins = vec![0u64; nbins as usize];
         for (t, _) in &self.entries {
             if *t >= start && *t < end {

@@ -84,7 +84,10 @@ impl BurstyArrivals {
     pub fn new(peak_rps: f64, period: SimDuration, duty: f64, ramp_frac: f64) -> Self {
         assert!(peak_rps > 0.0, "peak rate must be positive");
         assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1]");
-        assert!((0.0..1.0).contains(&ramp_frac), "ramp_frac must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&ramp_frac),
+            "ramp_frac must be in [0, 1)"
+        );
         assert!(!period.is_zero(), "period must be positive");
         BurstyArrivals {
             peak_rps,
@@ -184,8 +187,7 @@ mod tests {
 
     #[test]
     fn bursty_average_rate_converges() {
-        let mut a =
-            BurstyArrivals::from_average(50_000.0, SimDuration::from_millis(100), 0.4, 0.3);
+        let mut a = BurstyArrivals::from_average(50_000.0, SimDuration::from_millis(100), 0.4, 0.3);
         let mut rng = RngStream::from_seed(5);
         let mut t = SimTime::ZERO;
         let mut n = 0u64;
@@ -247,7 +249,8 @@ mod tests {
 
     #[test]
     fn arrivals_strictly_advance() {
-        let mut a = BurstyArrivals::from_average(500_000.0, SimDuration::from_millis(100), 0.75, 0.3);
+        let mut a =
+            BurstyArrivals::from_average(500_000.0, SimDuration::from_millis(100), 0.75, 0.3);
         let mut rng = RngStream::from_seed(11);
         let mut t = SimTime::ZERO;
         for _ in 0..10_000 {

@@ -10,12 +10,11 @@
 //! only, high overloading everything below ~P4 while fitting P0.
 
 use crate::arrivals::BurstyArrivals;
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 use std::fmt;
 
 /// Which latency-critical application is being driven.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppKind {
     /// memcached: µs-scale in-memory key-value store, SLO 1 ms.
     Memcached,
@@ -33,7 +32,7 @@ impl fmt::Display for AppKind {
 }
 
 /// The paper's three load levels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LoadLevel {
     /// 30K RPS memcached / 18K RPS nginx.
     Low,
@@ -61,7 +60,7 @@ impl fmt::Display for LoadLevel {
 }
 
 /// A fully specified offered load.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadSpec {
     /// Average requests per second across the whole server.
     pub avg_rps: f64,
@@ -129,8 +128,14 @@ mod tests {
             LoadSpec::preset(AppKind::Memcached, LoadLevel::Low).avg_rps,
             30_000.0
         );
-        assert_eq!(LoadSpec::preset(AppKind::Nginx, LoadLevel::Medium).avg_rps, 48_000.0);
-        assert_eq!(LoadSpec::preset(AppKind::Nginx, LoadLevel::High).avg_rps, 56_000.0);
+        assert_eq!(
+            LoadSpec::preset(AppKind::Nginx, LoadLevel::Medium).avg_rps,
+            48_000.0
+        );
+        assert_eq!(
+            LoadSpec::preset(AppKind::Nginx, LoadLevel::High).avg_rps,
+            56_000.0
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@ use experiments::{run, thresholds, GovernorKind, RunConfig, Scale};
 use workload::{AppKind, LoadLevel, LoadSpec};
 
 fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "nmap_traces".into());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "nmap_traces".into());
     let which = std::env::args().nth(2).unwrap_or_else(|| "nmap".into());
     let app = AppKind::Memcached;
     let gov = match which.as_str() {
@@ -19,8 +21,13 @@ fn main() {
         "online" => GovernorKind::NmapOnline,
         _ => GovernorKind::Nmap(thresholds::nmap_config(app)),
     };
-    let cfg = RunConfig::new(app, LoadSpec::preset(app, LoadLevel::High), gov, Scale::Quick)
-        .with_traces();
+    let cfg = RunConfig::new(
+        app,
+        LoadSpec::preset(app, LoadLevel::High),
+        gov,
+        Scale::Quick,
+    )
+    .with_traces();
     let result = run(cfg);
     experiments::export::write_traces_csv(&result, &dir).expect("write CSVs");
     println!(

@@ -45,7 +45,11 @@ fn main() {
             r.frac_above_slo * 100.0,
             r.avg_power_w,
             r.dvfs_transitions,
-            if r.meets_slo() { "meets SLO" } else { "VIOLATES" },
+            if r.meets_slo() {
+                "meets SLO"
+            } else {
+                "VIOLATES"
+            },
         );
     }
     println!("\nNMAP should meet the SLO at a fraction of performance's power —");

@@ -18,15 +18,23 @@ fn main() {
         "performance" => GovernorKind::Performance,
         _ => GovernorKind::Ondemand,
     };
-    let cfg = RunConfig::new(app, LoadSpec::preset(app, LoadLevel::High), gov, Scale::Quick)
-        .with_traces();
+    let cfg = RunConfig::new(
+        app,
+        LoadSpec::preset(app, LoadLevel::High),
+        gov,
+        Scale::Quick,
+    )
+    .with_traces();
     let (r, _tb) = runner::run_with_testbed(cfg, |_, _| {});
     let t = r.traces.as_ref().unwrap();
     println!(
         "memcached @ high load under {} — core 0, one 100 ms burst period\n",
         r.governor
     );
-    println!("{:>4} {:>7} {:>10} {:>10} {:>6}", "ms", "pstate", "intr_pkts", "poll_pkts", "wakes");
+    println!(
+        "{:>4} {:>7} {:>10} {:>10} {:>6}",
+        "ms", "pstate", "intr_pkts", "poll_pkts", "wakes"
+    );
     let start = t.measure_start;
     let bin = SimDuration::from_millis(1);
     let mut pstate = 15u8;
@@ -43,7 +51,10 @@ fn main() {
             }
         }
         let sum_in = |log: &[(SimTime, u64)]| -> u64 {
-            log.iter().filter(|&&(tt, _)| tt >= lo && tt < hi).map(|&(_, n)| n).sum()
+            log.iter()
+                .filter(|&&(tt, _)| tt >= lo && tt < hi)
+                .map(|&(_, n)| n)
+                .sum()
         };
         let intr = sum_in(&t.intr_batches_core0);
         let poll = sum_in(&t.poll_batches_core0);
@@ -53,7 +64,10 @@ fn main() {
             .filter(|&&tt| tt >= lo && tt < hi)
             .count();
         let bar = "#".repeat(((intr + poll) / 20).min(40) as usize);
-        println!("{ms:>4} {:>7} {intr:>10} {poll:>10} {wakes:>6}  {bar}", format!("P{pstate}"));
+        println!(
+            "{ms:>4} {:>7} {intr:>10} {poll:>10} {wakes:>6}  {bar}",
+            format!("P{pstate}")
+        );
     }
     println!(
         "\np99 = {}, {} over SLO — try `nmap` vs `ondemand` to see the early boost.",

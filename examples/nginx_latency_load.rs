@@ -11,14 +11,26 @@ use simcore::SimDuration;
 use workload::{AppKind, LoadSpec};
 
 fn main() {
-    let loads = [10_000.0, 20_000.0, 30_000.0, 40_000.0, 48_000.0, 56_000.0, 62_000.0];
+    let loads = [
+        10_000.0, 20_000.0, 30_000.0, 40_000.0, 48_000.0, 56_000.0, 62_000.0,
+    ];
     let mut configs = Vec::new();
     for &rps in &loads {
         // Burstiness grows mild with load, as in the presets.
         let duty = 0.5 + 0.4 * (rps - 10_000.0) / 52_000.0;
         let load = LoadSpec::custom(rps, SimDuration::from_millis(100), duty, 0.3);
-        configs.push(RunConfig::new(AppKind::Nginx, load, GovernorKind::Performance, Scale::Quick));
-        configs.push(RunConfig::new(AppKind::Nginx, load, GovernorKind::Ondemand, Scale::Quick));
+        configs.push(RunConfig::new(
+            AppKind::Nginx,
+            load,
+            GovernorKind::Performance,
+            Scale::Quick,
+        ));
+        configs.push(RunConfig::new(
+            AppKind::Nginx,
+            load,
+            GovernorKind::Ondemand,
+            Scale::Quick,
+        ));
     }
     let results = run_many(configs);
     println!("nginx latency-load curve (P99), SLO = 10 ms\n");

@@ -25,13 +25,22 @@ fn main() {
         // running application's load changes").
         for level in LoadLevel::all() {
             let load = LoadSpec::preset(app, level);
-            let r = run(RunConfig::new(app, load, GovernorKind::Nmap(cfg), Scale::Quick));
+            let r = run(RunConfig::new(
+                app,
+                load,
+                GovernorKind::Nmap(cfg),
+                Scale::Quick,
+            ));
             println!(
                 "    {level:<7} p99 = {:>10}  over-SLO = {:>6}  power = {:>6.1} W  -> {}",
                 experiments::report::fmt_dur(r.p99),
                 experiments::report::fmt_pct(r.frac_above_slo),
                 r.avg_power_w,
-                if r.meets_slo() { "meets SLO" } else { "VIOLATES" },
+                if r.meets_slo() {
+                    "meets SLO"
+                } else {
+                    "VIOLATES"
+                },
             );
         }
         println!();

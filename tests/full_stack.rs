@@ -3,7 +3,7 @@
 //! paper's evaluation rests on.
 
 use appsim::{AppModel, Testbed, TestbedConfig};
-use cpusim::{CState, ProcessorProfile, PState};
+use cpusim::{CState, PState, ProcessorProfile};
 use governors::*;
 use nmap::{NmapConfig, NmapGovernor, NmapSimpl};
 use simcore::{SimDuration, SimTime, Simulator};
@@ -33,9 +33,20 @@ fn every_governor() -> Vec<Box<dyn PStateGovernor>> {
         Box::new(Conservative::new(table.clone(), 8)),
         Box::new(IntelPowersave::new(table.clone(), 8)),
         Box::new(NmapSimpl::new(table.clone(), 8)),
-        Box::new(NmapGovernor::new(table.clone(), 8, NmapConfig::new(32, 1.0))),
-        Box::new(Ncap::new(table.clone(), 8, NcapConfig::with_threshold(50_000.0))),
-        Box::new(Parties::new(table, PartiesConfig::new(SimDuration::from_millis(1)))),
+        Box::new(NmapGovernor::new(
+            table.clone(),
+            8,
+            NmapConfig::new(32, 1.0),
+        )),
+        Box::new(Ncap::new(
+            table.clone(),
+            8,
+            NcapConfig::with_threshold(50_000.0),
+        )),
+        Box::new(Parties::new(
+            table,
+            PartiesConfig::new(SimDuration::from_millis(1)),
+        )),
     ]
 }
 
@@ -99,6 +110,37 @@ fn energy_ordering_performance_vs_powersave() {
 }
 
 #[test]
+fn conservation_ledger_balances_for_every_governor_and_sleep_policy() {
+    // The tentpole audit: for every governor × sleep policy, run the
+    // full stack and require every conservation identity — packets,
+    // energy (within 1e-6 relative), latency samples — to balance,
+    // both mid-flight and with the ledgers still carrying in-flight
+    // work. With the `audit` feature off, audit_report returns None
+    // and the loop degenerates to an end-to-end smoke pass.
+    let sleeps: [fn() -> Box<dyn SleepPolicy>; 3] = [
+        || Box::new(MenuPolicy::new(8)),
+        || Box::new(DisablePolicy::new()),
+        || Box::new(C6OnlyPolicy::new()),
+    ];
+    for make_sleep in sleeps {
+        for governor in every_governor() {
+            let gname = governor.name();
+            let (mut sim, mut tb) = build(governor, make_sleep());
+            let sname = tb.sleep.name();
+            sim.run_until(&mut tb, SimTime::from_millis(150));
+            tb.begin_measurement(sim.now());
+            sim.run_until(&mut tb, SimTime::from_millis(400));
+            if let Some(report) = tb.audit_report(sim.now()) {
+                let violations = report.violations();
+                assert!(violations.is_empty(), "{gname}/{sname}: {violations:?}");
+            } else {
+                assert!(tb.client.received() > 0, "{gname}/{sname}: no traffic");
+            }
+        }
+    }
+}
+
+#[test]
 fn conservation_no_phantom_packets() {
     let (mut sim, mut tb) = build(Box::new(Performance::new()), Box::new(MenuPolicy::new(8)));
     sim.run_until(&mut tb, SimTime::from_millis(500));
@@ -114,7 +156,10 @@ fn conservation_no_phantom_packets() {
         .iter()
         .map(|n| n.total_interrupt_packets() + n.total_polling_packets())
         .sum();
-    assert!(napi_total >= received, "NAPI saw {napi_total} < {received} responses");
+    assert!(
+        napi_total >= received,
+        "NAPI saw {napi_total} < {received} responses"
+    );
 }
 
 #[test]
@@ -136,6 +181,39 @@ fn deterministic_with_seed_distinct_across_seeds() {
 }
 
 #[test]
+fn run_many_matches_serial_for_every_governor_at_quick_scale() {
+    // Determinism across execution strategies: for every governor
+    // kind, one serial `run` and the same config dispatched through
+    // the thread-pool `run_many` must produce byte-identical results.
+    use experiments::{GovernorKind, RunConfig, Scale};
+    let governors = vec![
+        GovernorKind::Performance,
+        GovernorKind::Powersave,
+        GovernorKind::Userspace(7),
+        GovernorKind::Ondemand,
+        GovernorKind::Conservative,
+        GovernorKind::Schedutil,
+        GovernorKind::IntelPowersave,
+        GovernorKind::NmapSimpl,
+        GovernorKind::Nmap(NmapConfig::new(32, 1.0)),
+        GovernorKind::NmapOnline,
+        GovernorKind::Ncap(50_000.0),
+        GovernorKind::NcapMenu(50_000.0),
+        GovernorKind::Parties,
+    ];
+    let configs: Vec<RunConfig> = governors
+        .iter()
+        .map(|&g| RunConfig::new(AppKind::Memcached, small_load(), g, Scale::Quick).with_seed(2024))
+        .collect();
+    let serial: Vec<_> = configs.iter().cloned().map(experiments::run).collect();
+    let parallel = experiments::run_many(configs);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s, p, "{}: parallel run diverged from serial", s.governor);
+    }
+}
+
+#[test]
 fn nmap_full_pipeline_boosts_and_relaxes() {
     let table = ProcessorProfile::xeon_gold_6134().pstates;
     let gov = NmapGovernor::new(table, 8, NmapConfig::new(16, 0.5));
@@ -154,7 +232,12 @@ fn nmap_full_pipeline_boosts_and_relaxes() {
         "never relaxed back below the midpoint"
     );
     // And the cores slept between bursts.
-    assert!(tb.processor.core(cpusim::CoreId(0)).cstate_log().iter().any(|&(_, s)| s == CState::C6));
+    assert!(tb
+        .processor
+        .core(cpusim::CoreId(0))
+        .cstate_log()
+        .iter()
+        .any(|&(_, s)| s == CState::C6));
 }
 
 #[test]

@@ -8,7 +8,12 @@ use simcore::SimDuration;
 use workload::{AppKind, LoadLevel, LoadSpec};
 
 fn cell(app: AppKind, level: LoadLevel, gov: GovernorKind) -> experiments::RunResult {
-    run(RunConfig::new(app, LoadSpec::preset(app, level), gov, Scale::Quick))
+    run(RunConfig::new(
+        app,
+        LoadSpec::preset(app, level),
+        gov,
+        Scale::Quick,
+    ))
 }
 
 #[test]
@@ -33,7 +38,19 @@ fn claim_ondemand_violates_at_medium_and_high_only() {
         let low = cell(app, LoadLevel::Low, GovernorKind::Ondemand);
         assert!(low.meets_slo(), "{app}: ondemand must be fine at low load");
         for level in [LoadLevel::Medium, LoadLevel::High] {
-            let r = cell(app, level, GovernorKind::Ondemand);
+            // The violation cells measure 1.5 s instead of quick
+            // scale's 0.8 s: nginx/medium sits near the SLO boundary
+            // and its p99 needs the longer window to stabilize.
+            let r = run(RunConfig {
+                warmup: SimDuration::from_millis(200),
+                duration: SimDuration::from_millis(1_500),
+                ..RunConfig::new(
+                    app,
+                    LoadSpec::preset(app, level),
+                    GovernorKind::Ondemand,
+                    Scale::Quick,
+                )
+            });
             assert!(
                 !r.meets_slo(),
                 "{app}/{level}: ondemand must violate (p99 {})",
@@ -67,7 +84,11 @@ fn claim_nmap_saves_energy_vs_performance_most_at_low_load() {
         let perf = cell(AppKind::Memcached, level, GovernorKind::Performance);
         savings.push(1.0 - nmap.energy_j / perf.energy_j);
     }
-    assert!(savings[0] > 0.15, "low-load saving {:.3} too small", savings[0]);
+    assert!(
+        savings[0] > 0.15,
+        "low-load saving {:.3} too small",
+        savings[0]
+    );
     assert!(
         savings[0] > savings[1] && savings[1] >= savings[2] - 0.02,
         "savings must shrink with load: {savings:?}"
@@ -79,10 +100,13 @@ fn claim_nmap_saves_energy_vs_performance_most_at_low_load() {
 fn claim_intel_powersave_pins_p0_with_disable() {
     use experiments::SleepKind;
     let load = LoadSpec::preset(AppKind::Memcached, LoadLevel::Medium);
-    let r = run(
-        RunConfig::new(AppKind::Memcached, load, GovernorKind::IntelPowersave, Scale::Quick)
-            .with_sleep(SleepKind::Disable),
-    );
+    let r = run(RunConfig::new(
+        AppKind::Memcached,
+        load,
+        GovernorKind::IntelPowersave,
+        Scale::Quick,
+    )
+    .with_sleep(SleepKind::Disable));
     // §6.2: with disable, CC0 residency reads 100% → always P0 →
     // meets the SLO like performance does.
     assert!(
@@ -90,8 +114,15 @@ fn claim_intel_powersave_pins_p0_with_disable() {
         "intel_powersave+disable must behave like performance (p99 {})",
         r.p99
     );
-    let menu = cell(AppKind::Memcached, LoadLevel::Medium, GovernorKind::IntelPowersave);
-    assert!(!menu.meets_slo(), "with menu it must violate at medium load");
+    let menu = cell(
+        AppKind::Memcached,
+        LoadLevel::Medium,
+        GovernorKind::IntelPowersave,
+    );
+    assert!(
+        !menu.meets_slo(),
+        "with menu it must violate at medium load"
+    );
 }
 
 #[test]
@@ -121,8 +152,7 @@ fn claim_retransition_latency_blocks_per_request_dvfs() {
     let profile = cpusim::ProcessorProfile::xeon_gold_6134();
     let retrans = SimDuration::from_micros_f64(profile.retransition.mean_micros(true, 1.0));
     let load = LoadSpec::preset(AppKind::Memcached, LoadLevel::High);
-    let per_core_interarrival =
-        SimDuration::from_secs_f64(profile.cores as f64 / load.peak_rps());
+    let per_core_interarrival = SimDuration::from_secs_f64(profile.cores as f64 / load.peak_rps());
     assert!(
         retrans > per_core_interarrival * 50,
         "re-transition ({retrans}) must dwarf the inter-arrival ({per_core_interarrival})"

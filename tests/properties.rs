@@ -1,20 +1,34 @@
-//! Property-based tests (proptest) on the core data structures and
-//! state machines: statistics consistency, DVFS protocol safety, NAPI
-//! counter conservation, ring/RSS behaviour, arrival monotonicity.
+//! Property-based tests on the core data structures and state
+//! machines: statistics consistency, DVFS protocol safety, NAPI
+//! counter conservation, ring/RSS behaviour, arrival monotonicity,
+//! and whole-run determinism.
+//!
+//! Inputs are drawn through `simcore::check::forall`, the local
+//! deterministic property harness: every case derives its own RNG
+//! stream from `(label, case index)`, so failures name a single
+//! reproducible case.
 
 use cpusim::dvfs::{CompletionResult, CoreDvfs, TransitionOutcome};
-use cpusim::{ProcessorProfile, PState};
+use cpusim::{PState, ProcessorProfile};
+use experiments::{GovernorKind, RunConfig, Scale};
 use napisim::{NapiContext, PollVerdict, ProcContext, StackParams};
 use netsim::{DescRing, FlowId, RssHasher};
-use proptest::prelude::*;
+use simcore::check::forall;
 use simcore::{Cdf, Histogram, RngStream, RunningStats, SimDuration, SimTime};
-use workload::{ArrivalProcess, BurstyArrivals};
+use workload::{AppKind, ArrivalProcess, BurstyArrivals, LoadSpec};
 
-proptest! {
-    /// The log-bucketed histogram's quantiles stay within its relative
-    /// error bound of the exact CDF's.
-    #[test]
-    fn histogram_tracks_exact_cdf(samples in prop::collection::vec(1u64..10_000_000_000, 1..500)) {
+/// `lo + below(hi - lo)` — a uniform draw in `[lo, hi)`.
+fn range(rng: &mut RngStream, lo: u64, hi: u64) -> u64 {
+    lo + rng.below(hi - lo)
+}
+
+/// The log-bucketed histogram's quantiles stay within its relative
+/// error bound of the exact CDF's.
+#[test]
+fn histogram_tracks_exact_cdf() {
+    forall("histogram vs cdf", 64, |rng| {
+        let n = range(rng, 1, 500);
+        let samples: Vec<u64> = (0..n).map(|_| range(rng, 1, 10_000_000_000)).collect();
         let mut h = Histogram::new();
         let mut c = Cdf::new();
         for &s in &samples {
@@ -25,77 +39,107 @@ proptest! {
             let exact = c.quantile(q);
             let approx = h.value_at_quantile(q);
             let err = (approx as f64 - exact as f64).abs() / exact as f64;
-            prop_assert!(err < 0.04, "q={q}: approx {approx} vs exact {exact}");
+            assert!(err < 0.04, "q={q}: approx {approx} vs exact {exact}");
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
-        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
-        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
-    }
+        assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.max(), *samples.iter().max().unwrap());
+        assert_eq!(h.min(), *samples.iter().min().unwrap());
+    });
+}
 
-    /// Welford merging is order-independent and matches the direct sum.
-    #[test]
-    fn running_stats_merge_consistency(
-        a in prop::collection::vec(-1e6f64..1e6, 1..100),
-        b in prop::collection::vec(-1e6f64..1e6, 1..100),
-    ) {
+/// Welford merging is order-independent and matches the direct sum.
+#[test]
+fn running_stats_merge_consistency() {
+    forall("running stats merge", 64, |rng| {
+        let draw = |rng: &mut RngStream| {
+            let n = range(rng, 1, 100);
+            (0..n)
+                .map(|_| rng.uniform() * 2e6 - 1e6)
+                .collect::<Vec<f64>>()
+        };
+        let a = draw(rng);
+        let b = draw(rng);
         let sa: RunningStats = a.iter().copied().collect();
         let sb: RunningStats = b.iter().copied().collect();
         let mut merged = sa;
         merged.merge(&sb);
         let direct: RunningStats = a.iter().chain(b.iter()).copied().collect();
-        prop_assert_eq!(merged.count(), direct.count());
-        prop_assert!((merged.mean() - direct.mean()).abs() < 1e-6);
-        prop_assert!((merged.population_variance() - direct.population_variance()).abs() < 1e-3);
-    }
+        assert_eq!(merged.count(), direct.count());
+        assert!((merged.mean() - direct.mean()).abs() < 1e-6);
+        assert!((merged.population_variance() - direct.population_variance()).abs() < 1e-3);
+    });
+}
 
-    /// The DVFS state machine never loses a transition: after any
-    /// request sequence, driving completions settles at the last
-    /// requested state.
-    #[test]
-    fn dvfs_always_settles_at_last_request(
-        targets in prop::collection::vec(0u8..16, 1..40),
-        seed in 0u64..1000,
+/// The DVFS state machine never loses a transition: after any request
+/// sequence, driving completions settles at the last requested state.
+#[test]
+fn dvfs_always_settles_at_last_request() {
+    // `complete` must fire exactly at the `completes_at` the machine
+    // returned (the testbed schedules it as an event), so the driver
+    // fires every completion due before the next request on time.
+    fn fire_due(
+        dvfs: &mut CoreDvfs,
+        pending: &mut Option<(SimTime, u64)>,
+        upto: Option<SimTime>,
+        profile: &ProcessorProfile,
+        rng: &mut RngStream,
     ) {
+        let mut guard = 0;
+        while let Some((at, token)) = *pending {
+            if upto.is_some_and(|t| at > t) {
+                break;
+            }
+            *pending = match dvfs.complete(token, at, profile, rng) {
+                CompletionResult::FollowUp {
+                    completes_at,
+                    token,
+                    ..
+                } => Some((completes_at, token)),
+                CompletionResult::Settled { .. } | CompletionResult::Stale => None,
+            };
+            guard += 1;
+            assert!(guard < 100, "completion chain does not terminate");
+        }
+    }
+    forall("dvfs settles", 128, |rng| {
         let profile = ProcessorProfile::xeon_gold_6134();
-        let mut rng = RngStream::from_seed(seed);
+        let step = range(rng, 1, 41);
+        let n_targets = range(rng, 1, 40);
+        let targets: Vec<u8> = (0..n_targets).map(|_| rng.below(16) as u8).collect();
         let mut dvfs = CoreDvfs::new(profile.pstates.slowest());
         let mut now = SimTime::ZERO;
         let mut pending: Option<(SimTime, u64)> = None;
         let mut last = dvfs.current();
         for &t in &targets {
+            fire_due(&mut dvfs, &mut pending, Some(now), &profile, rng);
             let target = PState::new(t);
             last = target;
-            match dvfs.request(target, now, &profile, &mut rng) {
-                TransitionOutcome::Started { completes_at, token } => {
+            match dvfs.request(target, now, &profile, rng) {
+                TransitionOutcome::Started {
+                    completes_at,
+                    token,
+                } => {
                     pending = Some((completes_at, token));
                 }
                 TransitionOutcome::Queued | TransitionOutcome::AlreadyThere => {}
             }
-            now += SimDuration::from_micros(seed % 40 + 1);
+            now += SimDuration::from_micros(step);
         }
-        // Drain completions.
-        let mut guard = 0;
-        while let Some((at, token)) = pending.take() {
-            let at = at.max(now);
-            match dvfs.complete(token, at, &profile, &mut rng) {
-                CompletionResult::FollowUp { completes_at, token, .. } => {
-                    pending = Some((completes_at, token));
-                }
-                CompletionResult::Settled { .. } | CompletionResult::Stale => {}
-            }
-            now = at;
-            guard += 1;
-            prop_assert!(guard < 100, "completion chain does not terminate");
-        }
-        prop_assert_eq!(dvfs.current(), last);
-        prop_assert!(!dvfs.is_transitioning());
-    }
+        // Drain whatever is still in flight, each at its exact time.
+        fire_due(&mut dvfs, &mut pending, None, &profile, rng);
+        assert_eq!(dvfs.current(), last);
+        assert!(!dvfs.is_transitioning());
+    });
+}
 
-    /// NAPI per-mode counters exactly cover every Rx packet fed in.
-    #[test]
-    fn napi_counters_conserve_packets(
-        batches in prop::collection::vec((0usize..100, any::<bool>()), 1..60),
-    ) {
+/// NAPI per-mode counters exactly cover every Rx packet fed in.
+#[test]
+fn napi_counters_conserve_packets() {
+    forall("napi conservation", 128, |rng| {
+        let n_batches = range(rng, 1, 60);
+        let batches: Vec<(usize, bool)> = (0..n_batches)
+            .map(|_| (rng.below(100) as usize, rng.next_u64() & 1 == 1))
+            .collect();
         let mut napi = NapiContext::new(StackParams::linux_defaults());
         let mut t = SimTime::ZERO;
         let mut fed = 0u64;
@@ -108,7 +152,11 @@ proptest! {
                 kso = false;
             }
             t += SimDuration::from_micros(10);
-            let ctx = if kso { ProcContext::Ksoftirqd } else { ProcContext::SoftIrq };
+            let ctx = if kso {
+                ProcContext::Ksoftirqd
+            } else {
+                ProcContext::SoftIrq
+            };
             let out = napi.record_poll(rx, 0, drain_hint, false, ctx, t);
             fed += rx as u64;
             match out.verdict {
@@ -120,12 +168,19 @@ proptest! {
                 PollVerdict::Continue => {}
             }
         }
-        prop_assert_eq!(napi.total_interrupt_packets() + napi.total_polling_packets(), fed);
-    }
+        assert_eq!(
+            napi.total_interrupt_packets() + napi.total_polling_packets(),
+            fed
+        );
+    });
+}
 
-    /// Rings never lose accepted items and report drops exactly.
-    #[test]
-    fn ring_conservation(capacity in 1usize..64, pushes in 1usize..200) {
+/// Rings never lose accepted items and report drops exactly.
+#[test]
+fn ring_conservation() {
+    forall("ring conservation", 128, |rng| {
+        let capacity = range(rng, 1, 64) as usize;
+        let pushes = range(rng, 1, 200) as usize;
         let mut ring = DescRing::new(capacity);
         let mut accepted = 0u64;
         for i in 0..pushes {
@@ -133,65 +188,103 @@ proptest! {
                 accepted += 1;
             }
         }
-        prop_assert_eq!(accepted, ring.total_enqueued());
-        prop_assert_eq!(ring.dropped() + accepted, pushes as u64);
+        assert_eq!(accepted, ring.total_enqueued());
+        assert_eq!(ring.dropped() + accepted, pushes as u64);
         let mut popped = 0u64;
         while ring.pop().is_some() {
             popped += 1;
         }
-        prop_assert_eq!(popped, accepted.min(capacity as u64));
-    }
+        assert_eq!(popped, accepted.min(capacity as u64));
+    });
+}
 
-    /// RSS is total and stable for any queue count and flow.
-    #[test]
-    fn rss_total_and_stable(queues in 1usize..64, flow in any::<u64>()) {
+/// RSS is total and stable for any queue count and flow.
+#[test]
+fn rss_total_and_stable() {
+    forall("rss total", 256, |rng| {
+        let queues = range(rng, 1, 64) as usize;
+        let flow = rng.next_u64();
         let rss = RssHasher::new(queues);
         let q = rss.queue_for(FlowId(flow));
-        prop_assert!(q.0 < queues);
-        prop_assert_eq!(q, rss.queue_for(FlowId(flow)));
-    }
+        assert!(q.0 < queues);
+        assert_eq!(q, rss.queue_for(FlowId(flow)));
+    });
+}
 
-    /// Bursty arrivals strictly advance and stay inside burst windows.
-    #[test]
-    fn arrivals_advance_within_bursts(
-        avg in 1_000.0f64..200_000.0,
-        duty in 0.05f64..1.0,
-        seed in 0u64..500,
-    ) {
+/// Bursty arrivals strictly advance and stay inside burst windows.
+#[test]
+fn arrivals_advance_within_bursts() {
+    forall("arrivals in bursts", 128, |rng| {
+        let avg = 1_000.0 + rng.uniform() * 199_000.0;
+        let duty = 0.05 + rng.uniform() * 0.95;
         let period = SimDuration::from_millis(100);
         let mut arr = BurstyArrivals::from_average(avg, period, duty, 0.3);
-        let mut rng = RngStream::from_seed(seed);
         let mut t = SimTime::ZERO;
         for _ in 0..200 {
-            let next = arr.next_after(t, &mut rng).unwrap();
-            prop_assert!(next > t, "arrivals must strictly advance");
+            let next = arr.next_after(t, rng).unwrap();
+            assert!(next > t, "arrivals must strictly advance");
             let pos = next.as_nanos() % period.as_nanos();
-            prop_assert!(
+            assert!(
                 pos < arr.burst_len().as_nanos().max(1),
                 "arrival outside burst window"
             );
             t = next;
         }
-    }
+    });
+}
 
-    /// Core utilization samples are always within [0, 1] and busy
-    /// never exceeds CC0 residency.
-    #[test]
-    fn utilization_sample_bounds(
-        busy_periods in prop::collection::vec((0u64..500, 0u64..500), 1..20),
-    ) {
+/// Core utilization samples are always within [0, 1] and busy never
+/// exceeds CC0 residency.
+#[test]
+fn utilization_sample_bounds() {
+    forall("utilization bounds", 128, |rng| {
         let profile = ProcessorProfile::xeon_gold_6134();
         let mut core = cpusim::Core::new(cpusim::CoreId(0), &profile);
         let mut t = SimTime::ZERO;
-        for (busy_us, idle_us) in busy_periods {
+        let periods = range(rng, 1, 20);
+        for _ in 0..periods {
+            let busy_us = rng.below(500);
+            let idle_us = rng.below(500);
             core.set_busy(true, t, &profile);
             t += SimDuration::from_micros(busy_us);
             core.set_busy(false, t, &profile);
             t += SimDuration::from_micros(idle_us);
         }
         let sample = core.take_sample(t + SimDuration::from_micros(1), &profile);
-        prop_assert!((0.0..=1.0).contains(&sample.busy_frac));
-        prop_assert!((0.0..=1.0).contains(&sample.c0_frac));
-        prop_assert!(sample.busy_frac <= sample.c0_frac + 1e-9);
-    }
+        assert!((0.0..=1.0).contains(&sample.busy_frac));
+        assert!((0.0..=1.0).contains(&sample.c0_frac));
+        assert!(sample.busy_frac <= sample.c0_frac + 1e-9);
+    });
+}
+
+/// Whole-run determinism over arbitrary (seed, governor, load)
+/// triples: the same config run twice yields identical results, and
+/// `run_many`'s parallel execution matches serial `run` exactly.
+#[test]
+fn runs_are_deterministic_for_arbitrary_configs() {
+    forall("run determinism", 3, |rng| {
+        let governor = match rng.below(5) {
+            0 => GovernorKind::Performance,
+            1 => GovernorKind::Ondemand,
+            2 => GovernorKind::Schedutil,
+            3 => GovernorKind::NmapSimpl,
+            _ => GovernorKind::Userspace(rng.below(16) as u8),
+        };
+        let rps = 10_000.0 + rng.uniform() * 90_000.0;
+        let load = LoadSpec::custom(rps, SimDuration::from_millis(100), 0.4, 0.3);
+        let seed = rng.next_u64();
+        let cfg = RunConfig {
+            warmup: SimDuration::from_millis(50),
+            duration: SimDuration::from_millis(150),
+            ..RunConfig::new(AppKind::Memcached, load, governor, Scale::Quick)
+        }
+        .with_seed(seed)
+        .with_traces();
+        let first = experiments::run(cfg.clone());
+        let second = experiments::run(cfg.clone());
+        assert_eq!(first, second, "same seed must reproduce bit-identically");
+        let many = experiments::run_many(vec![cfg.clone(), cfg]);
+        assert_eq!(many[0], first, "parallel run_many must match serial run");
+        assert_eq!(many[1], first);
+    });
 }
