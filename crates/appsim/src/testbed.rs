@@ -50,6 +50,10 @@ pub struct TestbedConfig {
     pub flows: u64,
     /// Master RNG seed; same seed → bit-identical run.
     pub seed: u64,
+    /// Capacity of the structured trace buffer. Zero (the default)
+    /// turns trace recording off entirely; with the `obs` feature off
+    /// the buffer is a zero-sized no-op regardless.
+    pub trace_capacity: usize,
 }
 
 /// The kernel-stack cost profile for an application's traffic mix.
@@ -81,6 +85,7 @@ impl TestbedConfig {
             link: LinkModel::ten_gbe(),
             flows: 320,
             seed: 42,
+            trace_capacity: 0,
         }
     }
 
@@ -107,6 +112,55 @@ impl TestbedConfig {
         self.stack = stack;
         self
     }
+
+    /// Enables structured tracing with room for `capacity` events
+    /// (overflow increments the buffer's drop counter, never panics).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+/// Event-handler kinds the testbed schedules, for the per-kind
+/// executed-event counters in the metrics snapshot.
+#[derive(Debug, Clone, Copy)]
+enum EvKind {
+    ClientSend,
+    ClientRecv,
+    ServerRx,
+    IrqFire,
+    ExecDone,
+    SleepTick,
+    SampleTick,
+    DvfsDone,
+}
+
+impl EvKind {
+    const COUNT: usize = 8;
+
+    const fn key(self) -> &'static str {
+        match self {
+            EvKind::ClientSend => "engine.ev.client_send",
+            EvKind::ClientRecv => "engine.ev.client_recv",
+            EvKind::ServerRx => "engine.ev.server_rx",
+            EvKind::IrqFire => "engine.ev.irq_fire",
+            EvKind::ExecDone => "engine.ev.exec_done",
+            EvKind::SleepTick => "engine.ev.sleep_tick",
+            EvKind::SampleTick => "engine.ev.sample_tick",
+            EvKind::DvfsDone => "engine.ev.dvfs_done",
+        }
+    }
+
+    const ALL: [EvKind; EvKind::COUNT] = [
+        EvKind::ClientSend,
+        EvKind::ClientRecv,
+        EvKind::ServerRx,
+        EvKind::IrqFire,
+        EvKind::ExecDone,
+        EvKind::SleepTick,
+        EvKind::SampleTick,
+        EvKind::DvfsDone,
+    ];
 }
 
 /// What a core is currently executing.
@@ -175,6 +229,16 @@ pub struct Testbed {
     /// [`audit_report`](Testbed::audit_report). Zero-sized no-op
     /// without the `audit` feature.
     pub ledger: ConservationLedger,
+    /// Structured trace events (request spans and governor instants
+    /// land here live; component logs are replayed in by
+    /// [`collect_trace`](Testbed::collect_trace)). Zero-sized no-op
+    /// without the `obs` feature; recording also requires a non-zero
+    /// [`TestbedConfig::trace_capacity`].
+    pub trace: simcore::TraceBuffer,
+    /// Deterministically ordered counters/gauges/histograms, filled by
+    /// [`collect_metrics`](Testbed::collect_metrics). Zero-sized no-op
+    /// without the `obs` feature.
+    pub metrics: simcore::MetricsRegistry,
 
     profile: ProcessorProfile,
     app: AppModel,
@@ -209,6 +273,8 @@ pub struct Testbed {
     /// (reset) histogram.
     measure_start_samples: u64,
     actions: Vec<Action>,
+    /// Executed-event counts per handler kind (indexed by `EvKind`).
+    ev_counts: [u64; EvKind::COUNT],
 }
 
 impl Testbed {
@@ -222,7 +288,11 @@ impl Testbed {
     ) -> Self {
         let cores = config.profile.cores;
         let processor = Processor::new(config.profile.clone(), config.scope);
-        let nic = Nic::new(NicConfig::intel_82599(cores));
+        let mut nic = Nic::new(NicConfig::intel_82599(cores));
+        let trace = simcore::TraceBuffer::with_capacity(config.trace_capacity);
+        if trace.is_recording() {
+            nic.set_irq_log_enabled(true);
+        }
         let arrivals = config.load.arrivals();
         let seed = config.seed;
         let mut tb = Testbed {
@@ -235,6 +305,8 @@ impl Testbed {
             ksoftirqd_log: (0..cores).map(|_| EventLog::new()).collect(),
             poll_observer: None,
             ledger: ConservationLedger::new(),
+            trace,
+            metrics: simcore::MetricsRegistry::default(),
             profile: config.profile.clone(),
             app: config.app,
             stack: config.stack,
@@ -259,6 +331,7 @@ impl Testbed {
             measure_start_energy: 0.0,
             measure_start_samples: 0,
             actions: Vec::new(),
+            ev_counts: [0; EvKind::COUNT],
         };
         // All cores start idle under the sleep policy.
         for i in 0..cores {
@@ -316,6 +389,7 @@ impl Testbed {
     // ------------------------------------------------------------------
 
     fn ev_client_send(&mut self, sim: &mut Simulator<Testbed>, gen: u64) {
+        self.ev_counts[EvKind::ClientSend as usize] += 1;
         let now = sim.now();
         if gen != self.arrival_gen || now > self.send_horizon {
             return; // stale chain (load switched) or run winding down
@@ -351,6 +425,7 @@ impl Testbed {
     }
 
     fn ev_client_recv(&mut self, sim: &mut Simulator<Testbed>, pkt: Packet) {
+        self.ev_counts[EvKind::ClientRecv as usize] += 1;
         let now = sim.now();
         let latency = self.client.on_response(&pkt, now);
         self.ledger.credit(Account::ResponsesReceived, 1);
@@ -366,6 +441,7 @@ impl Testbed {
     // ------------------------------------------------------------------
 
     fn ev_server_rx(&mut self, sim: &mut Simulator<Testbed>, pkt: Packet) {
+        self.ev_counts[EvKind::ServerRx as usize] += 1;
         let now = sim.now();
         let q = self.nic.rss_queue(pkt.flow);
         self.ledger.credit(Account::RequestsArrivedAtNic, 1);
@@ -390,12 +466,13 @@ impl Testbed {
     }
 
     fn ev_irq_fire(&mut self, sim: &mut Simulator<Testbed>, q: QueueId) {
+        self.ev_counts[EvKind::IrqFire as usize] += 1;
         let now = sim.now();
         if !self.nic.irq_fired(q, now) {
             return; // vector masked while the IRQ was in flight
         }
         // The hardirq handler's first action: mask the vector (NAPI).
-        self.nic.disable_irq(q);
+        self.nic.disable_irq(q, now);
         let core = CoreId(q.0);
         if self.core_idle[core.0] {
             let cost = self
@@ -489,6 +566,7 @@ impl Testbed {
     }
 
     fn ev_exec_done(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, seq: u64) {
+        self.ev_counts[EvKind::ExecDone as usize] += 1;
         let Some(running) = self.exec[core.0].running.take() else {
             return;
         };
@@ -611,12 +689,26 @@ impl Testbed {
         let pkt = self.backlog[core.0]
             .pop_front()
             .expect("start_app_next with empty backlog");
+        self.trace.begin(
+            sim.now(),
+            simcore::TraceCategory::Request,
+            core.0 as u32,
+            "request",
+            pkt.flow.0 as i64,
+        );
         let cycles = self.app.sample_service_cycles(&mut self.rng_service);
         self.start_exec(sim, core, RunKind::App { pkt }, cycles, SimDuration::ZERO);
     }
 
     fn finish_app(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, pkt: Packet) {
         let now = sim.now();
+        self.trace.end(
+            now,
+            simcore::TraceCategory::Request,
+            core.0 as u32,
+            "request",
+            pkt.flow.0 as i64,
+        );
         let resp = Packet::response_to(&pkt, self.app.response_size);
         self.ledger.credit(Account::RequestsCompleted, 1);
         let q = QueueId(core.0);
@@ -723,6 +815,7 @@ impl Testbed {
     }
 
     fn ev_sleep_tick(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, epoch: u64) {
+        self.ev_counts[EvKind::SleepTick as usize] += 1;
         if !self.core_idle[core.0] || self.idle_epoch[core.0] != epoch {
             return; // the core woke meanwhile
         }
@@ -745,6 +838,7 @@ impl Testbed {
     // ------------------------------------------------------------------
 
     fn ev_sample_tick(&mut self, sim: &mut Simulator<Testbed>) {
+        self.ev_counts[EvKind::SampleTick as usize] += 1;
         let now = sim.now();
         let mut actions = std::mem::take(&mut self.actions);
         for i in 0..self.processor.num_cores() {
@@ -765,11 +859,28 @@ impl Testbed {
     }
 
     fn apply_actions(&mut self, sim: &mut Simulator<Testbed>, actions: &mut Vec<Action>) {
+        let now = sim.now();
         for action in actions.drain(..) {
             match action {
-                Action::SetCore(core, p) => self.request_pstate(sim, core, p),
+                Action::SetCore(core, p) => {
+                    self.trace.instant(
+                        now,
+                        simcore::TraceCategory::Governor,
+                        core.0 as u32,
+                        "set-pstate",
+                        p.index() as i64,
+                    );
+                    self.request_pstate(sim, core, p);
+                }
                 Action::SetAll(p) => {
                     for i in 0..self.processor.num_cores() {
+                        self.trace.instant(
+                            now,
+                            simcore::TraceCategory::Governor,
+                            i as u32,
+                            "set-pstate",
+                            p.index() as i64,
+                        );
                         self.request_pstate(sim, CoreId(i), p);
                     }
                 }
@@ -791,6 +902,7 @@ impl Testbed {
     }
 
     fn ev_dvfs_done(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, token: u64) {
+        self.ev_counts[EvKind::DvfsDone as usize] += 1;
         let now = sim.now();
         let affected: Vec<CoreId> = match self.scope {
             DvfsScope::PerCore => vec![core],
@@ -1037,6 +1149,90 @@ impl Testbed {
         );
 
         Some(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Observability (trace + metrics collection)
+    // ------------------------------------------------------------------
+
+    /// Replays every component's event logs into the testbed's trace
+    /// buffer: NIC IRQ marks, NAPI mode residency and poll batches,
+    /// per-core P-/C-state residency, ksoftirqd run intervals, and
+    /// governor-internal marks. Request spans and governor actions were
+    /// already emitted live during the run. Call once, at run end.
+    /// No-op unless the `obs` feature is on and the buffer is
+    /// recording.
+    pub fn collect_trace(&mut self, end: SimTime) {
+        use simcore::TraceCategory;
+        if !self.trace.is_recording() {
+            return;
+        }
+        // Replay the bounded component logs into a fresh buffer first,
+        // then absorb the (potentially huge) live stream: if anything
+        // overflows the capacity it is the live request/governor tail,
+        // never the pstate/cstate/ksoftirqd summary tracks.
+        let live = std::mem::take(&mut self.trace);
+        let mut buf = simcore::TraceBuffer::with_capacity(live.capacity());
+        self.nic.trace_into(&mut buf);
+        for (i, napi) in self.napi.iter().enumerate() {
+            napi.trace_into(i as u32, end, &mut buf);
+        }
+        self.processor.trace_into(end, &mut buf);
+        self.governor.trace_into(&mut buf);
+        // ksoftirqd wake/sleep marks pair up into run-interval spans;
+        // a thread still awake at run end closes at `end`.
+        for (core, log) in self.ksoftirqd_log.iter().enumerate() {
+            let mut open: Option<SimTime> = None;
+            for &(t, awake) in log.entries() {
+                match (awake, open) {
+                    (true, None) => open = Some(t),
+                    (false, Some(start)) => {
+                        buf.begin(start, TraceCategory::Ksoftirqd, core as u32, "ksoftirqd", 0);
+                        buf.end(t, TraceCategory::Ksoftirqd, core as u32, "ksoftirqd", 0);
+                        open = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(start) = open {
+                buf.begin(start, TraceCategory::Ksoftirqd, core as u32, "ksoftirqd", 0);
+                buf.end(end, TraceCategory::Ksoftirqd, core as u32, "ksoftirqd", 0);
+            }
+        }
+        buf.absorb(live);
+        self.trace = buf;
+    }
+
+    /// Gathers every component's totals into the testbed's metrics
+    /// registry (NIC, NAPI, processor, governor, client, per-kind
+    /// event counts). Call once, at run end. No-op without the `obs`
+    /// feature.
+    pub fn collect_metrics(&mut self, now: SimTime) {
+        if !simcore::MetricsRegistry::ENABLED {
+            return;
+        }
+        let mut m = std::mem::take(&mut self.metrics);
+        self.nic.record_metrics(&mut m);
+        for napi in &self.napi {
+            napi.record_metrics(&mut m);
+        }
+        self.processor.record_metrics(now, &mut m);
+        self.governor.record_metrics(&mut m);
+        m.set_counter("client.sent", self.client.sent());
+        m.set_counter("client.received", self.client.received());
+        m.set_counter(
+            "ksoftirqd.wakes",
+            self.ksoftirqd_log
+                .iter()
+                .map(|l| l.iter().filter(|&&(_, awake)| awake).count() as u64)
+                .sum(),
+        );
+        for kind in EvKind::ALL {
+            m.set_counter(kind.key(), self.ev_counts[kind as usize]);
+        }
+        m.set_counter("trace.events", self.trace.len() as u64);
+        m.set_counter("trace.dropped", self.trace.dropped());
+        self.metrics = m;
     }
 }
 

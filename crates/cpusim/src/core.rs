@@ -418,6 +418,41 @@ impl Core {
     pub fn cstate_log(&self) -> &EventLog<CState> {
         &self.cstate_log
     }
+
+    /// Replays this core's P- and C-state logs into `buf` as
+    /// residency spans: each logged change opens a span named after
+    /// the new state, closed by the next change (or `end`).
+    pub fn trace_into(&self, end: SimTime, buf: &mut simcore::TraceBuffer) {
+        use simcore::TraceCategory;
+        if !buf.is_recording() {
+            return;
+        }
+        let core = self.id.0 as u32;
+        let pstates = self.pstate_log.entries();
+        for (i, &(t, p)) in pstates.iter().enumerate() {
+            let until = pstates.get(i + 1).map(|&(t2, _)| t2).unwrap_or(end);
+            buf.begin(t, TraceCategory::PState, core, p.label(), p.index() as i64);
+            buf.end(
+                until,
+                TraceCategory::PState,
+                core,
+                p.label(),
+                p.index() as i64,
+            );
+        }
+        let cstates = self.cstate_log.entries();
+        for (i, &(t, c)) in cstates.iter().enumerate() {
+            let until = cstates.get(i + 1).map(|&(t2, _)| t2).unwrap_or(end);
+            buf.begin(t, TraceCategory::CState, core, c.label(), c.depth() as i64);
+            buf.end(
+                until,
+                TraceCategory::CState,
+                core,
+                c.label(),
+                c.depth() as i64,
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,25 @@ impl CState {
     pub fn deeper(self, other: CState) -> CState {
         self.max(other)
     }
+
+    /// Static display label, for trace events that carry
+    /// `&'static str` names.
+    pub const fn label(self) -> &'static str {
+        match self {
+            CState::C0 => "CC0",
+            CState::C1 => "CC1",
+            CState::C6 => "CC6",
+        }
+    }
+
+    /// Numeric depth (trace event argument).
+    pub const fn depth(self) -> u8 {
+        match self {
+            CState::C0 => 0,
+            CState::C1 => 1,
+            CState::C6 => 6,
+        }
+    }
 }
 
 impl fmt::Display for CState {

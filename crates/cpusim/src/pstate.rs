@@ -48,6 +48,21 @@ impl PState {
     pub fn slower(self, slowest: PState) -> PState {
         PState((self.0 + 1).min(slowest.0))
     }
+
+    /// Static display label (`"P0"`…), for trace events that carry
+    /// `&'static str` names.
+    pub const fn label(self) -> &'static str {
+        const LABELS: [&str; 32] = [
+            "P0", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11", "P12", "P13",
+            "P14", "P15", "P16", "P17", "P18", "P19", "P20", "P21", "P22", "P23", "P24", "P25",
+            "P26", "P27", "P28", "P29", "P30", "P31",
+        ];
+        if (self.0 as usize) < LABELS.len() {
+            LABELS[self.0 as usize]
+        } else {
+            "P?"
+        }
+    }
 }
 
 impl fmt::Display for PState {

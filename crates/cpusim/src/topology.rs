@@ -189,6 +189,33 @@ impl Processor {
             DvfsScope::ChipWide => self.chip_domain.transitions_started(),
         }
     }
+
+    /// Reports processor-level totals into the metrics registry.
+    pub fn record_metrics(&mut self, now: SimTime, m: &mut simcore::MetricsRegistry) {
+        if !simcore::MetricsRegistry::ENABLED {
+            return;
+        }
+        m.set_counter("cpu.dvfs_transitions", self.total_transitions());
+        m.set_counter(
+            "cpu.c6_entries",
+            self.cores.iter().map(|c| c.c6_entries()).sum(),
+        );
+        m.set_gauge("cpu.package_energy_j", self.package_energy_joules(now));
+        let busy: f64 = self
+            .cores
+            .iter()
+            .map(|c| c.total_busy().as_secs_f64())
+            .sum();
+        m.set_gauge("cpu.total_busy_s", busy);
+    }
+
+    /// Replays every core's P-/C-state logs into `buf` as residency
+    /// spans (see [`Core::trace_into`]).
+    pub fn trace_into(&self, end: SimTime, buf: &mut simcore::TraceBuffer) {
+        for c in &self.cores {
+            c.trace_into(end, buf);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 //! ```
 
 use crate::runner::RunResult;
+use simcore::{TraceBuffer, TraceCategory, TraceKind};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -89,6 +90,130 @@ pub fn write_traces_csv(result: &RunResult, dir: impl AsRef<Path>) -> io::Result
     Ok(())
 }
 
+fn json_escape(s: &str) -> String {
+    // Trace names are static identifiers; escape defensively anyway.
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn category_index(cat: TraceCategory) -> usize {
+    TraceCategory::ALL
+        .iter()
+        .position(|&c| c == cat)
+        .expect("category in ALL")
+}
+
+/// Renders a structured trace buffer as Chrome Trace Event JSON,
+/// loadable in <https://ui.perfetto.dev> (or `chrome://tracing`).
+///
+/// Layout: one process per core (`pid = core + 1`, named `core N`) and
+/// one thread per trace category within it (`tid = category index +
+/// 1`, named after the category label), so every core shows its
+/// `irq` / `napi-mode` / `pstate` / … tracks stacked together.
+/// Events are emitted in stable time order; the numeric event
+/// argument lands in `args.v`.
+pub fn perfetto_json(trace: &TraceBuffer) -> String {
+    let mut events: Vec<&simcore::TraceEvent> = trace.events().iter().collect();
+    events.sort_by_key(|e| e.time);
+    // Name the (core, category) tracks that actually carry events.
+    let mut tracks: Vec<(u32, TraceCategory)> =
+        events.iter().map(|e| (e.core, e.category)).collect();
+    tracks.sort_by_key(|&(core, cat)| (core, category_index(cat)));
+    tracks.dedup();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+    let mut named_cores: Vec<u32> = Vec::new();
+    for &(core, cat) in &tracks {
+        let pid = core + 1;
+        if named_cores.last() != Some(&core) {
+            named_cores.push(core);
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                     \"args\":{{\"name\":\"core {core}\"}}}}"
+                ),
+            );
+        }
+        let tid = category_index(cat) + 1;
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(cat.label())
+            ),
+        );
+    }
+    for e in events {
+        let pid = e.core + 1;
+        let tid = category_index(e.category) + 1;
+        let ts = e.time.as_nanos() as f64 / 1e3;
+        let name = json_escape(e.name);
+        let cat = json_escape(e.category.label());
+        let line = match e.kind {
+            TraceKind::SpanBegin => format!(
+                "{{\"ph\":\"B\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\
+                 \"cat\":\"{cat}\",\"name\":\"{name}\",\"args\":{{\"v\":{}}}}}",
+                e.arg
+            ),
+            TraceKind::SpanEnd => format!(
+                "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\
+                 \"cat\":\"{cat}\",\"name\":\"{name}\"}}"
+            ),
+            TraceKind::Instant => format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\
+                 \"cat\":\"{cat}\",\"name\":\"{name}\",\"args\":{{\"v\":{}}}}}",
+                e.arg
+            ),
+            TraceKind::Counter => format!(
+                "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\
+                 \"name\":\"{name}\",\"args\":{{\"{name}\":{}}}}}",
+                e.arg
+            ),
+        };
+        push(&mut out, line);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes the run's structured trace as Perfetto-loadable JSON at
+/// `path`.
+///
+/// # Errors
+///
+/// Returns any filesystem error; fails with `InvalidInput` if the run
+/// was made without [`with_traces`](crate::RunConfig::with_traces).
+pub fn write_perfetto_json(result: &RunResult, path: impl AsRef<Path>) -> io::Result<()> {
+    let Some(traces) = &result.traces else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "run was executed without trace collection",
+        ));
+    };
+    if let Some(dir) = path.as_ref().parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, perfetto_json(&traces.trace))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +261,33 @@ mod tests {
             assert!(dir.join(f).exists(), "{f} missing");
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn perfetto_json_emits_metadata_and_events() {
+        let r = traced_result();
+        let json = perfetto_json(&r.traces.as_ref().unwrap().trace);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""));
+        // Write path works and refuses untraced runs symmetrically
+        // with the CSV writer.
+        let path = std::env::temp_dir().join("nmap_repro_perfetto_test/trace.json");
+        let _ = std::fs::remove_file(&path);
+        write_perfetto_json(&r, &path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn perfetto_json_is_empty_when_obs_off() {
+        let r = traced_result();
+        let json = perfetto_json(&r.traces.as_ref().unwrap().trace);
+        assert!(!json.contains("\"ph\":\"B\""), "no spans without obs");
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod report;
 pub mod runner;
 pub mod thresholds;
 
+pub use export::{perfetto_json, write_perfetto_json};
 pub use report::FigureReport;
 pub use runner::{
-    run, run_many, GovernorKind, ProfileKind, RunConfig, RunResult, Scale, SleepKind,
+    run, run_many, run_profiled, GovernorKind, ProfileKind, RunConfig, RunProfile, RunResult,
+    RunTraces, Scale, SleepKind,
 };

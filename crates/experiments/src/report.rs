@@ -101,6 +101,20 @@ pub fn fmt_norm(value: f64, baseline: f64) -> String {
     }
 }
 
+/// Formats a run profile as a one-line summary: deterministic engine
+/// statistics plus host wall-clock (the latter is display-only and
+/// never enters result comparisons).
+pub fn fmt_profile(p: &crate::runner::RunProfile) -> String {
+    format!(
+        "events: {} scheduled, {} executed, {} cancelled; heap high-water {}; wall {:.1?}",
+        p.engine.events_scheduled,
+        p.engine.events_executed,
+        p.engine.events_cancelled,
+        p.engine.max_pending,
+        p.wall,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,7 +11,7 @@ use governors::{
     Userspace,
 };
 use nmap::{NmapConfig, NmapGovernor, NmapSimpl};
-use simcore::{EventLog, SimDuration, SimTime, Simulator};
+use simcore::{EngineProfile, EventLog, MetricsSnapshot, SimDuration, SimTime, Simulator};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use workload::{AppKind, LoadSpec};
@@ -225,6 +225,11 @@ pub struct RunTraces {
     pub measure_start: SimTime,
     /// End of the measured window.
     pub measure_end: SimTime,
+    /// Structured trace events from every layer (IRQ marks, NAPI
+    /// modes, P-/C-state residency, ksoftirqd, request spans, governor
+    /// actions). Feed to [`perfetto_json`](crate::perfetto_json) for
+    /// ui.perfetto.dev. Empty without the `obs` feature.
+    pub trace: simcore::TraceBuffer,
 }
 
 /// Metrics extracted from one run.
@@ -262,6 +267,10 @@ pub struct RunResult {
     pub dvfs_transitions: u64,
     /// CC6 entries across cores.
     pub c6_entries: u64,
+    /// Deterministically ordered counters/gauges/histograms from every
+    /// layer. Empty without the `obs` feature. Same-seed runs produce
+    /// byte-identical snapshots (the determinism suites assert this).
+    pub metrics: MetricsSnapshot,
     /// Traces, if requested.
     pub traces: Option<RunTraces>,
 }
@@ -328,10 +337,42 @@ fn build_policies(
     }
 }
 
+/// Default trace-buffer capacity for runs with `collect_traces` set:
+/// ample for a quick-scale run while bounding a full-scale one (the
+/// buffer counts drops instead of growing without limit).
+pub const DEFAULT_TRACE_CAPACITY: usize = 2_000_000;
+
+/// Deterministic engine statistics plus the one number that must stay
+/// out of [`RunResult`]: wall-clock time. Keeping it here means golden
+/// and determinism comparisons never see host timing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunProfile {
+    /// Event-queue statistics (scheduled/executed/cancelled events,
+    /// heap-depth high water). Deterministic.
+    pub engine: EngineProfile,
+    /// Host wall-clock time the run took. NOT deterministic — never
+    /// compare or persist this.
+    pub wall: std::time::Duration,
+}
+
 /// Executes one run to completion and extracts its metrics.
 pub fn run(cfg: RunConfig) -> RunResult {
-    let (result, _tb) = run_with_testbed(cfg, |_, _| {});
+    let (result, _tb, _profile) = run_inner(cfg, |_, _| {});
     result
+}
+
+/// Like [`run`], but also reports how the engine and the host spent
+/// the run (see [`RunProfile`]).
+pub fn run_profiled(cfg: RunConfig) -> (RunResult, RunProfile) {
+    let started = std::time::Instant::now();
+    let (result, _tb, engine) = run_inner(cfg, |_, _| {});
+    (
+        result,
+        RunProfile {
+            engine,
+            wall: started.elapsed(),
+        },
+    )
 }
 
 /// Like [`run`], but lets the caller hook the testbed right after
@@ -341,15 +382,26 @@ pub fn run_with_testbed(
     cfg: RunConfig,
     setup: impl FnOnce(&mut Testbed, &mut Simulator<Testbed>),
 ) -> (RunResult, Testbed) {
+    let (result, tb, _profile) = run_inner(cfg, setup);
+    (result, tb)
+}
+
+fn run_inner(
+    cfg: RunConfig,
+    setup: impl FnOnce(&mut Testbed, &mut Simulator<Testbed>),
+) -> (RunResult, Testbed, EngineProfile) {
     let app = AppModel::for_kind(cfg.app);
     let profile = cfg
         .profile_override
         .clone()
         .unwrap_or_else(|| cfg.profile.profile());
-    let tb_cfg = TestbedConfig::new(app, cfg.load)
+    let mut tb_cfg = TestbedConfig::new(app, cfg.load)
         .with_seed(cfg.seed)
         .with_profile(profile.clone())
         .with_scope(cfg.scope);
+    if cfg.collect_traces {
+        tb_cfg = tb_cfg.with_trace_capacity(DEFAULT_TRACE_CAPACITY);
+    }
     let (governor, sleep) = build_policies(&cfg, &profile, &app);
     let mut sim: Simulator<Testbed> = Simulator::new();
     let mut tb = Testbed::new(tb_cfg, governor, sleep, &mut sim);
@@ -374,6 +426,19 @@ pub fn run_with_testbed(
     } else {
         energy_j / duration.as_secs_f64()
     };
+    // Assemble the structured trace (component-log replay) and the
+    // metrics snapshot. Both are no-ops without the `obs` feature.
+    tb.collect_trace(end);
+    tb.collect_metrics(end);
+    let engine = sim.profile();
+    tb.metrics
+        .set_counter("engine.events_scheduled", engine.events_scheduled);
+    tb.metrics
+        .set_counter("engine.events_executed", engine.events_executed);
+    tb.metrics
+        .set_counter("engine.events_cancelled", engine.events_cancelled);
+    tb.metrics
+        .set_counter("engine.max_pending", engine.max_pending as u64);
     let traces = cfg.collect_traces.then(|| {
         let core0 = tb.processor.core(cpusim::CoreId(0));
         RunTraces {
@@ -389,6 +454,7 @@ pub fn run_with_testbed(
             cstates_core0: log_map(core0.cstate_log(), |&c| c),
             measure_start: warmup_end,
             measure_end: end,
+            trace: tb.trace.clone(),
         }
     });
     // Self-audit: with the `audit` feature on, every run proves its
@@ -411,9 +477,10 @@ pub fn run_with_testbed(
         rx_dropped: tb.nic.total_rx_dropped(),
         dvfs_transitions: tb.processor.total_transitions(),
         c6_entries: tb.processor.cores().iter().map(|c| c.c6_entries()).sum(),
+        metrics: tb.metrics.snapshot(),
         traces,
     };
-    (result, tb)
+    (result, tb, engine)
 }
 
 fn log_map<T, U>(log: &EventLog<T>, f: impl Fn(&T) -> U) -> Vec<(SimTime, U)> {

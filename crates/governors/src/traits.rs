@@ -93,6 +93,19 @@ pub trait PStateGovernor {
     ) {
         let _ = (latency, now, actions);
     }
+
+    /// Replays governor-internal events (e.g. NMAP's network
+    /// interference notifications) into the trace buffer on the
+    /// `governor` track. Default: nothing to replay.
+    fn trace_into(&self, buf: &mut simcore::TraceBuffer) {
+        let _ = buf;
+    }
+
+    /// Reports governor-internal totals into the metrics registry.
+    /// Default: nothing to report.
+    fn record_metrics(&self, m: &mut simcore::MetricsRegistry) {
+        let _ = m;
+    }
 }
 
 /// A C-state (sleep) policy.

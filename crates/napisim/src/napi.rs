@@ -27,6 +27,17 @@ pub enum NapiMode {
     Polling,
 }
 
+impl NapiMode {
+    /// Static display label, for trace events that carry
+    /// `&'static str` names.
+    pub const fn label(self) -> &'static str {
+        match self {
+            NapiMode::Interrupt => "interrupt",
+            NapiMode::Polling => "polling",
+        }
+    }
+}
+
 /// Who is running the poll loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProcContext {
@@ -302,6 +313,47 @@ impl NapiContext {
     /// Log of polling-mode packet batches `(time, count)`.
     pub fn polling_packet_log(&self) -> &EventLog<u64> {
         &self.poll_pkt_log
+    }
+
+    /// Replays this context's logs into `buf` for core `core`:
+    /// mode residency spans on the `napi-mode` track (a context is in
+    /// interrupt mode from t=0 until the first logged transition) and
+    /// per-batch instants on the `poll` track (arg = packet count).
+    pub fn trace_into(&self, core: u32, end: SimTime, buf: &mut simcore::TraceBuffer) {
+        use simcore::TraceCategory;
+        if !buf.is_recording() {
+            return;
+        }
+        let transitions = self.mode_log.entries();
+        let mut span_start = SimTime::ZERO;
+        let mut mode = NapiMode::Interrupt;
+        for &(t, next) in transitions {
+            buf.begin(span_start, TraceCategory::NapiMode, core, mode.label(), 0);
+            buf.end(t, TraceCategory::NapiMode, core, mode.label(), 0);
+            span_start = t;
+            mode = next;
+        }
+        if span_start < end || transitions.is_empty() {
+            buf.begin(span_start, TraceCategory::NapiMode, core, mode.label(), 0);
+            buf.end(end, TraceCategory::NapiMode, core, mode.label(), 0);
+        }
+        for &(t, n) in self.intr_pkt_log.entries() {
+            buf.instant(t, TraceCategory::Poll, core, "intr-batch", n as i64);
+        }
+        for &(t, n) in self.poll_pkt_log.entries() {
+            buf.instant(t, TraceCategory::Poll, core, "poll-batch", n as i64);
+        }
+    }
+
+    /// Accumulates this context's packet totals into the metrics
+    /// registry (bumped, so per-core contexts sum naturally).
+    pub fn record_metrics(&self, m: &mut simcore::MetricsRegistry) {
+        if !simcore::MetricsRegistry::ENABLED {
+            return;
+        }
+        m.bump("napi.intr_packets", self.total_intr_pkts);
+        m.bump("napi.poll_packets", self.total_poll_pkts);
+        m.bump("napi.mode_transitions", self.mode_log.len() as u64);
     }
 }
 

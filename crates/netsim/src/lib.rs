@@ -29,7 +29,7 @@ pub mod ring;
 pub mod rss;
 
 pub use link::LinkModel;
-pub use nic::{Nic, NicConfig, QueueId, RxOutcome};
+pub use nic::{IrqMark, Nic, NicConfig, QueueId, RxOutcome};
 pub use packet::{FlowId, Packet, PacketKind, RequestId};
 pub use ring::DescRing;
 pub use rss::RssHasher;

@@ -19,7 +19,7 @@ use crate::packet::FlowId;
 use crate::packet::Packet;
 use crate::ring::DescRing;
 use crate::rss::RssHasher;
-use simcore::{SimDuration, SimTime};
+use simcore::{EventLog, SimDuration, SimTime};
 
 /// Index of a NIC queue (= index of the core it interrupts, with the
 /// usual one-queue-per-core affinity).
@@ -82,6 +82,30 @@ pub struct RxOutcome {
     pub irq_at: Option<SimTime>,
 }
 
+/// An interrupt-vector state change, recorded per queue when the IRQ
+/// log is enabled (see [`Nic::set_irq_log_enabled`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrqMark {
+    /// An IRQ was delivered to the queue's core.
+    Fired,
+    /// NAPI masked the vector on entering polling mode.
+    Masked,
+    /// NAPI unmasked the vector on leaving polling mode.
+    Unmasked,
+}
+
+impl IrqMark {
+    /// Static display label, for trace events that carry
+    /// `&'static str` names.
+    pub const fn label(self) -> &'static str {
+        match self {
+            IrqMark::Fired => "irq-fire",
+            IrqMark::Masked => "irq-mask",
+            IrqMark::Unmasked => "irq-unmask",
+        }
+    }
+}
+
 /// What one NAPI poll retrieved.
 #[derive(Debug, Clone)]
 pub struct PollResult {
@@ -108,6 +132,11 @@ struct Queue {
     descs_since_irq: u64,
     /// Current adaptive spacing.
     current_itr: SimDuration,
+    /// Deepest Rx-ring occupancy ever observed.
+    rx_high_water: usize,
+    /// IRQ fire/mask/unmask marks with Rx occupancy, recorded only
+    /// when the owning NIC's IRQ log is enabled.
+    irq_log: EventLog<(IrqMark, u32)>,
 }
 
 impl Queue {
@@ -126,6 +155,9 @@ pub struct Nic {
     config: NicConfig,
     queues: Vec<Queue>,
     rss: RssHasher,
+    /// Whether per-queue IRQ marks are recorded (off by default so
+    /// non-tracing runs pay no log growth).
+    irq_log_enabled: bool,
 }
 
 impl Nic {
@@ -148,12 +180,15 @@ impl Nic {
                 rx_req_dropped: 0,
                 descs_since_irq: 0,
                 current_itr: SimDuration::from_micros(10),
+                rx_high_water: 0,
+                irq_log: EventLog::new(),
             })
             .collect();
         Nic {
             queues,
             rss: RssHasher::new(config.queues),
             config,
+            irq_log_enabled: false,
         }
     }
 
@@ -227,7 +262,9 @@ impl Nic {
                 irq_at: None,
             };
         }
-        self.queues[q.0].descs_since_irq += 1;
+        let queue = &mut self.queues[q.0];
+        queue.descs_since_irq += 1;
+        queue.rx_high_water = queue.rx_high_water.max(queue.rx.len());
         RxOutcome {
             accepted: true,
             irq_at: self.maybe_arm_irq(q, now),
@@ -275,6 +312,10 @@ impl Nic {
         };
         queue.last_irq = Some(now);
         queue.irqs_raised += 1;
+        if self.irq_log_enabled {
+            let backlog = queue.rx.len() as u32;
+            queue.irq_log.push(now, (IrqMark::Fired, backlog));
+        }
         self.update_itr(q, window);
         true
     }
@@ -285,15 +326,25 @@ impl Nic {
     }
 
     /// NAPI disables `q`'s IRQ on entering polling mode.
-    pub fn disable_irq(&mut self, q: QueueId) {
-        self.queues[q.0].irq_enabled = false;
+    pub fn disable_irq(&mut self, q: QueueId, now: SimTime) {
+        let queue = &mut self.queues[q.0];
+        queue.irq_enabled = false;
+        if self.irq_log_enabled {
+            let backlog = queue.rx.len() as u32;
+            queue.irq_log.push(now, (IrqMark::Masked, backlog));
+        }
     }
 
     /// NAPI re-enables `q`'s IRQ on leaving polling mode. If work
     /// arrived during the final poll (the classic race), an IRQ is
     /// armed immediately and its fire time returned.
     pub fn enable_irq(&mut self, q: QueueId, now: SimTime) -> Option<SimTime> {
-        self.queues[q.0].irq_enabled = true;
+        let queue = &mut self.queues[q.0];
+        queue.irq_enabled = true;
+        if self.irq_log_enabled {
+            let backlog = queue.rx.len() as u32;
+            queue.irq_log.push(now, (IrqMark::Unmasked, backlog));
+        }
         self.maybe_arm_irq(q, now)
     }
 
@@ -377,6 +428,68 @@ impl Nic {
             })
             .sum()
     }
+
+    /// Turns per-queue IRQ mark recording on or off. Off by default:
+    /// a non-tracing run keeps every log empty.
+    pub fn set_irq_log_enabled(&mut self, enabled: bool) {
+        self.irq_log_enabled = enabled;
+    }
+
+    /// The IRQ fire/mask/unmask marks recorded on `q` (empty unless
+    /// [`set_irq_log_enabled`](Nic::set_irq_log_enabled) was called).
+    /// Each mark carries the Rx-ring occupancy at that instant.
+    pub fn irq_log(&self, q: QueueId) -> &EventLog<(IrqMark, u32)> {
+        &self.queues[q.0].irq_log
+    }
+
+    /// Deepest Rx-ring occupancy observed on `q`.
+    pub fn rx_high_water(&self, q: QueueId) -> usize {
+        self.queues[q.0].rx_high_water
+    }
+
+    /// Replays every queue's IRQ marks into `buf` as instants on the
+    /// `irq` category track of the queue's core (queue *i* interrupts
+    /// core *i* under the one-queue-per-core affinity).
+    pub fn trace_into(&self, buf: &mut simcore::TraceBuffer) {
+        if !buf.is_recording() {
+            return;
+        }
+        for (i, q) in self.queues.iter().enumerate() {
+            for &(t, (mark, backlog)) in q.irq_log.entries() {
+                buf.instant(
+                    t,
+                    simcore::TraceCategory::Irq,
+                    i as u32,
+                    mark.label(),
+                    backlog as i64,
+                );
+            }
+        }
+    }
+
+    /// Reports NIC-level totals into the metrics registry.
+    pub fn record_metrics(&self, m: &mut simcore::MetricsRegistry) {
+        if !simcore::MetricsRegistry::ENABLED {
+            return;
+        }
+        m.set_counter("nic.rx_enqueued", self.total_rx_enqueued());
+        m.set_counter("nic.rx_polled", self.total_rx_polled());
+        m.set_counter("nic.rx_dropped", self.total_rx_dropped());
+        m.set_counter("nic.rx_req_dropped", self.total_rx_req_dropped());
+        m.set_counter("nic.tx_dropped", self.total_tx_dropped());
+        m.set_counter(
+            "nic.irqs_raised",
+            self.queues.iter().map(|q| q.irqs_raised).sum(),
+        );
+        m.set_counter(
+            "nic.rx_ring_high_water",
+            self.queues
+                .iter()
+                .map(|q| q.rx_high_water as u64)
+                .max()
+                .unwrap_or(0),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -431,7 +544,7 @@ mod tests {
         let mut n = nic();
         let q = QueueId(0);
         let fire = n.enqueue_rx(q, pkt(1), SimTime::ZERO).irq_at.unwrap();
-        n.disable_irq(q);
+        n.disable_irq(q, SimTime::ZERO);
         assert!(!n.irq_fired(q, fire), "IRQ must be suppressed by the mask");
         assert_eq!(n.irqs_raised(q), 0);
     }
@@ -440,7 +553,7 @@ mod tests {
     fn no_irq_while_disabled_and_reenable_rearms() {
         let mut n = nic();
         let q = QueueId(0);
-        n.disable_irq(q);
+        n.disable_irq(q, SimTime::ZERO);
         let out = n.enqueue_rx(q, pkt(1), SimTime::from_micros(1));
         assert!(out.accepted);
         assert_eq!(out.irq_at, None);
@@ -453,7 +566,7 @@ mod tests {
     fn reenable_with_empty_rings_stays_quiet() {
         let mut n = nic();
         let q = QueueId(0);
-        n.disable_irq(q);
+        n.disable_irq(q, SimTime::ZERO);
         assert_eq!(n.enable_irq(q, SimTime::from_micros(5)), None);
     }
 
@@ -461,7 +574,7 @@ mod tests {
     fn poll_budget_covers_tx_then_rx() {
         let mut n = nic();
         let q = QueueId(0);
-        n.disable_irq(q);
+        n.disable_irq(q, SimTime::ZERO);
         for i in 0..10 {
             n.enqueue_rx(q, pkt(i), SimTime::ZERO);
         }
@@ -497,7 +610,7 @@ mod tests {
     #[test]
     fn queues_are_independent() {
         let mut n = nic();
-        n.disable_irq(QueueId(0));
+        n.disable_irq(QueueId(0), SimTime::ZERO);
         let out = n.enqueue_rx(QueueId(1), pkt(1), SimTime::ZERO);
         assert!(out.irq_at.is_some(), "queue 1 unaffected by queue 0 mask");
     }
@@ -550,11 +663,53 @@ mod tests {
     fn multi_segment_tx_counts_completions() {
         let mut n = nic();
         let q = QueueId(0);
-        n.disable_irq(q);
+        n.disable_irq(q, SimTime::ZERO);
         n.enqueue_tx_with_completions(q, &pkt(1), 6, SimTime::ZERO);
         assert_eq!(n.tx_backlog(q), 6);
         let r = n.poll(q, 64);
         assert_eq!(r.tx_cleaned, 6);
+    }
+
+    #[test]
+    fn irq_log_records_marks_only_when_enabled() {
+        let mut n = nic();
+        let q = QueueId(0);
+        // Disabled by default: nothing is recorded.
+        let fire = n.enqueue_rx(q, pkt(1), SimTime::ZERO).irq_at.unwrap();
+        n.irq_fired(q, fire);
+        assert!(n.irq_log(q).is_empty());
+        // Enabled: fire → mask → unmask marks land in order with the
+        // ring occupancy attached.
+        n.set_irq_log_enabled(true);
+        let fire = n
+            .enqueue_rx(q, pkt(2), SimTime::from_micros(100))
+            .irq_at
+            .unwrap();
+        n.irq_fired(q, fire);
+        n.disable_irq(q, fire);
+        n.poll(q, 64);
+        n.enable_irq(q, SimTime::from_micros(120));
+        let marks: Vec<IrqMark> = n.irq_log(q).iter().map(|&(_, (m, _))| m).collect();
+        assert_eq!(
+            marks,
+            vec![IrqMark::Fired, IrqMark::Masked, IrqMark::Unmasked]
+        );
+        let &(_, (_, backlog_at_fire)) = &n.irq_log(q).entries()[0];
+        assert_eq!(backlog_at_fire, 2, "both packets still in the ring");
+    }
+
+    #[test]
+    fn rx_high_water_tracks_deepest_occupancy() {
+        let mut n = nic();
+        let q = QueueId(0);
+        n.disable_irq(q, SimTime::ZERO);
+        for i in 0..7 {
+            n.enqueue_rx(q, pkt(i), SimTime::ZERO);
+        }
+        n.poll(q, 64);
+        n.enqueue_rx(q, pkt(99), SimTime::from_micros(5));
+        assert_eq!(n.rx_high_water(q), 7, "high water survives the drain");
+        assert_eq!(n.rx_high_water(QueueId(1)), 0);
     }
 
     #[test]

@@ -9,7 +9,29 @@ use cpusim::pstate::PStateTable;
 use cpusim::{CoreId, PState};
 use governors::{Action, Ondemand, PStateGovernor};
 use napisim::PollClass;
-use simcore::{SimDuration, SimTime};
+use simcore::{EventLog, SimDuration, SimTime};
+
+/// A power-mode boundary crossed by one core's decision engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NiMark {
+    /// The monitor's NI notification flipped the core to
+    /// Network-Intensive mode (V/F maximized).
+    Notify,
+    /// The timer saw the burst subside and fell back to the
+    /// CPU-utilization mode.
+    Fallback,
+}
+
+impl NiMark {
+    /// Static display label, for trace events that carry
+    /// `&'static str` names.
+    pub const fn label(self) -> &'static str {
+        match self {
+            NiMark::Notify => "ni-notify",
+            NiMark::Fallback => "ni-fallback",
+        }
+    }
+}
 
 /// NMAP: per-core, NAPI-mode-aware DVFS.
 ///
@@ -26,6 +48,8 @@ pub struct NmapGovernor {
     /// Last utilization sample per core, for the fallback enforcement
     /// (Algorithm 2 line 10) at the moment of mode exit.
     last_busy: Vec<f64>,
+    /// Mode-boundary crossings `(core, mark)`, for trace replay.
+    ni_log: EventLog<(CoreId, NiMark)>,
 }
 
 impl NmapGovernor {
@@ -40,6 +64,7 @@ impl NmapGovernor {
                 .collect(),
             fallback: Ondemand::new(table, cores),
             last_busy: vec![0.0; cores],
+            ni_log: EventLog::new(),
             config,
         }
     }
@@ -52,6 +77,11 @@ impl NmapGovernor {
     /// Total Network-Intensive notifications across cores.
     pub fn total_notifications(&self) -> u64 {
         self.monitors.iter().map(|m| m.total_notifications()).sum()
+    }
+
+    /// Log of power-mode boundary crossings `(time, (core, mark))`.
+    pub fn ni_log(&self) -> &EventLog<(CoreId, NiMark)> {
+        &self.ni_log
     }
 
     /// The configuration in effect.
@@ -95,6 +125,7 @@ impl PStateGovernor for NmapGovernor {
             // Algorithm 2 lines 3-5: disable ondemand (implicit — we
             // stop consulting it), maximize V/F immediately.
             self.fallback.note_pstate(core, PState::P0);
+            self.ni_log.push(now, (core, NiMark::Notify));
             actions.push(Action::SetCore(core, PState::P0));
         }
     }
@@ -114,6 +145,7 @@ impl PStateGovernor for NmapGovernor {
                 if self.engines[core.0].on_timer(ratio, now) {
                     // Fell back: enforce the utilization-based state
                     // and re-enable ondemand (lines 9-11).
+                    self.ni_log.push(now, (core, NiMark::Fallback));
                     self.fallback.on_core_sample(core, sample, now, actions);
                 } else {
                     // Still intense: keep the core maximized.
@@ -124,6 +156,35 @@ impl PStateGovernor for NmapGovernor {
                 self.fallback.on_core_sample(core, sample, now, actions);
             }
         }
+    }
+
+    fn trace_into(&self, buf: &mut simcore::TraceBuffer) {
+        if !buf.is_recording() {
+            return;
+        }
+        for &(t, (core, mark)) in self.ni_log.entries() {
+            buf.instant(
+                t,
+                simcore::TraceCategory::Governor,
+                core.0 as u32,
+                mark.label(),
+                0,
+            );
+        }
+    }
+
+    fn record_metrics(&self, m: &mut simcore::MetricsRegistry) {
+        if !simcore::MetricsRegistry::ENABLED {
+            return;
+        }
+        m.set_counter("nmap.ni_notifications", self.total_notifications());
+        m.set_counter(
+            "nmap.ni_fallbacks",
+            self.ni_log
+                .iter()
+                .filter(|&&(_, (_, mark))| mark == NiMark::Fallback)
+                .count() as u64,
+        );
     }
 }
 
@@ -323,6 +384,44 @@ mod tests {
         assert_eq!(g.mode(CoreId(1)), PowerMode::NetworkIntensive);
         assert_eq!(g.mode(CoreId(0)), PowerMode::CpuUtilization);
         assert_eq!(g.mode(CoreId(7)), PowerMode::CpuUtilization);
+    }
+
+    #[test]
+    fn ni_log_marks_mode_boundaries() {
+        let mut g = nmap();
+        let mut actions = Vec::new();
+        // Enter NI mode, then let the burst die out.
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Interrupt,
+            10,
+            SimTime::ZERO,
+            &mut actions,
+        );
+        g.on_poll_batch(
+            CoreId(0),
+            PollClass::Polling,
+            500,
+            SimTime::from_micros(1),
+            &mut actions,
+        );
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.9),
+            SimTime::from_millis(10),
+            &mut actions,
+        );
+        g.on_core_sample(
+            CoreId(0),
+            sample(0.0),
+            SimTime::from_millis(20),
+            &mut actions,
+        );
+        let marks: Vec<(CoreId, NiMark)> = g.ni_log().iter().map(|&(_, m)| m).collect();
+        assert_eq!(
+            marks,
+            vec![(CoreId(0), NiMark::Notify), (CoreId(0), NiMark::Fallback)]
+        );
     }
 
     #[test]

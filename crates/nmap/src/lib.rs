@@ -45,7 +45,7 @@ pub mod simpl;
 
 pub use config::NmapConfig;
 pub use engine::{DecisionEngine, PowerMode};
-pub use governor::NmapGovernor;
+pub use governor::{NiMark, NmapGovernor};
 pub use monitor::ModeTransitionMonitor;
 pub use online::{OnlineConfig, OnlineNmap};
 pub use profiling::ThresholdProfiler;

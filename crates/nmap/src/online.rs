@@ -180,6 +180,14 @@ impl PStateGovernor for OnlineNmap {
             self.adapt();
         }
     }
+
+    fn trace_into(&self, buf: &mut simcore::TraceBuffer) {
+        self.inner.trace_into(buf);
+    }
+
+    fn record_metrics(&self, m: &mut simcore::MetricsRegistry) {
+        self.inner.record_metrics(m);
+    }
 }
 
 #[cfg(test)]

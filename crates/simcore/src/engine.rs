@@ -70,6 +70,27 @@ pub struct Simulator<W> {
     /// Ids scheduled but not yet executed or cancelled.
     live: HashSet<EventId>,
     executed: u64,
+    cancelled: u64,
+    max_pending: usize,
+}
+
+/// Engine self-profiling counters, cheap enough to always collect.
+///
+/// Everything here is a function of the event sequence alone, so two
+/// same-seed runs report identical profiles — wall-clock timing is
+/// deliberately *not* part of this struct (the experiment runner
+/// measures it separately, outside anything determinism suites
+/// compare).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Events ever scheduled (executed + cancelled + still pending).
+    pub events_scheduled: u64,
+    /// Events whose action ran.
+    pub events_executed: u64,
+    /// Events cancelled before running.
+    pub events_cancelled: u64,
+    /// High-water mark of simultaneously pending events (heap depth).
+    pub max_pending: usize,
 }
 
 impl<W> Default for Simulator<W> {
@@ -87,6 +108,8 @@ impl<W> Simulator<W> {
             next_seq: 0,
             live: HashSet::new(),
             executed: 0,
+            cancelled: 0,
+            max_pending: 0,
         }
     }
 
@@ -103,6 +126,16 @@ impl<W> Simulator<W> {
     /// Number of events currently pending (cancelled events excluded).
     pub fn pending(&self) -> usize {
         self.live.len()
+    }
+
+    /// Deterministic self-profiling counters for this simulator.
+    pub fn profile(&self) -> EngineProfile {
+        EngineProfile {
+            events_scheduled: self.next_seq,
+            events_executed: self.executed,
+            events_cancelled: self.cancelled,
+            max_pending: self.max_pending,
+        }
     }
 
     /// Schedules `action` to run at absolute time `time`.
@@ -125,6 +158,7 @@ impl<W> Simulator<W> {
         });
         self.live.insert(id);
         self.next_seq += 1;
+        self.max_pending = self.max_pending.max(self.live.len());
         id
     }
 
@@ -142,7 +176,9 @@ impl<W> Simulator<W> {
     pub fn cancel(&mut self, id: EventId) -> bool {
         // An id absent from `live` was never issued, already executed,
         // or already cancelled; all of those report false.
-        self.live.remove(&id)
+        let removed = self.live.remove(&id);
+        self.cancelled += removed as u64;
+        removed
     }
 
     /// Runs a single event. Returns `false` if the queue is empty.
@@ -333,5 +369,22 @@ mod tests {
     fn unknown_id_cancel_is_false() {
         let mut sim: Simulator<u32> = Simulator::new();
         assert!(!sim.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn profile_counts_scheduled_executed_cancelled_and_depth() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let mut w = 0;
+        let a = sim.schedule_at(SimTime::from_nanos(1), |w: &mut u32, _| *w += 1);
+        sim.schedule_at(SimTime::from_nanos(2), |w: &mut u32, _| *w += 1);
+        sim.schedule_at(SimTime::from_nanos(3), |w: &mut u32, _| *w += 1);
+        sim.cancel(a);
+        sim.cancel(a); // double cancel must not double count
+        sim.run_until(&mut w, SimTime::from_micros(1));
+        let p = sim.profile();
+        assert_eq!(p.events_scheduled, 3);
+        assert_eq!(p.events_executed, 2);
+        assert_eq!(p.events_cancelled, 1);
+        assert_eq!(p.max_pending, 3);
     }
 }

@@ -27,13 +27,17 @@
 pub mod audit;
 pub mod check;
 pub mod engine;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use audit::{Account, AuditCheck, AuditReport, ConservationLedger};
-pub use engine::{EventId, Simulator};
+pub use engine::{EngineProfile, EventId, Simulator};
+pub use obs::{
+    MetricsRegistry, MetricsSnapshot, TraceBuffer, TraceCategory, TraceEvent, TraceKind,
+};
 pub use rng::RngStream;
 pub use stats::cdf::Cdf;
 pub use stats::histogram::Histogram;

@@ -1,12 +1,13 @@
 //! Export a run's raw traces to CSV for plotting with external tools
 //! (gnuplot, matplotlib, …): per-response latencies, core 0's P-state
-//! steps, and the NAPI interrupt/polling/ksoftirqd activity.
+//! steps, and the NAPI interrupt/polling/ksoftirqd activity — plus
+//! the full structured trace as Perfetto-loadable `trace.json`.
 //!
 //! ```sh
 //! cargo run --release --example export_traces -- /tmp/nmap_traces nmap
 //! ```
 
-use experiments::{run, thresholds, GovernorKind, RunConfig, Scale};
+use experiments::{run_profiled, thresholds, GovernorKind, RunConfig, Scale};
 use workload::{AppKind, LoadLevel, LoadSpec};
 
 fn main() {
@@ -28,10 +29,12 @@ fn main() {
         Scale::Quick,
     )
     .with_traces();
-    let result = run(cfg);
+    let (result, profile) = run_profiled(cfg);
     experiments::export::write_traces_csv(&result, &dir).expect("write CSVs");
+    let json_path = std::path::Path::new(&dir).join("trace.json");
+    experiments::export::write_perfetto_json(&result, &json_path).expect("write trace.json");
     println!(
-        "wrote responses.csv / pstates.csv / napi.csv to {dir}/ ({} responses, governor {})",
+        "wrote responses.csv / pstates.csv / napi.csv / trace.json to {dir}/ ({} responses, governor {})",
         result.received, result.governor
     );
     println!(
@@ -40,5 +43,17 @@ fn main() {
         experiments::report::fmt_pct(result.frac_above_slo),
         result.avg_power_w
     );
+    println!("engine: {}", experiments::report::fmt_profile(&profile));
+    if let Some(t) = &result.traces {
+        println!(
+            "structured trace: {} events ({} dropped at capacity)",
+            t.trace.len(),
+            t.trace.dropped()
+        );
+    }
     println!("\nplot e.g.:  gnuplot -e \"set datafile separator ','; plot '{dir}/responses.csv' every ::1 using 1:2 with dots\"");
+    println!(
+        "view the timeline: open https://ui.perfetto.dev and drag in {}",
+        json_path.display()
+    );
 }

@@ -1,0 +1,160 @@
+//! End-to-end observability: a traced NMAP run must surface every
+//! instrumentation layer (IRQ, NAPI mode, ksoftirqd, P-/C-states,
+//! requests) in the Perfetto export, and its metrics snapshot must be
+//! populated and deterministic.
+
+#![cfg(feature = "obs")]
+
+use experiments::{perfetto_json, thresholds, GovernorKind, RunConfig, RunResult, Scale};
+use simcore::SimDuration;
+use workload::{AppKind, LoadLevel, LoadSpec};
+
+fn traced_nmap_run() -> RunResult {
+    let app = AppKind::Memcached;
+    experiments::run(
+        RunConfig {
+            warmup: SimDuration::from_millis(50),
+            duration: SimDuration::from_millis(200),
+            ..RunConfig::new(
+                app,
+                LoadSpec::preset(app, LoadLevel::High),
+                GovernorKind::Nmap(thresholds::nmap_config(app)),
+                Scale::Quick,
+            )
+        }
+        .with_seed(7)
+        .with_traces(),
+    )
+}
+
+/// A minimal JSON structural check: balanced braces/brackets outside
+/// strings, with string escapes honoured. Not a full parser, but it
+/// catches truncated output, bad escaping, and mismatched nesting —
+/// the realistic failure modes of a hand-rolled emitter.
+fn assert_json_balanced(s: &str) {
+    let mut depth: Vec<char> = Vec::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth.push('}'),
+            '[' => depth.push(']'),
+            '}' | ']' => {
+                assert_eq!(depth.pop(), Some(c), "mismatched bracket in JSON output");
+            }
+            _ => {}
+        }
+    }
+    assert!(!in_str, "unterminated string in JSON output");
+    assert!(depth.is_empty(), "unclosed brackets in JSON output");
+}
+
+#[test]
+fn nmap_run_exports_all_track_types() {
+    let result = traced_nmap_run();
+    let traces = result.traces.as_ref().expect("traces collected");
+    assert!(!traces.trace.is_empty(), "trace buffer must carry events");
+    assert_eq!(traces.trace.dropped(), 0, "quick run must fit in capacity");
+
+    let json = perfetto_json(&traces.trace);
+    assert_json_balanced(&json);
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\""));
+
+    // Every major instrumentation layer must produce a named track.
+    for track in [
+        "irq",
+        "napi-mode",
+        "ksoftirqd",
+        "pstate",
+        "cstate",
+        "requests",
+    ] {
+        assert!(
+            json.contains(&format!("\"args\":{{\"name\":\"{track}\"}}")),
+            "missing {track} track in Perfetto export"
+        );
+    }
+    // Tracks must span multiple cores (the quick topology has several).
+    assert!(
+        json.contains("\"name\":\"core 0\"") && json.contains("\"name\":\"core 1\""),
+        "expected per-core process names for at least two cores"
+    );
+    // Span begins pair with ends somewhere in the stream.
+    assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""));
+    assert!(json.contains("\"ph\":\"i\""), "instant events expected");
+}
+
+#[test]
+fn metrics_snapshot_is_populated_and_consistent() {
+    let result = traced_nmap_run();
+    let m = &result.metrics;
+    assert!(!m.is_empty(), "obs-on run must produce metrics");
+    // Core counters from each instrumented layer.
+    for key in [
+        "nic.rx_enqueued",
+        "napi.mode_transitions",
+        "cpu.dvfs_transitions",
+        "nmap.ni_notifications",
+        "client.sent",
+        "client.received",
+        "engine.events_executed",
+    ] {
+        assert!(
+            m.counter(key).is_some(),
+            "metric {key} missing from snapshot:\n{}",
+            m.render()
+        );
+    }
+    // Cross-check against the result's own aggregates.
+    assert_eq!(m.counter("client.received"), Some(result.received));
+    // Conservation: every packet the NAPI layer saw entered via the NIC.
+    let polled = m.counter("nic.rx_polled").unwrap_or(0);
+    let enq = m.counter("nic.rx_enqueued").unwrap_or(0);
+    assert!(
+        polled <= enq,
+        "polled {polled} cannot exceed enqueued {enq}"
+    );
+    // The rendered form is stable: one line per metric, counters in
+    // sorted key order with no duplicates.
+    let rendered = m.render();
+    assert!(
+        rendered.lines().count() >= 10,
+        "snapshot suspiciously small"
+    );
+    let keys: Vec<&str> = rendered
+        .lines()
+        .filter_map(|l| l.strip_prefix("counter "))
+        .filter_map(|l| l.split('=').next())
+        .collect();
+    assert!(!keys.is_empty());
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(keys, sorted, "counters must render sorted and unique");
+}
+
+#[test]
+fn traced_runs_are_deterministic() {
+    let a = traced_nmap_run();
+    let b = traced_nmap_run();
+    assert_eq!(a, b, "traced runs must be bit-identical across repeats");
+    assert_eq!(
+        a.metrics.render(),
+        b.metrics.render(),
+        "metrics render must be byte-identical"
+    );
+    let ja = perfetto_json(&a.traces.as_ref().unwrap().trace);
+    let jb = perfetto_json(&b.traces.as_ref().unwrap().trace);
+    assert_eq!(ja, jb, "Perfetto export must be byte-identical");
+}

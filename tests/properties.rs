@@ -283,8 +283,17 @@ fn runs_are_deterministic_for_arbitrary_configs() {
         let first = experiments::run(cfg.clone());
         let second = experiments::run(cfg.clone());
         assert_eq!(first, second, "same seed must reproduce bit-identically");
+        // The structured metrics snapshot is part of RunResult, but
+        // assert it explicitly (rendered form = byte identity) so a
+        // nondeterministic metric fails with a readable diff.
+        assert_eq!(
+            first.metrics.render(),
+            second.metrics.render(),
+            "metrics snapshots must be byte-identical between same-seed runs"
+        );
         let many = experiments::run_many(vec![cfg.clone(), cfg]);
         assert_eq!(many[0], first, "parallel run_many must match serial run");
         assert_eq!(many[1], first);
+        assert_eq!(many[0].metrics.render(), first.metrics.render());
     });
 }
