@@ -27,7 +27,10 @@ use napisim::{NapiContext, PollClass, PollVerdict, ProcContext, RunQueue, StackP
 use netsim::nic::PollResult;
 use netsim::{LinkModel, Nic, NicConfig, Packet, QueueId};
 use simcore::audit::{Account, AuditReport, ConservationLedger};
-use simcore::{EventLog, RngStream, SimDuration, SimTime, Simulator};
+use simcore::{
+    AttribTracker, ChainMarks, EventLog, RngStream, SimDuration, SimTime, Simulator, SloWatchdog,
+    Stage, WatchdogEvent,
+};
 use std::collections::VecDeque;
 use workload::{ArrivalProcess, BurstyArrivals, Client, LoadSpec};
 
@@ -239,6 +242,15 @@ pub struct Testbed {
     /// [`collect_metrics`](Testbed::collect_metrics). Zero-sized no-op
     /// without the `obs` feature.
     pub metrics: simcore::MetricsRegistry,
+    /// Per-request latency attribution: decomposes every completed
+    /// request's end-to-end latency into pipeline stages that sum
+    /// exactly to the measured value (ledger-audited). Zero-sized
+    /// no-op without the `obs` feature.
+    pub attrib: AttribTracker,
+    /// Online SLO watchdog: sliding-window P99 per core and globally,
+    /// with violation/recovery episode detection. Always on (its
+    /// report is part of every run result).
+    pub watchdog: SloWatchdog,
 
     profile: ProcessorProfile,
     app: AppModel,
@@ -275,6 +287,11 @@ pub struct Testbed {
     actions: Vec<Action>,
     /// Executed-event counts per handler kind (indexed by `EvKind`).
     ev_counts: [u64; EvKind::COUNT],
+    /// Per-core interrupt-chain timestamps for the attribution
+    /// profiler's ring-interval decomposition.
+    marks: Vec<ChainMarks>,
+    /// Scratch buffer for watchdog events (reused per response).
+    watchdog_events: Vec<WatchdogEvent>,
 }
 
 impl Testbed {
@@ -307,6 +324,10 @@ impl Testbed {
             ledger: ConservationLedger::new(),
             trace,
             metrics: simcore::MetricsRegistry::default(),
+            attrib: AttribTracker::new(),
+            // A 5 ms sliding window keeps the online P99 responsive to
+            // bursts while holding enough samples for a stable tail.
+            watchdog: SloWatchdog::new(config.app.slo, SimDuration::from_millis(5), cores),
             profile: config.profile.clone(),
             app: config.app,
             stack: config.stack,
@@ -332,6 +353,8 @@ impl Testbed {
             measure_start_samples: 0,
             actions: Vec::new(),
             ev_counts: [0; EvKind::COUNT],
+            marks: vec![ChainMarks::default(); cores],
+            watchdog_events: Vec::new(),
         };
         // All cores start idle under the sleep policy.
         for i in 0..cores {
@@ -430,10 +453,77 @@ impl Testbed {
         let latency = self.client.on_response(&pkt, now);
         self.ledger.credit(Account::ResponsesReceived, 1);
         self.ledger.credit(Account::LatencySamples, 1);
+        self.ledger
+            .credit(Account::LatencyNanosMeasured, latency.as_nanos());
+        // Close the request's attribution: the stage sums must equal
+        // the measured latency exactly (audited), and each stage feeds
+        // its metrics histogram.
+        if let Some(done) = self.attrib.completed(pkt.id.0, now) {
+            self.ledger
+                .credit(Account::LatencyNanosAttributed, done.breakdown.total_ns());
+            for (stage, ns) in done.breakdown.iter() {
+                self.metrics.observe(stage.metric_key(), ns);
+            }
+        }
+        // The watchdog sees every sample, keyed to the serving core
+        // (RSS pins a flow to one queue = one core).
+        let core = self.nic.rss_queue(pkt.flow).0;
+        let mut events = std::mem::take(&mut self.watchdog_events);
+        events.clear();
+        self.watchdog
+            .record(core, latency.as_nanos(), now, &mut events);
+        if self.trace.is_recording() {
+            self.trace_watchdog_events(now, &events);
+        }
+        self.watchdog_events = events;
         let mut actions = std::mem::take(&mut self.actions);
         self.governor.on_request_latency(latency, now, &mut actions);
         self.apply_actions(sim, &mut actions);
         self.actions = actions;
+    }
+
+    /// Turns watchdog state changes into Perfetto-visible counters and
+    /// instants on the SLO track.
+    fn trace_watchdog_events(&mut self, now: SimTime, events: &[WatchdogEvent]) {
+        use simcore::TraceCategory::Slo;
+        for ev in events {
+            match *ev {
+                WatchdogEvent::WindowRotated { p99_ns, p50_ns } => {
+                    self.trace.counter(now, Slo, 0, "p99-online", p99_ns as i64);
+                    self.trace.counter(now, Slo, 0, "p50-online", p50_ns as i64);
+                    // Refresh the cumulative stage-share counters at
+                    // window cadence (per-mille of attributed time).
+                    if AttribTracker::ENABLED {
+                        for stage in Stage::ALL {
+                            self.trace.counter(
+                                now,
+                                Slo,
+                                0,
+                                stage.share_label(),
+                                self.attrib.share_permille(stage) as i64,
+                            );
+                        }
+                    }
+                }
+                WatchdogEvent::CoreWindow { core, p99_ns } => {
+                    self.trace
+                        .counter(now, Slo, core, "p99-core", p99_ns as i64);
+                }
+                WatchdogEvent::ViolationDetected { since_first_bad } => {
+                    self.trace.instant(
+                        now,
+                        Slo,
+                        0,
+                        "slo-violation",
+                        since_first_bad.as_nanos() as i64,
+                    );
+                }
+                WatchdogEvent::Recovered { violated_for } => {
+                    self.trace
+                        .instant(now, Slo, 0, "slo-recovery", violated_for.as_nanos() as i64);
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -474,6 +564,10 @@ impl Testbed {
         // The hardirq handler's first action: mask the vector (NAPI).
         self.nic.disable_irq(q, now);
         let core = CoreId(q.0);
+        // A new interrupt chain starts: anchor the attribution marks.
+        // Marks from older chains are already in the past, so the
+        // ring-interval cursor clamps them to zero-length slices.
+        self.marks[core.0].irq_at = Some(now);
         if self.core_idle[core.0] {
             let cost = self
                 .processor
@@ -483,6 +577,9 @@ impl Testbed {
             self.core_idle[core.0] = false;
             self.idle_epoch[core.0] += 1; // kill pending sleep ticks
             self.exec[core.0].cache_debt += cost.cache_refill;
+            // The wake transition ends after the PLL ramp plus the
+            // cache-refill debt the next chunk will pay up front.
+            self.marks[core.0].wake_end = Some(now + cost.latency + self.exec[core.0].cache_debt);
             if !cost.latency.is_zero() {
                 // During the wake transition the core is not executing
                 // (voltage/PLL ramp): it idles in CC0 until the
@@ -499,6 +596,7 @@ impl Testbed {
         if let Some(running) = self.exec[core.0].running.take() {
             match running.kind {
                 RunKind::App { pkt } => {
+                    self.attrib.app_pause(pkt.id.0, now);
                     sim.cancel(running.done_ev);
                     let remaining_wall = running.done_at.saturating_since(now);
                     let remaining_cycles = self
@@ -584,13 +682,34 @@ impl Testbed {
 
     fn finish_hardirq(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, _q: QueueId) {
         let now = sim.now();
+        self.marks[core.0].hardirq_end = Some(now);
         self.napi[core.0].on_irq(now);
         self.start_poll(sim, core, ProcContext::SoftIrq);
     }
 
     fn start_poll(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, ctx: ProcContext) {
+        let now = sim.now();
+        // The first ksoftirqd poll after a handoff/requeue closes the
+        // scheduling-delay window; later batches of the same stint
+        // leave it untouched so their ring time reads as ring wait.
+        if ctx == ProcContext::Ksoftirqd && self.marks[core.0].ksoftirqd_running.is_none() {
+            self.marks[core.0].ksoftirqd_running = Some(now);
+        }
         let q = QueueId(core.0);
         let batch = self.nic.poll(q, self.stack.napi_weight);
+        if AttribTracker::ENABLED {
+            for pkt in &batch.rx {
+                if pkt.kind == netsim::PacketKind::Request {
+                    self.attrib.claimed(
+                        pkt.id.0,
+                        pkt.client_sent_at,
+                        pkt.nic_rx_at,
+                        now,
+                        &self.marks[core.0],
+                    );
+                }
+            }
+        }
         let cycles = self
             .stack
             .poll_batch_cycles(batch.rx.len(), batch.tx_cleaned);
@@ -622,6 +741,7 @@ impl Testbed {
         let mut delivered = false;
         for pkt in batch.rx {
             if pkt.kind == netsim::PacketKind::Request {
+                self.attrib.delivered(pkt.id.0, now);
                 self.backlog[core.0].push_back(pkt);
                 self.ledger.credit(Account::RequestsDelivered, 1);
                 delivered = true;
@@ -660,6 +780,9 @@ impl Testbed {
                 ProcContext::SoftIrq => self.start_poll(sim, core, ctx),
                 ProcContext::Ksoftirqd => {
                     if self.quantum_expired(core, now) {
+                        // ksoftirqd waits for the scheduler again.
+                        self.marks[core.0].ksoftirqd_queued = Some(now);
+                        self.marks[core.0].ksoftirqd_running = None;
                         self.runqueues[core.0].requeue_current();
                         self.dispatch(sim, core);
                     } else {
@@ -668,6 +791,8 @@ impl Testbed {
                 }
             },
             PollVerdict::Handoff => {
+                self.marks[core.0].ksoftirqd_queued = Some(now);
+                self.marks[core.0].ksoftirqd_running = None;
                 self.napi[core.0].ksoftirqd_takeover();
                 self.note_ksoftirqd(sim, core, true);
                 self.runqueues[core.0].make_runnable(TaskId::Ksoftirqd);
@@ -697,11 +822,23 @@ impl Testbed {
             pkt.flow.0 as i64,
         );
         let cycles = self.app.sample_service_cycles(&mut self.rng_service);
+        if AttribTracker::ENABLED {
+            // Price the ideal service time at P0: whatever the chunk
+            // takes beyond it (minus wake debt and preemption gaps) is
+            // by definition P-state slowdown.
+            let debt = self.exec[core.0].cache_debt;
+            let f_max = self.profile.pstates.fastest_frequency();
+            let ideal =
+                SimDuration::from_nanos(((cycles as u128 * 1_000_000_000) / f_max as u128) as u64);
+            self.attrib
+                .app_start(pkt.id.0, core.0 as u32, sim.now(), debt, ideal);
+        }
         self.start_exec(sim, core, RunKind::App { pkt }, cycles, SimDuration::ZERO);
     }
 
     fn finish_app(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, pkt: Packet) {
         let now = sim.now();
+        self.attrib.app_finish(pkt.id.0, now);
         self.trace.end(
             now,
             simcore::TraceCategory::Request,
@@ -749,6 +886,7 @@ impl Testbed {
         // A preempted application chunk resumes first: its task still
         // owns the thread slot.
         if let Some(pa) = self.exec[core.0].preempted.take() {
+            self.attrib.app_resume(pa.pkt.id.0, now);
             self.start_exec(
                 sim,
                 core,
@@ -1134,6 +1272,24 @@ impl Testbed {
             l.balance(Account::RxWirePolled),
         );
 
+        // Latency attribution: every completed request's stage sums
+        // must equal its measured end-to-end latency, and the two
+        // ledger totals (measured at the client vs attributed by the
+        // profiler) must agree to the nanosecond. Only meaningful when
+        // the obs feature actually tracks requests.
+        if AttribTracker::ENABLED {
+            report.check_exact(
+                "attrib: no per-request stage-sum mismatches",
+                self.attrib.mismatches(),
+                0,
+            );
+            report.check_exact(
+                "attrib: attributed nanoseconds == measured nanoseconds",
+                l.balance(Account::LatencyNanosAttributed),
+                l.balance(Account::LatencyNanosMeasured),
+            );
+        }
+
         // Energy: incremental integral vs the residency-ledger
         // recomputation (different summation order → tolerance).
         let direct = self.processor.package_energy_joules(now);
@@ -1230,6 +1386,15 @@ impl Testbed {
         for kind in EvKind::ALL {
             m.set_counter(kind.key(), self.ev_counts[kind as usize]);
         }
+        m.set_counter("attrib.requests", self.attrib.requests());
+        m.set_counter("attrib.mismatches", self.attrib.mismatches());
+        m.set_counter("attrib.pending", self.attrib.pending());
+        let wd = self.watchdog.report(now);
+        m.set_counter("slo.samples", wd.samples);
+        m.set_counter("slo.episodes", wd.episodes as u64);
+        m.set_counter("slo.violation_ns", wd.total_violation_ns);
+        m.set_counter("slo.mean_detect_ns", wd.mean_detect_ns);
+        m.set_counter("slo.mean_recover_ns", wd.mean_recover_ns);
         m.set_counter("trace.events", self.trace.len() as u64);
         m.set_counter("trace.dropped", self.trace.dropped());
         self.metrics = m;
@@ -1405,6 +1570,70 @@ mod tests {
         tb.audit_report(sim.now())
             .expect("audit enabled")
             .assert_balanced();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn attribution_covers_every_response_exactly() {
+        let (mut sim, mut tb) = build(50_000.0, Box::new(Performance::new()));
+        sim.run_until(&mut tb, SimTime::from_millis(300));
+        assert!(tb.client.received() > 1_000);
+        assert_eq!(
+            tb.attrib.requests(),
+            tb.client.received(),
+            "every response must close an attribution"
+        );
+        assert_eq!(tb.attrib.mismatches(), 0, "stage sums must equal e2e");
+        let summary = tb.attrib.summary();
+        assert_eq!(summary.attributed_total_ns, summary.e2e_total_ns);
+        let service = summary.stage(simcore::Stage::AppService).unwrap();
+        assert!(service.sum_ns > 0, "service time must be attributed");
+        let wire = summary.stage(simcore::Stage::Wire).unwrap();
+        assert!(wire.sum_ns > 0, "wire time must be attributed");
+    }
+
+    #[cfg(all(feature = "obs", feature = "audit"))]
+    #[test]
+    fn attribution_balances_under_ksoftirqd_overload() {
+        // The slowest-pinned overload path exercises preemption,
+        // handoff, and ksoftirqd claims — the sums must still be
+        // exact for every request.
+        let table = ProcessorProfile::xeon_gold_6134().pstates;
+        let slowest = table.slowest();
+        let (mut sim, mut tb) = build(600_000.0, Box::new(governors::Userspace::new(slowest)));
+        sim.run_until(&mut tb, SimTime::from_millis(200));
+        assert_eq!(tb.attrib.mismatches(), 0);
+        tb.audit_report(sim.now())
+            .expect("audit enabled")
+            .assert_balanced();
+        let summary = tb.attrib.summary();
+        let ksoft = summary.stage(simcore::Stage::KsoftirqdSched).unwrap();
+        let ring = summary.stage(simcore::Stage::RingWait).unwrap();
+        assert!(
+            ksoft.sum_ns + ring.sum_ns > 0,
+            "overload must surface kernel-side queueing stages"
+        );
+    }
+
+    #[test]
+    fn watchdog_sees_every_sample() {
+        let (mut sim, mut tb) = build(30_000.0, Box::new(Performance::new()));
+        sim.run_until(&mut tb, SimTime::from_millis(300));
+        let r = tb.watchdog.report(sim.now());
+        assert_eq!(r.samples, tb.client.received());
+        assert_eq!(r.episodes, 0, "performance at low load must hold the SLO");
+    }
+
+    #[test]
+    fn watchdog_flags_overload_episode() {
+        let table = ProcessorProfile::xeon_gold_6134().pstates;
+        let slowest = table.slowest();
+        let (mut sim, mut tb) = build(600_000.0, Box::new(governors::Userspace::new(slowest)));
+        sim.run_until(&mut tb, SimTime::from_millis(300));
+        let r = tb.watchdog.report(sim.now());
+        assert!(r.episodes >= 1, "powersave overload must violate the SLO");
+        assert!(r.total_violation_ns > 0);
+        assert_ne!(r.first_detect_ns, u64::MAX);
     }
 
     #[test]

@@ -153,6 +153,13 @@ impl PStateTable {
         PState((self.points.len() - 1) as u8)
     }
 
+    /// The fastest frequency in the table (P0's, in Hz). The latency
+    /// attribution profiler prices ideal service time at this
+    /// frequency so any DVFS slowdown surfaces as P-state stall.
+    pub fn fastest_frequency(&self) -> u64 {
+        self.points[0].frequency_hz
+    }
+
     /// True if `p` is within this table.
     pub fn contains(&self, p: PState) -> bool {
         (p.index() as usize) < self.points.len()

@@ -1,16 +1,19 @@
 //! `repro` — regenerate the NMAP paper's tables and figures.
 //!
 //! ```text
-//! Usage: repro [--quick] [--out DIR] <id>... | all | --list
+//! Usage: repro [--quick] [--out DIR] [--trace-out DIR] <id>... | all | --list
 //!
-//!   --quick   short measurement windows (CI-sized); default is the
-//!             full windows used for reported numbers
-//!   --out DIR also write each artifact to DIR/<id>.txt
-//!   --list    print the available artifact ids
+//!   --quick         short measurement windows (CI-sized); default is
+//!                   the full windows used for reported numbers
+//!   --out DIR       also write each artifact to DIR/<id>.txt
+//!   --trace-out DIR also rerun each artifact's representative cell
+//!                   with tracing and write DIR/<id>.trace.json
+//!                   (Perfetto-loadable; needs `--features obs`)
+//!   --list          print the available artifact ids
 //! ```
 
-use experiments::figures;
-use experiments::runner::Scale;
+use experiments::runner::{run, Scale};
+use experiments::{export, figures, report};
 use std::io::Write;
 
 fn main() {
@@ -18,6 +21,7 @@ fn main() {
     let mut scale = Scale::Full;
     let mut ids: Vec<String> = Vec::new();
     let mut out_dir: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -30,6 +34,13 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--trace-out" => {
+                trace_dir = iter.next();
+                if trace_dir.is_none() {
+                    eprintln!("--trace-out requires a directory");
+                    std::process::exit(2);
+                }
+            }
             "--list" => {
                 for id in figures::all_ids() {
                     println!("{id}");
@@ -37,7 +48,9 @@ fn main() {
                 return;
             }
             "--help" | "-h" => {
-                println!("Usage: repro [--quick] [--out DIR] <id>... | all | --list");
+                println!(
+                    "Usage: repro [--quick] [--out DIR] [--trace-out DIR] <id>... | all | --list"
+                );
                 println!("ids: {}", figures::all_ids().join(" "));
                 return;
             }
@@ -54,6 +67,9 @@ fn main() {
 
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir).expect("create trace output directory");
     }
 
     let mut produced: std::collections::HashSet<String> = std::collections::HashSet::new();
@@ -77,5 +93,27 @@ fn main() {
             }
             produced.insert(report.id.clone());
         }
+        if let Some(dir) = &trace_dir {
+            dump_trace(id, scale, dir);
+        }
+    }
+}
+
+/// Reruns `id`'s representative cell with tracing and writes
+/// `dir/<id>.trace.json`. Surfaces the buffer's drop count so a
+/// truncated timeline is never mistaken for a quiet one.
+fn dump_trace(id: &str, scale: Scale, dir: &str) {
+    let Some(cfg) = figures::representative_cell(id, scale) else {
+        eprintln!("note: {id} has no underlying simulation; no trace written");
+        return;
+    };
+    let result = run(cfg);
+    if let Some(traces) = &result.traces {
+        if let Some(warning) = report::trace_drop_warning(id, traces.trace.dropped()) {
+            eprintln!("{warning}");
+        }
+        let path = format!("{dir}/{id}.trace.json");
+        export::write_perfetto_json(&result, &path).expect("write trace json");
+        println!("[trace for {id} written to {path}]\n");
     }
 }

@@ -190,7 +190,17 @@ pub fn perfetto_json(trace: &TraceBuffer) -> String {
         };
         push(&mut out, line);
     }
-    out.push_str("\n]}\n");
+    out.push_str("\n]");
+    // A truncated trace must be detectable from the file alone:
+    // record the overflow in the trace-wide metadata block.
+    if trace.dropped() > 0 {
+        let _ = write!(
+            out,
+            ",\"otherData\":{{\"droppedEvents\":{}}}",
+            trace.dropped()
+        );
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -280,6 +290,24 @@ mod tests {
         write_perfetto_json(&r, &path).unwrap();
         assert!(path.exists());
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn perfetto_json_records_dropped_events() {
+        use simcore::{SimTime, TraceBuffer, TraceCategory};
+        let mut tb = TraceBuffer::with_capacity(1);
+        tb.instant(SimTime::from_micros(1), TraceCategory::Irq, 0, "kept", 0);
+        tb.instant(SimTime::from_micros(2), TraceCategory::Irq, 0, "lost", 0);
+        tb.instant(SimTime::from_micros(3), TraceCategory::Irq, 0, "lost", 0);
+        assert_eq!(tb.dropped(), 2);
+        let json = perfetto_json(&tb);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\""));
+        assert!(json.contains("\"otherData\":{\"droppedEvents\":2}"));
+        // A complete trace carries no overflow metadata.
+        let mut full = TraceBuffer::with_capacity(8);
+        full.instant(SimTime::from_micros(1), TraceCategory::Irq, 0, "kept", 0);
+        assert!(!perfetto_json(&full).contains("otherData"));
     }
 
     #[cfg(not(feature = "obs"))]

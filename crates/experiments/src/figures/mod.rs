@@ -21,8 +21,10 @@
 //! | `fig16` | varying-load trace: NMAP vs Parties |
 //! | `ablation` | NI_TH/CU_TH/timer/scope/re-transition sensitivity |
 //! | `extra` | beyond-paper: online threshold adaptation, schedutil |
+//! | `breakdown` | beyond-paper: latency attribution + SLO watchdog |
 
 pub mod ablations;
+pub mod breakdown;
 pub mod comparison;
 pub mod extensions;
 pub mod motivation;
@@ -33,13 +35,31 @@ pub mod tables;
 pub mod varying;
 
 use crate::report::FigureReport;
-use crate::runner::Scale;
+use crate::runner::{GovernorKind, RunConfig, Scale};
+use crate::thresholds;
+use workload::{AppKind, LoadLevel, LoadSpec};
 
 /// All artifact ids in paper order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "fig2", "fig3", "fig4", "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11",
-        "fig12", "fig13", "fig14", "fig15", "fig16", "ablation", "extra",
+        "fig2",
+        "fig3",
+        "fig4",
+        "table1",
+        "table2",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "ablation",
+        "extra",
+        "breakdown",
     ]
 }
 
@@ -69,6 +89,32 @@ pub fn generate(id: &str, scale: Scale) -> Vec<FigureReport> {
         "fig16" => vec![varying::fig16(scale)],
         "ablation" => ablations::all(scale),
         "extra" | "extra-online" | "extra-schedutil" => extensions::all(scale),
+        "breakdown" => vec![breakdown::breakdown(scale)],
         _ => Vec::new(),
     }
+}
+
+/// The single most representative simulation cell behind an artifact,
+/// configured for trace collection — what `repro --trace-out` runs to
+/// dump a Perfetto timeline for that figure. Pure tables (`table1`,
+/// `table2`) have no underlying simulation and return `None`.
+pub fn representative_cell(id: &str, scale: Scale) -> Option<RunConfig> {
+    let app = AppKind::Memcached;
+    let gov = match id {
+        // Motivation and conventional-governor matrices: the paper's
+        // problem case is ondemand.
+        "fig2" | "fig3" | "fig4" | "fig12" | "fig13" => GovernorKind::Ondemand,
+        // The sleep-policy study holds the governor at performance.
+        "fig7" | "fig8" => GovernorKind::Performance,
+        // The state-of-the-art comparison centers on NCAP.
+        "fig14" | "fig15" => GovernorKind::Ncap(thresholds::ncap_threshold(app)),
+        // NMAP behavior, varying load, ablations, extensions, and the
+        // attribution breakdown all showcase NMAP itself.
+        "fig9" | "fig10" | "fig11" | "fig16" | "ablation" | "extra" | "breakdown" => {
+            GovernorKind::Nmap(thresholds::nmap_config(app))
+        }
+        _ => return None,
+    };
+    let load = LoadSpec::preset(app, LoadLevel::High);
+    Some(RunConfig::new(app, load, gov, scale).with_traces())
 }

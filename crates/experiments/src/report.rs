@@ -101,6 +101,30 @@ pub fn fmt_norm(value: f64, baseline: f64) -> String {
     }
 }
 
+/// Returns a warning line when a trace buffer overflowed and silently
+/// dropped events, or `None` when the trace is complete. Callers that
+/// render or export traces should surface this so a truncated timeline
+/// is never mistaken for a quiet one.
+///
+/// # Examples
+///
+/// ```
+/// use experiments::report::trace_drop_warning;
+/// assert!(trace_drop_warning("fig2", 0).is_none());
+/// let w = trace_drop_warning("fig2", 7).unwrap();
+/// assert!(w.contains("7") && w.contains("fig2"));
+/// ```
+pub fn trace_drop_warning(context: &str, dropped: u64) -> Option<String> {
+    if dropped == 0 {
+        None
+    } else {
+        Some(format!(
+            "warning: {context}: trace buffer overflowed — {dropped} event(s) \
+             dropped; raise the trace capacity for a complete timeline"
+        ))
+    }
+}
+
 /// Formats a run profile as a one-line summary: deterministic engine
 /// statistics plus host wall-clock (the latter is display-only and
 /// never enters result comparisons).

@@ -11,7 +11,10 @@ use governors::{
     Userspace,
 };
 use nmap::{NmapConfig, NmapGovernor, NmapSimpl};
-use simcore::{EngineProfile, EventLog, MetricsSnapshot, SimDuration, SimTime, Simulator};
+use simcore::{
+    AttribSummary, EngineProfile, EventLog, MetricsSnapshot, SimDuration, SimTime, Simulator,
+    WatchdogReport,
+};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use workload::{AppKind, LoadSpec};
@@ -271,6 +274,13 @@ pub struct RunResult {
     /// layer. Empty without the `obs` feature. Same-seed runs produce
     /// byte-identical snapshots (the determinism suites assert this).
     pub metrics: MetricsSnapshot,
+    /// Per-request latency attribution over the whole run (stage sums
+    /// equal measured end-to-end latency for every request; audited).
+    /// Empty without the `obs` feature.
+    pub attrib: AttribSummary,
+    /// SLO watchdog summary: violation episodes, time-to-detect,
+    /// time-to-recover. Always populated.
+    pub watchdog: WatchdogReport,
     /// Traces, if requested.
     pub traces: Option<RunTraces>,
 }
@@ -478,6 +488,8 @@ fn run_inner(
         dvfs_transitions: tb.processor.total_transitions(),
         c6_entries: tb.processor.cores().iter().map(|c| c.c6_entries()).sum(),
         metrics: tb.metrics.snapshot(),
+        attrib: tb.attrib.summary(),
+        watchdog: tb.watchdog.report(end),
         traces,
     };
     (result, tb, engine)

@@ -252,7 +252,8 @@ impl Nic {
     }
 
     /// A packet arrives from the wire into `q`'s Rx ring.
-    pub fn enqueue_rx(&mut self, q: QueueId, pkt: Packet, now: SimTime) -> RxOutcome {
+    pub fn enqueue_rx(&mut self, q: QueueId, mut pkt: Packet, now: SimTime) -> RxOutcome {
+        pkt.nic_rx_at = now;
         if let Err(lost) = self.queues[q.0].rx.push(pkt) {
             if lost.kind == crate::packet::PacketKind::Request {
                 self.queues[q.0].rx_req_dropped += 1;

@@ -47,6 +47,11 @@ pub struct Packet {
     /// When the original request left the client — carried through so
     /// the client can compute end-to-end latency from the response.
     pub client_sent_at: SimTime,
+    /// When the packet was accepted into an Rx ring (stamped by the
+    /// NIC on enqueue; [`SimTime::ZERO`] until then). The latency
+    /// attribution profiler anchors the kernel-side decomposition of
+    /// the ring-residency interval on this timestamp.
+    pub nic_rx_at: SimTime,
 }
 
 impl Packet {
@@ -58,6 +63,7 @@ impl Packet {
             kind: PacketKind::Request,
             size_bytes,
             client_sent_at,
+            nic_rx_at: SimTime::ZERO,
         }
     }
 
@@ -70,6 +76,7 @@ impl Packet {
             kind: PacketKind::Response,
             size_bytes,
             client_sent_at: request.client_sent_at,
+            nic_rx_at: SimTime::ZERO,
         }
     }
 
@@ -82,6 +89,7 @@ impl Packet {
             kind: PacketKind::Ack,
             size_bytes: 64,
             client_sent_at: reference.client_sent_at,
+            nic_rx_at: SimTime::ZERO,
         }
     }
 }

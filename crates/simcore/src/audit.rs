@@ -77,10 +77,15 @@ pub enum Account {
     TxCompletionsQueued,
     /// Tx completion descriptors cleaned by NAPI polls.
     TxCompletionsCleaned,
+    /// End-to-end latency nanoseconds measured at the client.
+    LatencyNanosMeasured,
+    /// Latency nanoseconds attributed to pipeline stages by the
+    /// attribution profiler (must equal the measured total).
+    LatencyNanosAttributed,
 }
 
 /// Number of accounts (array-backed ledger storage).
-const ACCOUNTS: usize = 12;
+const ACCOUNTS: usize = 14;
 
 impl Account {
     /// All accounts, in declaration order.
@@ -97,6 +102,8 @@ impl Account {
         Account::RxWirePolled,
         Account::TxCompletionsQueued,
         Account::TxCompletionsCleaned,
+        Account::LatencyNanosMeasured,
+        Account::LatencyNanosAttributed,
     ];
 }
 

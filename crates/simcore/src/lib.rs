@@ -35,6 +35,9 @@ pub mod trace;
 
 pub use audit::{Account, AuditCheck, AuditReport, ConservationLedger};
 pub use engine::{EngineProfile, EventId, Simulator};
+pub use obs::attrib::{
+    AttribSummary, AttribTracker, Breakdown, ChainMarks, CompletedAttrib, Stage, StageSummary,
+};
 pub use obs::{
     MetricsRegistry, MetricsSnapshot, TraceBuffer, TraceCategory, TraceEvent, TraceKind,
 };
@@ -42,6 +45,7 @@ pub use rng::RngStream;
 pub use stats::cdf::Cdf;
 pub use stats::histogram::Histogram;
 pub use stats::running::RunningStats;
+pub use stats::streaming::{SloWatchdog, StreamingQuantiles, WatchdogEvent, WatchdogReport};
 pub use stats::timeseries::TimeSeries;
 pub use time::{SimDuration, SimTime};
 pub use trace::EventLog;

@@ -51,6 +51,8 @@ use crate::time::SimTime;
 #[cfg(feature = "obs")]
 use std::collections::BTreeMap;
 
+pub mod attrib;
+
 /// The timeline track a trace event belongs to.
 ///
 /// The Perfetto exporter renders one track per `(core, category)`
@@ -74,10 +76,13 @@ pub enum TraceCategory {
     Request,
     /// Governor decisions and NI notifications (instants).
     Governor,
+    /// SLO watchdog: online percentile counters, violation /
+    /// recovery instants, attribution stage shares.
+    Slo,
 }
 
 /// Number of categories (track layout tables).
-pub const CATEGORIES: usize = 8;
+pub const CATEGORIES: usize = 9;
 
 impl TraceCategory {
     /// All categories, in track display order.
@@ -90,6 +95,7 @@ impl TraceCategory {
         TraceCategory::CState,
         TraceCategory::Request,
         TraceCategory::Governor,
+        TraceCategory::Slo,
     ];
 
     /// Stable track label (also the Perfetto thread name).
@@ -103,6 +109,7 @@ impl TraceCategory {
             TraceCategory::CState => "cstate",
             TraceCategory::Request => "requests",
             TraceCategory::Governor => "governor",
+            TraceCategory::Slo => "slo",
         }
     }
 }
@@ -572,6 +579,14 @@ impl MetricsSnapshot {
             .binary_search_by(|(k, _)| k.as_str().cmp(key))
             .ok()
             .map(|i| self.counters[i].1)
+    }
+
+    /// Looks up a histogram by key.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.histograms[i].1)
     }
 
     /// Renders the snapshot as stable `key=value` lines (floats carry

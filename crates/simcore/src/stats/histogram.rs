@@ -180,6 +180,35 @@ impl Histogram {
         1.0 - self.fraction_above(threshold)
     }
 
+    /// The representative value at quantile `q` of this histogram
+    /// merged with `other`, computed without materializing the merged
+    /// bucket array (the streaming estimators query a rotating window
+    /// pair this way on every rotation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn merged_quantile(&self, other: &Histogram, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let count = self.count + other.count;
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).max(1);
+        // `min` is u64::MAX only for an empty side, which the other
+        // side's real minimum then dominates (count > 0 here).
+        let max = self.max.max(other.max);
+        let min = self.min.min(other.min);
+        let mut seen = 0;
+        for (i, (&a, &b)) in self.buckets.iter().zip(&other.buckets).enumerate() {
+            seen += a + b;
+            if seen >= target {
+                return Self::value_of(i).min(max).max(min);
+            }
+        }
+        max
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -253,6 +282,48 @@ mod tests {
         h.record(10_000_000);
         assert!((h.fraction_above(1_000_000) - 0.01).abs() < 1e-9);
         assert!((h.fraction_at_or_below(1_000_000) - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_quantile_matches_materialized_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=500u64 {
+            a.record(v * 100);
+        }
+        for v in 1..=500u64 {
+            b.record(v * 1_000);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                a.merged_quantile(&b, q),
+                merged.value_at_quantile(q),
+                "q={q}"
+            );
+            assert_eq!(
+                b.merged_quantile(&a, q),
+                merged.value_at_quantile(q),
+                "merged quantile must be symmetric at q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_quantile_with_one_empty_side() {
+        let mut a = Histogram::new();
+        a.record(777);
+        let empty = Histogram::new();
+        assert_eq!(
+            a.merged_quantile(&empty, 0.5),
+            empty.merged_quantile(&a, 0.5)
+        );
+        assert!(
+            a.merged_quantile(&empty, 0.99) >= 768,
+            "bucket floor of 777"
+        );
+        assert_eq!(empty.merged_quantile(&Histogram::new(), 0.99), 0);
     }
 
     #[test]

@@ -6,4 +6,5 @@
 pub mod cdf;
 pub mod histogram;
 pub mod running;
+pub mod streaming;
 pub mod timeseries;

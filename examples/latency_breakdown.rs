@@ -1,0 +1,63 @@
+//! Where does each microsecond go? Per-request latency attribution
+//! plus the streaming SLO watchdog, ondemand vs NMAP — a miniature of
+//! the `breakdown` repro artifact and of the paper's §3 argument.
+//!
+//! ```sh
+//! cargo run --release --example latency_breakdown
+//! ```
+
+use experiments::{run, thresholds, GovernorKind, RunConfig, Scale};
+use simcore::Stage;
+use workload::{AppKind, LoadLevel, LoadSpec};
+
+fn main() {
+    let app = AppKind::Memcached;
+    let load = LoadSpec::preset(app, LoadLevel::Medium);
+    println!(
+        "memcached @ medium load ({} RPS average), SLO 1 ms",
+        load.avg_rps as u64
+    );
+    println!(
+        "every request's latency is split into {} stages;",
+        Stage::ALL.len()
+    );
+    println!("the conservation ledger proves the stages sum to the measured e2e.\n");
+
+    let governors = [
+        ("ondemand", GovernorKind::Ondemand),
+        ("NMAP", GovernorKind::Nmap(thresholds::nmap_config(app))),
+    ];
+    let results: Vec<_> = governors
+        .iter()
+        .map(|&(name, gov)| (name, run(RunConfig::new(app, load, gov, Scale::Quick))))
+        .collect();
+
+    println!("{:<10} {:>10} {:>10}", "stage", "ondemand", "NMAP");
+    for stage in Stage::ALL {
+        println!(
+            "{:<10} {:>9.2}% {:>9.2}%",
+            stage.label(),
+            results[0].1.attrib.share(stage) * 100.0,
+            results[1].1.attrib.share(stage) * 100.0,
+        );
+    }
+
+    println!();
+    for (name, r) in &results {
+        assert_eq!(r.attrib.mismatches, 0, "attribution must be exact");
+        println!(
+            "{name:<10} requests {:>7}  e2e P99 {}  watchdog: {} violation episode(s), \
+             {} ns in violation",
+            r.attrib.requests,
+            experiments::report::fmt_dur(r.p99),
+            r.watchdog.episodes,
+            r.watchdog.total_violation_ns,
+        );
+    }
+    println!(
+        "\nThe paper's §3 in one table: running below the needed V/F point, \
+         ondemand falls behind\nthe arrival rate, so latency piles up in \
+         ksoftirqd/ring residency and the app queue;\nNMAP holds the pipeline \
+         drained and its shares stay at the fixed per-request costs."
+    );
+}

@@ -1,0 +1,120 @@
+//! Property suite for the latency attribution profiler: across every
+//! governor and three load points, the per-stage decomposition must be
+//! *exact* — stage sums equal the measured end-to-end latency for
+//! every single request (no residuals, no double counting), and the
+//! streaming watchdog must see every sample the client measured.
+
+#![cfg(feature = "obs")]
+
+use experiments::{run_many, GovernorKind, RunConfig, RunResult, Scale};
+use nmap::NmapConfig;
+use simcore::{SimDuration, Stage};
+use workload::{AppKind, LoadSpec};
+
+fn every_governor() -> Vec<GovernorKind> {
+    vec![
+        GovernorKind::Performance,
+        GovernorKind::Powersave,
+        GovernorKind::Userspace(7),
+        GovernorKind::Ondemand,
+        GovernorKind::Conservative,
+        GovernorKind::Schedutil,
+        GovernorKind::IntelPowersave,
+        GovernorKind::NmapSimpl,
+        GovernorKind::Nmap(NmapConfig::new(32, 1.0)),
+        GovernorKind::NmapOnline,
+        GovernorKind::Ncap(50_000.0),
+        GovernorKind::NcapMenu(50_000.0),
+        GovernorKind::Parties,
+    ]
+}
+
+/// Three operating points: comfortably idle, busy, and saturating
+/// (the last overflows into ksoftirqd handoffs and preemption, the
+/// paths where attribution is hardest to keep exact).
+fn loads() -> Vec<LoadSpec> {
+    vec![
+        LoadSpec::custom(20_000.0, SimDuration::from_millis(100), 0.4, 0.3),
+        LoadSpec::custom(150_000.0, SimDuration::from_millis(100), 0.4, 0.3),
+        LoadSpec::custom(450_000.0, SimDuration::from_millis(100), 0.4, 0.3),
+    ]
+}
+
+fn sweep() -> Vec<(GovernorKind, RunResult)> {
+    let mut cells = Vec::new();
+    let mut configs = Vec::new();
+    for gov in every_governor() {
+        for load in loads() {
+            cells.push(gov);
+            configs.push(RunConfig {
+                warmup: SimDuration::from_millis(50),
+                duration: SimDuration::from_millis(250),
+                ..RunConfig::new(AppKind::Memcached, load, gov, Scale::Quick)
+            });
+        }
+    }
+    cells.into_iter().zip(run_many(configs)).collect()
+}
+
+#[test]
+fn stage_sums_equal_e2e_for_every_governor_and_load() {
+    for (gov, r) in sweep() {
+        let a = &r.attrib;
+        assert!(a.requests > 0, "{gov:?}: no requests attributed");
+        assert_eq!(
+            a.requests, r.received,
+            "{gov:?}: every measured response must be attributed"
+        );
+        assert_eq!(
+            a.mismatches, 0,
+            "{gov:?}: some request's stage sum missed its e2e latency"
+        );
+        assert_eq!(
+            a.attributed_total_ns, a.e2e_total_ns,
+            "{gov:?}: aggregate attribution drifted from measured latency"
+        );
+        // The shares therefore partition 1 exactly.
+        let total: f64 = Stage::ALL.iter().map(|&s| a.share(s)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{gov:?}: shares sum to {total}");
+        // Ideal service time is priced at the fastest P-state, so it
+        // can never be absent while requests completed.
+        let service = a.stage(Stage::AppService).expect("service stage");
+        assert!(service.sum_ns > 0, "{gov:?}: no service time attributed");
+        // The watchdog ingests the same stream the client measures.
+        assert_eq!(
+            r.watchdog.samples, r.received,
+            "{gov:?}: watchdog missed samples"
+        );
+    }
+}
+
+#[test]
+fn slow_governors_accumulate_stall_where_fast_ones_do_not() {
+    let app = AppKind::Memcached;
+    let load = LoadSpec::custom(150_000.0, SimDuration::from_millis(100), 0.4, 0.3);
+    let mk = |gov| RunConfig {
+        warmup: SimDuration::from_millis(50),
+        duration: SimDuration::from_millis(250),
+        ..RunConfig::new(app, load, gov, Scale::Quick)
+    };
+    let results = run_many(vec![
+        mk(GovernorKind::Performance),
+        mk(GovernorKind::Powersave),
+    ]);
+    // Performance pins P0, so its stall share is only the integer
+    // rounding residue of chunked execution (well under 1%);
+    // powersave pins the slowest P-state, so a large share of its
+    // service time is stall.
+    let share = |r: &RunResult| r.attrib.share(Stage::PstateStall);
+    assert!(
+        share(&results[0]) < 0.01,
+        "performance at P0 should have (near-)zero stall share, got {}",
+        share(&results[0])
+    );
+    assert!(
+        share(&results[1]) > share(&results[0]) * 10.0,
+        "powersave stall share ({}) should dwarf performance's ({})",
+        share(&results[1]),
+        share(&results[0])
+    );
+}

@@ -121,3 +121,34 @@ fn quick_scale_metrics_match_golden_fixtures() {
         failures.join("\n")
     );
 }
+
+/// The `breakdown` artifact (latency attribution + SLO watchdog) is
+/// pinned byte-for-byte: stage shares are derived from every request's
+/// exact integer decomposition, so any drift in event ordering or the
+/// attribution cursor logic shows up here immediately.
+#[cfg(feature = "obs")]
+#[test]
+fn breakdown_artifact_matches_golden_fixture() {
+    let reports = experiments::figures::generate("breakdown", Scale::Quick);
+    assert_eq!(reports.len(), 1);
+    let rendered = reports[0].to_string();
+    let path = fixture_path("breakdown");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "breakdown artifact drifted against {}",
+        path.display()
+    );
+}

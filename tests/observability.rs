@@ -79,6 +79,7 @@ fn nmap_run_exports_all_track_types() {
         "pstate",
         "cstate",
         "requests",
+        "slo",
     ] {
         assert!(
             json.contains(&format!("\"args\":{{\"name\":\"{track}\"}}")),
@@ -93,6 +94,14 @@ fn nmap_run_exports_all_track_types() {
     // Span begins pair with ends somewhere in the stream.
     assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""));
     assert!(json.contains("\"ph\":\"i\""), "instant events expected");
+    // The SLO watchdog publishes its online percentile and the
+    // attribution stage shares as counter tracks.
+    for counter in ["p99-online", "p50-online", "share-service", "share-ring"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{counter}\"")),
+            "missing {counter} counter in Perfetto export"
+        );
+    }
 }
 
 #[test]
@@ -154,7 +163,42 @@ fn traced_runs_are_deterministic() {
         b.metrics.render(),
         "metrics render must be byte-identical"
     );
+    // The streaming estimators (attribution aggregate and windowed
+    // watchdog) are part of RunResult's equality above; assert them
+    // separately so a future derive change can't silently drop them.
+    assert_eq!(a.attrib, b.attrib, "attribution summary must reproduce");
+    assert_eq!(a.watchdog, b.watchdog, "watchdog report must reproduce");
+    assert!(a.attrib.requests > 0 && a.watchdog.samples > 0);
     let ja = perfetto_json(&a.traces.as_ref().unwrap().trace);
     let jb = perfetto_json(&b.traces.as_ref().unwrap().trace);
     assert_eq!(ja, jb, "Perfetto export must be byte-identical");
+}
+
+#[test]
+fn attribution_metrics_cross_check_the_summary() {
+    let result = traced_nmap_run();
+    let m = &result.metrics;
+    // The per-stage histograms aggregate exactly what the summary
+    // reports, and the counter mirrors close the loop.
+    assert_eq!(m.counter("attrib.requests"), Some(result.attrib.requests));
+    assert_eq!(m.counter("attrib.mismatches"), Some(0));
+    assert_eq!(m.counter("slo.samples"), Some(result.watchdog.samples));
+    assert_eq!(
+        m.counter("slo.episodes"),
+        Some(u64::from(result.watchdog.episodes))
+    );
+    for stage in simcore::Stage::ALL {
+        let summary = result.attrib.stage(stage).expect("stage present");
+        let hist = m
+            .histogram(stage.metric_key())
+            .unwrap_or_else(|| panic!("missing {} histogram", stage.metric_key()));
+        assert_eq!(
+            hist.count, result.attrib.requests,
+            "{stage:?}: one observation per request"
+        );
+        assert_eq!(
+            hist.sum, summary.sum_ns,
+            "{stage:?}: histogram sum must equal attributed nanoseconds"
+        );
+    }
 }
