@@ -28,8 +28,8 @@ use netsim::nic::PollResult;
 use netsim::{LinkModel, Nic, NicConfig, Packet, QueueId};
 use simcore::audit::{Account, AuditReport, ConservationLedger};
 use simcore::{
-    AttribTracker, ChainMarks, EventLog, RngStream, SimDuration, SimTime, Simulator, SloWatchdog,
-    Stage, WatchdogEvent,
+    AttribTracker, ChainMarks, EventLog, FaultInjector, FaultKind, FaultPlan, FaultSpec, RngStream,
+    SimDuration, SimTime, Simulator, SloWatchdog, Stage, WatchdogEvent,
 };
 use std::collections::VecDeque;
 use workload::{ArrivalProcess, BurstyArrivals, Client, LoadSpec};
@@ -57,6 +57,10 @@ pub struct TestbedConfig {
     /// turns trace recording off entirely; with the `obs` feature off
     /// the buffer is a zero-sized no-op regardless.
     pub trace_capacity: usize,
+    /// Deterministic fault schedule. Empty (the default) injects
+    /// nothing and draws nothing; without the `fault` feature the
+    /// injector is inert regardless of the plan.
+    pub fault_plan: FaultPlan,
 }
 
 /// The kernel-stack cost profile for an application's traffic mix.
@@ -89,6 +93,7 @@ impl TestbedConfig {
             flows: 320,
             seed: 42,
             trace_capacity: 0,
+            fault_plan: FaultPlan::new(),
         }
     }
 
@@ -122,6 +127,12 @@ impl TestbedConfig {
         self.trace_capacity = capacity;
         self
     }
+
+    /// Installs a fault schedule (chaos testing).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
 }
 
 /// Event-handler kinds the testbed schedules, for the per-kind
@@ -136,10 +147,17 @@ enum EvKind {
     SleepTick,
     SampleTick,
     DvfsDone,
+    /// Fault-scope edge: modal overrides recomputed.
+    FaultBoundary,
+    /// Periodic fault injection (spurious IRQs, stale-signal replay,
+    /// incast bursts, connection churn).
+    FaultTick,
+    /// Delayed ksoftirqd wakeup landing after a missed-wake fault.
+    FaultWake,
 }
 
 impl EvKind {
-    const COUNT: usize = 8;
+    const COUNT: usize = 11;
 
     const fn key(self) -> &'static str {
         match self {
@@ -151,6 +169,9 @@ impl EvKind {
             EvKind::SleepTick => "engine.ev.sleep_tick",
             EvKind::SampleTick => "engine.ev.sample_tick",
             EvKind::DvfsDone => "engine.ev.dvfs_done",
+            EvKind::FaultBoundary => "engine.ev.fault_boundary",
+            EvKind::FaultTick => "engine.ev.fault_tick",
+            EvKind::FaultWake => "engine.ev.fault_wake",
         }
     }
 
@@ -163,6 +184,9 @@ impl EvKind {
         EvKind::SleepTick,
         EvKind::SampleTick,
         EvKind::DvfsDone,
+        EvKind::FaultBoundary,
+        EvKind::FaultTick,
+        EvKind::FaultWake,
     ];
 }
 
@@ -251,6 +275,9 @@ pub struct Testbed {
     /// with violation/recovery episode detection. Always on (its
     /// report is part of every run result).
     pub watchdog: SloWatchdog,
+    /// The fault injector evaluating [`TestbedConfig::fault_plan`].
+    /// Zero-sized no-op without the `fault` feature.
+    pub faults: FaultInjector,
 
     profile: ProcessorProfile,
     app: AppModel,
@@ -292,6 +319,20 @@ pub struct Testbed {
     marks: Vec<ChainMarks>,
     /// Scratch buffer for watchdog events (reused per response).
     watchdog_events: Vec<WatchdogEvent>,
+    /// The configured load, kept so load-spike faults can scale it.
+    base_load: LoadSpec,
+    /// Load-spike factor currently applied via `switch_load`.
+    load_factor_applied: f64,
+    /// Queues whose IRQ unmask write was lost to a stuck-mask fault;
+    /// released by the fault-boundary event when the scope ends.
+    stuck_masked: Vec<bool>,
+    /// Last poll-batch signal per core, for stale-signal replay.
+    last_poll_signal: Vec<Option<(PollClass, u64)>>,
+    /// Request packets sent but not yet arrived at the NIC (the wire
+    /// conservation identity counts fault drops against these).
+    wire_requests_in_flight: u64,
+    /// Response packets sent but not yet received by the client.
+    wire_responses_in_flight: u64,
 }
 
 impl Testbed {
@@ -312,6 +353,7 @@ impl Testbed {
         }
         let arrivals = config.load.arrivals();
         let seed = config.seed;
+        let faults = FaultInjector::from_plan(&config.fault_plan, seed);
         let mut tb = Testbed {
             processor,
             nic,
@@ -328,6 +370,7 @@ impl Testbed {
             // A 5 ms sliding window keeps the online P99 responsive to
             // bursts while holding enough samples for a stable tail.
             watchdog: SloWatchdog::new(config.app.slo, SimDuration::from_millis(5), cores),
+            faults,
             profile: config.profile.clone(),
             app: config.app,
             stack: config.stack,
@@ -355,6 +398,12 @@ impl Testbed {
             ev_counts: [0; EvKind::COUNT],
             marks: vec![ChainMarks::default(); cores],
             watchdog_events: Vec::new(),
+            base_load: config.load,
+            load_factor_applied: 1.0,
+            stuck_masked: vec![false; cores],
+            last_poll_signal: vec![None; cores],
+            wire_requests_in_flight: 0,
+            wire_responses_in_flight: 0,
         };
         // All cores start idle under the sleep policy.
         for i in 0..cores {
@@ -370,6 +419,34 @@ impl Testbed {
         // Governor sampling tick.
         let interval = tb.governor.sampling_interval();
         sim.schedule_at(SimTime::ZERO + interval, |w, sim| w.ev_sample_tick(sim));
+        // Fault schedule: every scope edge gets a boundary event that
+        // recomputes the modal overrides (ITR, ring clamp, DVFS
+        // padding, load factor, stuck-mask release); periodic and
+        // one-shot kinds start their own chains at the scope start.
+        if tb.faults.is_active() {
+            let specs: Vec<FaultSpec> = tb.faults.specs().to_vec();
+            for spec in specs {
+                let scope = spec.scope;
+                sim.schedule_at(scope.start, |w, sim| w.ev_fault_boundary(sim));
+                if scope.end < SimTime::MAX {
+                    sim.schedule_at(scope.end, |w, sim| w.ev_fault_boundary(sim));
+                }
+                match spec.kind {
+                    FaultKind::SpuriousIrq { .. } | FaultKind::NapiSignalStuck { .. } => {
+                        sim.schedule_at(scope.start, move |w, sim| w.ev_fault_tick(sim, spec));
+                    }
+                    FaultKind::IncastBurst { requests } => {
+                        sim.schedule_at(scope.start, move |w, sim| {
+                            w.ev_fault_incast(sim, requests)
+                        });
+                    }
+                    FaultKind::ConnectionChurn { shift } => {
+                        sim.schedule_at(scope.start, move |w, sim| w.ev_fault_churn(sim, shift));
+                    }
+                    _ => {}
+                }
+            }
+        }
         tb
     }
 
@@ -419,6 +496,7 @@ impl Testbed {
         }
         let pkt = self.client.build_request(now, &mut self.rng_client);
         self.ledger.credit(Account::RequestsSent, 1);
+        self.wire_requests_in_flight += 1;
         let delay = self.link.delay(&pkt);
         sim.schedule_in(delay, move |w, sim| w.ev_server_rx(sim, pkt));
         let mut rng = self.rng_arrival.clone();
@@ -450,6 +528,17 @@ impl Testbed {
     fn ev_client_recv(&mut self, sim: &mut Simulator<Testbed>, pkt: Packet) {
         self.ev_counts[EvKind::ClientRecv as usize] += 1;
         let now = sim.now();
+        self.wire_responses_in_flight -= 1;
+        let core = self.nic.rss_queue(pkt.flow).0;
+        if self.faults.wire_drop(now, core).is_some() {
+            // The response dies on the wire. Its attribution entry
+            // stays pending (neither measured nor attributed time is
+            // credited), so the latency identities keep balancing.
+            self.faults.note_wire_response_dropped();
+            self.ledger.credit(Account::PacketsFaultDropped, 1);
+            self.ledger.credit(Account::ResponsesFaultDropped, 1);
+            return;
+        }
         let latency = self.client.on_response(&pkt, now);
         self.ledger.credit(Account::ResponsesReceived, 1);
         self.ledger.credit(Account::LatencySamples, 1);
@@ -467,7 +556,6 @@ impl Testbed {
         }
         // The watchdog sees every sample, keyed to the serving core
         // (RSS pins a flow to one queue = one core).
-        let core = self.nic.rss_queue(pkt.flow).0;
         let mut events = std::mem::take(&mut self.watchdog_events);
         events.clear();
         self.watchdog
@@ -534,6 +622,15 @@ impl Testbed {
         self.ev_counts[EvKind::ServerRx as usize] += 1;
         let now = sim.now();
         let q = self.nic.rss_queue(pkt.flow);
+        self.wire_requests_in_flight -= 1;
+        if self.faults.wire_drop(now, q.0).is_some() {
+            // The request dies on the wire before the NIC sees it:
+            // accounted explicitly so conservation holds under loss.
+            self.faults.note_wire_request_dropped();
+            self.ledger.credit(Account::PacketsFaultDropped, 1);
+            self.ledger.credit(Account::RequestsFaultDropped, 1);
+            return;
+        }
         self.ledger.credit(Account::RequestsArrivedAtNic, 1);
         // The request plus its TCP companion packets (ACKs): all cost
         // kernel processing, only the request reaches the application.
@@ -561,6 +658,20 @@ impl Testbed {
         if !self.nic.irq_fired(q, now) {
             return; // vector masked while the IRQ was in flight
         }
+        if self.faults.irq_lost(now, q.0) {
+            // The vector fired but the core never saw it. The vector
+            // stays unmasked, so the next enqueue re-arms it and the
+            // stranded ring work is picked up then.
+            return;
+        }
+        self.deliver_hardirq(sim, q);
+    }
+
+    /// Runs the hardirq delivery path on `q`'s core: mask the vector,
+    /// wake the core (or preempt the running application chunk), and
+    /// start the interrupt handler.
+    fn deliver_hardirq(&mut self, sim: &mut Simulator<Testbed>, q: QueueId) {
+        let now = sim.now();
         // The hardirq handler's first action: mask the vector (NAPI).
         self.nic.disable_irq(q, now);
         let core = CoreId(q.0);
@@ -650,7 +761,11 @@ impl Testbed {
             .processor
             .core(core)
             .cycles_to_duration(cycles, &self.profile);
-        let dur = work + debt + extra_delay;
+        let stall = self
+            .faults
+            .exec_stall(now, core.0)
+            .unwrap_or(SimDuration::ZERO);
+        let dur = work + debt + extra_delay + stall;
         self.exec[core.0].seq += 1;
         let seq = self.exec[core.0].seq;
         let done_at = now + dur;
@@ -696,7 +811,11 @@ impl Testbed {
             self.marks[core.0].ksoftirqd_running = Some(now);
         }
         let q = QueueId(core.0);
-        let batch = self.nic.poll(q, self.stack.napi_weight);
+        let budget = match self.faults.poll_budget_clamp(now, core.0) {
+            Some(b) => b.clamp(1, self.stack.napi_weight),
+            None => self.stack.napi_weight,
+        };
+        let batch = self.nic.poll(q, budget);
         if AttribTracker::ENABLED {
             for pkt in &batch.rx {
                 if pkt.kind == netsim::PacketKind::Request {
@@ -760,14 +879,25 @@ impl Testbed {
             observer(core, outcome.class, rx_n as u64, now);
         }
         let mut actions = std::mem::take(&mut self.actions);
-        self.governor
-            .on_poll_batch(core, outcome.class, rx_n as u64, now, &mut actions);
+        if self.faults.signal_suppressed(now, core.0) {
+            // The mode-transition signal dies before the governor
+            // sees it — the wedge NMAP's degradation watchdog covers.
+        } else {
+            self.last_poll_signal[core.0] = Some((outcome.class, rx_n as u64));
+            self.governor
+                .on_poll_batch(core, outcome.class, rx_n as u64, now, &mut actions);
+        }
         self.apply_actions(sim, &mut actions);
         self.actions = actions;
 
         match outcome.verdict {
             PollVerdict::Complete => {
-                if let Some(t) = self.nic.enable_irq(q, now) {
+                if self.faults.irq_mask_stuck(now, core.0) {
+                    // NAPI's unmask write is lost: the vector stays
+                    // masked until the fault scope ends (released by
+                    // the boundary event).
+                    self.stuck_masked[q.0] = true;
+                } else if let Some(t) = self.nic.enable_irq(q, now) {
                     sim.schedule_at(t, move |w, sim| w.ev_irq_fire(sim, q));
                 }
                 if ctx == ProcContext::Ksoftirqd {
@@ -795,7 +925,12 @@ impl Testbed {
                 self.marks[core.0].ksoftirqd_running = None;
                 self.napi[core.0].ksoftirqd_takeover();
                 self.note_ksoftirqd(sim, core, true);
-                self.runqueues[core.0].make_runnable(TaskId::Ksoftirqd);
+                if let Some(delay) = self.faults.wake_delay(now, core.0) {
+                    // The wakeup IPI is missed; a retry lands later.
+                    sim.schedule_in(delay, move |w, sim| w.ev_fault_wake(sim, core));
+                } else {
+                    self.runqueues[core.0].make_runnable(TaskId::Ksoftirqd);
+                }
                 self.dispatch(sim, core);
             }
         }
@@ -859,6 +994,7 @@ impl Testbed {
             sim.schedule_at(t, move |w, sim| w.ev_irq_fire(sim, q));
         }
         let delay = self.link.delay(&resp);
+        self.wire_responses_in_flight += 1;
         sim.schedule_in(delay, move |w, sim| w.ev_client_recv(sim, resp));
 
         let more_work = !self.backlog[core.0].is_empty();
@@ -1028,6 +1164,8 @@ impl Testbed {
 
     fn request_pstate(&mut self, sim: &mut Simulator<Testbed>, core: CoreId, p: PState) {
         let now = sim.now();
+        // Thermal throttling clamps too-fast requests to the floor.
+        let p = PState::new(self.faults.clamp_pstate(now, p.index()));
         if let TransitionOutcome::Started {
             completes_at,
             token,
@@ -1098,6 +1236,181 @@ impl Testbed {
         running.seq = seq;
         running.done_ev = done_ev;
         running.done_at = done_at;
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// A fault-scope edge: recomputes every modal override from the
+    /// set of scopes covering `now`. Idempotent, so overlapping scopes
+    /// can each schedule their own boundary events.
+    fn ev_fault_boundary(&mut self, sim: &mut Simulator<Testbed>) {
+        self.ev_counts[EvKind::FaultBoundary as usize] += 1;
+        let now = sim.now();
+        self.nic.set_itr_override(self.faults.itr_override(now));
+        self.nic
+            .set_rx_capacity_clamp(self.faults.rx_ring_clamp(now));
+        let padding = self.faults.dvfs_padding(now);
+        self.processor.set_transition_padding(padding);
+        let factor = self.faults.load_factor(now);
+        if factor != self.load_factor_applied {
+            self.load_factor_applied = factor;
+            let spiked = LoadSpec::custom(
+                self.base_load.avg_rps * factor,
+                self.base_load.burst_period,
+                self.base_load.duty,
+                self.base_load.ramp_frac,
+            );
+            self.faults.note_load_switch(now);
+            self.switch_load(sim, spiked);
+        }
+        // A stuck mask releases when its scope ends: the unmask write
+        // finally lands, and buffered ring work re-arms the vector.
+        for qi in 0..self.stuck_masked.len() {
+            if !self.stuck_masked[qi] {
+                continue;
+            }
+            let still_stuck = self.faults.specs().iter().any(|s| {
+                matches!(s.kind, FaultKind::StuckIrqMask) && s.scope.covers(now, Some(qi))
+            });
+            if still_stuck {
+                continue;
+            }
+            self.stuck_masked[qi] = false;
+            let q = QueueId(qi);
+            if let Some(t) = self.nic.enable_irq(q, now) {
+                sim.schedule_at(t, move |w, sim| w.ev_irq_fire(sim, q));
+            }
+        }
+    }
+
+    /// Periodic fault chain: spurious IRQs and stale NAPI-signal
+    /// replay, firing every `period` for the life of the scope.
+    fn ev_fault_tick(&mut self, sim: &mut Simulator<Testbed>, spec: FaultSpec) {
+        self.ev_counts[EvKind::FaultTick as usize] += 1;
+        let now = sim.now();
+        let period = match spec.kind {
+            FaultKind::SpuriousIrq { period } | FaultKind::NapiSignalStuck { period } => period,
+            _ => return,
+        };
+        if now >= spec.scope.end || period.is_zero() {
+            return;
+        }
+        sim.schedule_in(period, move |w, sim| w.ev_fault_tick(sim, spec));
+        let cores: Vec<usize> = match spec.scope.core {
+            Some(c) if c < self.processor.num_cores() => vec![c],
+            Some(_) => return,
+            None => (0..self.processor.num_cores()).collect(),
+        };
+        match spec.kind {
+            FaultKind::SpuriousIrq { .. } => {
+                for c in cores {
+                    self.fault_spurious_irq(sim, QueueId(c));
+                }
+            }
+            FaultKind::NapiSignalStuck { .. } => {
+                // Replay each core's *last* poll count as a polling-mode
+                // claim even though no packets flow: the notification
+                // path keeps insisting the core is mid-burst — the
+                // stale-notification wedge NMAP's degradation watchdog
+                // exists for.
+                let mut actions = std::mem::take(&mut self.actions);
+                for c in cores {
+                    if let Some((_, rx)) = self.last_poll_signal[c] {
+                        self.faults.note_signal_replayed(now, c);
+                        self.governor.on_poll_batch(
+                            CoreId(c),
+                            PollClass::Polling,
+                            rx.max(1),
+                            now,
+                            &mut actions,
+                        );
+                    }
+                }
+                self.apply_actions(sim, &mut actions);
+                self.actions = actions;
+            }
+            _ => {}
+        }
+    }
+
+    /// Asserts one spurious IRQ on `q` if the vector could physically
+    /// fire: unmasked, and its owner (hardirq/poll) not running.
+    fn fault_spurious_irq(&mut self, sim: &mut Simulator<Testbed>, q: QueueId) {
+        let now = sim.now();
+        if !self.nic.irq_enabled(q) {
+            return;
+        }
+        let core = CoreId(q.0);
+        let vector_busy = matches!(
+            self.exec[core.0].running.as_ref().map(|r| &r.kind),
+            Some(RunKind::HardIrq { .. }) | Some(RunKind::Poll { .. })
+        );
+        if vector_busy {
+            return;
+        }
+        self.faults.note_spurious_irq(now, q.0);
+        self.deliver_hardirq(sim, q);
+    }
+
+    /// The delayed ksoftirqd wakeup from a missed-wake fault lands.
+    fn ev_fault_wake(&mut self, sim: &mut Simulator<Testbed>, core: CoreId) {
+        self.ev_counts[EvKind::FaultWake as usize] += 1;
+        if !(self.napi[core.0].is_active() && self.napi[core.0].ksoftirqd_running()) {
+            return; // the stint ended through another path meanwhile
+        }
+        self.runqueues[core.0].make_runnable(TaskId::Ksoftirqd);
+        if self.exec[core.0].running.is_some() || self.exec[core.0].preempted.is_some() {
+            return; // the current chunk's completion will dispatch
+        }
+        if self.core_idle[core.0] {
+            let now = sim.now();
+            let cost = self
+                .processor
+                .core_mut(core)
+                .wake(now, &self.profile, &mut self.rng_wake);
+            self.sleep.on_wake(core, now);
+            self.core_idle[core.0] = false;
+            self.idle_epoch[core.0] += 1;
+            self.exec[core.0].cache_debt += cost.cache_refill;
+            if !cost.latency.is_zero() {
+                sim.schedule_in(cost.latency, move |w, sim| {
+                    if w.exec[core.0].running.is_none() && !w.core_idle[core.0] {
+                        w.dispatch(sim, core);
+                    }
+                });
+                return;
+            }
+        }
+        self.dispatch(sim, core);
+    }
+
+    /// An incast burst: `requests` extra requests hit the wire
+    /// back-to-back at the scope start.
+    fn ev_fault_incast(&mut self, sim: &mut Simulator<Testbed>, requests: u32) {
+        self.ev_counts[EvKind::FaultTick as usize] += 1;
+        let now = sim.now();
+        if now > self.send_horizon {
+            return;
+        }
+        for _ in 0..requests {
+            let pkt = self.client.build_request(now, &mut self.rng_client);
+            self.ledger.credit(Account::RequestsSent, 1);
+            self.wire_requests_in_flight += 1;
+            self.faults.note_incast_request(now);
+            let delay = self.link.delay(&pkt);
+            sim.schedule_in(delay, move |w, sim| w.ev_server_rx(sim, pkt));
+        }
+    }
+
+    /// Connection churn: the client's flow space rotates, remapping
+    /// RSS placement. In-flight requests keep their old flow ids, as
+    /// live connections would.
+    fn ev_fault_churn(&mut self, sim: &mut Simulator<Testbed>, shift: u64) {
+        self.ev_counts[EvKind::FaultTick as usize] += 1;
+        self.client.churn_flows(shift);
+        self.faults.note_flow_churn(sim.now());
     }
 
     // ------------------------------------------------------------------
@@ -1290,6 +1603,35 @@ impl Testbed {
             );
         }
 
+        // Fault-injected packet loss: explicitly accounted. The wire
+        // itself conserves — everything sent either arrived, was
+        // dropped by a fault, or is still flying — and the ledger's
+        // fault accounts must agree with the injector's own counters.
+        report.check_exact(
+            "faults: request + response drops == packets fault-dropped",
+            l.balance(Account::RequestsFaultDropped) + l.balance(Account::ResponsesFaultDropped),
+            l.balance(Account::PacketsFaultDropped),
+        );
+        report.check_exact(
+            "faults: ledger fault drops == injector wire-drop count",
+            l.balance(Account::PacketsFaultDropped),
+            self.faults.stats().wire_dropped(),
+        );
+        report.check_exact(
+            "wire: requests sent == arrived + fault-dropped + in flight",
+            l.balance(Account::RequestsSent),
+            l.balance(Account::RequestsArrivedAtNic)
+                + l.balance(Account::RequestsFaultDropped)
+                + self.wire_requests_in_flight,
+        );
+        report.check_exact(
+            "wire: responses completed == received + fault-dropped + in flight",
+            l.balance(Account::RequestsCompleted),
+            l.balance(Account::ResponsesReceived)
+                + l.balance(Account::ResponsesFaultDropped)
+                + self.wire_responses_in_flight,
+        );
+
         // Energy: incremental integral vs the residency-ledger
         // recomputation (different summation order → tolerance).
         let direct = self.processor.package_energy_joules(now);
@@ -1335,6 +1677,9 @@ impl Testbed {
         }
         self.processor.trace_into(end, &mut buf);
         self.governor.trace_into(&mut buf);
+        for &(t, label, core) in self.faults.log() {
+            buf.instant(t, TraceCategory::Fault, core, label, 0);
+        }
         // ksoftirqd wake/sleep marks pair up into run-interval spans;
         // a thread still awake at run end closes at `end`.
         for (core, log) in self.ksoftirqd_log.iter().enumerate() {
@@ -1385,6 +1730,29 @@ impl Testbed {
         );
         for kind in EvKind::ALL {
             m.set_counter(kind.key(), self.ev_counts[kind as usize]);
+        }
+        let d = self.governor.degradation();
+        m.set_counter("governor.degradations", d.degradations);
+        m.set_counter("governor.recoveries", d.recoveries);
+        m.set_counter("governor.degraded_cores", d.degraded_cores);
+        if FaultInjector::ENABLED {
+            let f = self.faults.stats();
+            m.set_counter("fault.total", f.total());
+            m.set_counter("fault.wire_requests_dropped", f.wire_requests_dropped);
+            m.set_counter("fault.wire_responses_dropped", f.wire_responses_dropped);
+            m.set_counter("fault.irqs_lost", f.irqs_lost);
+            m.set_counter("fault.spurious_irqs", f.spurious_irqs);
+            m.set_counter("fault.irq_unmasks_blocked", f.irq_unmasks_blocked);
+            m.set_counter("fault.wakes_delayed", f.wakes_delayed);
+            m.set_counter("fault.signals_suppressed", f.signals_suppressed);
+            m.set_counter("fault.signals_replayed", f.signals_replayed);
+            m.set_counter("fault.polls_clamped", f.polls_clamped);
+            m.set_counter("fault.dvfs_delays", f.dvfs_delays);
+            m.set_counter("fault.pstate_clamps", f.pstate_clamps);
+            m.set_counter("fault.exec_stalls", f.exec_stalls);
+            m.set_counter("fault.load_switches", f.load_switches);
+            m.set_counter("fault.incast_requests", f.incast_requests);
+            m.set_counter("fault.flow_churns", f.flow_churns);
         }
         m.set_counter("attrib.requests", self.attrib.requests());
         m.set_counter("attrib.mismatches", self.attrib.mismatches());
@@ -1634,6 +2002,120 @@ mod tests {
         assert!(r.episodes >= 1, "powersave overload must violate the SLO");
         assert!(r.total_violation_ns > 0);
         assert_ne!(r.first_detect_ns, u64::MAX);
+    }
+
+    #[cfg(feature = "fault")]
+    fn build_faulty(rps: f64, plan: FaultPlan) -> (Simulator<Testbed>, Testbed) {
+        let cfg = TestbedConfig::new(AppModel::memcached(), small_load(rps))
+            .with_seed(123)
+            .with_fault_plan(plan);
+        let cores = cfg.profile.cores;
+        let mut sim = Simulator::new();
+        let tb = Testbed::new(
+            cfg,
+            Box::new(Performance::new()),
+            Box::new(MenuPolicy::new(cores)),
+            &mut sim,
+        );
+        (sim, tb)
+    }
+
+    #[cfg(all(feature = "fault", feature = "audit"))]
+    #[test]
+    fn wire_drops_are_explicitly_accounted() {
+        use simcore::FaultScope;
+        let plan = FaultPlan::new().inject(
+            FaultKind::WireDrop { prob: 0.2 },
+            FaultScope::window(SimTime::from_millis(50), SimTime::from_millis(250)),
+        );
+        let (mut sim, mut tb) = build_faulty(40_000.0, plan);
+        // Mid-run, with drops and packets in flight, every identity
+        // must already balance.
+        sim.run_until(&mut tb, SimTime::from_millis(150));
+        tb.audit_report(sim.now()).unwrap().assert_balanced();
+        sim.run_until(&mut tb, SimTime::from_millis(300));
+        tb.stop_sends_at(sim.now());
+        sim.run_until(&mut tb, SimTime::from_millis(600));
+        let report = tb.audit_report(sim.now()).unwrap();
+        report.assert_balanced();
+        let dropped = tb.ledger.balance(Account::PacketsFaultDropped);
+        assert!(dropped > 0, "a 20% drop window must lose packets");
+        assert_eq!(dropped, tb.faults.stats().wire_dropped());
+        assert!(tb.client.received() < tb.client.sent());
+    }
+
+    #[cfg(all(feature = "fault", feature = "audit"))]
+    #[test]
+    fn stuck_irq_mask_wedges_then_recovers() {
+        use simcore::FaultScope;
+        let plan = FaultPlan::new().inject(
+            FaultKind::StuckIrqMask,
+            FaultScope::window(SimTime::from_millis(50), SimTime::from_millis(120)),
+        );
+        let (mut sim, mut tb) = build_faulty(40_000.0, plan);
+        sim.run_until(&mut tb, SimTime::from_millis(300));
+        tb.stop_sends_at(sim.now());
+        sim.run_until(&mut tb, SimTime::from_millis(600));
+        tb.audit_report(sim.now()).unwrap().assert_balanced();
+        assert!(
+            tb.faults.stats().irq_unmasks_blocked > 0,
+            "the unmask write must have been lost at least once"
+        );
+        // Once the scope releases the mask, everything drains: no
+        // request is permanently lost to the wedged vector.
+        assert_eq!(
+            tb.ledger.balance(Account::RequestsSent),
+            tb.client.received() + tb.ledger.balance(Account::RequestsDroppedAtNic),
+            "wedge must only lose requests to counted ring overflow"
+        );
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn fault_injection_is_deterministic() {
+        use simcore::FaultScope;
+        let plan = || {
+            FaultPlan::new()
+                .with_seed(99)
+                .inject(
+                    FaultKind::WireDrop { prob: 0.1 },
+                    FaultScope::window(SimTime::from_millis(20), SimTime::from_millis(200)),
+                )
+                .inject(
+                    FaultKind::IrqLoss { prob: 0.2 },
+                    FaultScope::window(SimTime::from_millis(50), SimTime::from_millis(150)),
+                )
+        };
+        let run = |p: FaultPlan| {
+            let (mut sim, mut tb) = build_faulty(30_000.0, p);
+            sim.run_until(&mut tb, SimTime::from_millis(250));
+            (
+                tb.client.sent(),
+                tb.client.received(),
+                tb.faults.stats(),
+                tb.client.latencies_mut().quantile(0.99),
+            )
+        };
+        assert_eq!(run(plan()), run(plan()));
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn spurious_irqs_burn_cpu_without_breaking_flow() {
+        use simcore::FaultScope;
+        let plan = FaultPlan::new().inject(
+            FaultKind::SpuriousIrq {
+                period: SimDuration::from_micros(50),
+            },
+            FaultScope::window(SimTime::from_millis(20), SimTime::from_millis(200)),
+        );
+        let (mut sim, mut tb) = build_faulty(20_000.0, plan);
+        sim.run_until(&mut tb, SimTime::from_millis(300));
+        assert!(tb.faults.stats().spurious_irqs > 0);
+        assert!(
+            tb.client.received() as f64 > 0.95 * tb.client.sent() as f64,
+            "spurious IRQs must not break the request flow"
+        );
     }
 
     #[test]

@@ -321,6 +321,12 @@ impl Core {
         self.pstate_log.push(now, p);
     }
 
+    /// Sets extra latency added to transitions started on this core's
+    /// own DVFS domain (fault injection / slow-regulator modelling).
+    pub fn set_transition_padding(&mut self, padding: SimDuration) {
+        self.dvfs.set_transition_padding(padding);
+    }
+
     /// The state this core's DVFS domain is heading towards.
     pub fn dvfs_target(&self) -> PState {
         self.dvfs.target()

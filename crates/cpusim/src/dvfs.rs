@@ -147,6 +147,7 @@ pub struct CoreDvfs {
     last_complete: Option<SimTime>,
     next_token: u64,
     transitions_started: u64,
+    transition_padding: SimDuration,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -166,7 +167,21 @@ impl CoreDvfs {
             last_complete: None,
             next_token: 0,
             transitions_started: 0,
+            transition_padding: SimDuration::ZERO,
         }
+    }
+
+    /// Extra latency added to every transition started while set —
+    /// models a slow voltage regulator or injected DVFS-latency fault.
+    /// Applied when a transition *begins*, so an in-flight transition
+    /// keeps its original completion time.
+    pub fn set_transition_padding(&mut self, padding: SimDuration) {
+        self.transition_padding = padding;
+    }
+
+    /// The currently configured transition padding.
+    pub fn transition_padding(&self) -> SimDuration {
+        self.transition_padding
     }
 
     /// The V/F state currently in effect (the old state remains in
@@ -252,7 +267,7 @@ impl CoreDvfs {
         let token = self.next_token;
         self.next_token += 1;
         self.transitions_started += 1;
-        let completes_at = now + latency;
+        let completes_at = now + latency + self.transition_padding;
         self.in_flight = Some(InFlight {
             target,
             completes_at,

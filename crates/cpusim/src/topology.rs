@@ -182,6 +182,15 @@ impl Processor {
         Some(core_energy + profile.power.uncore_w * now.as_secs_f64())
     }
 
+    /// Sets extra latency added to every DVFS transition started while
+    /// the padding is in effect, on every domain (fault injection).
+    pub fn set_transition_padding(&mut self, padding: simcore::SimDuration) {
+        for c in &mut self.cores {
+            c.set_transition_padding(padding);
+        }
+        self.chip_domain.set_transition_padding(padding);
+    }
+
     /// Total DVFS transitions started across all domains.
     pub fn total_transitions(&self) -> u64 {
         match self.scope {

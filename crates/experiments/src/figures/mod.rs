@@ -22,9 +22,11 @@
 //! | `ablation` | NI_TH/CU_TH/timer/scope/re-transition sensitivity |
 //! | `extra` | beyond-paper: online threshold adaptation, schedutil |
 //! | `breakdown` | beyond-paper: latency attribution + SLO watchdog |
+//! | `chaos` | beyond-paper: chaos soak under composed fault schedules |
 
 pub mod ablations;
 pub mod breakdown;
+pub mod chaos;
 pub mod comparison;
 pub mod extensions;
 pub mod motivation;
@@ -60,6 +62,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "ablation",
         "extra",
         "breakdown",
+        "chaos",
     ]
 }
 
@@ -90,6 +93,7 @@ pub fn generate(id: &str, scale: Scale) -> Vec<FigureReport> {
         "ablation" => ablations::all(scale),
         "extra" | "extra-online" | "extra-schedutil" => extensions::all(scale),
         "breakdown" => vec![breakdown::breakdown(scale)],
+        "chaos" => vec![chaos::chaos(scale)],
         _ => Vec::new(),
     }
 }
@@ -110,11 +114,19 @@ pub fn representative_cell(id: &str, scale: Scale) -> Option<RunConfig> {
         "fig14" | "fig15" => GovernorKind::Ncap(thresholds::ncap_threshold(app)),
         // NMAP behavior, varying load, ablations, extensions, and the
         // attribution breakdown all showcase NMAP itself.
-        "fig9" | "fig10" | "fig11" | "fig16" | "ablation" | "extra" | "breakdown" => {
+        // The chaos soak's representative cell is NMAP under the
+        // kernel-layer schedule — the one that exercises its
+        // graceful-degradation state machine.
+        "fig9" | "fig10" | "fig11" | "fig16" | "ablation" | "extra" | "breakdown" | "chaos" => {
             GovernorKind::Nmap(thresholds::nmap_config(app))
         }
         _ => return None,
     };
     let load = LoadSpec::preset(app, LoadLevel::High);
-    Some(RunConfig::new(app, load, gov, scale).with_traces())
+    let mut cfg = RunConfig::new(app, load, gov, scale).with_traces();
+    if id == "chaos" {
+        let plan = chaos::plans().swap_remove(1).1;
+        cfg = cfg.with_fault_plan(plan);
+    }
+    Some(cfg)
 }

@@ -5,15 +5,17 @@
 use appsim::{AppModel, Testbed, TestbedConfig};
 use cpusim::{CState, DvfsScope, PState, ProcessorProfile};
 use governors::ncap::NcapSleepGate;
+use governors::DegradationStats;
 use governors::{
     C6OnlyPolicy, Conservative, DisablePolicy, IntelPowersave, MenuPolicy, Ncap, NcapConfig,
     Ondemand, PStateGovernor, Parties, PartiesConfig, Performance, Powersave, SleepPolicy,
     Userspace,
 };
 use nmap::{NmapConfig, NmapGovernor, NmapSimpl};
+use simcore::fault::join_recovery;
 use simcore::{
-    AttribSummary, EngineProfile, EventLog, MetricsSnapshot, SimDuration, SimTime, Simulator,
-    WatchdogReport,
+    AttribSummary, EngineProfile, EventLog, FaultPlan, FaultScope, FaultStats, MetricsSnapshot,
+    RecoverySummary, SimDuration, SimTime, Simulator, WatchdogReport,
 };
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -155,6 +157,11 @@ pub struct RunConfig {
     pub duration: SimDuration,
     /// Collect per-event traces (timeline figures).
     pub collect_traces: bool,
+    /// Deterministic fault schedule (chaos runs). Empty by default;
+    /// inert without the `fault` feature. The plan's own seed (or the
+    /// run seed when unset) travels with the config, so
+    /// [`run_many`] reproduces serial runs exactly.
+    pub fault_plan: FaultPlan,
 }
 
 impl RunConfig {
@@ -172,6 +179,7 @@ impl RunConfig {
             warmup: scale.warmup(),
             duration: scale.duration(),
             collect_traces: false,
+            fault_plan: FaultPlan::new(),
         }
     }
 
@@ -202,6 +210,12 @@ impl RunConfig {
     /// Sets the processor model.
     pub fn with_profile(mut self, profile: ProfileKind) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Installs a fault schedule (chaos runs).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 }
@@ -281,6 +295,16 @@ pub struct RunResult {
     /// SLO watchdog summary: violation episodes, time-to-detect,
     /// time-to-recover. Always populated.
     pub watchdog: WatchdogReport,
+    /// Counters for every fault actually injected. All zero without
+    /// the `fault` feature or with an empty plan.
+    pub faults: FaultStats,
+    /// Governor graceful-degradation counters (NMAP's safe-fallback
+    /// state machine; zero for governors without one).
+    pub degradation: DegradationStats,
+    /// Fault-onset → SLO-recovery join: how long the system needed to
+    /// re-meet the SLO after each injected fault (satellite of the
+    /// watchdog episode log). Empty when no faults were scheduled.
+    pub fault_recovery: RecoverySummary,
     /// Traces, if requested.
     pub traces: Option<RunTraces>,
 }
@@ -408,7 +432,8 @@ fn run_inner(
     let mut tb_cfg = TestbedConfig::new(app, cfg.load)
         .with_seed(cfg.seed)
         .with_profile(profile.clone())
-        .with_scope(cfg.scope);
+        .with_scope(cfg.scope)
+        .with_fault_plan(cfg.fault_plan.clone());
     if cfg.collect_traces {
         tb_cfg = tb_cfg.with_trace_capacity(DEFAULT_TRACE_CAPACITY);
     }
@@ -472,6 +497,10 @@ fn run_inner(
     if let Some(report) = tb.audit_report(end) {
         report.assert_balanced();
     }
+    // Join the fault schedule with the watchdog's violation episodes:
+    // per-fault time-to-recover, the report's recovery-time metric.
+    let scopes: Vec<FaultScope> = cfg.fault_plan.specs.iter().map(|s| s.scope).collect();
+    let fault_recovery = join_recovery(&scopes, tb.watchdog.episode_log());
     let result = RunResult {
         governor: tb.governor.name(),
         sleep: tb.sleep.name(),
@@ -490,6 +519,9 @@ fn run_inner(
         metrics: tb.metrics.snapshot(),
         attrib: tb.attrib.summary(),
         watchdog: tb.watchdog.report(end),
+        faults: tb.faults.stats(),
+        degradation: tb.governor.degradation(),
+        fault_recovery,
         traces,
     };
     (result, tb, engine)

@@ -10,6 +10,19 @@ use cpusim::{CState, CoreId, PState};
 use napisim::PollClass;
 use simcore::{SimDuration, SimTime};
 
+/// Graceful-degradation counters a governor may expose (how often it
+/// distrusted its own signal path and fell back to a safe policy).
+/// Governors without a degradation path report all-zero stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// Times any core entered the degraded (safe-fallback) state.
+    pub degradations: u64,
+    /// Times a degraded core recovered to normal operation.
+    pub recoveries: u64,
+    /// Cores currently degraded.
+    pub degraded_cores: u64,
+}
+
 /// A P-state change requested by a governor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Action {
@@ -105,6 +118,12 @@ pub trait PStateGovernor {
     /// Default: nothing to report.
     fn record_metrics(&self, m: &mut simcore::MetricsRegistry) {
         let _ = m;
+    }
+
+    /// Graceful-degradation counters. Default: no degradation path,
+    /// all zeros.
+    fn degradation(&self) -> DegradationStats {
+        DegradationStats::default()
     }
 }
 

@@ -158,6 +158,12 @@ pub struct Nic {
     /// Whether per-queue IRQ marks are recorded (off by default so
     /// non-tracing runs pay no log growth).
     irq_log_enabled: bool,
+    /// Fault-injected ITR misconfiguration: while set, moderation uses
+    /// this spacing on every queue regardless of mode.
+    itr_override: Option<SimDuration>,
+    /// Fault-injected Rx pressure: while set, rings behave as if their
+    /// capacity were this value (when tighter than the real capacity).
+    rx_capacity_clamp: Option<usize>,
 }
 
 impl Nic {
@@ -189,7 +195,28 @@ impl Nic {
             rss: RssHasher::new(config.queues),
             config,
             irq_log_enabled: false,
+            itr_override: None,
+            rx_capacity_clamp: None,
         }
+    }
+
+    /// Forces every queue's interrupt moderation to `itr` (fault
+    /// injection: a misconfigured ITR register). `None` restores
+    /// normal moderation — the configured spacing is re-derived at the
+    /// next delivered IRQ.
+    pub fn set_itr_override(&mut self, itr: Option<SimDuration>) {
+        self.itr_override = itr;
+        if let Some(itr) = itr {
+            for q in &mut self.queues {
+                q.current_itr = itr;
+            }
+        }
+    }
+
+    /// Clamps every Rx ring to an effective capacity (fault injection:
+    /// overflow pressure). `None` restores the configured ring size.
+    pub fn set_rx_capacity_clamp(&mut self, clamp: Option<usize>) {
+        self.rx_capacity_clamp = clamp;
     }
 
     /// Number of queues.
@@ -235,7 +262,7 @@ impl Nic {
                 }
             }
         };
-        queue.current_itr = new_itr;
+        queue.current_itr = self.itr_override.unwrap_or(new_itr);
         queue.descs_since_irq = 0;
     }
 
@@ -254,7 +281,11 @@ impl Nic {
     /// A packet arrives from the wire into `q`'s Rx ring.
     pub fn enqueue_rx(&mut self, q: QueueId, mut pkt: Packet, now: SimTime) -> RxOutcome {
         pkt.nic_rx_at = now;
-        if let Err(lost) = self.queues[q.0].rx.push(pkt) {
+        let pushed = match self.rx_capacity_clamp {
+            Some(cap) => self.queues[q.0].rx.push_clamped(pkt, cap),
+            None => self.queues[q.0].rx.push(pkt),
+        };
+        if let Err(lost) = pushed {
             if lost.kind == crate::packet::PacketKind::Request {
                 self.queues[q.0].rx_req_dropped += 1;
             }

@@ -61,6 +61,25 @@ impl<T> DescRing<T> {
         Ok(())
     }
 
+    /// Enqueues an item under a temporarily tighter effective capacity
+    /// (fault injection shrinking the usable ring). Values looser than
+    /// the ring's own capacity have no effect; overflow counts as a
+    /// normal tail drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` if the effective capacity is reached; the
+    /// drop counter is incremented.
+    pub fn push_clamped(&mut self, item: T, effective: usize) -> Result<(), T> {
+        if self.items.len() >= effective.clamp(1, self.capacity) {
+            self.dropped += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.total_enqueued += 1;
+        Ok(())
+    }
+
     /// Dequeues the oldest item.
     pub fn pop(&mut self) -> Option<T> {
         self.items.pop_front()

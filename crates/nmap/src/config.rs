@@ -19,6 +19,53 @@ pub struct NmapConfig {
     pub cu_threshold: f64,
     /// The periodic monitor timer (§6.1: 10 ms).
     pub timer_interval: SimDuration,
+    /// Graceful-degradation tunables (robustness extension, not in the
+    /// paper): when the monitor's notifications look stale or absent,
+    /// the governor abandons Network Intensive Mode for the embedded
+    /// ondemand path instead of staying wedged at maximum V/F.
+    pub degradation: DegradationConfig,
+}
+
+/// When the NMAP governor distrusts its notification channel.
+///
+/// Two independent triggers degrade a core that sits in Network
+/// Intensive Mode (both checked on the periodic timer):
+///
+/// * **absent signals** — no poll-batch signal for `signal_timeout`:
+///   the notification path is dead, fall back immediately (the
+///   bounded-time guarantee);
+/// * **stale signals** — signals keep arriving but the core's measured
+///   busy fraction stayed under `busy_floor` for `stale_windows`
+///   consecutive timer windows: the signals no longer reflect real
+///   work (e.g. a stuck NAPI-state replay), so pinning P0 burns power
+///   for nothing.
+///
+/// Recovery is hysteretic: a degraded core re-arms normal operation
+/// only after `recovery_windows` consecutive healthy windows (fresh
+/// signals *and* busy ≥ `busy_floor`), preventing flapping between
+/// the degraded and normal paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationConfig {
+    /// Longest tolerated gap without any monitor signal while in NI
+    /// mode before falling back (trigger 1).
+    pub signal_timeout: SimDuration,
+    /// Busy fraction below which a window counts as stale (trigger 2).
+    pub busy_floor: f64,
+    /// Consecutive stale windows before degrading (trigger 2).
+    pub stale_windows: u32,
+    /// Consecutive healthy windows before a degraded core recovers.
+    pub recovery_windows: u32,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            signal_timeout: SimDuration::from_millis(30),
+            busy_floor: 0.02,
+            stale_windows: 3,
+            recovery_windows: 2,
+        }
+    }
 }
 
 impl NmapConfig {
@@ -36,12 +83,19 @@ impl NmapConfig {
             ni_threshold,
             cu_threshold,
             timer_interval: SimDuration::from_millis(10),
+            degradation: DegradationConfig::default(),
         }
     }
 
     /// Overrides the monitor timer (interval ablation).
     pub fn with_timer(mut self, interval: SimDuration) -> Self {
         self.timer_interval = interval;
+        self
+    }
+
+    /// Overrides the graceful-degradation tunables.
+    pub fn with_degradation(mut self, degradation: DegradationConfig) -> Self {
+        self.degradation = degradation;
         self
     }
 }

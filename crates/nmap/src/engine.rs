@@ -84,6 +84,19 @@ impl DecisionEngine {
         }
     }
 
+    /// Forces the engine back to CPU Utilization based Mode regardless
+    /// of the ratio — the degradation path when the monitor's signals
+    /// are suspected stale or lost. Returns `true` if the mode
+    /// actually changed.
+    pub fn force_fallback(&mut self, now: SimTime) -> bool {
+        if self.mode == PowerMode::CpuUtilization {
+            return false;
+        }
+        self.mode = PowerMode::CpuUtilization;
+        self.mode_log.push(now, self.mode);
+        true
+    }
+
     /// The configured `CU_TH`.
     pub fn cu_threshold(&self) -> f64 {
         self.cu_threshold

@@ -7,7 +7,7 @@ use crate::monitor::ModeTransitionMonitor;
 use cpusim::core::UtilSample;
 use cpusim::pstate::PStateTable;
 use cpusim::{CoreId, PState};
-use governors::{Action, Ondemand, PStateGovernor};
+use governors::{Action, DegradationStats, Ondemand, PStateGovernor};
 use napisim::PollClass;
 use simcore::{EventLog, SimDuration, SimTime};
 
@@ -20,6 +20,12 @@ pub enum NiMark {
     /// The timer saw the burst subside and fell back to the
     /// CPU-utilization mode.
     Fallback,
+    /// The governor stopped trusting its notification path (stale or
+    /// absent signals) and forced the core onto the ondemand path.
+    Degraded,
+    /// A degraded core saw enough consecutive healthy windows and
+    /// re-armed normal NMAP operation.
+    Recovered,
 }
 
 impl NiMark {
@@ -29,6 +35,8 @@ impl NiMark {
         match self {
             NiMark::Notify => "ni-notify",
             NiMark::Fallback => "ni-fallback",
+            NiMark::Degraded => "ni-degraded",
+            NiMark::Recovered => "ni-recovered",
         }
     }
 }
@@ -50,6 +58,20 @@ pub struct NmapGovernor {
     last_busy: Vec<f64>,
     /// Mode-boundary crossings `(core, mark)`, for trace replay.
     ni_log: EventLog<(CoreId, NiMark)>,
+    /// When each core last received any poll-batch signal.
+    last_signal: Vec<Option<SimTime>>,
+    /// Consecutive NI-mode windows whose busy fraction stayed under
+    /// the degradation floor (stale-signal suspicion).
+    suspect: Vec<u32>,
+    /// Consecutive healthy windows observed while degraded.
+    healthy: Vec<u32>,
+    /// Cores currently in the degraded (notification-distrusting)
+    /// state: NI notifications are ignored and ondemand decides.
+    degraded: Vec<bool>,
+    /// Total degradations across cores.
+    degradations: u64,
+    /// Total recoveries across cores.
+    recoveries: u64,
 }
 
 impl NmapGovernor {
@@ -65,8 +87,47 @@ impl NmapGovernor {
             fallback: Ondemand::new(table, cores),
             last_busy: vec![0.0; cores],
             ni_log: EventLog::new(),
+            last_signal: vec![None; cores],
+            suspect: vec![0; cores],
+            healthy: vec![0; cores],
+            degraded: vec![false; cores],
+            degradations: 0,
+            recoveries: 0,
             config,
         }
+    }
+
+    /// True if `core` is currently degraded (ignoring notifications).
+    pub fn is_degraded(&self, core: CoreId) -> bool {
+        self.degraded[core.0]
+    }
+
+    /// True if a poll-batch signal reached `core` within the
+    /// degradation signal timeout of `now`. The effective timeout is
+    /// floored at two timer intervals so coarse-timer configurations
+    /// (the interval ablation) get at least one full window of grace
+    /// before the channel is declared dead.
+    fn signal_fresh(&self, core: CoreId, now: SimTime) -> bool {
+        let timeout = self
+            .config
+            .degradation
+            .signal_timeout
+            .max(self.config.timer_interval * 2);
+        match self.last_signal[core.0] {
+            Some(t) => now.saturating_since(t) <= timeout,
+            None => false,
+        }
+    }
+
+    /// Forces `core` out of Network-Intensive mode onto the ondemand
+    /// path and starts distrusting notifications until recovery.
+    fn degrade(&mut self, core: CoreId, now: SimTime) {
+        self.degraded[core.0] = true;
+        self.suspect[core.0] = 0;
+        self.healthy[core.0] = 0;
+        self.degradations += 1;
+        self.engines[core.0].force_fallback(now);
+        self.ni_log.push(now, (core, NiMark::Degraded));
     }
 
     /// The mode of one core (experiment introspection).
@@ -120,7 +181,14 @@ impl PStateGovernor for NmapGovernor {
         now: SimTime,
         actions: &mut Vec<Action>,
     ) {
+        self.last_signal[core.0] = Some(now);
         let notify = self.monitors[core.0].record_batch(class, rx_packets);
+        // A degraded core keeps counting but ignores notifications:
+        // the signal path is suspect, so ondemand stays in charge
+        // until the hysteretic recovery re-arms normal operation.
+        if self.degraded[core.0] {
+            return;
+        }
         if notify && self.engines[core.0].on_notification(now) {
             // Algorithm 2 lines 3-5: disable ondemand (implicit — we
             // stop consulting it), maximize V/F immediately.
@@ -140,11 +208,55 @@ impl PStateGovernor for NmapGovernor {
         self.last_busy[core.0] = sample.busy_frac;
         let ratio = self.monitors[core.0].window_ratio();
         let _ = self.monitors[core.0].take_window();
+        let deg = self.config.degradation;
+        if self.degraded[core.0] {
+            // Recovery is hysteretic: only consecutive windows with
+            // fresh signals and real work re-arm normal operation.
+            let healthy_window = self.signal_fresh(core, now) && sample.busy_frac >= deg.busy_floor;
+            if healthy_window {
+                self.healthy[core.0] += 1;
+                if self.healthy[core.0] >= deg.recovery_windows {
+                    self.degraded[core.0] = false;
+                    self.healthy[core.0] = 0;
+                    self.recoveries += 1;
+                    self.ni_log.push(now, (core, NiMark::Recovered));
+                }
+            } else {
+                self.healthy[core.0] = 0;
+            }
+            self.fallback.on_core_sample(core, sample, now, actions);
+            return;
+        }
         match self.engines[core.0].mode() {
             PowerMode::NetworkIntensive => {
+                // Degradation triggers come first so a distrusted
+                // signal path wins over the normal ratio decision:
+                // (1) no signal at all within the timeout — the
+                // notification channel is dead, fall back now
+                // (bounded-time guarantee);
+                // (2) signals keep claiming a burst (ratio holds)
+                // while the core does no measurable work for several
+                // consecutive windows — stale replays, stop trusting
+                // them.
+                if !self.signal_fresh(core, now) {
+                    self.degrade(core, now);
+                    self.fallback.on_core_sample(core, sample, now, actions);
+                    return;
+                }
+                if sample.busy_frac < deg.busy_floor {
+                    self.suspect[core.0] += 1;
+                } else {
+                    self.suspect[core.0] = 0;
+                }
+                if self.suspect[core.0] >= deg.stale_windows {
+                    self.degrade(core, now);
+                    self.fallback.on_core_sample(core, sample, now, actions);
+                    return;
+                }
                 if self.engines[core.0].on_timer(ratio, now) {
                     // Fell back: enforce the utilization-based state
                     // and re-enable ondemand (lines 9-11).
+                    self.suspect[core.0] = 0;
                     self.ni_log.push(now, (core, NiMark::Fallback));
                     self.fallback.on_core_sample(core, sample, now, actions);
                 } else {
@@ -153,6 +265,7 @@ impl PStateGovernor for NmapGovernor {
                 }
             }
             PowerMode::CpuUtilization => {
+                self.suspect[core.0] = 0;
                 self.fallback.on_core_sample(core, sample, now, actions);
             }
         }
@@ -185,6 +298,16 @@ impl PStateGovernor for NmapGovernor {
                 .filter(|&&(_, (_, mark))| mark == NiMark::Fallback)
                 .count() as u64,
         );
+        m.set_counter("nmap.degradations", self.degradations);
+        m.set_counter("nmap.recoveries", self.recoveries);
+    }
+
+    fn degradation(&self) -> DegradationStats {
+        DegradationStats {
+            degradations: self.degradations,
+            recoveries: self.recoveries,
+            degraded_cores: self.degraded.iter().filter(|&&d| d).count() as u64,
+        }
     }
 }
 
@@ -421,6 +544,149 @@ mod tests {
         assert_eq!(
             marks,
             vec![(CoreId(0), NiMark::Notify), (CoreId(0), NiMark::Fallback)]
+        );
+    }
+
+    /// Drives `core` into Network-Intensive mode at `t`.
+    fn enter_ni(g: &mut NmapGovernor, core: CoreId, t: SimTime) {
+        let mut actions = Vec::new();
+        g.on_poll_batch(core, PollClass::Interrupt, 10, t, &mut actions);
+        g.on_poll_batch(
+            core,
+            PollClass::Polling,
+            500,
+            t + SimDuration::from_micros(1),
+            &mut actions,
+        );
+        assert_eq!(g.mode(core), PowerMode::NetworkIntensive);
+    }
+
+    #[test]
+    fn signal_starvation_degrades_within_timeout_bound() {
+        // The engine is starved of NI notifications entirely (the
+        // notification channel dies while the governor believes a
+        // burst is in progress). The bounded-time guarantee: by the
+        // first timer after max(signal_timeout, 2·timer) without a
+        // signal, the core must be off the pinned-P0 path.
+        let mut g = nmap();
+        let core = CoreId(0);
+        enter_ni(&mut g, core, SimTime::ZERO);
+        let deg = g.config().degradation;
+        let bound = deg.signal_timeout.max(g.config().timer_interval * 2);
+        let mut actions = Vec::new();
+        // No poll batches at all after entry; first timer past the
+        // bound. (Intermediate timers would fall back even earlier via
+        // the empty-window ratio; jumping straight past the bound
+        // exercises the degradation trigger itself.)
+        let t = SimTime::ZERO + bound + SimDuration::from_millis(1);
+        g.on_core_sample(core, sample(0.9), t, &mut actions);
+        assert!(g.is_degraded(core), "dead channel must degrade");
+        assert_eq!(g.mode(core), PowerMode::CpuUtilization);
+        assert_eq!(g.degradation().degradations, 1);
+        assert_eq!(g.degradation().degraded_cores, 1);
+        // The enforcement came from ondemand, not a pinned P0.
+        assert_eq!(actions.len(), 1);
+        let marks: Vec<NiMark> = g.ni_log().iter().map(|&(_, (_, m))| m).collect();
+        assert!(marks.contains(&NiMark::Degraded));
+    }
+
+    #[test]
+    fn stale_replayed_signals_degrade_after_consecutive_idle_windows() {
+        // Signals keep arriving (a stuck NAPI-state replay holds the
+        // poll ratio high) but the core does no measurable work: the
+        // suspicion counter must force the fallback after
+        // `stale_windows` consecutive windows, instead of pinning P0
+        // forever.
+        let mut g = nmap();
+        let core = CoreId(0);
+        enter_ni(&mut g, core, SimTime::ZERO);
+        let deg = g.config().degradation;
+        let timer = g.config().timer_interval;
+        let mut t = SimTime::ZERO;
+        for w in 0..deg.stale_windows {
+            // Replayed polling-heavy signals keep the window ratio
+            // above CU_TH and the freshness check satisfied.
+            g.on_poll_batch(core, PollClass::Polling, 500, t, &mut Vec::new());
+            g.on_poll_batch(core, PollClass::Interrupt, 1, t, &mut Vec::new());
+            t += timer;
+            let mut actions = Vec::new();
+            g.on_core_sample(core, sample(0.0), t, &mut actions);
+            if w + 1 < deg.stale_windows {
+                assert!(!g.is_degraded(core), "window {w}: still suspicious only");
+                assert_eq!(
+                    actions,
+                    vec![Action::SetCore(core, PState::P0)],
+                    "window {w}: ratio holds, still pinned"
+                );
+            }
+        }
+        assert!(g.is_degraded(core), "stale windows must degrade");
+        assert_eq!(g.mode(core), PowerMode::CpuUtilization);
+        // While degraded, notifications are ignored: no P0 pin, no
+        // mode flip even on a strong (replayed) burst.
+        let mut actions = Vec::new();
+        g.on_poll_batch(core, PollClass::Polling, 5000, t, &mut actions);
+        assert!(actions.is_empty(), "degraded core ignores notifications");
+        assert_eq!(g.mode(core), PowerMode::CpuUtilization);
+    }
+
+    #[test]
+    fn recovery_is_hysteretic_and_reengages_ni_mode() {
+        let mut g = nmap();
+        let core = CoreId(0);
+        let deg = g.config().degradation;
+        let timer = g.config().timer_interval;
+        enter_ni(&mut g, core, SimTime::ZERO);
+        // Degrade via starvation.
+        let mut t = SimTime::ZERO + deg.signal_timeout.max(timer * 2) + timer;
+        g.on_core_sample(core, sample(0.9), t, &mut Vec::new());
+        assert!(g.is_degraded(core));
+        // One healthy window is not enough (hysteresis)...
+        assert!(deg.recovery_windows > 1, "test needs real hysteresis");
+        for w in 0..deg.recovery_windows {
+            g.on_poll_batch(core, PollClass::Interrupt, 50, t, &mut Vec::new());
+            t += timer;
+            g.on_core_sample(core, sample(0.5), t, &mut Vec::new());
+            if w + 1 < deg.recovery_windows {
+                assert!(g.is_degraded(core), "window {w}: not yet recovered");
+            }
+        }
+        // ...but `recovery_windows` consecutive ones re-arm the path.
+        assert!(!g.is_degraded(core), "healthy signals must recover");
+        assert_eq!(g.degradation().recoveries, 1);
+        assert_eq!(g.degradation().degraded_cores, 0);
+        // And a fresh burst re-enters NI mode normally.
+        let mut actions = Vec::new();
+        g.on_poll_batch(core, PollClass::Polling, 500, t, &mut actions);
+        assert_eq!(g.mode(core), PowerMode::NetworkIntensive);
+        assert_eq!(actions, vec![Action::SetCore(core, PState::P0)]);
+        let marks: Vec<NiMark> = g.ni_log().iter().map(|&(_, (_, m))| m).collect();
+        assert!(marks.contains(&NiMark::Recovered));
+    }
+
+    #[test]
+    fn interrupted_healthy_streak_restarts_recovery_count() {
+        let mut g = nmap();
+        let core = CoreId(0);
+        let deg = g.config().degradation;
+        let timer = g.config().timer_interval;
+        enter_ni(&mut g, core, SimTime::ZERO);
+        let mut t = SimTime::ZERO + deg.signal_timeout.max(timer * 2) + timer;
+        g.on_core_sample(core, sample(0.9), t, &mut Vec::new());
+        assert!(g.is_degraded(core));
+        // healthy, idle, healthy — the idle window resets the streak.
+        g.on_poll_batch(core, PollClass::Interrupt, 50, t, &mut Vec::new());
+        t += timer;
+        g.on_core_sample(core, sample(0.5), t, &mut Vec::new());
+        t += timer;
+        g.on_core_sample(core, sample(0.0), t, &mut Vec::new());
+        g.on_poll_batch(core, PollClass::Interrupt, 50, t, &mut Vec::new());
+        t += timer;
+        g.on_core_sample(core, sample(0.5), t, &mut Vec::new());
+        assert!(
+            g.is_degraded(core),
+            "broken streak must not recover after {} windows",
+            deg.recovery_windows + 1
         );
     }
 

@@ -43,7 +43,7 @@ pub mod online;
 pub mod profiling;
 pub mod simpl;
 
-pub use config::NmapConfig;
+pub use config::{DegradationConfig, NmapConfig};
 pub use engine::{DecisionEngine, PowerMode};
 pub use governor::{NiMark, NmapGovernor};
 pub use monitor::ModeTransitionMonitor;

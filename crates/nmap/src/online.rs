@@ -188,6 +188,10 @@ impl PStateGovernor for OnlineNmap {
     fn record_metrics(&self, m: &mut simcore::MetricsRegistry) {
         self.inner.record_metrics(m);
     }
+
+    fn degradation(&self) -> governors::DegradationStats {
+        self.inner.degradation()
+    }
 }
 
 #[cfg(test)]

@@ -82,10 +82,20 @@ pub enum Account {
     /// Latency nanoseconds attributed to pipeline stages by the
     /// attribution profiler (must equal the measured total).
     LatencyNanosAttributed,
+    /// Wire packets (either direction, any kind) dropped or corrupted
+    /// by injected faults — explicitly accounted so packet
+    /// conservation still closes under fault injection.
+    PacketsFaultDropped,
+    /// Request packets lost to injected wire faults (subset of
+    /// [`PacketsFaultDropped`](Account::PacketsFaultDropped)).
+    RequestsFaultDropped,
+    /// Response packets lost to injected wire faults (subset of
+    /// [`PacketsFaultDropped`](Account::PacketsFaultDropped)).
+    ResponsesFaultDropped,
 }
 
 /// Number of accounts (array-backed ledger storage).
-const ACCOUNTS: usize = 14;
+const ACCOUNTS: usize = 17;
 
 impl Account {
     /// All accounts, in declaration order.
@@ -104,6 +114,9 @@ impl Account {
         Account::TxCompletionsCleaned,
         Account::LatencyNanosMeasured,
         Account::LatencyNanosAttributed,
+        Account::PacketsFaultDropped,
+        Account::RequestsFaultDropped,
+        Account::ResponsesFaultDropped,
     ];
 }
 

@@ -27,6 +27,7 @@
 pub mod audit;
 pub mod check;
 pub mod engine;
+pub mod fault;
 pub mod obs;
 pub mod rng;
 pub mod stats;
@@ -35,6 +36,10 @@ pub mod trace;
 
 pub use audit::{Account, AuditCheck, AuditReport, ConservationLedger};
 pub use engine::{EngineProfile, EventId, Simulator};
+pub use fault::{
+    FaultInjector, FaultKind, FaultPlan, FaultScope, FaultSpec, FaultStats, RecoverySummary,
+    WireFault,
+};
 pub use obs::attrib::{
     AttribSummary, AttribTracker, Breakdown, ChainMarks, CompletedAttrib, Stage, StageSummary,
 };

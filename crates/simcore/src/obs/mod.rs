@@ -79,10 +79,13 @@ pub enum TraceCategory {
     /// SLO watchdog: online percentile counters, violation /
     /// recovery instants, attribution stage shares.
     Slo,
+    /// Injected faults: one instant per applied injection
+    /// (arg = applications so far), plus degradation marks.
+    Fault,
 }
 
 /// Number of categories (track layout tables).
-pub const CATEGORIES: usize = 9;
+pub const CATEGORIES: usize = 10;
 
 impl TraceCategory {
     /// All categories, in track display order.
@@ -96,6 +99,7 @@ impl TraceCategory {
         TraceCategory::Request,
         TraceCategory::Governor,
         TraceCategory::Slo,
+        TraceCategory::Fault,
     ];
 
     /// Stable track label (also the Perfetto thread name).
@@ -110,6 +114,7 @@ impl TraceCategory {
             TraceCategory::Request => "requests",
             TraceCategory::Governor => "governor",
             TraceCategory::Slo => "slo",
+            TraceCategory::Fault => "fault",
         }
     }
 }

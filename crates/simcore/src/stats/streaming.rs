@@ -259,6 +259,10 @@ pub struct SloWatchdog {
     closed_violation_ns: u64,
     total_detect_ns: u64,
     total_recover_ns: u64,
+    /// Per-episode `(first_bad_ns, recovered_ns)` anchors, with
+    /// `u64::MAX` marking a still-open episode — the join input for
+    /// fault-recovery attribution (`simcore::fault::join_recovery`).
+    episode_log: Vec<(u64, u64)>,
 }
 
 impl SloWatchdog {
@@ -293,6 +297,7 @@ impl SloWatchdog {
             closed_violation_ns: 0,
             total_detect_ns: 0,
             total_recover_ns: 0,
+            episode_log: Vec::new(),
         }
     }
 
@@ -374,6 +379,8 @@ impl SloWatchdog {
             self.first_detect_ns = self.first_detect_ns.min(now.as_nanos());
             let lag = now.saturating_since(self.first_bad.unwrap_or(now));
             self.total_detect_ns += lag.as_nanos();
+            self.episode_log
+                .push((self.first_bad.unwrap_or(now).as_nanos(), u64::MAX));
             events.push(WatchdogEvent::ViolationDetected {
                 since_first_bad: lag,
             });
@@ -383,8 +390,17 @@ impl SloWatchdog {
             let held = now.saturating_since(self.detect_at);
             self.closed_violation_ns += held.as_nanos();
             self.total_recover_ns += held.as_nanos();
+            if let Some(open) = self.episode_log.last_mut() {
+                open.1 = now.as_nanos();
+            }
             events.push(WatchdogEvent::Recovered { violated_for: held });
         }
+    }
+
+    /// Per-episode `(first_bad_ns, recovered_ns)` anchors in episode
+    /// order; a still-open episode carries `u64::MAX` as its end.
+    pub fn episode_log(&self) -> &[(u64, u64)] {
+        &self.episode_log
     }
 
     /// Summarizes everything observed so far. `end` closes the open

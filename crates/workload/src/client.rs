@@ -30,6 +30,10 @@ use simcore::{Cdf, RngStream, SimDuration, SimTime};
 #[derive(Debug, Clone)]
 pub struct Client {
     flows: u64,
+    /// Base added to every generated flow id — bumped by
+    /// [`churn_flows`](Client::churn_flows) to model connection churn
+    /// (old connections close, new 5-tuples hash to new queues).
+    flow_offset: u64,
     request_size: u32,
     next_id: u64,
     sent: u64,
@@ -51,6 +55,7 @@ impl Client {
         assert!(flows > 0, "need at least one flow");
         Client {
             flows,
+            flow_offset: 0,
             request_size,
             next_id: 0,
             sent: 0,
@@ -66,8 +71,22 @@ impl Client {
         let id = RequestId(self.next_id);
         self.next_id += 1;
         self.sent += 1;
-        let flow = FlowId(rng.below(self.flows));
+        let flow = FlowId(self.flow_offset + rng.below(self.flows));
         Packet::request(id, flow, self.request_size, now)
+    }
+
+    /// Replaces the connection pool: every live flow id shifts by
+    /// `shift`, so subsequent requests carry fresh 5-tuples that hash
+    /// to (generally) different RSS queues. In-flight requests keep
+    /// their old flow ids, exactly like real connections draining
+    /// during churn.
+    pub fn churn_flows(&mut self, shift: u64) {
+        self.flow_offset = self.flow_offset.wrapping_add(shift);
+    }
+
+    /// The current flow-id base (0 until churn occurs).
+    pub fn flow_offset(&self) -> u64 {
+        self.flow_offset
     }
 
     /// A response arrived back at the client at `now`.
@@ -161,6 +180,18 @@ mod tests {
         assert_eq!(c.latencies().len(), 0);
         assert!(c.response_log().is_empty());
         assert_eq!(c.outstanding(), 1, "the unanswered request is still out");
+    }
+
+    #[test]
+    fn churn_shifts_flow_ids_without_breaking_bounds() {
+        let mut c = Client::new(8, 64);
+        let mut rng = RngStream::from_seed(2);
+        c.churn_flows(1000);
+        for _ in 0..100 {
+            let p = c.build_request(SimTime::ZERO, &mut rng);
+            assert!(p.flow.0 >= 1000 && p.flow.0 < 1008);
+        }
+        assert_eq!(c.flow_offset(), 1000);
     }
 
     #[test]

@@ -297,3 +297,68 @@ fn runs_are_deterministic_for_arbitrary_configs() {
         assert_eq!(many[0].metrics.render(), first.metrics.render());
     });
 }
+
+/// Fault-enabled determinism over arbitrary composed schedules: a
+/// randomly drawn fault plan (kinds, windows, probabilities, its own
+/// seed) reproduces bit-identically on re-run, and `run_many` matches
+/// serial `run` — the plan and its seed travel with the config into
+/// worker threads.
+#[cfg(feature = "fault")]
+#[test]
+fn fault_runs_are_deterministic_for_arbitrary_plans() {
+    use simcore::{FaultKind, FaultPlan, FaultScope};
+    forall("fault run determinism", 3, |rng| {
+        let ms = |v: u64| SimTime::ZERO + SimDuration::from_millis(v);
+        // Windows inside the 50 ms warm-up + 150 ms measured run.
+        let window = |rng: &mut RngStream| {
+            let start = range(rng, 30, 120);
+            FaultScope::window(ms(start), ms(start + range(rng, 10, 60)))
+        };
+        let kinds = [
+            FaultKind::WireDrop { prob: 0.1 },
+            FaultKind::IrqLoss { prob: 0.2 },
+            FaultKind::SpuriousIrq {
+                period: SimDuration::from_micros(250),
+            },
+            FaultKind::MissedKsoftirqdWake {
+                delay: SimDuration::from_micros(100),
+                prob: 0.5,
+            },
+            FaultKind::NapiSignalLoss { prob: 0.5 },
+            FaultKind::DvfsLatencySpike {
+                extra: SimDuration::from_micros(200),
+            },
+            FaultKind::ThermalThrottle { floor: 5 },
+            FaultKind::LoadSpike { factor: 1.4 },
+            FaultKind::IncastBurst { requests: 50 },
+        ];
+        let mut plan = FaultPlan::new().with_seed(rng.next_u64());
+        for _ in 0..range(rng, 2, 5) {
+            let kind = kinds[rng.below(kinds.len() as u64) as usize];
+            plan = plan.inject(kind, window(rng));
+        }
+        let governor = if rng.next_u64() & 1 == 0 {
+            GovernorKind::Ondemand
+        } else {
+            GovernorKind::NmapSimpl
+        };
+        let load = LoadSpec::custom(30_000.0, SimDuration::from_millis(100), 0.4, 0.3);
+        let cfg = RunConfig {
+            warmup: SimDuration::from_millis(50),
+            duration: SimDuration::from_millis(150),
+            ..RunConfig::new(AppKind::Memcached, load, governor, Scale::Quick)
+        }
+        .with_seed(rng.next_u64())
+        .with_fault_plan(plan);
+        let first = experiments::run(cfg.clone());
+        let second = experiments::run(cfg.clone());
+        assert_eq!(
+            first, second,
+            "same seed + same plan must reproduce bit-identically"
+        );
+        assert_eq!(first.faults, second.faults, "fault draws must be seeded");
+        let many = experiments::run_many(vec![cfg.clone(), cfg]);
+        assert_eq!(many[0], first, "run_many must propagate the fault plan");
+        assert_eq!(many[1], first);
+    });
+}
