@@ -33,6 +33,10 @@
 //! assert!(tb.client.received() > 0);
 //! ```
 
+// Library code must stay panic-free on arbitrary inputs: failures are
+// typed `SimError`s, never `unwrap()`/`panic!`. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod service;
 pub mod testbed;
 

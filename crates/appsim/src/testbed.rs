@@ -51,6 +51,13 @@ pub struct TestbedConfig {
     pub link: LinkModel,
     /// Number of client connections (flows) — RSS spreads these.
     pub flows: u64,
+    /// Number of NIC Rx/Tx queue pairs. `None` (the default) gives
+    /// one queue per core, the paper's testbed layout. Fewer queues
+    /// than cores leaves the surplus cores without network work;
+    /// more queues than cores is rejected by
+    /// [`validate`](TestbedConfig::validate) — RSS would steer flows
+    /// to vectors with no core to service them.
+    pub nic_queues: Option<usize>,
     /// Master RNG seed; same seed → bit-identical run.
     pub seed: u64,
     /// Capacity of the structured trace buffer. Zero (the default)
@@ -91,6 +98,7 @@ impl TestbedConfig {
             load,
             link: LinkModel::ten_gbe(),
             flows: 320,
+            nic_queues: None,
             seed: 42,
             trace_capacity: 0,
             fault_plan: FaultPlan::new(),
@@ -132,6 +140,61 @@ impl TestbedConfig {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
         self
+    }
+
+    /// Overrides the NIC queue count (RSS ablations).
+    pub fn with_nic_queues(mut self, queues: usize) -> Self {
+        self.nic_queues = Some(queues);
+        self
+    }
+
+    /// Validates the whole assembly before any component constructor
+    /// can panic on it: degenerate topology, load, queue layout, and
+    /// fault plans all become typed [`SimError`](simcore::SimError)s
+    /// with the offending field named.
+    pub fn validate(&self) -> Result<(), simcore::SimError> {
+        use simcore::SimError;
+        let cores = self.profile.cores;
+        if cores == 0 {
+            return Err(SimError::invalid(
+                "profile.cores",
+                "a processor needs at least one core".to_string(),
+            ));
+        }
+        if self.profile.pstates.is_empty() {
+            return Err(SimError::invalid(
+                "profile.pstates",
+                "a processor needs at least one P-state".to_string(),
+            ));
+        }
+        if self.flows == 0 {
+            return Err(SimError::invalid(
+                "flows",
+                "at least one client flow is required to offer load".to_string(),
+            ));
+        }
+        match self.nic_queues {
+            Some(0) => {
+                return Err(SimError::invalid(
+                    "nic_queues",
+                    "the NIC needs at least one queue".to_string(),
+                ));
+            }
+            Some(q) if q > cores => {
+                return Err(SimError::invalid(
+                    "nic_queues",
+                    format!(
+                        "{q} RSS queues exceed the {cores} available cores; \
+                         RSS would steer flows to IRQ vectors with no core \
+                         to service them"
+                    ),
+                ));
+            }
+            _ => {}
+        }
+        self.load.validate()?;
+        self.fault_plan.validate(cores)?;
+        Ok(())
     }
 }
 
@@ -338,15 +401,35 @@ pub struct Testbed {
 impl Testbed {
     /// Builds the world and schedules its initial events (first client
     /// send, first governor sampling tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid; use
+    /// [`try_new`](Testbed::try_new) to get the typed error instead.
     pub fn new(
         config: TestbedConfig,
         governor: Box<dyn PStateGovernor>,
         sleep: Box<dyn SleepPolicy>,
         sim: &mut Simulator<Testbed>,
     ) -> Self {
+        Testbed::try_new(config, governor, sleep, sim).expect("invalid TestbedConfig")
+    }
+
+    /// Fallible constructor: validates the config
+    /// ([`TestbedConfig::validate`]) before any component constructor
+    /// can panic on it, then builds the world and schedules its
+    /// initial events.
+    pub fn try_new(
+        config: TestbedConfig,
+        governor: Box<dyn PStateGovernor>,
+        sleep: Box<dyn SleepPolicy>,
+        sim: &mut Simulator<Testbed>,
+    ) -> Result<Self, simcore::SimError> {
+        config.validate()?;
         let cores = config.profile.cores;
+        let queues = config.nic_queues.unwrap_or(cores).min(cores);
         let processor = Processor::new(config.profile.clone(), config.scope);
-        let mut nic = Nic::new(NicConfig::intel_82599(cores));
+        let mut nic = Nic::new(NicConfig::intel_82599(queues));
         let trace = simcore::TraceBuffer::with_capacity(config.trace_capacity);
         if trace.is_recording() {
             nic.set_irq_log_enabled(true);
@@ -447,7 +530,7 @@ impl Testbed {
                 }
             }
         }
-        tb
+        Ok(tb)
     }
 
     /// The processor profile in use.
@@ -1339,7 +1422,8 @@ impl Testbed {
     /// fire: unmasked, and its owner (hardirq/poll) not running.
     fn fault_spurious_irq(&mut self, sim: &mut Simulator<Testbed>, q: QueueId) {
         let now = sim.now();
-        if !self.nic.irq_enabled(q) {
+        // Cores beyond the configured queue count own no IRQ vector.
+        if q.0 >= self.nic.num_queues() || !self.nic.irq_enabled(q) {
             return;
         }
         let core = CoreId(q.0);

@@ -17,7 +17,7 @@
 
 pub use std::hint::black_box;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One benchmark's timing summary, as serialized into the machine-
@@ -110,13 +110,16 @@ impl Criterion {
         println!(
             "bench {name:<55} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}  ({n} samples)"
         );
-        RESULTS.lock().unwrap().push(BenchStat {
-            name: name.to_string(),
-            mean_ns: mean.as_nanos() as u64,
-            p50_ns: median.as_nanos() as u64,
-            p99_ns: p99.as_nanos() as u64,
-            samples: b.times.len() as u64,
-        });
+        RESULTS
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(BenchStat {
+                name: name.to_string(),
+                mean_ns: mean.as_nanos() as u64,
+                p50_ns: median.as_nanos() as u64,
+                p99_ns: p99.as_nanos() as u64,
+                samples: b.times.len() as u64,
+            });
     }
 
     /// Runs one named benchmark.
@@ -250,7 +253,10 @@ pub fn parse_json(doc: &str) -> Vec<BenchStat> {
 /// so `cargo bench` across several `[[bench]]` targets accumulates one
 /// merged `BENCH_repro.json`.
 pub fn write_json_report() {
-    let stats = RESULTS.lock().unwrap().clone();
+    let stats = RESULTS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
     if stats.is_empty() {
         return;
     }
@@ -335,7 +341,7 @@ mod tests {
         };
         let name = "unit/json-stat-recording";
         c.bench_function(name, |b| b.iter(|| black_box(1 + 1)));
-        let results = RESULTS.lock().unwrap();
+        let results = RESULTS.lock().unwrap_or_else(PoisonError::into_inner);
         let stat = results
             .iter()
             .find(|s| s.name == name)

@@ -30,6 +30,10 @@
 //! assert_eq!(gold.pstates.frequency(gold.pstates.slowest()), 1_200_000_000);
 //! ```
 
+// Library code must stay panic-free on arbitrary inputs: failures are
+// typed `SimError`s, never `unwrap()`/`panic!`. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod core;
 pub mod cstate;
 pub mod dvfs;

@@ -1,19 +1,33 @@
 //! `repro` — regenerate the NMAP paper's tables and figures.
 //!
 //! ```text
-//! Usage: repro [--quick] [--out DIR] [--trace-out DIR] <id>... | all | --list
+//! Usage: repro [--quick] [--out DIR] [--trace-out DIR]
+//!              [--checkpoint FILE] <id>... | all | --list
 //!
-//!   --quick         short measurement windows (CI-sized); default is
-//!                   the full windows used for reported numbers
-//!   --out DIR       also write each artifact to DIR/<id>.txt
-//!   --trace-out DIR also rerun each artifact's representative cell
-//!                   with tracing and write DIR/<id>.trace.json
-//!                   (Perfetto-loadable; needs `--features obs`)
-//!   --list          print the available artifact ids
+//!   --quick           short measurement windows (CI-sized); default is
+//!                     the full windows used for reported numbers
+//!   --out DIR         also write each artifact to DIR/<id>.txt
+//!                     (written atomically: tempfile + rename, so a
+//!                     crash never leaves a truncated artifact)
+//!   --trace-out DIR   also rerun each artifact's representative cell
+//!                     with tracing and write DIR/<id>.trace.json
+//!                     (Perfetto-loadable; needs `--features obs`)
+//!   --checkpoint FILE stream finished sweep cells to FILE (append-only
+//!                     JSONL); re-running with the same FILE after a
+//!                     crash or Ctrl-C skips completed cells and
+//!                     produces byte-identical artifacts
+//!   --list            print the available artifact ids
 //! ```
+//!
+//! Sweeps run under a [`Supervisor`]: cells that fail transiently are
+//! retried with backoff, persistently failing cells are quarantined
+//! (reported at the end, with placeholder rows rendered as `n/a` in
+//! the affected tables) and the rest of the sweep still completes.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 use experiments::runner::{run, Scale};
-use experiments::{export, figures, report};
+use experiments::{export, figures, report, Supervisor};
 use std::io::Write;
 
 fn main() {
@@ -22,6 +36,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut out_dir: Option<String> = None;
     let mut trace_dir: Option<String> = None;
+    let mut ckpt_path: Option<String> = None;
     let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -41,6 +56,13 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--checkpoint" => {
+                ckpt_path = iter.next();
+                if ckpt_path.is_none() {
+                    eprintln!("--checkpoint requires a file path");
+                    std::process::exit(2);
+                }
+            }
             "--list" => {
                 for id in figures::all_ids() {
                     println!("{id}");
@@ -49,7 +71,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "Usage: repro [--quick] [--out DIR] [--trace-out DIR] <id>... | all | --list"
+                    "Usage: repro [--quick] [--out DIR] [--trace-out DIR] \
+                     [--checkpoint FILE] <id>... | all | --list"
                 );
                 println!("ids: {}", figures::all_ids().join(" "));
                 return;
@@ -72,13 +95,24 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create trace output directory");
     }
 
+    let sup = match &ckpt_path {
+        Some(path) => match Supervisor::new().with_checkpoint(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open checkpoint {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => Supervisor::new(),
+    };
+
     let mut produced: std::collections::HashSet<String> = std::collections::HashSet::new();
     for id in &ids {
         if produced.contains(id) {
             continue;
         }
         let start = std::time::Instant::now();
-        let reports = figures::generate(id, scale);
+        let reports = figures::generate_with(id, scale, &sup);
         if reports.is_empty() {
             eprintln!("unknown artifact id: {id} (try --list)");
             std::process::exit(2);
@@ -88,8 +122,7 @@ fn main() {
             println!("[generated in {:.1}s]\n", start.elapsed().as_secs_f64());
             if let Some(dir) = &out_dir {
                 let path = format!("{dir}/{}.txt", report.id);
-                let mut f = std::fs::File::create(&path).expect("create artifact file");
-                write!(f, "{report}").expect("write artifact");
+                write_atomic(&path, &format!("{report}")).expect("write artifact");
             }
             produced.insert(report.id.clone());
         }
@@ -97,6 +130,46 @@ fn main() {
             dump_trace(id, scale, dir);
         }
     }
+
+    if ckpt_path.is_some() && sup.cells_resumed() > 0 {
+        eprintln!(
+            "[checkpoint: {} finished cell(s) resumed without re-running]",
+            sup.cells_resumed()
+        );
+    }
+    let quarantined = sup.quarantined();
+    if !quarantined.is_empty() {
+        let mut section = String::from(
+            "QUARANTINED CELLS\n\
+             The following sweep cells failed persistently and were \
+             excluded (their rows render as zeros / n/a):\n",
+        );
+        for q in &quarantined {
+            section.push_str(&format!(
+                "  cell {:016x} [{}] after {} attempt(s): {}\n",
+                q.key, q.governor, q.attempts, q.error
+            ));
+        }
+        eprint!("{section}");
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/quarantine.txt");
+            write_atomic(&path, &section).expect("write quarantine report");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// sibling tempfile first and are renamed into place, so a crash
+/// mid-write can never leave a truncated artifact behind.
+fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 /// Reruns `id`'s representative cell with tracing and writes

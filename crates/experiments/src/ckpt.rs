@@ -1,0 +1,782 @@
+//! Crash-safe sweep checkpointing: completed cells stream to an
+//! append-only `checkpoint.jsonl`, keyed by a content hash of their
+//! [`RunConfig`], so a re-invoked sweep skips finished cells and
+//! reproduces a byte-identical merged artifact.
+//!
+//! # File format
+//!
+//! One JSON object per line (JSONL):
+//!
+//! * `{"kind":"header","version":1}` — first line of a fresh file;
+//! * `{"kind":"cell","key":"<16-hex>","result":{...}}` — one
+//!   completed cell, floats as IEEE-754 bit patterns for exact
+//!   round-trips;
+//! * `{"kind":"quarantine","key":"<16-hex>","governor":...,
+//!   "error":...,"attempts":N}` — a cell the supervisor gave up on.
+//!
+//! Loading tolerates torn tails and corrupt lines: anything that
+//! fails to parse or decode is skipped (and counted), because a
+//! crash mid-append must not invalidate the finished prefix. Cells
+//! that collect traces are never checkpointed — traces are too large
+//! to persist and re-run deterministically anyway.
+
+use crate::json::{self, Value};
+use crate::runner::{RunConfig, RunResult};
+use simcore::{
+    AttribSummary, FaultStats, RecoverySummary, SimDuration, Stage, StageSummary, WatchdogReport,
+};
+use simcore::{HistogramSnapshot, MetricsSnapshot};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Stable content key for a sweep cell: FNV-1a 64 over the config's
+/// `Debug` rendering. Any field change — seed, load, governor,
+/// thresholds, fault plan — changes the key, so a stale checkpoint
+/// can never satisfy an edited sweep.
+pub fn cell_key(cfg: &RunConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes())
+}
+
+/// Whether the file at `path` is empty or ends with a newline — i.e.
+/// whether appending a fresh record is safe without a separator.
+fn ends_with_newline(path: &Path) -> std::io::Result<bool> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(true),
+        Err(e) => return Err(e),
+    };
+    let len = f.metadata()?.len();
+    if len == 0 {
+        return Ok(true);
+    }
+    f.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)?;
+    Ok(last[0] == b'\n')
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A cell the supervisor retried to exhaustion and gave up on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    /// The cell's content key.
+    pub key: u64,
+    /// The governor label, for the artifact's quarantine section.
+    pub governor: String,
+    /// Display of the final error.
+    pub error: String,
+    /// Attempts spent before quarantining.
+    pub attempts: u32,
+}
+
+/// Decode failure inside an otherwise parseable line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint decode error: {}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn enc_metrics(m: &MetricsSnapshot) -> Value {
+    Value::obj(vec![
+        (
+            "counters",
+            Value::Arr(
+                m.counters
+                    .iter()
+                    .map(|(k, v)| Value::Arr(vec![Value::Str(k.clone()), Value::UInt(*v)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Value::Arr(
+                m.gauges
+                    .iter()
+                    .map(|(k, v)| Value::Arr(vec![Value::Str(k.clone()), Value::bits(*v)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Value::Arr(
+                m.histograms
+                    .iter()
+                    .map(|(k, h)| Value::Arr(vec![Value::Str(k.clone()), enc_histogram(h)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn enc_histogram(h: &HistogramSnapshot) -> Value {
+    Value::obj(vec![
+        ("count", Value::UInt(h.count)),
+        ("sum", Value::UInt(h.sum)),
+        ("max", Value::UInt(h.max)),
+        (
+            "buckets",
+            Value::Arr(
+                h.buckets
+                    .iter()
+                    .map(|&(w, c)| Value::Arr(vec![Value::UInt(u64::from(w)), Value::UInt(c)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn enc_attrib(a: &AttribSummary) -> Value {
+    Value::obj(vec![
+        ("requests", Value::UInt(a.requests)),
+        ("pending", Value::UInt(a.pending)),
+        ("mismatches", Value::UInt(a.mismatches)),
+        ("attributed_total_ns", Value::UInt(a.attributed_total_ns)),
+        ("e2e_total_ns", Value::UInt(a.e2e_total_ns)),
+        (
+            "stages",
+            Value::Arr(
+                a.stages
+                    .iter()
+                    .map(|s| {
+                        Value::obj(vec![
+                            ("stage", Value::UInt(stage_index(s.stage))),
+                            ("sum_ns", Value::UInt(s.sum_ns)),
+                            ("p50_ns", Value::UInt(s.p50_ns)),
+                            ("p99_ns", Value::UInt(s.p99_ns)),
+                            ("max_ns", Value::UInt(s.max_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn stage_index(stage: Stage) -> u64 {
+    Stage::ALL.iter().position(|&s| s == stage).unwrap_or(0) as u64
+}
+
+fn enc_watchdog(w: &WatchdogReport) -> Value {
+    Value::obj(vec![
+        ("samples", Value::UInt(w.samples)),
+        ("episodes", Value::UInt(u64::from(w.episodes))),
+        ("open_episode", Value::Bool(w.open_episode)),
+        ("first_detect_ns", Value::UInt(w.first_detect_ns)),
+        ("total_violation_ns", Value::UInt(w.total_violation_ns)),
+        ("mean_detect_ns", Value::UInt(w.mean_detect_ns)),
+        ("mean_recover_ns", Value::UInt(w.mean_recover_ns)),
+    ])
+}
+
+fn enc_faults(s: &FaultStats) -> Value {
+    Value::obj(vec![
+        (
+            "wire_requests_dropped",
+            Value::UInt(s.wire_requests_dropped),
+        ),
+        (
+            "wire_responses_dropped",
+            Value::UInt(s.wire_responses_dropped),
+        ),
+        ("irqs_lost", Value::UInt(s.irqs_lost)),
+        ("spurious_irqs", Value::UInt(s.spurious_irqs)),
+        ("irq_unmasks_blocked", Value::UInt(s.irq_unmasks_blocked)),
+        ("wakes_delayed", Value::UInt(s.wakes_delayed)),
+        ("signals_suppressed", Value::UInt(s.signals_suppressed)),
+        ("signals_replayed", Value::UInt(s.signals_replayed)),
+        ("polls_clamped", Value::UInt(s.polls_clamped)),
+        ("dvfs_delays", Value::UInt(s.dvfs_delays)),
+        ("pstate_clamps", Value::UInt(s.pstate_clamps)),
+        ("exec_stalls", Value::UInt(s.exec_stalls)),
+        ("load_switches", Value::UInt(s.load_switches)),
+        ("incast_requests", Value::UInt(s.incast_requests)),
+        ("flow_churns", Value::UInt(s.flow_churns)),
+    ])
+}
+
+fn enc_recovery(r: &RecoverySummary) -> Value {
+    Value::obj(vec![
+        ("attributed", Value::UInt(r.attributed)),
+        ("recovered", Value::UInt(r.recovered)),
+        ("unrecovered", Value::UInt(r.unrecovered)),
+        ("unattributed", Value::UInt(r.unattributed)),
+        ("mean_recovery_ns", Value::UInt(r.mean_recovery_ns)),
+        ("max_recovery_ns", Value::UInt(r.max_recovery_ns)),
+    ])
+}
+
+/// Encodes a trace-free [`RunResult`] for a checkpoint line.
+pub fn encode_result(r: &RunResult) -> Value {
+    let d = &r.degradation;
+    Value::obj(vec![
+        ("governor", Value::Str(r.governor.clone())),
+        ("sleep", Value::Str(r.sleep.clone())),
+        ("sent", Value::UInt(r.sent)),
+        ("received", Value::UInt(r.received)),
+        ("p99_ns", Value::UInt(r.p99.as_nanos())),
+        ("p50_ns", Value::UInt(r.p50.as_nanos())),
+        ("frac_above_slo", Value::bits(r.frac_above_slo)),
+        ("slo_ns", Value::UInt(r.slo.as_nanos())),
+        ("energy_j", Value::bits(r.energy_j)),
+        ("duration_ns", Value::UInt(r.duration.as_nanos())),
+        ("avg_power_w", Value::bits(r.avg_power_w)),
+        ("rx_dropped", Value::UInt(r.rx_dropped)),
+        ("dvfs_transitions", Value::UInt(r.dvfs_transitions)),
+        ("c6_entries", Value::UInt(r.c6_entries)),
+        ("metrics", enc_metrics(&r.metrics)),
+        ("attrib", enc_attrib(&r.attrib)),
+        ("watchdog", enc_watchdog(&r.watchdog)),
+        ("faults", enc_faults(&r.faults)),
+        (
+            "degradation",
+            Value::obj(vec![
+                ("degradations", Value::UInt(d.degradations)),
+                ("recoveries", Value::UInt(d.recoveries)),
+                ("degraded_cores", Value::UInt(d.degraded_cores)),
+            ]),
+        ),
+        ("fault_recovery", enc_recovery(&r.fault_recovery)),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn need<'v>(v: &'v Value, key: &'static str) -> Result<&'v Value, DecodeError> {
+    v.get(key).ok_or(DecodeError(key))
+}
+
+fn need_u64(v: &Value, key: &'static str) -> Result<u64, DecodeError> {
+    need(v, key)?.as_u64().ok_or(DecodeError(key))
+}
+
+fn need_f64(v: &Value, key: &'static str) -> Result<f64, DecodeError> {
+    need(v, key)?.as_bits_f64().ok_or(DecodeError(key))
+}
+
+fn need_str(v: &Value, key: &'static str) -> Result<String, DecodeError> {
+    Ok(need(v, key)?.as_str().ok_or(DecodeError(key))?.to_string())
+}
+
+fn need_dur(v: &Value, key: &'static str) -> Result<SimDuration, DecodeError> {
+    Ok(SimDuration::from_nanos(need_u64(v, key)?))
+}
+
+fn dec_pairs<T>(
+    v: &Value,
+    key: &'static str,
+    dec: impl Fn(&Value) -> Result<T, DecodeError>,
+) -> Result<Vec<(String, T)>, DecodeError> {
+    need(v, key)?
+        .as_arr()
+        .ok_or(DecodeError(key))?
+        .iter()
+        .map(|pair| {
+            let items = pair.as_arr().ok_or(DecodeError(key))?;
+            match items {
+                [k, payload] => Ok((
+                    k.as_str().ok_or(DecodeError(key))?.to_string(),
+                    dec(payload)?,
+                )),
+                _ => Err(DecodeError(key)),
+            }
+        })
+        .collect()
+}
+
+fn dec_histogram(v: &Value) -> Result<HistogramSnapshot, DecodeError> {
+    let buckets = need(v, "buckets")?
+        .as_arr()
+        .ok_or(DecodeError("buckets"))?
+        .iter()
+        .map(|pair| {
+            let items = pair.as_arr().ok_or(DecodeError("buckets"))?;
+            match items {
+                [w, c] => {
+                    let w = w.as_u64().ok_or(DecodeError("buckets"))?;
+                    let w = u32::try_from(w).map_err(|_| DecodeError("buckets"))?;
+                    Ok((w, c.as_u64().ok_or(DecodeError("buckets"))?))
+                }
+                _ => Err(DecodeError("buckets")),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(HistogramSnapshot {
+        count: need_u64(v, "count")?,
+        sum: need_u64(v, "sum")?,
+        max: need_u64(v, "max")?,
+        buckets,
+    })
+}
+
+fn dec_metrics(v: &Value) -> Result<MetricsSnapshot, DecodeError> {
+    Ok(MetricsSnapshot {
+        counters: dec_pairs(v, "counters", |p| p.as_u64().ok_or(DecodeError("counters")))?,
+        gauges: dec_pairs(v, "gauges", |p| {
+            p.as_bits_f64().ok_or(DecodeError("gauges"))
+        })?,
+        histograms: dec_pairs(v, "histograms", dec_histogram)?,
+    })
+}
+
+fn dec_attrib(v: &Value) -> Result<AttribSummary, DecodeError> {
+    let stages = need(v, "stages")?
+        .as_arr()
+        .ok_or(DecodeError("stages"))?
+        .iter()
+        .map(|s| {
+            let idx = need_u64(s, "stage")? as usize;
+            let stage = *Stage::ALL.get(idx).ok_or(DecodeError("stage"))?;
+            Ok(StageSummary {
+                stage,
+                sum_ns: need_u64(s, "sum_ns")?,
+                p50_ns: need_u64(s, "p50_ns")?,
+                p99_ns: need_u64(s, "p99_ns")?,
+                max_ns: need_u64(s, "max_ns")?,
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    Ok(AttribSummary {
+        requests: need_u64(v, "requests")?,
+        pending: need_u64(v, "pending")?,
+        mismatches: need_u64(v, "mismatches")?,
+        attributed_total_ns: need_u64(v, "attributed_total_ns")?,
+        e2e_total_ns: need_u64(v, "e2e_total_ns")?,
+        stages,
+    })
+}
+
+fn dec_watchdog(v: &Value) -> Result<WatchdogReport, DecodeError> {
+    Ok(WatchdogReport {
+        samples: need_u64(v, "samples")?,
+        episodes: u32::try_from(need_u64(v, "episodes")?).map_err(|_| DecodeError("episodes"))?,
+        open_episode: need(v, "open_episode")?
+            .as_bool()
+            .ok_or(DecodeError("open_episode"))?,
+        first_detect_ns: need_u64(v, "first_detect_ns")?,
+        total_violation_ns: need_u64(v, "total_violation_ns")?,
+        mean_detect_ns: need_u64(v, "mean_detect_ns")?,
+        mean_recover_ns: need_u64(v, "mean_recover_ns")?,
+    })
+}
+
+fn dec_faults(v: &Value) -> Result<FaultStats, DecodeError> {
+    Ok(FaultStats {
+        wire_requests_dropped: need_u64(v, "wire_requests_dropped")?,
+        wire_responses_dropped: need_u64(v, "wire_responses_dropped")?,
+        irqs_lost: need_u64(v, "irqs_lost")?,
+        spurious_irqs: need_u64(v, "spurious_irqs")?,
+        irq_unmasks_blocked: need_u64(v, "irq_unmasks_blocked")?,
+        wakes_delayed: need_u64(v, "wakes_delayed")?,
+        signals_suppressed: need_u64(v, "signals_suppressed")?,
+        signals_replayed: need_u64(v, "signals_replayed")?,
+        polls_clamped: need_u64(v, "polls_clamped")?,
+        dvfs_delays: need_u64(v, "dvfs_delays")?,
+        pstate_clamps: need_u64(v, "pstate_clamps")?,
+        exec_stalls: need_u64(v, "exec_stalls")?,
+        load_switches: need_u64(v, "load_switches")?,
+        incast_requests: need_u64(v, "incast_requests")?,
+        flow_churns: need_u64(v, "flow_churns")?,
+    })
+}
+
+/// Decodes a checkpointed [`RunResult`] (always trace-free).
+pub fn decode_result(v: &Value) -> Result<RunResult, DecodeError> {
+    let deg = need(v, "degradation")?;
+    let rec = need(v, "fault_recovery")?;
+    Ok(RunResult {
+        governor: need_str(v, "governor")?,
+        sleep: need_str(v, "sleep")?,
+        sent: need_u64(v, "sent")?,
+        received: need_u64(v, "received")?,
+        p99: need_dur(v, "p99_ns")?,
+        p50: need_dur(v, "p50_ns")?,
+        frac_above_slo: need_f64(v, "frac_above_slo")?,
+        slo: need_dur(v, "slo_ns")?,
+        energy_j: need_f64(v, "energy_j")?,
+        duration: need_dur(v, "duration_ns")?,
+        avg_power_w: need_f64(v, "avg_power_w")?,
+        rx_dropped: need_u64(v, "rx_dropped")?,
+        dvfs_transitions: need_u64(v, "dvfs_transitions")?,
+        c6_entries: need_u64(v, "c6_entries")?,
+        metrics: dec_metrics(need(v, "metrics")?)?,
+        attrib: dec_attrib(need(v, "attrib")?)?,
+        watchdog: dec_watchdog(need(v, "watchdog")?)?,
+        faults: dec_faults(need(v, "faults")?)?,
+        degradation: governors::DegradationStats {
+            degradations: need_u64(deg, "degradations")?,
+            recoveries: need_u64(deg, "recoveries")?,
+            degraded_cores: need_u64(deg, "degraded_cores")?,
+        },
+        fault_recovery: RecoverySummary {
+            attributed: need_u64(rec, "attributed")?,
+            recovered: need_u64(rec, "recovered")?,
+            unrecovered: need_u64(rec, "unrecovered")?,
+            unattributed: need_u64(rec, "unattributed")?,
+            mean_recovery_ns: need_u64(rec, "mean_recovery_ns")?,
+            max_recovery_ns: need_u64(rec, "max_recovery_ns")?,
+        },
+        traces: None,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The checkpoint file
+// ---------------------------------------------------------------------
+
+/// An append-only sweep checkpoint.
+///
+/// Open with [`Checkpoint::open`]; every line is flushed as it is
+/// appended, so the finished prefix survives a crash or SIGKILL at
+/// any point.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    file: File,
+    cells: HashMap<u64, RunResult>,
+    quarantined: HashMap<u64, QuarantineRecord>,
+    skipped_lines: usize,
+}
+
+impl Checkpoint {
+    /// Opens (or creates) the checkpoint at `path`, loading every
+    /// decodable line already present. Corrupt or torn lines are
+    /// skipped and counted in [`skipped_lines`](Self::skipped_lines).
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Checkpoint> {
+        let path = path.as_ref().to_path_buf();
+        let mut cells = HashMap::new();
+        let mut quarantined = HashMap::new();
+        let mut skipped = 0usize;
+        let mut has_header = false;
+        if let Ok(existing) = File::open(&path) {
+            for line in BufReader::new(existing).lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match Self::load_line(&line) {
+                    Ok(Line::Header) => has_header = true,
+                    Ok(Line::Cell(key, result)) => {
+                        cells.insert(key, *result);
+                    }
+                    Ok(Line::Quarantine(record)) => {
+                        quarantined.insert(record.key, record);
+                    }
+                    Err(_) => skipped += 1,
+                }
+            }
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        // A kill mid-append can leave a torn final line with no
+        // newline. Appending straight after it would splice the next
+        // record onto the torn bytes and corrupt it too — start on a
+        // fresh line so only the torn line is lost.
+        if !ends_with_newline(&path)? {
+            writeln!(file)?;
+        }
+        if !has_header {
+            let header = Value::obj(vec![
+                ("kind", Value::Str("header".into())),
+                ("version", Value::UInt(CHECKPOINT_VERSION)),
+            ]);
+            writeln!(file, "{}", header.to_json())?;
+            file.flush()?;
+        }
+        Ok(Checkpoint {
+            path,
+            file,
+            cells,
+            quarantined,
+            skipped_lines: skipped,
+        })
+    }
+
+    fn load_line(line: &str) -> Result<Line, DecodeError> {
+        let v = json::parse(line).map_err(|_| DecodeError("parse"))?;
+        match need_str(&v, "kind")?.as_str() {
+            "header" => {
+                if need_u64(&v, "version")? == CHECKPOINT_VERSION {
+                    Ok(Line::Header)
+                } else {
+                    Err(DecodeError("version"))
+                }
+            }
+            "cell" => {
+                let key = parse_key(&need_str(&v, "key")?)?;
+                let result = decode_result(need(&v, "result")?)?;
+                Ok(Line::Cell(key, Box::new(result)))
+            }
+            "quarantine" => Ok(Line::Quarantine(QuarantineRecord {
+                key: parse_key(&need_str(&v, "key")?)?,
+                governor: need_str(&v, "governor")?,
+                error: need_str(&v, "error")?,
+                attempts: u32::try_from(need_u64(&v, "attempts")?)
+                    .map_err(|_| DecodeError("attempts"))?,
+            })),
+            _ => Err(DecodeError("kind")),
+        }
+    }
+
+    /// The checkpoint's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lines skipped while loading (torn tail, corruption).
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+
+    /// Completed cells loaded or appended so far.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no completed cells are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The stored result for `cfg`, if this exact config finished in
+    /// an earlier invocation. Trace-collecting cells never hit.
+    pub fn lookup(&self, cfg: &RunConfig) -> Option<&RunResult> {
+        if cfg.collect_traces {
+            return None;
+        }
+        self.cells.get(&cell_key(cfg))
+    }
+
+    /// The quarantine record for `cfg`, if it was given up on.
+    pub fn lookup_quarantine(&self, cfg: &RunConfig) -> Option<&QuarantineRecord> {
+        self.quarantined.get(&cell_key(cfg))
+    }
+
+    /// All quarantine records, key-ascending.
+    pub fn quarantined(&self) -> Vec<&QuarantineRecord> {
+        let mut records: Vec<_> = self.quarantined.values().collect();
+        records.sort_by_key(|r| r.key);
+        records
+    }
+
+    /// Streams one completed cell to disk (append + flush). Cells
+    /// with traces are skipped silently — they re-run on resume.
+    pub fn record(&mut self, cfg: &RunConfig, result: &RunResult) -> std::io::Result<()> {
+        if cfg.collect_traces {
+            return Ok(());
+        }
+        let key = cell_key(cfg);
+        let line = Value::obj(vec![
+            ("kind", Value::Str("cell".into())),
+            ("key", Value::Str(format!("{key:016x}"))),
+            ("result", encode_result(result)),
+        ]);
+        writeln!(self.file, "{}", line.to_json())?;
+        self.file.flush()?;
+        self.cells.insert(key, result.clone());
+        Ok(())
+    }
+
+    /// Streams one quarantine decision to disk (append + flush).
+    pub fn record_quarantine(
+        &mut self,
+        cfg: &RunConfig,
+        error: &str,
+        attempts: u32,
+    ) -> std::io::Result<()> {
+        let record = QuarantineRecord {
+            key: cell_key(cfg),
+            governor: cfg.governor.label().to_string(),
+            error: error.to_string(),
+            attempts,
+        };
+        let line = Value::obj(vec![
+            ("kind", Value::Str("quarantine".into())),
+            ("key", Value::Str(format!("{:016x}", record.key))),
+            ("governor", Value::Str(record.governor.clone())),
+            ("error", Value::Str(record.error.clone())),
+            ("attempts", Value::UInt(u64::from(record.attempts))),
+        ]);
+        writeln!(self.file, "{}", line.to_json())?;
+        self.file.flush()?;
+        self.quarantined.insert(record.key, record);
+        Ok(())
+    }
+}
+
+enum Line {
+    Header,
+    Cell(u64, Box<RunResult>),
+    Quarantine(QuarantineRecord),
+}
+
+fn parse_key(hex: &str) -> Result<u64, DecodeError> {
+    u64::from_str_radix(hex, 16).map_err(|_| DecodeError("key"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{self, GovernorKind, RunConfig, Scale};
+    use simcore::SimDuration;
+    use workload::{AppKind, LoadSpec};
+
+    fn tiny(seed: u64) -> RunConfig {
+        RunConfig {
+            warmup: SimDuration::from_millis(50),
+            duration: SimDuration::from_millis(150),
+            ..RunConfig::new(
+                AppKind::Memcached,
+                LoadSpec::custom(20_000.0, SimDuration::from_millis(100), 0.4, 0.3),
+                GovernorKind::Ondemand,
+                Scale::Quick,
+            )
+        }
+        .with_seed(seed)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nmap-ckpt-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn run_result_round_trips_exactly() {
+        let result = runner::run(tiny(7));
+        let decoded = decode_result(&encode_result(&result)).expect("decodes");
+        assert_eq!(decoded, result, "codec must be lossless");
+    }
+
+    #[test]
+    fn checkpoint_persists_and_reloads_cells() {
+        let path = tmp("reload");
+        let _ = std::fs::remove_file(&path);
+        let cfg = tiny(11);
+        let result = runner::run(cfg.clone());
+        {
+            let mut ck = Checkpoint::open(&path).expect("open");
+            assert!(ck.lookup(&cfg).is_none());
+            ck.record(&cfg, &result).expect("record");
+        }
+        let ck = Checkpoint::open(&path).expect("reopen");
+        assert_eq!(ck.skipped_lines(), 0);
+        assert_eq!(ck.lookup(&cfg), Some(&result));
+        // A different seed is a different key.
+        assert!(ck.lookup(&tiny(12)).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_not_fatal() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let cfg = tiny(13);
+        let result = runner::run(cfg.clone());
+        {
+            let mut ck = Checkpoint::open(&path).expect("open");
+            ck.record(&cfg, &result).expect("record");
+        }
+        // Simulate a crash mid-append: a second cell line cut short.
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("{\"kind\":\"cell\",\"key\":\"00000000000000ff\",\"result\":{\"gov");
+        std::fs::write(&path, text).expect("write");
+        let ck = Checkpoint::open(&path).expect("reopen");
+        assert_eq!(ck.skipped_lines(), 1, "torn line skipped");
+        assert_eq!(ck.lookup(&cfg), Some(&result), "intact prefix kept");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn appending_after_a_torn_tail_does_not_corrupt_the_new_record() {
+        let path = tmp("torn-append");
+        let _ = std::fs::remove_file(&path);
+        let (first, second) = (tiny(13), tiny(14));
+        let first_result = runner::run(first.clone());
+        {
+            let mut ck = Checkpoint::open(&path).expect("open");
+            ck.record(&first, &first_result).expect("record");
+        }
+        // A kill mid-append leaves torn bytes with no trailing newline.
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("{\"kind\":\"cell\",\"key\":\"00");
+        std::fs::write(&path, text).expect("write");
+        // The resumed process appends another cell; it must land on a
+        // fresh line, not splice onto the torn bytes.
+        let second_result = runner::run(second.clone());
+        {
+            let mut ck = Checkpoint::open(&path).expect("reopen");
+            ck.record(&second, &second_result).expect("record");
+        }
+        let ck = Checkpoint::open(&path).expect("reopen again");
+        assert_eq!(ck.skipped_lines(), 1, "only the torn line is lost");
+        assert_eq!(ck.lookup(&first), Some(&first_result));
+        assert_eq!(ck.lookup(&second), Some(&second_result));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn quarantine_records_round_trip() {
+        let path = tmp("quar");
+        let _ = std::fs::remove_file(&path);
+        let cfg = tiny(17);
+        {
+            let mut ck = Checkpoint::open(&path).expect("open");
+            ck.record_quarantine(&cfg, "wall-clock budget exceeded", 3)
+                .expect("record");
+        }
+        let ck = Checkpoint::open(&path).expect("reopen");
+        let record = ck.lookup_quarantine(&cfg).expect("present");
+        assert_eq!(record.attempts, 3);
+        assert_eq!(record.governor, "ondemand");
+        assert!(record.error.contains("wall-clock"));
+        assert_eq!(ck.quarantined().len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_cells_are_never_checkpointed() {
+        let path = tmp("traces");
+        let _ = std::fs::remove_file(&path);
+        let cfg = tiny(19).with_traces();
+        let result = runner::run(cfg.clone());
+        let mut ck = Checkpoint::open(&path).expect("open");
+        ck.record(&cfg, &result).expect("record is a no-op");
+        assert!(ck.lookup(&cfg).is_none(), "trace cells always re-run");
+        assert!(ck.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cell_key_tracks_every_field() {
+        let a = cell_key(&tiny(1));
+        assert_eq!(a, cell_key(&tiny(1)), "deterministic");
+        assert_ne!(a, cell_key(&tiny(2)), "seed changes the key");
+        assert_ne!(
+            a,
+            cell_key(&tiny(1).with_nic_queues(2)),
+            "queue override changes the key"
+        );
+    }
+}

@@ -10,7 +10,8 @@
 //!   (desktop-class ~30 µs vs server-class ~520 µs DVFS).
 
 use crate::report::{self, FigureReport};
-use crate::runner::{run_many, GovernorKind, RunConfig, RunResult, Scale};
+use crate::runner::{GovernorKind, RunConfig, RunResult, Scale};
+use crate::supervisor::Supervisor;
 use crate::thresholds;
 use cpusim::dvfs::RetransitionModel;
 use cpusim::{DvfsScope, ProcessorProfile};
@@ -31,7 +32,7 @@ fn result_row(label: String, r: &RunResult, baseline_energy: f64) -> Vec<String>
 const HEADERS: [&str; 5] = ["variant", "p99", "over_slo", "energy_norm", "transitions"];
 
 /// NI_TH sensitivity at memcached high load.
-pub fn ni_threshold(scale: Scale) -> FigureReport {
+pub fn ni_threshold(scale: Scale, sup: &Supervisor) -> FigureReport {
     let base = thresholds::nmap_config(AppKind::Memcached);
     let load = LoadSpec::preset(AppKind::Memcached, LoadLevel::High);
     let factors = [0.25, 0.5, 1.0, 4.0, 16.0, 64.0];
@@ -49,8 +50,8 @@ pub fn ni_threshold(scale: Scale) -> FigureReport {
             scale,
         )))
         .collect();
-    let results = run_many(configs);
-    let baseline = results.last().unwrap().energy_j;
+    let results = sup.run_many(configs);
+    let baseline = results.last().map_or(0.0, |r| r.energy_j);
     let rows = factors
         .iter()
         .zip(&results)
@@ -73,7 +74,7 @@ pub fn ni_threshold(scale: Scale) -> FigureReport {
 }
 
 /// Monitor timer interval sweep at memcached medium load.
-pub fn timer_interval(scale: Scale) -> FigureReport {
+pub fn timer_interval(scale: Scale, sup: &Supervisor) -> FigureReport {
     let base = thresholds::nmap_config(AppKind::Memcached);
     let load = LoadSpec::preset(AppKind::Memcached, LoadLevel::Medium);
     let intervals_ms = [1u64, 5, 10, 50, 100];
@@ -90,8 +91,8 @@ pub fn timer_interval(scale: Scale) -> FigureReport {
             scale,
         )))
         .collect();
-    let results = run_many(configs);
-    let baseline = results.last().unwrap().energy_j;
+    let results = sup.run_many(configs);
+    let baseline = results.last().map_or(0.0, |r| r.energy_j);
     let rows = intervals_ms
         .iter()
         .zip(&results)
@@ -111,7 +112,7 @@ pub fn timer_interval(scale: Scale) -> FigureReport {
 }
 
 /// Per-core vs chip-wide DVFS, across memcached loads.
-pub fn dvfs_scope(scale: Scale) -> FigureReport {
+pub fn dvfs_scope(scale: Scale, sup: &Supervisor) -> FigureReport {
     let base = thresholds::nmap_config(AppKind::Memcached);
     let mut configs = Vec::new();
     for level in LoadLevel::all() {
@@ -129,7 +130,7 @@ pub fn dvfs_scope(scale: Scale) -> FigureReport {
             scale,
         ));
     }
-    let results = run_many(configs);
+    let results = sup.run_many(configs);
     let mut rows = Vec::new();
     for (li, level) in LoadLevel::all().iter().enumerate() {
         let baseline = results[li * 3 + 2].energy_j;
@@ -160,7 +161,7 @@ pub fn dvfs_scope(scale: Scale) -> FigureReport {
 /// Re-transition latency sensitivity: the Gold 6134 with its stock
 /// ~520 µs re-transition vs a hypothetical desktop-class (~30 µs)
 /// and a zero-cost DVFS.
-pub fn retransition(scale: Scale) -> FigureReport {
+pub fn retransition(scale: Scale, sup: &Supervisor) -> FigureReport {
     let base_cfg = thresholds::nmap_config(AppKind::Memcached);
     let load = LoadSpec::preset(AppKind::Memcached, LoadLevel::High);
     let stock = ProcessorProfile::xeon_gold_6134();
@@ -199,8 +200,8 @@ pub fn retransition(scale: Scale) -> FigureReport {
         GovernorKind::Performance,
         scale,
     ));
-    let results = run_many(configs);
-    let baseline = results.last().unwrap().energy_j;
+    let results = sup.run_many(configs);
+    let baseline = results.last().map_or(0.0, |r| r.energy_j);
     let rows = variants
         .iter()
         .zip(&results)
@@ -220,12 +221,12 @@ pub fn retransition(scale: Scale) -> FigureReport {
 }
 
 /// All ablations.
-pub fn all(scale: Scale) -> Vec<FigureReport> {
+pub fn all(scale: Scale, sup: &Supervisor) -> Vec<FigureReport> {
     vec![
-        ni_threshold(scale),
-        timer_interval(scale),
-        dvfs_scope(scale),
-        retransition(scale),
+        ni_threshold(scale, sup),
+        timer_interval(scale, sup),
+        dvfs_scope(scale, sup),
+        retransition(scale, sup),
     ]
 }
 
@@ -235,7 +236,7 @@ mod tests {
 
     #[test]
     fn scope_ablation_shows_per_core_saves_energy() {
-        let rep = dvfs_scope(Scale::Quick);
+        let rep = dvfs_scope(Scale::Quick, &Supervisor::new());
         let grab = |label: &str| -> f64 {
             rep.body
                 .lines()
@@ -258,7 +259,7 @@ mod tests {
 
     #[test]
     fn timer_ablation_runs_all_intervals() {
-        let rep = timer_interval(Scale::Quick);
+        let rep = timer_interval(Scale::Quick, &Supervisor::new());
         for ms in [1, 5, 10, 50, 100] {
             assert!(rep.body.contains(&format!("timer={ms}ms")));
         }

@@ -15,7 +15,8 @@
 //! operational view of §3's "where does ondemand lose the latency".
 
 use crate::report::{self, FigureReport};
-use crate::runner::{run_many, GovernorKind, RunConfig, RunResult, Scale};
+use crate::runner::{GovernorKind, RunConfig, RunResult, Scale};
+use crate::supervisor::Supervisor;
 use crate::thresholds;
 use simcore::Stage;
 use workload::{AppKind, LoadLevel, LoadSpec};
@@ -33,7 +34,7 @@ fn governors(app: AppKind) -> [GovernorKind; 4] {
 
 /// The sweep: governor-major so rows group naturally, memcached only
 /// (nginx shows the same shape with a longer service stage).
-fn sweep(scale: Scale) -> Vec<RunResult> {
+fn sweep(scale: Scale, sup: &Supervisor) -> Vec<RunResult> {
     let app = AppKind::Memcached;
     let mut configs = Vec::new();
     for gov in governors(app) {
@@ -46,7 +47,7 @@ fn sweep(scale: Scale) -> Vec<RunResult> {
             ));
         }
     }
-    run_many(configs)
+    sup.run_many(configs)
 }
 
 fn index(gov: usize, level: usize) -> usize {
@@ -150,8 +151,8 @@ pub fn render(results: &[RunResult]) -> FigureReport {
 }
 
 /// Builds the artifact: 4 governors × 3 loads on memcached.
-pub fn breakdown(scale: Scale) -> FigureReport {
-    render(&sweep(scale))
+pub fn breakdown(scale: Scale, sup: &Supervisor) -> FigureReport {
+    render(&sweep(scale, sup))
 }
 
 #[cfg(test)]
@@ -160,7 +161,7 @@ mod tests {
 
     #[test]
     fn breakdown_has_all_cells() {
-        let fig = breakdown(Scale::Quick);
+        let fig = breakdown(Scale::Quick, &Supervisor::new());
         let data_rows = fig
             .body
             .lines()
@@ -174,7 +175,7 @@ mod tests {
     #[cfg(feature = "obs")]
     #[test]
     fn shares_sum_to_one_when_attributed() {
-        let results = sweep(Scale::Quick);
+        let results = sweep(Scale::Quick, &Supervisor::new());
         for r in &results {
             assert!(r.attrib.requests > 0, "no attributed requests");
             assert_eq!(r.attrib.mismatches, 0, "per-request stage-sum mismatch");

@@ -23,7 +23,8 @@
 //! which stay wedged.
 
 use crate::report::{self, FigureReport};
-use crate::runner::{run_many, GovernorKind, RunConfig, RunResult, Scale};
+use crate::runner::{GovernorKind, RunConfig, RunResult, Scale};
+use crate::supervisor::Supervisor;
 use nmap::NmapConfig;
 use simcore::{FaultKind, FaultPlan, FaultScope, SimDuration, SimTime};
 use workload::{AppKind, LoadSpec};
@@ -133,7 +134,7 @@ fn chaos_load() -> LoadSpec {
 }
 
 /// The sweep: plan-major, 3 schedules × 13 governors.
-pub fn sweep(scale: Scale) -> Vec<RunResult> {
+pub fn sweep(scale: Scale, sup: &Supervisor) -> Vec<RunResult> {
     let app = AppKind::Memcached;
     let mut configs = Vec::new();
     for (_, plan) in plans() {
@@ -145,7 +146,7 @@ pub fn sweep(scale: Scale) -> Vec<RunResult> {
             );
         }
     }
-    run_many(configs)
+    sup.run_many(configs)
 }
 
 fn fmt_recovery_ns(ns: u64) -> String {
@@ -224,8 +225,8 @@ pub fn render(results: &[RunResult]) -> FigureReport {
 }
 
 /// Builds the artifact: 3 composed fault schedules × 13 governors.
-pub fn chaos(scale: Scale) -> FigureReport {
-    render(&sweep(scale))
+pub fn chaos(scale: Scale, sup: &Supervisor) -> FigureReport {
+    render(&sweep(scale, sup))
 }
 
 #[cfg(test)]

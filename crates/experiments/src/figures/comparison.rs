@@ -5,7 +5,8 @@
 //! performance+menu per (app, load) cell, as in the paper.
 
 use crate::report::{self, FigureReport};
-use crate::runner::{run_many, GovernorKind, RunConfig, RunResult, Scale, SleepKind};
+use crate::runner::{GovernorKind, RunConfig, RunResult, Scale, SleepKind};
+use crate::supervisor::Supervisor;
 use crate::thresholds;
 use workload::{AppKind, LoadLevel, LoadSpec};
 
@@ -29,7 +30,7 @@ fn governors(app: AppKind) -> [GovernorKind; 5] {
 
 /// The full sweep, in a deterministic order:
 /// app → load → sleep → governor.
-fn sweep(scale: Scale) -> Vec<RunResult> {
+fn sweep(scale: Scale, sup: &Supervisor) -> Vec<RunResult> {
     let mut configs = Vec::new();
     for app in [AppKind::Memcached, AppKind::Nginx] {
         let govs = governors(app);
@@ -42,7 +43,7 @@ fn sweep(scale: Scale) -> Vec<RunResult> {
             }
         }
     }
-    run_many(configs)
+    sup.run_many(configs)
 }
 
 fn index(app: usize, level: usize, sleep: usize, gov: usize) -> usize {
@@ -50,8 +51,8 @@ fn index(app: usize, level: usize, sleep: usize, gov: usize) -> usize {
 }
 
 /// Builds both figures from one sweep.
-pub fn fig12_13(scale: Scale) -> (FigureReport, FigureReport) {
-    let results = sweep(scale);
+pub fn fig12_13(scale: Scale, sup: &Supervisor) -> (FigureReport, FigureReport) {
+    let results = sweep(scale, sup);
     let apps = [AppKind::Memcached, AppKind::Nginx];
     let mut p99_body = String::new();
     let mut energy_body = String::new();
@@ -119,7 +120,7 @@ mod tests {
 
     #[test]
     fn matrix_has_all_cells_and_key_shapes() {
-        let (p99, energy) = fig12_13(Scale::Quick);
+        let (p99, energy) = fig12_13(Scale::Quick, &Supervisor::new());
         // 2 apps × 9 rows each + headers.
         let data_rows = p99
             .body
@@ -144,7 +145,7 @@ mod tests {
 
     #[test]
     fn ondemand_violates_at_high_memcached() {
-        let (p99, _) = fig12_13(Scale::Quick);
+        let (p99, _) = fig12_13(Scale::Quick, &Supervisor::new());
         let mem_section: String = p99.body.split("[nginx").next().unwrap().to_string();
         let line = mem_section
             .lines()

@@ -10,12 +10,13 @@
 //!   still utilization-driven, so still blind to burst fronts.
 
 use crate::report::{self, FigureReport};
-use crate::runner::{run_many, GovernorKind, RunConfig, Scale};
+use crate::runner::{GovernorKind, RunConfig, Scale};
+use crate::supervisor::Supervisor;
 use crate::thresholds;
 use workload::{AppKind, LoadLevel, LoadSpec};
 
 /// NMAP-online vs offline-profiled NMAP.
-pub fn online_adaptation(scale: Scale) -> FigureReport {
+pub fn online_adaptation(scale: Scale, sup: &Supervisor) -> FigureReport {
     let mut configs = Vec::new();
     for app in [AppKind::Memcached, AppKind::Nginx] {
         let offline = GovernorKind::Nmap(thresholds::nmap_config(app));
@@ -26,7 +27,7 @@ pub fn online_adaptation(scale: Scale) -> FigureReport {
             configs.push(RunConfig::new(app, load, GovernorKind::Performance, scale));
         }
     }
-    let results = run_many(configs);
+    let results = sup.run_many(configs);
     let mut rows = Vec::new();
     for (ai, app) in [AppKind::Memcached, AppKind::Nginx].iter().enumerate() {
         for (li, level) in LoadLevel::all().iter().enumerate() {
@@ -73,7 +74,7 @@ pub fn online_adaptation(scale: Scale) -> FigureReport {
 }
 
 /// schedutil vs ondemand vs NMAP.
-pub fn schedutil(scale: Scale) -> FigureReport {
+pub fn schedutil(scale: Scale, sup: &Supervisor) -> FigureReport {
     let mut configs = Vec::new();
     for app in [AppKind::Memcached, AppKind::Nginx] {
         let nmap = GovernorKind::Nmap(thresholds::nmap_config(app));
@@ -84,7 +85,7 @@ pub fn schedutil(scale: Scale) -> FigureReport {
             }
         }
     }
-    let results = run_many(configs);
+    let results = sup.run_many(configs);
     let mut rows = Vec::new();
     for (ai, app) in [AppKind::Memcached, AppKind::Nginx].iter().enumerate() {
         for (li, level) in LoadLevel::all().iter().enumerate() {
@@ -123,8 +124,8 @@ pub fn schedutil(scale: Scale) -> FigureReport {
 }
 
 /// Both extension studies.
-pub fn all(scale: Scale) -> Vec<FigureReport> {
-    vec![online_adaptation(scale), schedutil(scale)]
+pub fn all(scale: Scale, sup: &Supervisor) -> Vec<FigureReport> {
+    vec![online_adaptation(scale, sup), schedutil(scale, sup)]
 }
 
 #[cfg(test)]
@@ -133,7 +134,7 @@ mod tests {
 
     #[test]
     fn online_nmap_meets_slo_like_offline() {
-        let rep = online_adaptation(Scale::Quick);
+        let rep = online_adaptation(Scale::Quick, &Supervisor::new());
         let violations = rep
             .body
             .lines()
@@ -148,7 +149,7 @@ mod tests {
 
     #[test]
     fn schedutil_report_covers_all_cells() {
-        let rep = schedutil(Scale::Quick);
+        let rep = schedutil(Scale::Quick, &Supervisor::new());
         let rows = rep
             .body
             .lines()

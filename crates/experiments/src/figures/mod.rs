@@ -38,6 +38,7 @@ pub mod varying;
 
 use crate::report::FigureReport;
 use crate::runner::{GovernorKind, RunConfig, Scale};
+use crate::supervisor::Supervisor;
 use crate::thresholds;
 use workload::{AppKind, LoadLevel, LoadSpec};
 
@@ -69,7 +70,20 @@ pub fn all_ids() -> Vec<&'static str> {
 /// Generates the artifacts for `id` (some ids share their underlying
 /// sweep and are produced together; the requested one is returned
 /// along with any siblings computed for free).
+///
+/// Runs under an ephemeral [`Supervisor`] (no checkpoint, default
+/// retry/quarantine policy); use [`generate_with`] to supply one that
+/// checkpoints or budgets the sweep cells.
 pub fn generate(id: &str, scale: Scale) -> Vec<FigureReport> {
+    generate_with(id, scale, &Supervisor::new())
+}
+
+/// [`generate`], with every multi-cell sweep driven through `sup` —
+/// cells are retried/quarantined per its policy and, when it carries a
+/// checkpoint, skipped on resume. Trace-collecting single-cell figures
+/// (fig2-4, fig7, fig9-11, fig16) run directly: their results embed
+/// full event traces, which are never checkpointed.
+pub fn generate_with(id: &str, scale: Scale, sup: &Supervisor) -> Vec<FigureReport> {
     match id {
         "fig2" => vec![motivation::fig2(scale)],
         "fig3" => vec![motivation::fig3(scale)],
@@ -77,23 +91,23 @@ pub fn generate(id: &str, scale: Scale) -> Vec<FigureReport> {
         "table1" => vec![tables::table1()],
         "table2" => vec![tables::table2()],
         "fig7" => vec![sleep::fig7(scale)],
-        "fig8" => vec![sleep::fig8(scale)],
+        "fig8" => vec![sleep::fig8(scale, sup)],
         "fig9" => vec![nmap_behavior::fig9(scale)],
         "fig10" => vec![nmap_behavior::fig10(scale)],
         "fig11" => vec![nmap_behavior::fig11(scale)],
         "fig12" | "fig13" => {
-            let (a, b) = comparison::fig12_13(scale);
+            let (a, b) = comparison::fig12_13(scale, sup);
             vec![a, b]
         }
         "fig14" | "fig15" => {
-            let (a, b) = sota::fig14_15(scale);
+            let (a, b) = sota::fig14_15(scale, sup);
             vec![a, b]
         }
         "fig16" => vec![varying::fig16(scale)],
-        "ablation" => ablations::all(scale),
-        "extra" | "extra-online" | "extra-schedutil" => extensions::all(scale),
-        "breakdown" => vec![breakdown::breakdown(scale)],
-        "chaos" => vec![chaos::chaos(scale)],
+        "ablation" => ablations::all(scale, sup),
+        "extra" | "extra-online" | "extra-schedutil" => extensions::all(scale, sup),
+        "breakdown" => vec![breakdown::breakdown(scale, sup)],
+        "chaos" => vec![chaos::chaos(scale, sup)],
         _ => Vec::new(),
     }
 }

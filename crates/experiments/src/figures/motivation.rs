@@ -90,7 +90,10 @@ pub fn fig2(scale: Scale) -> FigureReport {
             "\n[{app} @ high load, ondemand governor — core 0, first 120 ms of measurement]\n"
         ));
         body.push_str(&render_timeline(&r, 120));
-        let t = r.traces.as_ref().unwrap();
+        let t = r
+            .traces
+            .as_ref()
+            .expect("trace-collecting runs always carry traces");
         let max_intr_per_ms = {
             let bins = 120usize;
             let mut v = vec![0u64; bins];

@@ -2,7 +2,8 @@
 //! and Fig 8 (latency-load curve + energy across sleep policies).
 
 use crate::report::{self, FigureReport};
-use crate::runner::{run, run_many, GovernorKind, RunConfig, Scale, SleepKind};
+use crate::runner::{run, GovernorKind, RunConfig, Scale, SleepKind};
+use crate::supervisor::Supervisor;
 use simcore::{SimDuration, SimTime};
 use workload::{AppKind, LoadLevel, LoadSpec};
 
@@ -17,7 +18,10 @@ pub fn fig7(scale: Scale) -> FigureReport {
             RunConfig::new(AppKind::Memcached, load, GovernorKind::Performance, scale)
                 .with_traces(),
         );
-        let t = r.traces.as_ref().unwrap();
+        let t = r
+            .traces
+            .as_ref()
+            .expect("trace-collecting runs always carry traces");
         let start = t.measure_start;
         let window = SimDuration::from_millis(120);
         let bin = SimDuration::from_millis(2);
@@ -76,7 +80,7 @@ pub fn fig7(scale: Scale) -> FigureReport {
 /// Fig 8: P99 latency-load curve and total energy for the three sleep
 /// policies under the performance governor (memcached; energy
 /// normalized to menu).
-pub fn fig8(scale: Scale) -> FigureReport {
+pub fn fig8(scale: Scale, sup: &Supervisor) -> FigureReport {
     let loads = [
         30_000.0, 150_000.0, 290_000.0, 450_000.0, 600_000.0, 750_000.0,
     ];
@@ -96,7 +100,7 @@ pub fn fig8(scale: Scale) -> FigureReport {
             );
         }
     }
-    let results = run_many(configs);
+    let results = sup.run_many(configs);
     let mut rows = Vec::new();
     let mut energy_totals = [0.0f64; 3];
     for (i, &rps) in loads.iter().enumerate() {
@@ -144,7 +148,7 @@ mod tests {
 
     #[test]
     fn fig8_orders_sleep_policy_energy() {
-        let rep = fig8(Scale::Quick);
+        let rep = fig8(Scale::Quick, &Supervisor::new());
         // Extract the normalized energies.
         let grab = |name: &str| -> f64 {
             rep.body

@@ -4,7 +4,8 @@
 //! sleep policy (NCAP's own variant gates it during bursts).
 
 use crate::report::{self, FigureReport};
-use crate::runner::{run_many, GovernorKind, RunConfig, RunResult, Scale};
+use crate::runner::{GovernorKind, RunConfig, RunResult, Scale};
+use crate::supervisor::Supervisor;
 use crate::thresholds;
 use workload::{AppKind, LoadLevel, LoadSpec};
 
@@ -20,7 +21,7 @@ fn governors(app: AppKind) -> [GovernorKind; 4] {
     ]
 }
 
-fn sweep(scale: Scale) -> Vec<RunResult> {
+fn sweep(scale: Scale, sup: &Supervisor) -> Vec<RunResult> {
     let mut configs = Vec::new();
     for app in [AppKind::Memcached, AppKind::Nginx] {
         let govs = governors(app);
@@ -33,7 +34,7 @@ fn sweep(scale: Scale) -> Vec<RunResult> {
             }
         }
     }
-    run_many(configs)
+    sup.run_many(configs)
 }
 
 fn index(app: usize, level: usize, slot: usize) -> usize {
@@ -41,8 +42,8 @@ fn index(app: usize, level: usize, slot: usize) -> usize {
 }
 
 /// Builds both figures from one sweep.
-pub fn fig14_15(scale: Scale) -> (FigureReport, FigureReport) {
-    let results = sweep(scale);
+pub fn fig14_15(scale: Scale, sup: &Supervisor) -> (FigureReport, FigureReport) {
+    let results = sweep(scale, sup);
     let mut p99_body = String::new();
     let mut energy_body = String::new();
     for (ai, app) in [AppKind::Memcached, AppKind::Nginx].iter().enumerate() {
@@ -102,7 +103,7 @@ mod tests {
 
     #[test]
     fn nmap_beats_ncap_energy() {
-        let (_p99, energy) = fig14_15(Scale::Quick);
+        let (_p99, energy) = fig14_15(Scale::Quick, &Supervisor::new());
         // For every load row, NMAP's normalized energy ≤ NCAP's.
         let mut checked = 0;
         for line in energy.body.lines() {
@@ -127,7 +128,7 @@ mod tests {
 
     #[test]
     fn ncap_meets_slo_everywhere() {
-        let (p99, _) = fig14_15(Scale::Quick);
+        let (p99, _) = fig14_15(Scale::Quick, &Supervisor::new());
         for line in p99.body.lines() {
             let cells: Vec<&str> = line.split_whitespace().collect();
             if cells.len() == 5 && (cells[0] == "low" || cells[0] == "medium" || cells[0] == "high")

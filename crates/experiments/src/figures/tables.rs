@@ -31,7 +31,9 @@ fn measure_retransition(
             token,
         } = dvfs.request(target, now, profile, rng)
         else {
-            panic!("quiescent domain must start immediately");
+            // A quiescent domain accepts a request instantly; the
+            // micro-benchmark never leaves one in flight.
+            unreachable!("quiescent domain must start immediately");
         };
         let latency = completes_at - now;
         if i > 0 {
@@ -43,7 +45,7 @@ fn measure_retransition(
         }
         match dvfs.complete(token, completes_at, profile, rng) {
             CompletionResult::Settled { .. } => {}
-            other => panic!("unexpected completion {other:?}"),
+            other => unreachable!("unexpected completion {other:?}"),
         }
         now = completes_at; // immediately re-request: re-transition
     }

@@ -61,7 +61,10 @@ pub fn fig16(scale: Scale) -> FigureReport {
     let mut body = String::new();
     let mut rows = Vec::new();
     for r in [&nmap, &parties] {
-        let t = r.traces.as_ref().unwrap();
+        let t = r
+            .traces
+            .as_ref()
+            .expect("trace-collecting runs always carry traces");
         // P-state residency summary for core 0 (time-weighted).
         let series: simcore::TimeSeries = t
             .pstates_core0
@@ -90,7 +93,10 @@ pub fn fig16(scale: Scale) -> FigureReport {
 
     // A 150 ms excerpt of the P-state trace for each governor.
     for r in [&nmap, &parties] {
-        let t = r.traces.as_ref().unwrap();
+        let t = r
+            .traces
+            .as_ref()
+            .expect("trace-collecting runs always carry traces");
         body.push_str(&format!(
             "\nP-state changes, {} (first 150 ms):\n",
             r.governor

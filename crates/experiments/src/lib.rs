@@ -16,15 +16,24 @@
 //! should be read for *shape* (who wins, where SLOs break) — see
 //! EXPERIMENTS.md for the paper-vs-measured comparison.
 
+// Library code must stay panic-free on arbitrary inputs: failures are
+// typed `SimError`s, never `unwrap()`/`panic!`. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+pub mod ckpt;
 pub mod export;
 pub mod figures;
+pub mod json;
 pub mod report;
 pub mod runner;
+pub mod supervisor;
 pub mod thresholds;
 
+pub use ckpt::{cell_key, Checkpoint, QuarantineRecord};
 pub use export::{perfetto_json, write_perfetto_json};
 pub use report::FigureReport;
 pub use runner::{
-    run, run_many, run_profiled, GovernorKind, ProfileKind, RunConfig, RunProfile, RunResult,
-    RunTraces, Scale, SleepKind,
+    run, run_many, run_profiled, try_run, try_run_budgeted, GovernorKind, ProfileKind, RunConfig,
+    RunProfile, RunResult, RunTraces, Scale, SleepKind,
 };
+pub use supervisor::{CellOutcome, Supervisor, SupervisorPolicy};

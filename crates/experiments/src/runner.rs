@@ -15,11 +15,17 @@ use nmap::{NmapConfig, NmapGovernor, NmapSimpl};
 use simcore::fault::join_recovery;
 use simcore::{
     AttribSummary, EngineProfile, EventLog, FaultPlan, FaultScope, FaultStats, MetricsSnapshot,
-    RecoverySummary, SimDuration, SimTime, Simulator, WatchdogReport,
+    RecoverySummary, SimDuration, SimError, SimTime, Simulator, StepBudget, WatchdogReport,
 };
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use workload::{AppKind, LoadSpec};
+
+/// Locks a mutex, shrugging off poisoning: a panicking worker must
+/// not cascade into every other thread that shares the sweep state.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Which processor model a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +82,29 @@ pub enum GovernorKind {
     NcapMenu(f64),
     /// Parties (500 ms latency feedback).
     Parties,
+}
+
+impl GovernorKind {
+    /// Stable display label, usable before a governor object exists —
+    /// e.g. for quarantine placeholders in sweep artifacts. Matches
+    /// the governor's `name()` except for parameterized variants.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GovernorKind::Performance => "performance",
+            GovernorKind::Powersave => "powersave",
+            GovernorKind::Userspace(_) => "userspace",
+            GovernorKind::Ondemand => "ondemand",
+            GovernorKind::Conservative => "conservative",
+            GovernorKind::Schedutil => "schedutil",
+            GovernorKind::IntelPowersave => "intel_powersave",
+            GovernorKind::NmapSimpl => "NMAP-simpl",
+            GovernorKind::Nmap(_) => "NMAP",
+            GovernorKind::NmapOnline => "NMAP-online",
+            GovernorKind::Ncap(_) => "NCAP",
+            GovernorKind::NcapMenu(_) => "NCAP-menu",
+            GovernorKind::Parties => "Parties",
+        }
+    }
 }
 
 /// Which sleep policy a run uses.
@@ -162,6 +191,10 @@ pub struct RunConfig {
     /// run seed when unset) travels with the config, so
     /// [`run_many`] reproduces serial runs exactly.
     pub fault_plan: FaultPlan,
+    /// NIC queue-pair count override (RSS ablations). `None` — the
+    /// default — gives one queue per core; more queues than cores is
+    /// a [`validate`](RunConfig::validate) error.
+    pub nic_queues: Option<usize>,
 }
 
 impl RunConfig {
@@ -180,6 +213,7 @@ impl RunConfig {
             duration: scale.duration(),
             collect_traces: false,
             fault_plan: FaultPlan::new(),
+            nic_queues: None,
         }
     }
 
@@ -217,6 +251,70 @@ impl RunConfig {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
         self
+    }
+
+    /// Overrides the NIC queue count (RSS ablations).
+    pub fn with_nic_queues(mut self, queues: usize) -> Self {
+        self.nic_queues = Some(queues);
+        self
+    }
+
+    /// Validates the whole run specification before any simulation
+    /// component can panic on it. Every degenerate input — zero
+    /// cores, zero load, inverted thresholds, malformed fault plans,
+    /// overflow-prone windows, more RSS queues than cores — becomes a
+    /// typed [`SimError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.duration.is_zero() {
+            return Err(SimError::invalid(
+                "duration",
+                "a zero-length measured window produces no statistics".to_string(),
+            ));
+        }
+        if self.warmup.checked_add(self.duration).is_none() {
+            return Err(SimError::invalid(
+                "warmup+duration",
+                format!(
+                    "warm-up ({:?}) plus measured window ({:?}) overflows the \
+                     nanosecond clock",
+                    self.warmup, self.duration
+                ),
+            ));
+        }
+        match self.governor {
+            GovernorKind::Nmap(config) => config.validate()?,
+            GovernorKind::Ncap(t) | GovernorKind::NcapMenu(t) if !t.is_finite() || t <= 0.0 => {
+                return Err(SimError::invalid(
+                    "governor.ncap_threshold",
+                    format!("boost threshold must be finite and positive (got {t})"),
+                ));
+            }
+            _ => {}
+        }
+        // Assemble the testbed config exactly as `run` would and let
+        // the testbed validate topology, load, queues, and fault plan.
+        self.testbed_config().validate()
+    }
+
+    /// The [`TestbedConfig`] this run would instantiate.
+    fn testbed_config(&self) -> TestbedConfig {
+        let app = AppModel::for_kind(self.app);
+        let profile = self
+            .profile_override
+            .clone()
+            .unwrap_or_else(|| self.profile.profile());
+        let mut tb_cfg = TestbedConfig::new(app, self.load)
+            .with_seed(self.seed)
+            .with_profile(profile)
+            .with_scope(self.scope)
+            .with_fault_plan(self.fault_plan.clone());
+        if let Some(q) = self.nic_queues {
+            tb_cfg = tb_cfg.with_nic_queues(q);
+        }
+        if self.collect_traces {
+            tb_cfg = tb_cfg.with_trace_capacity(DEFAULT_TRACE_CAPACITY);
+        }
+        tb_cfg
     }
 }
 
@@ -390,16 +488,35 @@ pub struct RunProfile {
 }
 
 /// Executes one run to completion and extracts its metrics.
+///
+/// # Panics
+///
+/// Panics on an invalid config; use [`try_run`] for the typed error.
 pub fn run(cfg: RunConfig) -> RunResult {
-    let (result, _tb, _profile) = run_inner(cfg, |_, _| {});
-    result
+    try_run(cfg).expect("invalid RunConfig")
+}
+
+/// Fallible [`run`]: an invalid config comes back as
+/// [`SimError::InvalidConfig`] instead of a panic.
+pub fn try_run(cfg: RunConfig) -> Result<RunResult, SimError> {
+    try_run_budgeted(cfg, &StepBudget::unlimited())
+}
+
+/// Like [`try_run`], but aborts the cell with
+/// [`SimError::BudgetExceeded`] once `budget` is exhausted — the
+/// sweep supervisor's runaway-cell guard. The budget spans warm-up
+/// plus the measured window.
+pub fn try_run_budgeted(cfg: RunConfig, budget: &StepBudget) -> Result<RunResult, SimError> {
+    let (result, _tb, _profile) = run_inner(cfg, budget, |_, _| {})?;
+    Ok(result)
 }
 
 /// Like [`run`], but also reports how the engine and the host spent
 /// the run (see [`RunProfile`]).
 pub fn run_profiled(cfg: RunConfig) -> (RunResult, RunProfile) {
     let started = std::time::Instant::now();
-    let (result, _tb, engine) = run_inner(cfg, |_, _| {});
+    let (result, _tb, engine) =
+        run_inner(cfg, &StepBudget::unlimited(), |_, _| {}).expect("invalid RunConfig");
     (
         result,
         RunProfile {
@@ -416,37 +533,33 @@ pub fn run_with_testbed(
     cfg: RunConfig,
     setup: impl FnOnce(&mut Testbed, &mut Simulator<Testbed>),
 ) -> (RunResult, Testbed) {
-    let (result, tb, _profile) = run_inner(cfg, setup);
+    let (result, tb, _profile) =
+        run_inner(cfg, &StepBudget::unlimited(), setup).expect("invalid RunConfig");
     (result, tb)
 }
 
 fn run_inner(
     cfg: RunConfig,
+    budget: &StepBudget,
     setup: impl FnOnce(&mut Testbed, &mut Simulator<Testbed>),
-) -> (RunResult, Testbed, EngineProfile) {
+) -> Result<(RunResult, Testbed, EngineProfile), SimError> {
+    cfg.validate()?;
     let app = AppModel::for_kind(cfg.app);
     let profile = cfg
         .profile_override
         .clone()
         .unwrap_or_else(|| cfg.profile.profile());
-    let mut tb_cfg = TestbedConfig::new(app, cfg.load)
-        .with_seed(cfg.seed)
-        .with_profile(profile.clone())
-        .with_scope(cfg.scope)
-        .with_fault_plan(cfg.fault_plan.clone());
-    if cfg.collect_traces {
-        tb_cfg = tb_cfg.with_trace_capacity(DEFAULT_TRACE_CAPACITY);
-    }
+    let tb_cfg = cfg.testbed_config();
     let (governor, sleep) = build_policies(&cfg, &profile, &app);
     let mut sim: Simulator<Testbed> = Simulator::new();
-    let mut tb = Testbed::new(tb_cfg, governor, sleep, &mut sim);
+    let mut tb = Testbed::try_new(tb_cfg, governor, sleep, &mut sim)?;
     setup(&mut tb, &mut sim);
 
     let warmup_end = SimTime::ZERO + cfg.warmup;
-    sim.run_until(&mut tb, warmup_end);
+    sim.run_until_budgeted(&mut tb, warmup_end, budget)?;
     tb.begin_measurement(warmup_end);
     let end = warmup_end + cfg.duration;
-    sim.run_until(&mut tb, end);
+    sim.run_until_budgeted(&mut tb, end, budget)?;
 
     let sent = tb.client.sent();
     let received = tb.client.received();
@@ -493,9 +606,22 @@ fn run_inner(
         }
     });
     // Self-audit: with the `audit` feature on, every run proves its
-    // conservation identities before reporting metrics.
+    // conservation identities before reporting metrics. A violation
+    // is a typed error, so a sweep supervisor can quarantine the cell
+    // instead of losing the whole sweep to a panic.
     if let Some(report) = tb.audit_report(end) {
-        report.assert_balanced();
+        if !report.is_balanced() {
+            let listing = report
+                .violations()
+                .iter()
+                .map(|c| format!("  {c}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            return Err(SimError::Accounting {
+                context: "conservation audit",
+                reason: listing,
+            });
+        }
     }
     // Join the fault schedule with the watchdog's violation episodes:
     // per-fault time-to-recover, the report's recovery-time metric.
@@ -524,7 +650,7 @@ fn run_inner(
         fault_recovery,
         traces,
     };
-    (result, tb, engine)
+    Ok((result, tb, engine))
 }
 
 fn log_map<T, U>(log: &EventLog<T>, f: impl Fn(&T) -> U) -> Vec<(SimTime, U)> {
@@ -543,21 +669,21 @@ pub fn run_many(configs: Vec<RunConfig>) -> Vec<RunResult> {
         .min(configs.len());
     let jobs: Mutex<VecDeque<(usize, RunConfig)>> =
         Mutex::new(configs.into_iter().enumerate().collect());
-    let n = jobs.lock().unwrap().len();
+    let n = lock(&jobs).len();
     let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; n]);
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                let job = jobs.lock().unwrap().pop_front();
+                let job = lock(&jobs).pop_front();
                 let Some((idx, cfg)) = job else { break };
                 let result = run(cfg);
-                results.lock().unwrap()[idx] = Some(result);
+                lock(&results)[idx] = Some(result);
             });
         }
     });
     results
         .into_inner()
-        .unwrap()
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("worker skipped a job"))
         .collect()
@@ -621,6 +747,85 @@ mod tests {
         let save = run(tiny(GovernorKind::Powersave));
         assert!(save.avg_power_w < perf.avg_power_w);
         assert!(save.p99 >= perf.p99);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let base = tiny(GovernorKind::Ondemand);
+        let mut zero_duration = base.clone();
+        zero_duration.duration = SimDuration::ZERO;
+        let mut overflow_window = base.clone();
+        overflow_window.warmup = SimDuration::MAX;
+        overflow_window.duration = SimDuration::MAX;
+        let mut zero_load = base.clone();
+        zero_load.load = LoadSpec::custom(0.0, SimDuration::from_millis(100), 0.4, 0.3);
+        let bad_ncap = tiny(GovernorKind::Ncap(f64::NAN));
+        let mut bad_nmap = base.clone();
+        bad_nmap.governor = GovernorKind::Nmap(NmapConfig {
+            ni_threshold: 0,
+            ..NmapConfig::new(64, 1.5)
+        });
+        for (name, cfg) in [
+            ("zero duration", zero_duration),
+            ("overflowing window", overflow_window),
+            ("zero load", zero_load),
+            ("NaN NCAP threshold", bad_ncap),
+            ("zero NI_TH", bad_nmap),
+        ] {
+            let err = cfg.validate().expect_err(name);
+            assert!(err.is_config(), "{name}: wrong variant: {err}");
+            assert!(try_run(cfg).is_err(), "{name}: try_run must refuse");
+        }
+    }
+
+    #[test]
+    fn more_rss_queues_than_cores_is_a_config_error() {
+        // Regression: this used to panic deep in netsim's RSS
+        // indexing instead of failing validation.
+        let cores = ProfileKind::XeonGold.profile().cores;
+        let cfg = tiny(GovernorKind::Ondemand).with_nic_queues(cores + 1);
+        let err = cfg.validate().expect_err("must be rejected");
+        assert!(err.is_config());
+        assert!(
+            err.to_string().contains("RSS"),
+            "message should explain the RSS constraint: {err}"
+        );
+        assert!(try_run(cfg).is_err());
+    }
+
+    #[test]
+    fn fewer_queues_than_cores_still_runs() {
+        let r = run(tiny(GovernorKind::Ondemand).with_nic_queues(2));
+        assert!(r.received > 0, "two queues still serve traffic");
+    }
+
+    #[test]
+    fn event_budget_aborts_a_cell_with_a_typed_error() {
+        let budget = StepBudget::unlimited().with_max_events(5_000);
+        let err = try_run_budgeted(tiny(GovernorKind::Ondemand), &budget)
+            .expect_err("5k events cannot finish a 400ms run");
+        assert!(err.is_budget(), "wrong variant: {err}");
+    }
+
+    #[test]
+    fn budgeted_run_with_room_matches_unbudgeted() {
+        let cfg = tiny(GovernorKind::Performance);
+        let budget = StepBudget::unlimited().with_max_events(u64::MAX);
+        let a = try_run_budgeted(cfg.clone(), &budget).expect("fits budget");
+        let b = run(cfg);
+        assert_eq!(a, b, "budget guard must not perturb the simulation");
+    }
+
+    #[test]
+    fn governor_labels_match_names() {
+        for (kind, _expect) in [
+            (GovernorKind::Performance, "performance"),
+            (GovernorKind::Ondemand, "ondemand"),
+            (GovernorKind::Nmap(NmapConfig::new(64, 1.5)), "NMAP"),
+        ] {
+            let r = run(tiny(kind));
+            assert_eq!(r.governor, kind.label());
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::runner::{GovernorKind, RunConfig, Scale};
 use nmap::{NmapConfig, ThresholdProfiler};
 use simcore::SimDuration;
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use workload::{AppKind, LoadLevel, LoadSpec};
 
 /// Profiles NMAP's thresholds for `app` (§4.2). Results are memoized
@@ -24,11 +24,12 @@ use workload::{AppKind, LoadLevel, LoadSpec};
 pub fn nmap_config(app: AppKind) -> NmapConfig {
     static CACHE: OnceLock<Mutex<HashMap<AppKind, NmapConfig>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(cfg) = cache.lock().unwrap().get(&app) {
+    let mut memo = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(cfg) = memo.get(&app) {
         return *cfg;
     }
     let cfg = profile_nmap(app);
-    cache.lock().unwrap().insert(app, cfg);
+    memo.insert(app, cfg);
     cfg
 }
 

@@ -25,6 +25,10 @@
 //! NMAP itself lives in the `nmap` crate and implements the same
 //! trait.
 
+// Library code must stay panic-free on arbitrary inputs: failures are
+// typed `SimError`s, never `unwrap()`/`panic!`. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod conservative;
 pub mod intel_pstate;
 pub mod ncap;

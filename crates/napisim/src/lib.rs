@@ -15,6 +15,10 @@
 //! components; the server glue in `appsim` drives them from simulator
 //! events.
 
+// Library code must stay panic-free on arbitrary inputs: failures are
+// typed `SimError`s, never `unwrap()`/`panic!`. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod napi;
 pub mod params;
 pub mod runqueue;

@@ -22,6 +22,10 @@
 //! assert!(outcome.irq_at.is_some()); // first packet raises an IRQ
 //! ```
 
+// Library code must stay panic-free on arbitrary inputs: failures are
+// typed `SimError`s, never `unwrap()`/`panic!`. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod link;
 pub mod nic;
 pub mod packet;

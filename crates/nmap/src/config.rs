@@ -98,6 +98,57 @@ impl NmapConfig {
         self.degradation = degradation;
         self
     }
+
+    /// Validates the config, for callers that build one by struct
+    /// literal or mutation (the [`NmapConfig::new`] constructor
+    /// asserts the same CU_TH constraint): a degenerate threshold,
+    /// a zero monitor timer (which would livelock the event queue),
+    /// or inverted degradation windows become typed errors.
+    pub fn validate(&self) -> Result<(), simcore::SimError> {
+        use simcore::SimError;
+        if !self.cu_threshold.is_finite() || self.cu_threshold <= 0.0 {
+            return Err(SimError::invalid(
+                "nmap.cu_threshold",
+                format!("must be positive and finite (got {})", self.cu_threshold),
+            ));
+        }
+        if self.ni_threshold == 0 {
+            return Err(SimError::invalid(
+                "nmap.ni_threshold",
+                "NI_TH of 0 would enter Network Intensive Mode on any packet; \
+                 use at least 1"
+                    .to_string(),
+            ));
+        }
+        if self.timer_interval.is_zero() {
+            return Err(SimError::invalid(
+                "nmap.timer_interval",
+                "a zero monitor timer would livelock the event queue".to_string(),
+            ));
+        }
+        let d = &self.degradation;
+        if !d.busy_floor.is_finite() || !(0.0..=1.0).contains(&d.busy_floor) {
+            return Err(SimError::invalid(
+                "nmap.degradation.busy_floor",
+                format!("must be within [0, 1] (got {})", d.busy_floor),
+            ));
+        }
+        if d.stale_windows == 0 || d.recovery_windows == 0 {
+            return Err(SimError::invalid(
+                "nmap.degradation.windows",
+                "stale_windows and recovery_windows must be at least 1".to_string(),
+            ));
+        }
+        if d.signal_timeout.is_zero() {
+            return Err(SimError::invalid(
+                "nmap.degradation.signal_timeout",
+                "a zero signal timeout marks every window stale, so the governor \
+                 would never leave degraded mode"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -121,5 +172,58 @@ mod tests {
     fn timer_override() {
         let c = NmapConfig::new(64, 1.5).with_timer(SimDuration::from_millis(1));
         assert_eq!(c.timer_interval, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn validate_accepts_defaults() {
+        NmapConfig::new(64, 1.5)
+            .validate()
+            .expect("defaults are valid");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let ok = NmapConfig::new(64, 1.5);
+        let bad = [
+            NmapConfig {
+                cu_threshold: f64::NAN,
+                ..ok
+            },
+            NmapConfig {
+                cu_threshold: -1.0,
+                ..ok
+            },
+            NmapConfig {
+                ni_threshold: 0,
+                ..ok
+            },
+            NmapConfig {
+                timer_interval: SimDuration::ZERO,
+                ..ok
+            },
+            ok.with_degradation(DegradationConfig {
+                busy_floor: 1.5,
+                ..DegradationConfig::default()
+            }),
+            ok.with_degradation(DegradationConfig {
+                stale_windows: 0,
+                ..DegradationConfig::default()
+            }),
+            ok.with_degradation(DegradationConfig {
+                recovery_windows: 0,
+                ..DegradationConfig::default()
+            }),
+            // A zero timeout marks every window stale forever.
+            ok.with_degradation(DegradationConfig {
+                signal_timeout: SimDuration::ZERO,
+                ..DegradationConfig::default()
+            }),
+        ];
+        for (i, cfg) in bad.iter().enumerate() {
+            assert!(
+                cfg.validate().is_err(),
+                "case {i} must be rejected: {cfg:?}"
+            );
+        }
     }
 }

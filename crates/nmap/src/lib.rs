@@ -35,6 +35,10 @@
 //! assert_eq!(gov.name(), "NMAP");
 //! ```
 
+// Library code must stay panic-free on arbitrary inputs: failures are
+// typed `SimError`s, never `unwrap()`/`panic!`. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod config;
 pub mod engine;
 pub mod governor;

@@ -141,11 +141,16 @@ impl ConservationLedger {
     }
 
     /// Adds `n` to `account`. No-op without the `audit` feature.
+    ///
+    /// Saturates rather than overflowing: a pinned counter shows up
+    /// as a conservation imbalance in the audit report instead of a
+    /// debug-build panic (or a silent release-build wrap) mid-run.
     #[inline]
     pub fn credit(&mut self, account: Account, n: u64) {
         #[cfg(feature = "audit")]
         {
-            self.counts[account as usize] += n;
+            let slot = &mut self.counts[account as usize];
+            *slot = slot.saturating_add(n);
         }
         #[cfg(not(feature = "audit"))]
         {

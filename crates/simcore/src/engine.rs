@@ -7,9 +7,77 @@
 //! events. Determinism is guaranteed by FIFO tie-breaking on equal
 //! timestamps (a monotone sequence number).
 
+use crate::error::{BudgetKind, SimError};
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+
+/// How often [`Simulator::run_until_budgeted`] consults the host
+/// clock: every this-many executed events. Event budgets are exact;
+/// wall-clock budgets have this much slack by design, so the guard
+/// costs one `Instant::now()` per few thousand events.
+const WALL_CHECK_INTERVAL: u64 = 8_192;
+
+/// A per-run abort guard for [`Simulator::run_until_budgeted`].
+///
+/// Both limits are optional; [`StepBudget::unlimited`] disables the
+/// guard entirely. The event limit counts *total* events executed by
+/// the simulator (cells own their simulator, so this is per-cell),
+/// which makes the guard robust against livelocked event chains that
+/// never advance virtual time. The wall limit catches everything
+/// else — pathological heap growth, host contention, or model code
+/// that is merely catastrophically slow.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{Simulator, SimTime, SimDuration, StepBudget, SimError};
+///
+/// let mut sim: Simulator<u64> = Simulator::new();
+/// fn tick(w: &mut u64, sim: &mut Simulator<u64>) {
+///     *w += 1;
+///     sim.schedule_in(SimDuration::from_nanos(1), tick);
+/// }
+/// sim.schedule_in(SimDuration::from_nanos(1), tick);
+/// let mut w = 0u64;
+/// let budget = StepBudget::unlimited().with_max_events(1_000);
+/// let err = sim
+///     .run_until_budgeted(&mut w, SimTime::MAX, &budget)
+///     .unwrap_err();
+/// assert!(matches!(err, SimError::BudgetExceeded { .. }));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepBudget {
+    /// Abort once this many events have executed in total.
+    pub max_events: Option<u64>,
+    /// Abort once this much host wall-clock time has elapsed, counted
+    /// from the first budgeted call on the simulator.
+    pub max_wall: Option<std::time::Duration>,
+}
+
+impl StepBudget {
+    /// No limits: `run_until_budgeted` behaves like `run_until`.
+    pub fn unlimited() -> Self {
+        StepBudget::default()
+    }
+
+    /// Sets the total executed-event ceiling.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Sets the host wall-clock ceiling.
+    pub fn with_max_wall(mut self, max_wall: std::time::Duration) -> Self {
+        self.max_wall = Some(max_wall);
+        self
+    }
+
+    /// True if neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_events.is_none() && self.max_wall.is_none()
+    }
+}
 
 /// Handle to a scheduled event, usable with [`Simulator::cancel`].
 ///
@@ -72,6 +140,10 @@ pub struct Simulator<W> {
     executed: u64,
     cancelled: u64,
     max_pending: usize,
+    /// Epoch of the first budgeted call; wall-clock budgets count
+    /// from here so a budget spans multiple `run_until_budgeted`
+    /// calls on the same simulator (warm-up + measured window).
+    budget_epoch: Option<std::time::Instant>,
 }
 
 /// Engine self-profiling counters, cheap enough to always collect.
@@ -110,6 +182,7 @@ impl<W> Simulator<W> {
             executed: 0,
             cancelled: 0,
             max_pending: 0,
+            budget_epoch: None,
         }
     }
 
@@ -225,6 +298,79 @@ impl<W> Simulator<W> {
             self.now = deadline;
         }
         self.executed - start
+    }
+
+    /// Like [`run_until`](Simulator::run_until), but aborts with
+    /// [`SimError::BudgetExceeded`] once `budget`'s event or
+    /// wall-clock ceiling is crossed, instead of hanging the caller
+    /// on a runaway world.
+    ///
+    /// The event ceiling counts *total* events this simulator has
+    /// executed (across calls), so a budget naturally spans a
+    /// warm-up phase plus a measured window. The wall-clock ceiling
+    /// is measured from the first budgeted call and checked every
+    /// few thousand events; see [`StepBudget`].
+    pub fn run_until_budgeted(
+        &mut self,
+        world: &mut W,
+        deadline: SimTime,
+        budget: &StepBudget,
+    ) -> Result<u64, SimError> {
+        if budget.is_unlimited() {
+            return Ok(self.run_until(world, deadline));
+        }
+        let epoch = *self
+            .budget_epoch
+            .get_or_insert_with(std::time::Instant::now);
+        let start = self.executed;
+        let mut next_wall_check = self
+            .executed
+            .saturating_add(WALL_CHECK_INTERVAL.min(budget.max_events.unwrap_or(u64::MAX)));
+        loop {
+            if let Some(max_events) = budget.max_events {
+                if self.executed >= max_events {
+                    return Err(SimError::BudgetExceeded {
+                        kind: BudgetKind::Events,
+                        limit: max_events,
+                        events_executed: self.executed,
+                        sim_time: self.now,
+                    });
+                }
+            }
+            if let Some(max_wall) = budget.max_wall {
+                if self.executed >= next_wall_check {
+                    next_wall_check = self.executed.saturating_add(WALL_CHECK_INTERVAL);
+                    if epoch.elapsed() > max_wall {
+                        return Err(SimError::BudgetExceeded {
+                            kind: BudgetKind::WallClock,
+                            limit: max_wall.as_millis().min(u64::MAX as u128) as u64,
+                            events_executed: self.executed,
+                            sim_time: self.now,
+                        });
+                    }
+                }
+            }
+            // Peek past cancelled events to find the next live one.
+            let next_time = loop {
+                match self.queue.peek() {
+                    None => break None,
+                    Some(ev) if !self.live.contains(&ev.id) => {
+                        self.queue.pop();
+                    }
+                    Some(ev) => break Some(ev.time),
+                }
+            };
+            match next_time {
+                Some(t) if t <= deadline => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        Ok(self.executed - start)
     }
 
     /// Runs until the queue drains, or until `max_events` have run.
@@ -369,6 +515,110 @@ mod tests {
     fn unknown_id_cancel_is_false() {
         let mut sim: Simulator<u32> = Simulator::new();
         assert!(!sim.cancel(EventId(42)));
+    }
+
+    fn perpetual(w: &mut u64, sim: &mut Simulator<u64>) {
+        *w += 1;
+        sim.schedule_in(SimDuration::from_nanos(1), perpetual);
+    }
+
+    #[test]
+    fn event_budget_aborts_runaway_chain() {
+        let mut sim: Simulator<u64> = Simulator::new();
+        let mut w = 0u64;
+        sim.schedule_in(SimDuration::from_nanos(1), perpetual);
+        let budget = StepBudget::unlimited().with_max_events(250);
+        let err = sim
+            .run_until_budgeted(&mut w, SimTime::MAX, &budget)
+            .unwrap_err();
+        match err {
+            SimError::BudgetExceeded {
+                kind: BudgetKind::Events,
+                limit,
+                events_executed,
+                ..
+            } => {
+                assert_eq!(limit, 250);
+                assert_eq!(events_executed, 250);
+            }
+            other => panic!("expected event budget abort, got {other:?}"),
+        }
+        assert_eq!(w, 250);
+    }
+
+    #[test]
+    fn event_budget_spans_multiple_calls() {
+        let mut sim: Simulator<u64> = Simulator::new();
+        let mut w = 0u64;
+        sim.schedule_in(SimDuration::from_nanos(1), perpetual);
+        let budget = StepBudget::unlimited().with_max_events(100);
+        // First call stops at a virtual-time deadline, under budget.
+        sim.run_until_budgeted(&mut w, SimTime::from_nanos(60), &budget)
+            .expect("within budget");
+        assert_eq!(w, 60);
+        // Second call hits the *total* ceiling, not a fresh one.
+        let err = sim
+            .run_until_budgeted(&mut w, SimTime::MAX, &budget)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::BudgetExceeded {
+                kind: BudgetKind::Events,
+                ..
+            }
+        ));
+        assert_eq!(w, 100);
+    }
+
+    #[test]
+    fn wall_budget_aborts_runaway_chain() {
+        let mut sim: Simulator<u64> = Simulator::new();
+        let mut w = 0u64;
+        sim.schedule_in(SimDuration::from_nanos(1), perpetual);
+        let budget = StepBudget::unlimited().with_max_wall(std::time::Duration::ZERO);
+        let err = sim
+            .run_until_budgeted(&mut w, SimTime::MAX, &budget)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::BudgetExceeded {
+                kind: BudgetKind::WallClock,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unlimited_budget_matches_run_until() {
+        let mut a: Simulator<u64> = Simulator::new();
+        let mut b: Simulator<u64> = Simulator::new();
+        let (mut wa, mut wb) = (0u64, 0u64);
+        a.schedule_in(SimDuration::from_nanos(1), perpetual);
+        b.schedule_in(SimDuration::from_nanos(1), perpetual);
+        let deadline = SimTime::from_nanos(500);
+        let na = a.run_until(&mut wa, deadline);
+        let nb = b
+            .run_until_budgeted(&mut wb, deadline, &StepBudget::unlimited())
+            .expect("unlimited never aborts");
+        assert_eq!(na, nb);
+        assert_eq!(wa, wb);
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn budgeted_run_under_limit_completes() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let mut w = 0;
+        sim.schedule_at(SimTime::from_nanos(5), |w: &mut u32, _| *w += 1);
+        let budget = StepBudget::unlimited()
+            .with_max_events(1_000)
+            .with_max_wall(std::time::Duration::from_secs(60));
+        let n = sim
+            .run_until_budgeted(&mut w, SimTime::from_micros(1), &budget)
+            .expect("tiny run fits any sane budget");
+        assert_eq!(n, 1);
+        assert_eq!(w, 1);
+        assert_eq!(sim.now(), SimTime::from_micros(1));
     }
 
     #[test]

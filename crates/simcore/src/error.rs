@@ -1,0 +1,138 @@
+//! Typed simulation errors.
+//!
+//! The library crates are panic-free on arbitrary inputs: degenerate
+//! configurations surface as [`SimError::InvalidConfig`] from a
+//! `validate()` entry point before any model is built, and runaway
+//! cells are aborted by the engine's step/wall-clock budget guard as
+//! [`SimError::BudgetExceeded`] instead of hanging a sweep. The sweep
+//! supervisor in `experiments` keys its retry/quarantine policy on
+//! these variants.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Which budget dimension a run exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The executed-event count crossed the configured ceiling — the
+    /// signature of a livelocked or degenerate cell (e.g. a
+    /// zero-interval self-perpetuating event chain).
+    Events,
+    /// Host wall-clock time crossed the configured ceiling.
+    WallClock,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Events => write!(f, "event-count"),
+            BudgetKind::WallClock => write!(f, "wall-clock"),
+        }
+    }
+}
+
+/// A typed, non-panicking simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration field failed validation before the run started.
+    InvalidConfig {
+        /// Dotted path of the offending field, e.g. `"load.avg_rps"`.
+        field: &'static str,
+        /// Human-readable explanation of the constraint it violated.
+        reason: String,
+    },
+    /// The engine's step or wall-clock budget guard aborted the run.
+    BudgetExceeded {
+        /// Which budget was exhausted.
+        kind: BudgetKind,
+        /// The configured limit (events, or whole milliseconds for
+        /// wall-clock budgets).
+        limit: u64,
+        /// Events executed when the guard fired.
+        events_executed: u64,
+        /// Virtual time when the guard fired.
+        sim_time: SimTime,
+    },
+    /// A conservation or accounting invariant failed in a way the
+    /// library converted to an error instead of panicking (e.g. a
+    /// counter overflow in the ledger).
+    Accounting {
+        /// Short context, e.g. `"ledger.credit"`.
+        context: &'static str,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl SimError {
+    /// Shorthand for an [`SimError::InvalidConfig`].
+    pub fn invalid(field: &'static str, reason: impl Into<String>) -> Self {
+        SimError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// True for configuration errors (retrying cannot help).
+    pub fn is_config(&self) -> bool {
+        matches!(self, SimError::InvalidConfig { .. })
+    }
+
+    /// True for budget aborts (a retry with a bigger budget may help;
+    /// a retry with the same budget will not, since runs are
+    /// deterministic in virtual time — only the wall-clock dimension
+    /// is host-dependent).
+    pub fn is_budget(&self) -> bool {
+        matches!(self, SimError::BudgetExceeded { .. })
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config: {field}: {reason}")
+            }
+            SimError::BudgetExceeded {
+                kind,
+                limit,
+                events_executed,
+                sim_time,
+            } => write!(
+                f,
+                "{kind} budget exceeded (limit {limit}) after {events_executed} events \
+                 at sim time {sim_time:?}"
+            ),
+            SimError::Accounting { context, reason } => {
+                write!(f, "accounting error in {context}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = SimError::invalid("load.avg_rps", "must be finite and positive");
+        assert!(e.to_string().contains("load.avg_rps"));
+        assert!(e.is_config());
+        assert!(!e.is_budget());
+    }
+
+    #[test]
+    fn budget_display_names_the_kind() {
+        let e = SimError::BudgetExceeded {
+            kind: BudgetKind::Events,
+            limit: 100,
+            events_executed: 100,
+            sim_time: SimTime::from_micros(3),
+        };
+        assert!(e.to_string().contains("event-count"));
+        assert!(e.is_budget());
+    }
+}

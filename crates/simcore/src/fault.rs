@@ -261,6 +261,100 @@ impl FaultPlan {
         self.specs.push(FaultSpec { kind, scope });
         self
     }
+
+    /// Validates every spec against a testbed with `cores` cores.
+    ///
+    /// A plan with no specs is trivially valid (it injects nothing);
+    /// a plan whose specs are degenerate — an empty or inverted scope
+    /// window, a core index off the end of the topology, a
+    /// probability outside `[0, 1]`, a zero injection period (which
+    /// would livelock the event queue), or a zero capacity/budget
+    /// clamp — is a typed [`SimError::InvalidConfig`] instead of a
+    /// downstream panic or hang.
+    pub fn validate(&self, cores: usize) -> Result<(), crate::error::SimError> {
+        use crate::error::SimError;
+        let prob_ok = |p: f64| p.is_finite() && (0.0..=1.0).contains(&p);
+        for (i, spec) in self.specs.iter().enumerate() {
+            let scope = spec.scope;
+            if scope.start >= scope.end {
+                return Err(SimError::invalid(
+                    "fault_plan.scope",
+                    format!(
+                        "spec #{i} ({}) has an empty or inverted window \
+                         [{:?}, {:?})",
+                        spec.kind.label(),
+                        scope.start,
+                        scope.end
+                    ),
+                ));
+            }
+            if let Some(core) = scope.core {
+                if core >= cores {
+                    return Err(SimError::invalid(
+                        "fault_plan.scope.core",
+                        format!(
+                            "spec #{i} ({}) pins core {core}, but the testbed \
+                             has only {cores} core(s)",
+                            spec.kind.label()
+                        ),
+                    ));
+                }
+            }
+            let bad = |what: &str| {
+                Err(SimError::invalid(
+                    "fault_plan.kind",
+                    format!("spec #{i} ({}): {what}", spec.kind.label()),
+                ))
+            };
+            match spec.kind {
+                FaultKind::WireDrop { prob }
+                | FaultKind::WireCorrupt { prob }
+                | FaultKind::IrqLoss { prob }
+                | FaultKind::NapiSignalLoss { prob } => {
+                    if !prob_ok(prob) {
+                        return bad("probability must be finite and within [0, 1]");
+                    }
+                }
+                FaultKind::MissedKsoftirqdWake { prob, .. } => {
+                    if !prob_ok(prob) {
+                        return bad("probability must be finite and within [0, 1]");
+                    }
+                }
+                FaultKind::SpuriousIrq { period } | FaultKind::NapiSignalStuck { period } => {
+                    if period.is_zero() {
+                        return bad("a zero injection period would livelock the event queue");
+                    }
+                }
+                FaultKind::RxRingClamp { capacity } => {
+                    if capacity == 0 {
+                        return bad("ring capacity clamp must be at least 1");
+                    }
+                }
+                FaultKind::PollBudgetClamp { budget } => {
+                    if budget == 0 {
+                        return bad("poll budget clamp must be at least 1");
+                    }
+                }
+                FaultKind::LoadSpike { factor } => {
+                    if !factor.is_finite() || factor <= 0.0 {
+                        return bad("load factor must be finite and positive");
+                    }
+                }
+                FaultKind::IncastBurst { requests } => {
+                    if requests == 0 {
+                        return bad("incast burst must carry at least 1 request");
+                    }
+                }
+                FaultKind::StuckIrqMask
+                | FaultKind::ItrOverride { .. }
+                | FaultKind::DvfsLatencySpike { .. }
+                | FaultKind::ThermalThrottle { .. }
+                | FaultKind::CoreStall { .. }
+                | FaultKind::ConnectionChurn { .. } => {}
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Counters for every fault actually applied (not merely scheduled).
@@ -1163,5 +1257,42 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn validate_accepts_empty_and_sane_plans() {
+        assert!(FaultPlan::new().validate(8).is_ok());
+        let plan = FaultPlan::new().inject(
+            FaultKind::WireDrop { prob: 0.3 },
+            FaultScope::window(SimTime::from_millis(10), SimTime::from_millis(20)).on_core(3),
+        );
+        assert!(plan.validate(8).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        let w = FaultScope::window(SimTime::from_millis(10), SimTime::from_millis(20));
+        let inverted = FaultScope::window(SimTime::from_millis(20), SimTime::from_millis(10));
+        let cases = [
+            FaultPlan::new().inject(FaultKind::WireDrop { prob: 0.5 }, inverted),
+            FaultPlan::new().inject(FaultKind::WireDrop { prob: 1.5 }, w),
+            FaultPlan::new().inject(FaultKind::WireDrop { prob: f64::NAN }, w),
+            FaultPlan::new().inject(FaultKind::IrqLoss { prob: -0.1 }, w),
+            FaultPlan::new().inject(
+                FaultKind::SpuriousIrq {
+                    period: SimDuration::ZERO,
+                },
+                w,
+            ),
+            FaultPlan::new().inject(FaultKind::RxRingClamp { capacity: 0 }, w),
+            FaultPlan::new().inject(FaultKind::PollBudgetClamp { budget: 0 }, w),
+            FaultPlan::new().inject(FaultKind::LoadSpike { factor: 0.0 }, w),
+            FaultPlan::new().inject(FaultKind::IncastBurst { requests: 0 }, w),
+            FaultPlan::new().inject(FaultKind::StuckIrqMask, w.on_core(8)),
+        ];
+        for (i, plan) in cases.iter().enumerate() {
+            let err = plan.validate(8).expect_err("case must be rejected");
+            assert!(err.is_config(), "case {i}: wrong error kind: {err:?}");
+        }
     }
 }

@@ -24,9 +24,14 @@
 //! assert_eq!(sim.now(), SimTime::from_micros(100));
 //! ```
 
+// Library code must stay panic-free on arbitrary inputs: failures are
+// typed `SimError`s, never `unwrap()`/`panic!`. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod audit;
 pub mod check;
 pub mod engine;
+pub mod error;
 pub mod fault;
 pub mod obs;
 pub mod rng;
@@ -35,7 +40,8 @@ pub mod time;
 pub mod trace;
 
 pub use audit::{Account, AuditCheck, AuditReport, ConservationLedger};
-pub use engine::{EngineProfile, EventId, Simulator};
+pub use engine::{EngineProfile, EventId, Simulator, StepBudget};
+pub use error::{BudgetKind, SimError};
 pub use fault::{
     FaultInjector, FaultKind, FaultPlan, FaultScope, FaultSpec, FaultStats, RecoverySummary,
     WireFault,
@@ -44,7 +50,8 @@ pub use obs::attrib::{
     AttribSummary, AttribTracker, Breakdown, ChainMarks, CompletedAttrib, Stage, StageSummary,
 };
 pub use obs::{
-    MetricsRegistry, MetricsSnapshot, TraceBuffer, TraceCategory, TraceEvent, TraceKind,
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TraceBuffer, TraceCategory, TraceEvent,
+    TraceKind,
 };
 pub use rng::RngStream;
 pub use stats::cdf::Cdf;

@@ -152,9 +152,11 @@ pub struct Breakdown {
 }
 
 impl Breakdown {
-    /// Adds `d` to `stage`.
+    /// Adds `d` to `stage`. Saturates: an hours-long pathological
+    /// stall must not wrap the per-stage counter mid-run.
     pub fn add(&mut self, stage: Stage, d: SimDuration) {
-        self.ns[stage as usize] += d.as_nanos();
+        let slot = &mut self.ns[stage as usize];
+        *slot = slot.saturating_add(d.as_nanos());
     }
 
     /// Nanoseconds attributed to `stage`.
@@ -165,7 +167,7 @@ impl Breakdown {
     /// Sum over all stages — must equal the measured end-to-end
     /// latency.
     pub fn total_ns(&self) -> u64 {
-        self.ns.iter().sum()
+        self.ns.iter().fold(0u64, |acc, &n| acc.saturating_add(n))
     }
 
     /// Iterates `(stage, nanoseconds)` pairs in pipeline order.
@@ -536,10 +538,11 @@ impl AttribTracker {
             let matches = total == e2e_ns;
             self.agg.requests += 1;
             self.agg.mismatches += (!matches) as u64;
-            self.agg.attributed_total_ns += total;
-            self.agg.e2e_total_ns += e2e_ns;
+            self.agg.attributed_total_ns = self.agg.attributed_total_ns.saturating_add(total);
+            self.agg.e2e_total_ns = self.agg.e2e_total_ns.saturating_add(e2e_ns);
             for (stage, ns) in p.breakdown.iter() {
-                self.agg.sums_ns[stage as usize] += ns;
+                let slot = &mut self.agg.sums_ns[stage as usize];
+                *slot = slot.saturating_add(ns);
                 self.agg.hists[stage as usize].record(ns);
             }
             Some(CompletedAttrib {

@@ -45,19 +45,22 @@ impl SimTime {
         SimTime(nanos)
     }
 
-    /// Creates an instant `micros` microseconds after the origin.
+    /// Creates an instant `micros` microseconds after the origin,
+    /// saturating at [`SimTime::MAX`].
     pub const fn from_micros(micros: u64) -> Self {
-        SimTime(micros * 1_000)
+        SimTime(micros.saturating_mul(1_000))
     }
 
-    /// Creates an instant `millis` milliseconds after the origin.
+    /// Creates an instant `millis` milliseconds after the origin,
+    /// saturating at [`SimTime::MAX`].
     pub const fn from_millis(millis: u64) -> Self {
-        SimTime(millis * 1_000_000)
+        SimTime(millis.saturating_mul(1_000_000))
     }
 
-    /// Creates an instant `secs` seconds after the origin.
+    /// Creates an instant `secs` seconds after the origin, saturating
+    /// at [`SimTime::MAX`].
     pub const fn from_secs(secs: u64) -> Self {
-        SimTime(secs * 1_000_000_000)
+        SimTime(secs.saturating_mul(1_000_000_000))
     }
 
     /// Nanoseconds since the origin.
@@ -103,19 +106,32 @@ impl SimDuration {
         SimDuration(nanos)
     }
 
-    /// Creates a span of `micros` microseconds.
+    /// Creates a span of `micros` microseconds, saturating at
+    /// [`SimDuration::MAX`].
     pub const fn from_micros(micros: u64) -> Self {
-        SimDuration(micros * 1_000)
+        SimDuration(micros.saturating_mul(1_000))
     }
 
-    /// Creates a span of `millis` milliseconds.
+    /// Creates a span of `millis` milliseconds, saturating at
+    /// [`SimDuration::MAX`].
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration(millis * 1_000_000)
+        SimDuration(millis.saturating_mul(1_000_000))
     }
 
-    /// Creates a span of `secs` seconds.
+    /// Creates a span of `secs` seconds, saturating at
+    /// [`SimDuration::MAX`].
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000_000)
+        SimDuration(secs.saturating_mul(1_000_000_000))
+    }
+
+    /// Checked addition; `None` on overflow (use where a degenerate
+    /// configuration could push a horizon past the representable
+    /// range).
+    pub const fn checked_add(self, other: SimDuration) -> Option<SimDuration> {
+        match self.0.checked_add(other.0) {
+            Some(n) => Some(SimDuration(n)),
+            None => None,
+        }
     }
 
     /// Creates a span from fractional seconds, rounding to the nearest

@@ -141,17 +141,29 @@ impl BurstyArrivals {
         if pos < self.burst_len().as_nanos() {
             t
         } else {
-            SimTime::from_nanos(t.as_nanos() - pos + self.period.as_nanos())
+            SimTime::from_nanos(
+                t.as_nanos()
+                    .saturating_sub(pos)
+                    .saturating_add(self.period.as_nanos()),
+            )
         }
     }
 }
+
+/// Thinning rejections tolerated per `next_after` call before the
+/// process declares itself exhausted. A sound spec accepts within a
+/// handful of samples; only a degenerate window (e.g. a burst length
+/// that rounds to zero nanoseconds, where the rate is zero everywhere)
+/// can reject this many times in a row, and for those the alternative
+/// is an unbounded spin.
+const MAX_THINNING_REJECTIONS: u32 = 1_000_000;
 
 impl ArrivalProcess for BurstyArrivals {
     fn next_after(&mut self, t: SimTime, rng: &mut RngStream) -> Option<SimTime> {
         // Thinning against the peak rate, with an explicit skip over
         // idle stretches so gaps cost nothing.
         let mut t = t;
-        loop {
+        for _ in 0..MAX_THINNING_REJECTIONS {
             t = self.next_burst_start(t);
             let gap = rng.exponential(1.0 / self.peak_rps);
             t += SimDuration::from_secs_f64(gap.max(1e-9));
@@ -160,6 +172,7 @@ impl ArrivalProcess for BurstyArrivals {
                 return Some(t);
             }
         }
+        None
     }
 
     fn average_rate(&self) -> f64 {
@@ -245,6 +258,18 @@ mod tests {
         assert!((a.average_rate() - 80_000.0).abs() < 1e-6);
         // peak = avg / (duty·(1 - ramp/2)) = 80k / (0.4·0.85)
         assert!((a.peak_rps() - 80_000.0 / 0.34).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_burst_window_terminates_instead_of_spinning() {
+        // A duty so small the burst window rounds to zero nanoseconds:
+        // the rate is zero everywhere, so thinning can never accept.
+        // `LoadSpec::validate` rejects such specs, but the raw process
+        // must still bail out rather than loop forever.
+        let mut a = BurstyArrivals::new(1.0, SimDuration::MAX, 1e-300, 0.0);
+        assert!(a.burst_len().is_zero());
+        let mut rng = RngStream::from_seed(23);
+        assert_eq!(a.next_after(SimTime::ZERO, &mut rng), None);
     }
 
     #[test]

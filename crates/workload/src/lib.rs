@@ -7,6 +7,10 @@
 //! peak), the three load-level presets per application, and the
 //! client bookkeeping that measures end-to-end response latency.
 
+// Library code must stay panic-free on arbitrary inputs: failures are
+// typed `SimError`s, never `unwrap()`/`panic!`. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod arrivals;
 pub mod client;
 pub mod load;

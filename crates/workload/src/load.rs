@@ -103,6 +103,78 @@ impl LoadSpec {
         }
     }
 
+    /// Validates the spec: finite positive rate, a non-empty burst
+    /// period, a duty cycle in `(0, 1]`, and a ramp fraction in
+    /// `[0, 1)`. Degenerate values become typed errors here instead of
+    /// NaN poisoning or a livelocked arrival process downstream.
+    pub fn validate(&self) -> Result<(), simcore::SimError> {
+        use simcore::SimError;
+        if !self.avg_rps.is_finite() || self.avg_rps <= 0.0 {
+            return Err(SimError::invalid(
+                "load.avg_rps",
+                format!("must be finite and positive (got {})", self.avg_rps),
+            ));
+        }
+        // Above 1 GHz of arrivals the mean inter-arrival gap rounds to
+        // zero nanoseconds, which would livelock the event queue.
+        if self.avg_rps > 1e9 {
+            return Err(SimError::invalid(
+                "load.avg_rps",
+                format!(
+                    "{} rps exceeds the 1e9 rps integer-time ceiling",
+                    self.avg_rps
+                ),
+            ));
+        }
+        if self.burst_period.is_zero() {
+            return Err(SimError::invalid(
+                "load.burst_period",
+                "must be non-zero".to_string(),
+            ));
+        }
+        if !self.duty.is_finite() || self.duty <= 0.0 || self.duty > 1.0 {
+            return Err(SimError::invalid(
+                "load.duty",
+                format!("must be within (0, 1] (got {})", self.duty),
+            ));
+        }
+        if !self.ramp_frac.is_finite() || !(0.0..1.0).contains(&self.ramp_frac) {
+            return Err(SimError::invalid(
+                "load.ramp_frac",
+                format!("must be within [0, 1) (got {})", self.ramp_frac),
+            ));
+        }
+        // The burst window must survive rounding to integer
+        // nanoseconds: a duty so small that `period · duty` rounds to
+        // zero leaves no instant at which the rate is non-zero, so the
+        // thinning sampler could never accept an arrival.
+        if self.burst_period.mul_f64(self.duty).is_zero() {
+            return Err(SimError::invalid(
+                "load.duty",
+                format!(
+                    "duty {} of a {} period leaves a burst window that \
+                     rounds to zero nanoseconds",
+                    self.duty, self.burst_period
+                ),
+            ));
+        }
+        // The burst *peak* obeys the same integer-time ceiling as the
+        // average: a microscopic duty cycle concentrates the whole
+        // period's load into a sliver and floods the event queue.
+        let peak = self.avg_rps / (self.duty * (1.0 - self.ramp_frac / 2.0));
+        if !peak.is_finite() || peak > 1e9 {
+            return Err(SimError::invalid(
+                "load.duty",
+                format!(
+                    "duty {} compresses {} avg rps into a {:.3e} rps burst \
+                     peak, past the 1e9 rps integer-time ceiling",
+                    self.duty, self.avg_rps, peak
+                ),
+            ));
+        }
+        Ok(())
+    }
+
     /// Builds the arrival process for this spec.
     pub fn arrivals(&self) -> BurstyArrivals {
         BurstyArrivals::from_average(self.avg_rps, self.burst_period, self.duty, self.ramp_frac)
@@ -166,5 +238,44 @@ mod tests {
     fn display_names() {
         assert_eq!(AppKind::Memcached.to_string(), "memcached");
         assert_eq!(LoadLevel::Medium.to_string(), "medium");
+    }
+
+    #[test]
+    fn validate_accepts_all_presets() {
+        for app in [AppKind::Memcached, AppKind::Nginx] {
+            for level in LoadLevel::all() {
+                LoadSpec::preset(app, level)
+                    .validate()
+                    .expect("presets are valid");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        let p = SimDuration::from_millis(100);
+        let bad = [
+            LoadSpec::custom(0.0, p, 0.4, 0.3),
+            LoadSpec::custom(-10.0, p, 0.4, 0.3),
+            LoadSpec::custom(f64::NAN, p, 0.4, 0.3),
+            LoadSpec::custom(f64::INFINITY, p, 0.4, 0.3),
+            LoadSpec::custom(2e9, p, 0.4, 0.3),
+            LoadSpec::custom(1000.0, SimDuration::ZERO, 0.4, 0.3),
+            LoadSpec::custom(1000.0, p, 0.0, 0.3),
+            LoadSpec::custom(1000.0, p, 1.5, 0.3),
+            LoadSpec::custom(1000.0, p, f64::NAN, 0.3),
+            LoadSpec::custom(1000.0, p, 0.4, 1.0),
+            LoadSpec::custom(1000.0, p, 0.4, -0.1),
+            // Burst peak past the 1e9 rps integer-time ceiling.
+            LoadSpec::custom(1000.0, p, 1e-9, 0.0),
+            // Burst window that rounds to zero nanoseconds.
+            LoadSpec::custom(1e-300, SimDuration::MAX, 1e-300, 0.0),
+        ];
+        for (i, spec) in bad.iter().enumerate() {
+            assert!(
+                spec.validate().is_err(),
+                "case {i} must be rejected: {spec:?}"
+            );
+        }
     }
 }

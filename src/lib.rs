@@ -40,6 +40,10 @@
 //! println!("p99 = {:?}", tb.client.latencies_mut().p99());
 //! ```
 
+// Library code must stay panic-free on arbitrary inputs: failures are
+// typed `SimError`s, never `unwrap()`/`panic!`. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub use appsim;
 pub use cpusim;
 pub use experiments;

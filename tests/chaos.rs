@@ -19,7 +19,7 @@
 #![cfg(feature = "fault")]
 
 use experiments::figures::chaos::{all_governors, plans, render, sweep};
-use experiments::{run, RunResult, Scale};
+use experiments::{run, RunResult, Scale, Supervisor};
 use workload::AppKind;
 
 /// One shared sweep: 3 schedules × 13 governors. Everything below
@@ -27,7 +27,7 @@ use workload::AppKind;
 fn soak() -> &'static [RunResult] {
     use std::sync::OnceLock;
     static SOAK: OnceLock<Vec<RunResult>> = OnceLock::new();
-    SOAK.get_or_init(|| sweep(Scale::Quick))
+    SOAK.get_or_init(|| sweep(Scale::Quick, &Supervisor::new()))
 }
 
 fn cells() -> Vec<(&'static str, &'static str, &'static RunResult)> {

@@ -362,3 +362,109 @@ fn fault_runs_are_deterministic_for_arbitrary_plans() {
         assert_eq!(many[1], first);
     });
 }
+
+/// Fuzzed, deliberately degenerate configurations never panic:
+/// every draw either fails `RunConfig::validate()` with a typed
+/// config error (whose rendering is non-empty) or is genuinely
+/// valid — and a sample of the valid ones runs to completion.
+///
+/// 10 000 cases cover zero/NaN/infinite rates, zero and overflowing
+/// windows, inverted governor thresholds, zero-queue and
+/// more-queues-than-cores RSS layouts, and hostile NMAP tunables.
+#[test]
+fn degenerate_configs_never_panic() {
+    use nmap::NmapConfig;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    // A hostile f64: mostly garbage, occasionally plausible. The
+    // unit-interval branch is what lets a draw survive validation
+    // (duty and ramp_frac both need a fraction), so some cases reach
+    // the run-to-completion arm below.
+    fn weird_f64(rng: &mut RngStream) -> f64 {
+        match rng.below(9) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -1.0,
+            5 => 1e-300,
+            6 => 1e300,
+            7 => rng.uniform(),
+            _ => rng.uniform() * 100_000.0,
+        }
+    }
+    fn weird_dur(rng: &mut RngStream) -> SimDuration {
+        match rng.below(6) {
+            0 => SimDuration::ZERO,
+            1 => SimDuration::MAX,
+            2 => SimDuration::from_nanos(1),
+            _ => SimDuration::from_micros(range(rng, 1, 1_000_000)),
+        }
+    }
+
+    let mut ran = 0u32;
+    forall("degenerate configs", 10_000, |rng| {
+        let load = LoadSpec::custom(
+            weird_f64(rng),
+            weird_dur(rng),
+            weird_f64(rng),
+            weird_f64(rng),
+        );
+        let governor = match rng.below(6) {
+            0 => GovernorKind::Performance,
+            1 => GovernorKind::Ncap(weird_f64(rng)),
+            2 => GovernorKind::NcapMenu(weird_f64(rng)),
+            3 => {
+                // Mutate a valid base: `NmapConfig::new` asserts on a
+                // bad CU_TH, but struct mutation must stay panic-free
+                // all the way to `validate()`.
+                let mut c = NmapConfig::new(64, 1.5);
+                c.ni_threshold = rng.next_u64() % 1_000;
+                c.cu_threshold = weird_f64(rng);
+                c.timer_interval = weird_dur(rng);
+                GovernorKind::Nmap(c)
+            }
+            4 => GovernorKind::Ondemand,
+            _ => GovernorKind::NmapSimpl,
+        };
+        let mut cfg = RunConfig::new(AppKind::Memcached, load, governor, Scale::Quick);
+        cfg.warmup = weird_dur(rng);
+        cfg.duration = weird_dur(rng);
+        if rng.below(3) == 0 {
+            // 0 and 9..16 queues are invalid on the 8-core testbed.
+            cfg.nic_queues = Some(rng.below(17) as usize);
+        }
+        cfg = cfg.with_seed(rng.next_u64());
+
+        let verdict = catch_unwind(AssertUnwindSafe(|| cfg.validate()));
+        match verdict {
+            Err(_) => panic!("validate() itself must never panic: {cfg:?}"),
+            Ok(Err(e)) => {
+                assert!(e.is_config(), "validation failures are config errors: {e}");
+                assert!(!e.to_string().is_empty(), "errors must render a reason");
+            }
+            Ok(Ok(())) => {
+                // A sample of the valid survivors must actually run —
+                // with the windows shrunk so the whole fuzz pass stays
+                // fast — and produce a well-formed result.
+                if ran < 4 && !cfg.warmup.is_zero() && cfg.duration < SimDuration::from_secs(1) {
+                    ran += 1;
+                    cfg.warmup = SimDuration::from_millis(2);
+                    cfg.duration = SimDuration::from_millis(10);
+                    // Budgeted, so even a load validation missed stays
+                    // a typed error rather than a hung test.
+                    let budget = simcore::StepBudget::unlimited().with_max_events(5_000_000);
+                    match experiments::try_run_budgeted(cfg.clone(), &budget) {
+                        Ok(r) => {
+                            assert!(r.received <= r.sent, "can't receive more than sent");
+                        }
+                        Err(e) => assert!(
+                            e.is_budget(),
+                            "a validated config may only fail on budget: {e}"
+                        ),
+                    }
+                }
+            }
+        }
+    });
+}
