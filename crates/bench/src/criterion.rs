@@ -28,6 +28,9 @@ pub struct BenchStat {
     pub name: String,
     /// Mean wall-clock time per iteration.
     pub mean_ns: u64,
+    /// Fastest iteration — the noise-robust statistic the regression
+    /// gate compares, since scheduler interference only ever adds time.
+    pub min_ns: u64,
     /// Median iteration time.
     pub p50_ns: u64,
     /// 99th-percentile iteration time (≈ max at small sample counts).
@@ -116,6 +119,7 @@ impl Criterion {
             .push(BenchStat {
                 name: name.to_string(),
                 mean_ns: mean.as_nanos() as u64,
+                min_ns: min.as_nanos() as u64,
                 p50_ns: median.as_nanos() as u64,
                 p99_ns: p99.as_nanos() as u64,
                 samples: b.times.len() as u64,
@@ -176,8 +180,8 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders stats as the `BENCH_repro.json` document: a single
-/// `benchmarks` array of `{name, mean_ns, p50_ns, p99_ns, samples}`
-/// objects, sorted by name for stable diffs.
+/// `benchmarks` array of `{name, mean_ns, min_ns, p50_ns, p99_ns,
+/// samples}` objects, sorted by name for stable diffs.
 pub fn render_json(stats: &[BenchStat]) -> String {
     let mut sorted: Vec<&BenchStat> = stats.iter().collect();
     sorted.sort_by(|a, b| a.name.cmp(&b.name));
@@ -187,9 +191,10 @@ pub fn render_json(stats: &[BenchStat]) -> String {
             out.push_str(",\n");
         }
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"samples\":{}}}",
+            "{{\"name\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"samples\":{}}}",
             json_escape(&s.name),
             s.mean_ns,
+            s.min_ns,
             s.p50_ns,
             s.p99_ns,
             s.samples
@@ -236,9 +241,13 @@ pub fn parse_json(doc: &str) -> Vec<BenchStat> {
         ) else {
             continue;
         };
+        // Reports written before the gate existed carry no `min_ns`;
+        // fall back to the mean so old files still merge.
+        let min_ns = field("min_ns").unwrap_or(mean_ns);
         out.push(BenchStat {
             name,
             mean_ns,
+            min_ns,
             p50_ns,
             p99_ns,
             samples,
@@ -348,6 +357,7 @@ mod tests {
             .expect("stat recorded");
         assert_eq!(stat.samples, 2);
         assert!(stat.p99_ns >= stat.p50_ns);
+        assert!(stat.min_ns <= stat.mean_ns);
     }
 
     #[test]
@@ -355,6 +365,7 @@ mod tests {
         let a = BenchStat {
             name: "grp/a".into(),
             mean_ns: 120,
+            min_ns: 100,
             p50_ns: 110,
             p99_ns: 300,
             samples: 10,
@@ -362,6 +373,7 @@ mod tests {
         let b = BenchStat {
             name: "grp/\"quoted\"".into(),
             mean_ns: 7,
+            min_ns: 5,
             p50_ns: 6,
             p99_ns: 9,
             samples: 3,
@@ -374,6 +386,12 @@ mod tests {
         // Garbage input degrades to empty rather than panicking.
         assert!(parse_json("not json at all").is_empty());
         assert!(parse_json("{\"benchmarks\":[]}").is_empty());
+        // Pre-`min_ns` reports fall back to the mean.
+        let legacy = parse_json(
+            "{\"benchmarks\":[{\"name\":\"old/one\",\"mean_ns\":50,\
+             \"p50_ns\":49,\"p99_ns\":60,\"samples\":4}]}",
+        );
+        assert_eq!((legacy.len(), legacy[0].min_ns), (1, 50));
     }
 
     #[test]

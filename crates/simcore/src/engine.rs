@@ -4,13 +4,90 @@
 //! holding all model state (cores, NIC, queues, governors…). Events
 //! are boxed closures receiving `(&mut W, &mut Simulator<W>)`, so an
 //! event can both mutate the world and schedule or cancel further
-//! events. Determinism is guaranteed by FIFO tie-breaking on equal
-//! timestamps (a monotone sequence number).
+//! events.
+//!
+//! # Ordering invariant
+//!
+//! Events execute in strict `(time, seq)` order, where `seq` is a
+//! monotone sequence number assigned at schedule time: earlier
+//! virtual times first, and **FIFO among equal timestamps** —
+//! whichever event was scheduled first runs first. This tie-break is
+//! a documented contract, not an implementation accident: every model
+//! in the workspace and every golden fixture depends on it, and both
+//! scheduler backends (see below) must agree on it bit-for-bit.
+//!
+//! # Scheduler backends
+//!
+//! The simulator is additionally generic over a [`SchedQueue`]
+//! backend ordering the pending-event set:
+//!
+//! * [`WheelQueue`] — a hierarchical timing wheel with arena-
+//!   allocated event slots, generation-tagged [`EventId`] handles for
+//!   O(1) cancellation, occupancy bitmaps to skip empty time, and an
+//!   insertion-ordered overflow list for far-future events. This is
+//!   the default: O(1) schedule/pop versus the heap's O(log n).
+//! * [`HeapQueue`] — the original `BinaryHeap` core, kept as the
+//!   differential-testing oracle. Building with the `heap-sched`
+//!   feature flips [`DefaultQueue`] to it, so the entire workspace
+//!   (golden fixtures included) can be replayed on the oracle.
+//!
+//! Both backends share the arena and the `(time, seq)` contract; the
+//! differential property suite (`tests/scheduler.rs`) drives them
+//! with identical randomized schedule/cancel/run workloads and
+//! asserts identical pop order, tie-breaks, and cancellation
+//! semantics.
 
 use crate::error::{BudgetKind, SimError};
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+
+mod arena;
+mod heap;
+mod wheel;
+
+#[doc(hidden)]
+pub use arena::Arena;
+pub use heap::HeapQueue;
+pub use wheel::WheelQueue;
+
+mod sealed {
+    /// Closes [`SchedQueue`](super::SchedQueue) to outside
+    /// implementations: the engine's determinism contract is only
+    /// proven for the two in-tree backends.
+    pub trait Sealed {}
+}
+
+/// A scheduler backend: orders pending events by `(time, seq)` over
+/// slots living in the engine's arena. Sealed — implemented only by
+/// [`WheelQueue`] and [`HeapQueue`].
+pub trait SchedQueue: Default + sealed::Sealed {
+    /// Enqueues an arena slot (its time/seq metadata is already in
+    /// the arena).
+    #[doc(hidden)]
+    fn insert(&mut self, arena: &mut Arena, slot: u32);
+
+    /// Pops the earliest live slot whose time is `<= bound`, lazily
+    /// releasing cancelled husks it encounters. Returns `None` —
+    /// without observably advancing past `bound` — when the earliest
+    /// pending event (if any) fires later than `bound`.
+    #[doc(hidden)]
+    fn pop_within(&mut self, arena: &mut Arena, bound: SimTime) -> Option<u32>;
+}
+
+/// The scheduler backend [`Simulator`] defaults to: the timing wheel,
+/// or the heap oracle when the `heap-sched` feature is enabled.
+#[cfg(not(feature = "heap-sched"))]
+pub type DefaultQueue = WheelQueue;
+/// The scheduler backend [`Simulator`] defaults to: the timing wheel,
+/// or the heap oracle when the `heap-sched` feature is enabled.
+#[cfg(feature = "heap-sched")]
+pub type DefaultQueue = HeapQueue;
+
+/// A simulator pinned to the timing-wheel backend, independent of the
+/// `heap-sched` feature. Used by differential tests and benches.
+pub type WheelSimulator<W> = Simulator<W, WheelQueue>;
+/// A simulator pinned to the heap-oracle backend, independent of the
+/// `heap-sched` feature. Used by differential tests and benches.
+pub type HeapSimulator<W> = Simulator<W, HeapQueue>;
 
 /// How often [`Simulator::run_until_budgeted`] consults the host
 /// clock: every this-many executed events. Event budgets are exact;
@@ -25,7 +102,7 @@ const WALL_CHECK_INTERVAL: u64 = 8_192;
 /// the simulator (cells own their simulator, so this is per-cell),
 /// which makes the guard robust against livelocked event chains that
 /// never advance virtual time. The wall limit catches everything
-/// else — pathological heap growth, host contention, or model code
+/// else — pathological queue growth, host contention, or model code
 /// that is merely catastrophically slow.
 ///
 /// # Examples
@@ -81,40 +158,30 @@ impl StepBudget {
 
 /// Handle to a scheduled event, usable with [`Simulator::cancel`].
 ///
-/// Ids are unique for the lifetime of a simulator and never reused.
+/// The handle packs the event's arena slot and the slot's generation
+/// at schedule time, so cancellation is O(1): a slot lookup and a
+/// generation compare, no hashing. Once the event runs or is
+/// cancelled its generation goes stale, so a retained handle can
+/// never cancel a later event that reuses the slot — handles are
+/// effectively unique for the lifetime of a simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
-type Action<W> = Box<dyn FnOnce(&mut W, &mut Simulator<W>)>;
+impl EventId {
+    fn pack(slot: u32, gen: u32) -> Self {
+        EventId(((gen as u64) << 32) | slot as u64)
+    }
 
-struct Scheduled<W> {
-    time: SimTime,
-    seq: u64,
-    id: EventId,
-    action: Action<W>,
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops
-        // first, with FIFO order among equal timestamps.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+type Action<W, Q> = Box<dyn FnOnce(&mut W, &mut Simulator<W, Q>)>;
 
 /// A deterministic discrete-event simulator.
 ///
@@ -131,12 +198,16 @@ impl<W> Ord for Scheduled<W> {
 /// sim.run_until(&mut hits, SimTime::from_millis(1));
 /// assert_eq!(hits, vec![2, 1, 0]); // time order, not insertion order
 /// ```
-pub struct Simulator<W> {
+pub struct Simulator<W, Q: SchedQueue = DefaultQueue> {
     now: SimTime,
-    queue: BinaryHeap<Scheduled<W>>,
+    queue: Q,
+    arena: Arena,
+    /// Boxed actions, parallel to the arena's slots. `None` for free
+    /// slots and cancelled husks.
+    actions: Vec<Option<Action<W, Q>>>,
     next_seq: u64,
-    /// Ids scheduled but not yet executed or cancelled.
-    live: HashSet<EventId>,
+    /// Events scheduled but not yet executed or cancelled.
+    pending: usize,
     executed: u64,
     cancelled: u64,
     max_pending: usize,
@@ -161,24 +232,26 @@ pub struct EngineProfile {
     pub events_executed: u64,
     /// Events cancelled before running.
     pub events_cancelled: u64,
-    /// High-water mark of simultaneously pending events (heap depth).
+    /// High-water mark of simultaneously pending events (queue depth).
     pub max_pending: usize,
 }
 
-impl<W> Default for Simulator<W> {
+impl<W, Q: SchedQueue> Default for Simulator<W, Q> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<W> Simulator<W> {
+impl<W, Q: SchedQueue> Simulator<W, Q> {
     /// Creates an empty simulator at time zero.
     pub fn new() -> Self {
         Simulator {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: Q::default(),
+            arena: Arena::default(),
+            actions: Vec::new(),
             next_seq: 0,
-            live: HashSet::new(),
+            pending: 0,
             executed: 0,
             cancelled: 0,
             max_pending: 0,
@@ -198,7 +271,7 @@ impl<W> Simulator<W> {
 
     /// Number of events currently pending (cancelled events excluded).
     pub fn pending(&self) -> usize {
-        self.live.len()
+        self.pending
     }
 
     /// Deterministic self-profiling counters for this simulator.
@@ -215,60 +288,83 @@ impl<W> Simulator<W> {
     ///
     /// Events scheduled in the past run "now": they are clamped to the
     /// current time and execute before the simulator advances, which
-    /// keeps model code free of re-entrancy special cases.
+    /// keeps model code free of re-entrancy special cases. Among
+    /// equal timestamps, events run in schedule order (see the
+    /// [ordering invariant](self)).
     pub fn schedule_at(
         &mut self,
         time: SimTime,
-        action: impl FnOnce(&mut W, &mut Simulator<W>) + 'static,
+        action: impl FnOnce(&mut W, &mut Simulator<W, Q>) + 'static,
     ) -> EventId {
         let time = time.max(self.now);
-        let id = EventId(self.next_seq);
-        self.queue.push(Scheduled {
-            time,
-            seq: self.next_seq,
-            id,
-            action: Box::new(action),
-        });
-        self.live.insert(id);
+        let seq = self.next_seq;
         self.next_seq += 1;
-        self.max_pending = self.max_pending.max(self.live.len());
-        id
+        let slot = self.arena.alloc(time, seq);
+        let boxed: Option<Action<W, Q>> = Some(Box::new(action));
+        if (slot as usize) < self.actions.len() {
+            self.actions[slot as usize] = boxed;
+        } else {
+            self.actions.push(boxed);
+        }
+        self.queue.insert(&mut self.arena, slot);
+        self.pending += 1;
+        self.max_pending = self.max_pending.max(self.pending);
+        EventId::pack(slot, self.arena.gen(slot))
     }
 
     /// Schedules `action` to run `delay` after the current time.
     pub fn schedule_in(
         &mut self,
         delay: SimDuration,
-        action: impl FnOnce(&mut W, &mut Simulator<W>) + 'static,
+        action: impl FnOnce(&mut W, &mut Simulator<W, Q>) + 'static,
     ) -> EventId {
         self.schedule_at(self.now + delay, action)
     }
 
     /// Cancels a pending event. Returns `true` if the event was still
     /// pending (i.e. this call prevented it from running).
+    ///
+    /// O(1): the generation tag in the handle is compared against the
+    /// arena slot's; a handle whose event already ran, was already
+    /// cancelled, or was never issued reports `false`. The dead entry
+    /// is purged from the queue lazily.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // An id absent from `live` was never issued, already executed,
-        // or already cancelled; all of those report false.
-        let removed = self.live.remove(&id);
-        self.cancelled += removed as u64;
-        removed
+        if self.arena.gen(id.slot()) != id.gen() || !self.arena.kill(id.slot()) {
+            return false;
+        }
+        // Drop the action eagerly; the queue releases the slot when
+        // it next touches the husk.
+        if let Some(a) = self.actions.get_mut(id.slot() as usize) {
+            *a = None;
+        }
+        self.cancelled += 1;
+        self.pending -= 1;
+        true
+    }
+
+    /// Pops and executes the earliest event with time `<= bound`.
+    /// Returns `false` if there is none.
+    fn dispatch_next(&mut self, world: &mut W, bound: SimTime) -> bool {
+        let Some(slot) = self.queue.pop_within(&mut self.arena, bound) else {
+            return false;
+        };
+        let time = self.arena.get(slot).map_or(self.now, |m| m.time);
+        let action = self.actions.get_mut(slot as usize).and_then(Option::take);
+        self.arena.release(slot);
+        debug_assert!(time >= self.now, "event queue went backwards");
+        debug_assert!(action.is_some(), "live slot without an action");
+        self.now = time;
+        self.executed += 1;
+        self.pending -= 1;
+        if let Some(action) = action {
+            action(world, self);
+        }
+        true
     }
 
     /// Runs a single event. Returns `false` if the queue is empty.
     pub fn step(&mut self, world: &mut W) -> bool {
-        loop {
-            let Some(ev) = self.queue.pop() else {
-                return false;
-            };
-            if !self.live.remove(&ev.id) {
-                continue; // cancelled
-            }
-            debug_assert!(ev.time >= self.now, "event queue went backwards");
-            self.now = ev.time;
-            self.executed += 1;
-            (ev.action)(world, self);
-            return true;
-        }
+        self.dispatch_next(world, SimTime::MAX)
     }
 
     /// Runs events until the queue is exhausted or `deadline` is
@@ -276,24 +372,7 @@ impl<W> Simulator<W> {
     /// the queue drains earlier. Returns the number of events executed.
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> u64 {
         let start = self.executed;
-        loop {
-            // Peek past cancelled events to find the next live one.
-            let next_time = loop {
-                match self.queue.peek() {
-                    None => break None,
-                    Some(ev) if !self.live.contains(&ev.id) => {
-                        self.queue.pop();
-                    }
-                    Some(ev) => break Some(ev.time),
-                }
-            };
-            match next_time {
-                Some(t) if t <= deadline => {
-                    self.step(world);
-                }
-                _ => break,
-            }
-        }
+        while self.dispatch_next(world, deadline) {}
         if self.now < deadline {
             self.now = deadline;
         }
@@ -350,21 +429,8 @@ impl<W> Simulator<W> {
                     }
                 }
             }
-            // Peek past cancelled events to find the next live one.
-            let next_time = loop {
-                match self.queue.peek() {
-                    None => break None,
-                    Some(ev) if !self.live.contains(&ev.id) => {
-                        self.queue.pop();
-                    }
-                    Some(ev) => break Some(ev.time),
-                }
-            };
-            match next_time {
-                Some(t) if t <= deadline => {
-                    self.step(world);
-                }
-                _ => break,
+            if !self.dispatch_next(world, deadline) {
+                break;
             }
         }
         if self.now < deadline {
@@ -386,7 +452,7 @@ impl<W> Simulator<W> {
     }
 }
 
-impl<W> std::fmt::Debug for Simulator<W> {
+impl<W, Q: SchedQueue> std::fmt::Debug for Simulator<W, Q> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.now)
@@ -420,6 +486,39 @@ mod tests {
         }
         sim.run_until(&mut w, SimTime::from_micros(1));
         assert_eq!(w, vec![0, 1, 2, 3, 4]);
+    }
+
+    /// The documented ordering invariant — `(time, seq)` with FIFO
+    /// tie-breaks surviving interleaved cancellation — holds
+    /// identically on *both* scheduler backends.
+    #[test]
+    fn fifo_tie_break_invariant_on_both_backends() {
+        fn ordering_on<Q: SchedQueue>() -> Vec<u32> {
+            let mut sim: Simulator<Vec<u32>, Q> = Simulator::new();
+            let mut w = Vec::new();
+            // Three timestamps, interleaved schedule order, one
+            // cancellation inside a tie group.
+            let t = |n| SimTime::from_nanos(n);
+            sim.schedule_at(t(20), |w: &mut Vec<u32>, _| w.push(0));
+            sim.schedule_at(t(10), |w: &mut Vec<u32>, _| w.push(1));
+            let dead = sim.schedule_at(t(10), |w: &mut Vec<u32>, _| w.push(2));
+            sim.schedule_at(t(10), |w: &mut Vec<u32>, _| w.push(3));
+            sim.schedule_at(t(20), |w: &mut Vec<u32>, _| w.push(4));
+            assert!(sim.cancel(dead));
+            // A same-timestamp event scheduled *during* the tie group
+            // runs after the group's survivors (its seq is larger).
+            sim.schedule_at(t(10), |w: &mut Vec<u32>, sim| {
+                w.push(5);
+                let now = sim.now();
+                sim.schedule_at(now, |w: &mut Vec<u32>, _| w.push(6));
+            });
+            sim.run_until(&mut w, SimTime::from_micros(1));
+            w
+        }
+        let wheel = ordering_on::<WheelQueue>();
+        let heap = ordering_on::<HeapQueue>();
+        assert_eq!(wheel, vec![1, 3, 5, 6, 0, 4]);
+        assert_eq!(wheel, heap);
     }
 
     #[test]
@@ -457,6 +556,22 @@ mod tests {
         sim.run_until(&mut w, SimTime::from_micros(1));
         assert_eq!(w, 1);
         assert!(!sim.cancel(id));
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_slot_reuser() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let mut w = 0;
+        let stale = sim.schedule_at(SimTime::from_nanos(5), |w: &mut u32, _| *w += 1);
+        sim.run_until(&mut w, SimTime::from_micros(1));
+        // The next event reuses the released arena slot; the stale
+        // handle's generation no longer matches, so it must not be
+        // able to cancel it.
+        let fresh = sim.schedule_at(SimTime::from_micros(2), |w: &mut u32, _| *w += 10);
+        assert_ne!(stale, fresh, "handles are never reused");
+        assert!(!sim.cancel(stale));
+        sim.run_until(&mut w, SimTime::from_micros(3));
+        assert_eq!(w, 11, "slot reuser must still run");
     }
 
     #[test]
@@ -515,6 +630,7 @@ mod tests {
     fn unknown_id_cancel_is_false() {
         let mut sim: Simulator<u32> = Simulator::new();
         assert!(!sim.cancel(EventId(42)));
+        assert!(!sim.cancel(EventId::pack(7, 3)));
     }
 
     fn perpetual(w: &mut u64, sim: &mut Simulator<u64>) {

@@ -1,0 +1,344 @@
+//! Hierarchical timing wheel — the default scheduler backend.
+//!
+//! Eight levels of 64 slots each, with a 1 ns tick at level 0. Level
+//! `l` buckets aggregate aligned `64^l`-nanosecond blocks, so the
+//! wheel spans `64^8` ns (≈ 3.3 days of virtual time) from the
+//! current cursor's top-level block; anything beyond that parks in an
+//! insertion-ordered overflow list (the calendar-queue fallback) and
+//! is pulled in when the wheel drains and rebases.
+//!
+//! Design notes (also see DESIGN.md §"Event core"):
+//!
+//! * **Exactness.** This is not a quantizing wheel: level-0 buckets
+//!   hold events of one exact nanosecond, so pop order is the strict
+//!   `(time, seq)` order the engine documents. Higher-level buckets
+//!   hold *blocks* of time; their contents cascade down a level at a
+//!   time as the cursor reaches them, preserving list order.
+//! * **Occupancy bitmaps.** One `u64` per level marks non-empty
+//!   buckets; finding the next event is a handful of
+//!   `trailing_zeros` calls, never a scan over empty slots, so
+//!   sparse schedules (microsecond gaps between nanosecond-resolution
+//!   events) cost nothing to skip across.
+//! * **FIFO preservation.** Bucket lists only ever (a) append a
+//!   freshly scheduled event, whose `seq` is globally maximal, or
+//!   (b) receive a cascaded/rebased list in its existing order into
+//!   levels that are empty at that moment — so every bucket list is
+//!   `seq`-sorted at all times and same-timestamp FIFO needs no
+//!   explicit sort.
+//! * **Bounded advance.** [`pop_within`](WheelQueue::pop_within)
+//!   never moves the cursor past `bound`, so a `run_until(deadline)`
+//!   that stops short leaves the wheel able to accept events
+//!   scheduled at any `time >= deadline` (the engine clamps schedule
+//!   times to its clock, which ends at the deadline).
+//! * **Cancellation.** Cancelled events are husks (their arena slot
+//!   is dead); they are purged and released when a pop or cascade
+//!   next touches their bucket, costing O(1) amortized.
+
+use super::arena::{Arena, NIL};
+use super::{SchedQueue, SimTime};
+
+/// log2 of the per-level fan-out.
+const BITS: u32 = 6;
+/// Buckets per level.
+const SLOTS: usize = 1 << BITS;
+/// Number of wheel levels; beyond `64^LEVELS` ns lies the overflow
+/// list.
+const LEVELS: usize = 8;
+/// Shift that isolates the top-level block of an absolute time.
+const TOP_SHIFT: u32 = BITS * LEVELS as u32;
+
+/// An intrusive FIFO list of arena slots (head/tail indices).
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    head: u32,
+    tail: u32,
+}
+
+impl Bucket {
+    const EMPTY: Bucket = Bucket {
+        head: NIL,
+        tail: NIL,
+    };
+}
+
+/// The hierarchical timing wheel. See the module docs for layout and
+/// invariants.
+pub struct WheelQueue {
+    /// Current wheel position in absolute nanoseconds. Invariant: no
+    /// pending event fires before `cur`, and `cur` never exceeds the
+    /// engine's clock by more than the bound passed to `pop_within`.
+    cur: u64,
+    /// Per-level occupancy bitmaps (bit *i* ⇔ bucket *i* non-empty).
+    occ: [u64; LEVELS],
+    /// The bucket lists, boxed to keep `Simulator` cheap to move.
+    buckets: Box<[[Bucket; SLOTS]; LEVELS]>,
+    /// Events beyond the wheel span, in insertion (= `seq`) order.
+    overflow: Vec<u32>,
+}
+
+impl Default for WheelQueue {
+    fn default() -> Self {
+        WheelQueue {
+            cur: 0,
+            occ: [0; LEVELS],
+            buckets: Box::new([[Bucket::EMPTY; SLOTS]; LEVELS]),
+            overflow: Vec::new(),
+        }
+    }
+}
+
+impl WheelQueue {
+    /// Appends `slot` to bucket `(lvl, idx)`, maintaining FIFO order
+    /// and the occupancy bitmap.
+    fn push_bucket(&mut self, arena: &mut Arena, lvl: usize, idx: usize, slot: u32) {
+        if let Some(m) = arena.meta.get_mut(slot as usize) {
+            m.next = NIL;
+        }
+        let b = &mut self.buckets[lvl][idx];
+        if b.head == NIL {
+            b.head = slot;
+        } else if let Some(tail) = arena.meta.get_mut(b.tail as usize) {
+            tail.next = slot;
+        }
+        b.tail = slot;
+        self.occ[lvl] |= 1u64 << idx;
+    }
+
+    /// Routes `slot` to its level/bucket relative to the current
+    /// cursor: the *lowest* level whose aligned window contains both
+    /// the cursor and the event's time. Far-future events go to the
+    /// overflow list.
+    fn place(&mut self, arena: &mut Arena, slot: u32) {
+        let t = arena.get(slot).map_or(0, |m| m.time.as_nanos());
+        debug_assert!(t >= self.cur, "event scheduled before wheel cursor");
+        if (t >> TOP_SHIFT) != (self.cur >> TOP_SHIFT) {
+            if let Some(m) = arena.meta.get_mut(slot as usize) {
+                m.next = NIL;
+            }
+            self.overflow.push(slot);
+            return;
+        }
+        let diff = t ^ self.cur;
+        let lvl = if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / BITS) as usize
+        };
+        let idx = ((t >> (BITS * lvl as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.push_bucket(arena, lvl, idx, slot);
+    }
+
+    /// Detaches bucket `(lvl, idx)` and redistributes its events into
+    /// lower levels relative to the (already advanced) cursor,
+    /// releasing cancelled husks along the way. List order — and
+    /// therefore `seq` order — is preserved.
+    fn cascade(&mut self, arena: &mut Arena, lvl: usize, idx: usize) {
+        let mut node = self.buckets[lvl][idx].head;
+        self.buckets[lvl][idx] = Bucket::EMPTY;
+        self.occ[lvl] &= !(1u64 << idx);
+        while node != NIL {
+            let next = arena.get(node).map_or(NIL, |m| m.next);
+            if arena.is_live(node) {
+                self.place(arena, node);
+            } else {
+                arena.release(node);
+            }
+            node = next;
+        }
+    }
+
+    /// Drops cancelled husks from the overflow list and returns the
+    /// earliest live overflow time, if any.
+    fn overflow_min(&mut self, arena: &mut Arena) -> Option<u64> {
+        let mut min = None;
+        let mut kept = 0;
+        for i in 0..self.overflow.len() {
+            let slot = self.overflow[i];
+            if arena.is_live(slot) {
+                let t = arena.get(slot).map_or(0, |m| m.time.as_nanos());
+                min = Some(min.map_or(t, |m: u64| m.min(t)));
+                self.overflow[kept] = slot;
+                kept += 1;
+            } else {
+                arena.release(slot);
+            }
+        }
+        self.overflow.truncate(kept);
+        min
+    }
+}
+
+impl super::sealed::Sealed for WheelQueue {}
+
+impl SchedQueue for WheelQueue {
+    fn insert(&mut self, arena: &mut Arena, slot: u32) {
+        self.place(arena, slot);
+    }
+
+    fn pop_within(&mut self, arena: &mut Arena, bound: SimTime) -> Option<u32> {
+        let bound = bound.as_nanos();
+        loop {
+            // Level 0 first: one bucket = one exact nanosecond, so the
+            // lowest occupied bucket's head is the earliest event.
+            if self.occ[0] != 0 {
+                let idx = self.occ[0].trailing_zeros() as usize;
+                // Purge cancelled husks at the head of the list.
+                loop {
+                    let head = self.buckets[0][idx].head;
+                    if head == NIL || arena.is_live(head) {
+                        break;
+                    }
+                    self.buckets[0][idx].head = arena.get(head).map_or(NIL, |m| m.next);
+                    arena.release(head);
+                }
+                let slot = self.buckets[0][idx].head;
+                if slot == NIL {
+                    self.buckets[0][idx] = Bucket::EMPTY;
+                    self.occ[0] &= !(1u64 << idx);
+                    continue;
+                }
+                let t = arena.get(slot).map_or(0, |m| m.time.as_nanos());
+                if t > bound {
+                    return None;
+                }
+                self.buckets[0][idx].head = arena.get(slot).map_or(NIL, |m| m.next);
+                if self.buckets[0][idx].head == NIL {
+                    self.buckets[0][idx] = Bucket::EMPTY;
+                    self.occ[0] &= !(1u64 << idx);
+                }
+                self.cur = t;
+                return Some(slot);
+            }
+
+            // Cascade the earliest block of the lowest occupied level.
+            // Every event at level `l` lies in the cursor's aligned
+            // `64^(l+1)` window *after* the cursor, so the lowest set
+            // bit is the earliest block and levels below are empty.
+            if let Some(lvl) = (1..LEVELS).find(|&l| self.occ[l] != 0) {
+                let idx = self.occ[lvl].trailing_zeros() as usize;
+                let span_mask = (1u64 << (BITS * (lvl as u32 + 1))) - 1;
+                let base = (self.cur & !span_mask) | ((idx as u64) << (BITS * lvl as u32));
+                if base > bound {
+                    // The earliest pending event fires after `bound`;
+                    // leave the cursor untouched so later schedules
+                    // at `>= bound` stay valid.
+                    return None;
+                }
+                debug_assert!(base >= self.cur, "cascade moved the wheel backwards");
+                self.cur = self.cur.max(base);
+                self.cascade(arena, lvl, idx);
+                continue;
+            }
+
+            // Wheel empty: rebase onto the overflow list, if it holds
+            // anything live within the bound.
+            let min = self.overflow_min(arena)?;
+            if min > bound {
+                return None;
+            }
+            self.cur = min;
+            // Re-route every parked event; those still beyond the new
+            // top-level block simply re-enter the overflow list, in
+            // order.
+            let parked = std::mem::take(&mut self.overflow);
+            for slot in parked {
+                self.place(arena, slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+impl WheelQueue {
+    /// True when no entries (live or husk) remain anywhere.
+    fn is_empty(&self) -> bool {
+        self.occ.iter().all(|&o| o == 0) && self.overflow.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc_at(arena: &mut Arena, t: u64, seq: u64) -> u32 {
+        arena.alloc(SimTime::from_nanos(t), seq)
+    }
+
+    fn drain(q: &mut WheelQueue, arena: &mut Arena) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(slot) = q.pop_within(arena, SimTime::MAX) {
+            out.push(arena.get(slot).map(|m| m.seq).expect("live slot"));
+            arena.release(slot);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut arena = Arena::default();
+        let mut q = WheelQueue::default();
+        // Deliberately straddle several levels and include ties.
+        let times = [5u64, 5, 63, 64, 65, 4095, 4096, 4097, 262_144, 5];
+        for (seq, &t) in times.iter().enumerate() {
+            let slot = alloc_at(&mut arena, t, seq as u64);
+            q.insert(&mut arena, slot);
+        }
+        assert_eq!(
+            drain(&mut q, &mut arena),
+            vec![0, 1, 9, 2, 3, 4, 5, 6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn far_future_goes_to_overflow_and_comes_back() {
+        let mut arena = Arena::default();
+        let mut q = WheelQueue::default();
+        let far = 1u64 << (TOP_SHIFT + 3); // beyond the wheel span
+        let a = alloc_at(&mut arena, far, 0);
+        let b = alloc_at(&mut arena, 10, 1);
+        q.insert(&mut arena, a);
+        q.insert(&mut arena, b);
+        assert_eq!(q.overflow.len(), 1);
+        assert_eq!(drain(&mut q, &mut arena), vec![1, 0]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_pop_does_not_advance_past_bound() {
+        let mut arena = Arena::default();
+        let mut q = WheelQueue::default();
+        let slot = alloc_at(&mut arena, 1_000_000, 0);
+        q.insert(&mut arena, slot);
+        assert_eq!(q.pop_within(&mut arena, SimTime::from_nanos(500)), None);
+        assert!(q.cur <= 500, "cursor ran past the bound: {}", q.cur);
+        // A later event scheduled after the bound must still be
+        // insertable and pop first if earlier.
+        let early = alloc_at(&mut arena, 600, 1);
+        q.insert(&mut arena, early);
+        assert_eq!(drain(&mut q, &mut arena), vec![1, 0]);
+    }
+
+    #[test]
+    fn cancelled_husks_are_released_lazily() {
+        let mut arena = Arena::default();
+        let mut q = WheelQueue::default();
+        let a = alloc_at(&mut arena, 100, 0);
+        let b = alloc_at(&mut arena, 100, 1);
+        let c = alloc_at(&mut arena, 1 << (TOP_SHIFT + 1), 2);
+        q.insert(&mut arena, a);
+        q.insert(&mut arena, b);
+        q.insert(&mut arena, c);
+        arena.kill(a);
+        arena.kill(c);
+        assert_eq!(drain(&mut q, &mut arena), vec![1]);
+        assert!(q.is_empty());
+        // Both husks were released back to the free list: allocating
+        // twice reuses them (in LIFO order) with bumped generations.
+        let g_a = arena.gen(a);
+        let reused = arena.alloc(SimTime::from_nanos(1), 3);
+        assert!(reused == a || reused == c);
+        if reused == a {
+            assert_eq!(arena.gen(a), g_a);
+        }
+    }
+}

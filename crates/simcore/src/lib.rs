@@ -40,7 +40,10 @@ pub mod time;
 pub mod trace;
 
 pub use audit::{Account, AuditCheck, AuditReport, ConservationLedger};
-pub use engine::{EngineProfile, EventId, Simulator, StepBudget};
+pub use engine::{
+    EngineProfile, EventId, HeapQueue, HeapSimulator, SchedQueue, Simulator, StepBudget,
+    WheelQueue, WheelSimulator,
+};
 pub use error::{BudgetKind, SimError};
 pub use fault::{
     FaultInjector, FaultKind, FaultPlan, FaultScope, FaultSpec, FaultStats, RecoverySummary,

@@ -1,0 +1,222 @@
+//! Wheel-specific edge cases, driven through the public engine API:
+//! zero-delay self-rescheduling, events landing exactly on wheel
+//! level boundaries, far-future overflow promotion/demotion,
+//! cancellation through stale generation handles, and budgeted-run
+//! interruption in the middle of a same-tick batch.
+//!
+//! Everything here pins `WheelSimulator` explicitly, so the suite
+//! exercises the wheel even when the workspace is built with
+//! `--features heap-sched`.
+
+use simcore::{SimDuration, SimTime, StepBudget, WheelSimulator};
+
+/// 64^2 and 64^3 — the spans of wheel levels 1 and 2.
+const L2: u64 = 64 * 64;
+const L3: u64 = 64 * 64 * 64;
+/// The full wheel span; times this far out park in the overflow list.
+const WHEEL_SPAN: u64 = 1 << 48;
+
+#[test]
+fn zero_delay_self_reschedule_runs_fifo_within_tick() {
+    let mut sim: WheelSimulator<Vec<&'static str>> = WheelSimulator::new();
+    let mut w = Vec::new();
+    // A zero-delay chain interleaved with a pre-scheduled tie: the
+    // chain's links are scheduled *during* the tick, so they run
+    // after every event already queued for that timestamp.
+    sim.schedule_at(SimTime::from_nanos(10), |w: &mut Vec<_>, sim| {
+        w.push("chain-0");
+        sim.schedule_in(SimDuration::from_nanos(0), |w: &mut Vec<_>, sim| {
+            w.push("chain-1");
+            sim.schedule_in(SimDuration::from_nanos(0), |w: &mut Vec<_>, _| {
+                w.push("chain-2")
+            });
+        });
+    });
+    sim.schedule_at(SimTime::from_nanos(10), |w: &mut Vec<_>, _| w.push("tie"));
+    sim.run_until(&mut w, SimTime::from_micros(1));
+    assert_eq!(w, vec!["chain-0", "tie", "chain-1", "chain-2"]);
+    assert_eq!(sim.now(), SimTime::from_micros(1));
+}
+
+#[test]
+fn zero_delay_chain_trips_event_budget_not_livelock() {
+    let mut sim: WheelSimulator<u64> = WheelSimulator::new();
+    let mut w = 0u64;
+    fn spin(w: &mut u64, sim: &mut WheelSimulator<u64>) {
+        *w += 1;
+        sim.schedule_in(SimDuration::from_nanos(0), spin);
+    }
+    sim.schedule_at(SimTime::from_nanos(5), spin);
+    let budget = StepBudget::unlimited().with_max_events(1_000);
+    assert!(sim
+        .run_until_budgeted(&mut w, SimTime::from_micros(1), &budget)
+        .is_err());
+    assert_eq!(w, 1_000, "virtual time never advanced, budget must trip");
+    assert_eq!(sim.now(), SimTime::from_nanos(5));
+}
+
+#[test]
+fn events_on_exact_level_boundaries_fire_in_order() {
+    let mut sim: WheelSimulator<Vec<u64>> = WheelSimulator::new();
+    let mut w = Vec::new();
+    // One event on each side of every level boundary, scheduled in
+    // shuffled order.
+    let times = [
+        L3 + 1,
+        64,
+        L2 - 1,
+        0,
+        L2 + 1,
+        63,
+        L3,
+        1,
+        L2,
+        65,
+        L3 - 1,
+        WHEEL_SPAN - 1,
+    ];
+    for &t in &times {
+        sim.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<u64>, _| w.push(t));
+    }
+    sim.run_until(&mut w, SimTime::MAX);
+    let mut sorted = times.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(w, sorted);
+}
+
+#[test]
+fn far_future_overflow_promotes_back_into_the_wheel() {
+    let mut sim: WheelSimulator<Vec<u64>> = WheelSimulator::new();
+    let mut w = Vec::new();
+    // Beyond the wheel span from t=0: parked in overflow, then pulled
+    // back in (promoted) once the wheel drains and rebases.
+    let far = [
+        WHEEL_SPAN + 5,
+        3 * WHEEL_SPAN,
+        WHEEL_SPAN + 5,
+        2 * WHEEL_SPAN,
+    ];
+    for (i, &t) in far.iter().enumerate() {
+        sim.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<u64>, _| {
+            w.push(t + i as u64)
+        });
+    }
+    sim.schedule_at(SimTime::from_nanos(7), |w: &mut Vec<u64>, _| w.push(7));
+    // Running short of the overflow times executes only the near
+    // event and must not disturb the parked ones.
+    sim.run_until(&mut w, SimTime::from_nanos(1_000));
+    assert_eq!(w, vec![7]);
+    // FIFO between the two identical far timestamps: index 0 before 2.
+    sim.run_until(&mut w, SimTime::MAX);
+    assert_eq!(
+        w,
+        vec![
+            7,
+            WHEEL_SPAN + 5,
+            WHEEL_SPAN + 7,
+            2 * WHEEL_SPAN + 3,
+            3 * WHEEL_SPAN + 1
+        ]
+    );
+}
+
+#[test]
+fn demotion_cascades_preserve_cross_level_fifo() {
+    let mut sim: WheelSimulator<Vec<&'static str>> = WheelSimulator::new();
+    let mut w = Vec::new();
+    let target = SimTime::from_nanos(2 * L3 + 3 * 64 + 9);
+    // Scheduled from t=0, `target` sits at wheel level 3; it must
+    // demote through levels 2→1→0 as the cursor approaches.
+    sim.schedule_at(target, |w: &mut Vec<_>, _| w.push("early-seq"));
+    // Walk the clock toward the target in level-sized hops, then
+    // schedule a tie for the same nanosecond from close range (it
+    // lands directly at a low level). The demoted far event was
+    // scheduled first, so it keeps FIFO priority.
+    sim.run_until(&mut w, SimTime::from_nanos(L3));
+    sim.run_until(&mut w, SimTime::from_nanos(2 * L3 + 64));
+    sim.schedule_at(target, |w: &mut Vec<_>, _| w.push("late-seq"));
+    assert!(w.is_empty());
+    sim.run_until(&mut w, SimTime::MAX);
+    assert_eq!(w, vec!["early-seq", "late-seq"]);
+}
+
+#[test]
+fn cancelling_a_fired_generation_handle_is_inert() {
+    let mut sim: WheelSimulator<u32> = WheelSimulator::new();
+    let mut w = 0u32;
+    let fired = sim.schedule_at(SimTime::from_nanos(1), |w: &mut u32, _| *w += 1);
+    sim.run_until(&mut w, SimTime::from_nanos(10));
+    assert_eq!(w, 1);
+    // The arena slot is recycled by the next schedule; the stale
+    // handle must neither report success nor kill the new tenant.
+    let tenant = sim.schedule_at(SimTime::from_nanos(20), |w: &mut u32, _| *w += 100);
+    assert!(!sim.cancel(fired), "fired handle must be stale");
+    assert_eq!(sim.pending(), 1);
+    sim.run_until(&mut w, SimTime::from_nanos(30));
+    assert_eq!(w, 101, "slot tenant must survive the stale cancel");
+    assert!(!sim.cancel(tenant), "tenant has fired too by now");
+}
+
+#[test]
+fn cancelling_overflow_and_high_level_events_is_o1_and_sticks() {
+    let mut sim: WheelSimulator<u32> = WheelSimulator::new();
+    let mut w = 0u32;
+    let in_overflow = sim.schedule_at(SimTime::from_nanos(WHEEL_SPAN + 99), |w: &mut u32, _| {
+        *w += 1
+    });
+    let in_level3 = sim.schedule_at(SimTime::from_nanos(L3 + 17), |w: &mut u32, _| *w += 10);
+    let survivor = sim.schedule_at(SimTime::from_nanos(L3 + 17), |w: &mut u32, _| *w += 100);
+    assert!(sim.cancel(in_overflow));
+    assert!(sim.cancel(in_level3));
+    assert!(!sim.cancel(in_level3), "double cancel reports false");
+    sim.run_until(&mut w, SimTime::MAX);
+    assert_eq!(w, 100, "only the survivor fires");
+    assert!(!sim.cancel(survivor));
+    let p = sim.profile();
+    assert_eq!(p.events_cancelled, 2);
+    assert_eq!(p.events_executed, 1);
+}
+
+#[test]
+fn budget_interrupts_mid_tick_batch_and_resumes_fifo() {
+    let mut sim: WheelSimulator<Vec<u64>> = WheelSimulator::new();
+    let mut w = Vec::new();
+    // Ten events on one tick — a single wheel bucket run.
+    for i in 0..10u64 {
+        sim.schedule_at(SimTime::from_nanos(50), move |w: &mut Vec<u64>, _| {
+            w.push(i)
+        });
+    }
+    let budget = StepBudget::unlimited().with_max_events(4);
+    assert!(sim
+        .run_until_budgeted(&mut w, SimTime::from_micros(1), &budget)
+        .is_err());
+    assert_eq!(w, vec![0, 1, 2, 3], "batch interrupted exactly at the cap");
+    assert_eq!(sim.now(), SimTime::from_nanos(50), "clock parked mid-tick");
+    assert_eq!(sim.pending(), 6);
+    // A later, bigger budget finishes the batch in FIFO order.
+    let budget = StepBudget::unlimited().with_max_events(100);
+    sim.run_until_budgeted(&mut w, SimTime::from_micros(1), &budget)
+        .expect("remaining batch fits");
+    assert_eq!(w, (0..10).collect::<Vec<_>>());
+    assert_eq!(sim.now(), SimTime::from_micros(1));
+}
+
+#[test]
+fn deadline_stop_between_levels_accepts_earlier_reschedules() {
+    let mut sim: WheelSimulator<Vec<u64>> = WheelSimulator::new();
+    let mut w = Vec::new();
+    // Only a far event pending; a bounded run stops short of it.
+    sim.schedule_at(SimTime::from_nanos(5_000_000), |w: &mut Vec<u64>, _| {
+        w.push(5_000_000)
+    });
+    sim.run_until(&mut w, SimTime::from_nanos(1_000));
+    assert!(w.is_empty());
+    // Now schedule *earlier* than the far event (but after the
+    // deadline already passed) — the wheel must still order it first.
+    sim.schedule_at(SimTime::from_nanos(2_000), |w: &mut Vec<u64>, _| {
+        w.push(2_000)
+    });
+    sim.run_until(&mut w, SimTime::MAX);
+    assert_eq!(w, vec![2_000, 5_000_000]);
+}

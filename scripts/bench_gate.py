@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Scheduler-microbench regression gate (ISSUE 6).
+
+Absolute events/sec is meaningless across heterogeneous CI runners, so
+every `scheduler/*` workload runs on the timing wheel AND the binary-
+heap oracle, and the gate compares the heap/wheel speedup ratio —
+the oracle run cancels machine speed out of the quotient. A workload
+whose ratio drops more than 10% below the checked-in
+`BENCH_baseline.json` fails the job, as does a standing-set speedup
+below the 5x acceptance floor.
+
+Ratios use `min_ns` (fastest of N samples): scheduler interference
+only ever adds time, so the minimum is the noise-robust estimate of
+the true cost. Pre-`min_ns` reports fall back to `mean_ns`.
+
+Usage: bench_gate.py [BENCH_repro.json [BENCH_baseline.json]]
+"""
+
+import json
+import sys
+
+# Workloads gated against the baseline (each has wheel_* and heap_*).
+WORKLOADS = ["churn_100k", "bursts_64k", "standing_1m"]
+# Max tolerated drop in the heap/wheel speedup ratio vs the baseline.
+TOLERANCE = 0.10
+# Hard acceptance floor from ISSUE 6, machine-independent by design:
+# the wheel must dispatch >=5x the oracle's events/sec on the
+# standing-population workload.
+ACCEPTANCE = {"standing_1m": 5.0}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b.get("min_ns", b["mean_ns"]) for b in doc["benchmarks"]}
+
+
+def speedup(stats, workload, baseline="heap"):
+    wheel = stats.get(f"scheduler/wheel_{workload}")
+    other = stats.get(f"scheduler/{baseline}_{workload}")
+    if not wheel or not other:
+        return None
+    return other / wheel
+
+
+def main():
+    current_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_repro.json"
+    baseline_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_baseline.json"
+    current = load(current_path)
+    baseline = load(baseline_path)
+
+    failures = []
+    for workload in WORKLOADS:
+        now = speedup(current, workload)
+        ref = speedup(baseline, workload)
+        if now is None:
+            failures.append(f"{workload}: missing from {current_path}")
+            continue
+        if ref is None:
+            failures.append(f"{workload}: missing from {baseline_path}")
+            continue
+        floor = ref * (1.0 - TOLERANCE)
+        status = "ok" if now >= floor else "REGRESSION"
+        print(
+            f"{workload:14} wheel speedup {now:5.2f}x over heap oracle "
+            f"(baseline {ref:5.2f}x, floor {floor:5.2f}x) {status}"
+        )
+        if now < floor:
+            failures.append(
+                f"{workload}: speedup {now:.2f}x fell >10% below baseline {ref:.2f}x"
+            )
+        hard = ACCEPTANCE.get(workload)
+        if hard is not None and now < hard:
+            failures.append(
+                f"{workload}: speedup {now:.2f}x is below the {hard:.0f}x acceptance floor"
+            )
+
+    # Informational: the pre-wheel seed engine (boxed actions inside
+    # the heap + HashSet live-set), the honest before/after pair.
+    for workload in WORKLOADS:
+        seed = speedup(current, workload, baseline="seed")
+        if seed is not None:
+            print(f"{workload:14} wheel speedup {seed:5.2f}x over seed engine")
+
+    if failures:
+        print("\nbench gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("\nbench gate passed")
+
+
+if __name__ == "__main__":
+    main()
