@@ -521,6 +521,33 @@ mod tests {
         assert_eq!(wheel, heap);
     }
 
+    /// Regression (REVIEW: high): stepping a queue whose only content
+    /// is a cancelled far event must leave the scheduler able to
+    /// accept — and run — a later schedule at an earlier virtual
+    /// time. The wheel backend used to strand its cursor at the
+    /// cancelled event's bucket base, panicking in debug builds and
+    /// livelocking in release on the second `step`.
+    #[test]
+    fn step_over_cancelled_event_accepts_earlier_reschedule_on_both_backends() {
+        fn check<Q: SchedQueue>() {
+            let mut sim: Simulator<Vec<u64>, Q> = Simulator::new();
+            let mut w = Vec::new();
+            let dead = sim.schedule_at(SimTime::from_nanos(10_000), |w: &mut Vec<u64>, _| {
+                w.push(10_000)
+            });
+            assert!(sim.cancel(dead));
+            assert!(!sim.step(&mut w), "only a husk pending");
+            assert_eq!(sim.now(), SimTime::ZERO, "nothing ran, clock stays");
+            sim.schedule_at(SimTime::from_nanos(100), |w: &mut Vec<u64>, _| w.push(100));
+            assert!(sim.step(&mut w), "earlier reschedule must run");
+            assert_eq!(w, vec![100]);
+            assert_eq!(sim.now(), SimTime::from_nanos(100));
+            assert!(!sim.step(&mut w));
+        }
+        check::<WheelQueue>();
+        check::<HeapQueue>();
+    }
+
     #[test]
     fn nested_scheduling() {
         let mut sim: Simulator<u32> = Simulator::new();

@@ -67,6 +67,12 @@ pub struct WheelQueue {
     /// Current wheel position in absolute nanoseconds. Invariant: no
     /// pending event fires before `cur`, and `cur` never exceeds the
     /// engine's clock by more than the bound passed to `pop_within`.
+    /// Advancement is committed only on behalf of *live* events (a
+    /// pop, or a cascade/rebase of a bucket holding at least one);
+    /// buckets that turn out to be all cancelled husks are purged
+    /// with the cursor untouched, so a pop that drains to `None`
+    /// never strands `cur` ahead of times the engine may still
+    /// schedule.
     cur: u64,
     /// Per-level occupancy bitmaps (bit *i* ⇔ bucket *i* non-empty).
     occ: [u64; LEVELS],
@@ -147,6 +153,32 @@ impl WheelQueue {
         }
     }
 
+    /// True if bucket `(lvl, idx)` holds at least one live (not
+    /// cancelled) event.
+    fn bucket_has_live(&self, arena: &Arena, lvl: usize, idx: usize) -> bool {
+        let mut node = self.buckets[lvl][idx].head;
+        while node != NIL {
+            if arena.is_live(node) {
+                return true;
+            }
+            node = arena.get(node).map_or(NIL, |m| m.next);
+        }
+        false
+    }
+
+    /// Empties bucket `(lvl, idx)` and releases every entry back to
+    /// the arena. Only called on buckets known to hold no live events.
+    fn purge_bucket(&mut self, arena: &mut Arena, lvl: usize, idx: usize) {
+        let mut node = self.buckets[lvl][idx].head;
+        self.buckets[lvl][idx] = Bucket::EMPTY;
+        self.occ[lvl] &= !(1u64 << idx);
+        while node != NIL {
+            let next = arena.get(node).map_or(NIL, |m| m.next);
+            arena.release(node);
+            node = next;
+        }
+    }
+
     /// Drops cancelled husks from the overflow list and returns the
     /// earliest live overflow time, if any.
     fn overflow_min(&mut self, arena: &mut Arena) -> Option<u64> {
@@ -216,6 +248,18 @@ impl SchedQueue for WheelQueue {
             // bit is the earliest block and levels below are empty.
             if let Some(lvl) = (1..LEVELS).find(|&l| self.occ[l] != 0) {
                 let idx = self.occ[lvl].trailing_zeros() as usize;
+                // A bucket holding only cancelled husks must not move
+                // the cursor: nothing in it will pop, so committing
+                // `cur` to the husks' block would strand the wheel
+                // ahead of the engine clock, and a later schedule at a
+                // legal time (>= now, < cur) would land *behind* the
+                // cursor — tripping place()'s invariant in debug
+                // builds and livelocking the cascade arm in release.
+                // Purge the husks in place and retry, cursor untouched.
+                if !self.bucket_has_live(arena, lvl, idx) {
+                    self.purge_bucket(arena, lvl, idx);
+                    continue;
+                }
                 let span_mask = (1u64 << (BITS * (lvl as u32 + 1))) - 1;
                 let base = (self.cur & !span_mask) | ((idx as u64) << (BITS * lvl as u32));
                 if base > bound {
@@ -316,6 +360,29 @@ mod tests {
         let early = alloc_at(&mut arena, 600, 1);
         q.insert(&mut arena, early);
         assert_eq!(drain(&mut q, &mut arena), vec![1, 0]);
+    }
+
+    /// Regression (REVIEW: high): draining a cascade that holds only
+    /// cancelled husks must not commit the cursor to the husks'
+    /// bucket base — a later insert at a legal earlier time would
+    /// land behind the cursor (debug panic / release livelock).
+    #[test]
+    fn husk_only_cascade_leaves_cursor_for_earlier_reschedule() {
+        let mut arena = Arena::default();
+        let mut q = WheelQueue::default();
+        // 10_000 ns sits at wheel level 2; cancel it so the cascade
+        // finds nothing live.
+        let dead = alloc_at(&mut arena, 10_000, 0);
+        q.insert(&mut arena, dead);
+        arena.kill(dead);
+        assert_eq!(q.pop_within(&mut arena, SimTime::MAX), None);
+        assert_eq!(q.cur, 0, "husk-only drain moved the cursor");
+        // An earlier (still legal: engine clock never advanced) time
+        // must insert and pop cleanly.
+        let live = alloc_at(&mut arena, 100, 1);
+        q.insert(&mut arena, live);
+        assert_eq!(drain(&mut q, &mut arena), vec![1]);
+        assert!(q.is_empty());
     }
 
     #[test]

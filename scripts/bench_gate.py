@@ -4,10 +4,21 @@
 Absolute events/sec is meaningless across heterogeneous CI runners, so
 every `scheduler/*` workload runs on the timing wheel AND the binary-
 heap oracle, and the gate compares the heap/wheel speedup ratio —
-the oracle run cancels machine speed out of the quotient. A workload
-whose ratio drops more than 10% below the checked-in
-`BENCH_baseline.json` fails the job, as does a standing-set speedup
-below the 5x acceptance floor.
+the oracle run cancels machine speed out of the quotient.
+
+Two kinds of checks, with different teeth:
+
+* **Hard** — the machine-independent 5x acceptance floor from ISSUE 6:
+  the wheel must dispatch >=5x the oracle's events/sec on the
+  standing-population workload. Noise cannot produce a 5x-to-sub-5x
+  swing, so this always fails the job.
+* **Advisory** — the speedup ratio vs the checked-in
+  `BENCH_baseline.json`. Even with the oracle normalization, a noisy
+  neighbor on a shared runner can skew one side of the quotient, so a
+  >10% ratio drop prints a prominent warning (and a GitHub error
+  annotation when running in Actions) instead of failing unrelated
+  PRs spuriously. Treat a warning that reproduces across runs as a
+  real regression.
 
 Ratios use `min_ns` (fastest of N samples): scheduler interference
 only ever adds time, so the minimum is the noise-robust estimate of
@@ -17,11 +28,13 @@ Usage: bench_gate.py [BENCH_repro.json [BENCH_baseline.json]]
 """
 
 import json
+import os
 import sys
 
 # Workloads gated against the baseline (each has wheel_* and heap_*).
 WORKLOADS = ["churn_100k", "bursts_64k", "standing_1m"]
-# Max tolerated drop in the heap/wheel speedup ratio vs the baseline.
+# Max tolerated drop in the heap/wheel speedup ratio vs the baseline
+# before the advisory warning fires.
 TOLERANCE = 0.10
 # Hard acceptance floor from ISSUE 6, machine-independent by design:
 # the wheel must dispatch >=5x the oracle's events/sec on the
@@ -49,24 +62,26 @@ def main():
     current = load(current_path)
     baseline = load(baseline_path)
 
-    failures = []
+    failures = []  # hard: fail the job
+    warnings = []  # advisory: print loudly, exit 0
     for workload in WORKLOADS:
         now = speedup(current, workload)
         ref = speedup(baseline, workload)
         if now is None:
+            # A missing workload is a broken bench harness, not noise.
             failures.append(f"{workload}: missing from {current_path}")
             continue
         if ref is None:
             failures.append(f"{workload}: missing from {baseline_path}")
             continue
         floor = ref * (1.0 - TOLERANCE)
-        status = "ok" if now >= floor else "REGRESSION"
+        status = "ok" if now >= floor else "WARN: below baseline"
         print(
             f"{workload:14} wheel speedup {now:5.2f}x over heap oracle "
-            f"(baseline {ref:5.2f}x, floor {floor:5.2f}x) {status}"
+            f"(baseline {ref:5.2f}x, advisory floor {floor:5.2f}x) {status}"
         )
         if now < floor:
-            failures.append(
+            warnings.append(
                 f"{workload}: speedup {now:.2f}x fell >10% below baseline {ref:.2f}x"
             )
         hard = ACCEPTANCE.get(workload)
@@ -82,12 +97,19 @@ def main():
         if seed is not None:
             print(f"{workload:14} wheel speedup {seed:5.2f}x over seed engine")
 
+    if warnings:
+        print("\nbench gate ADVISORY (not failing the job; rerun to confirm):")
+        for w in warnings:
+            print(f"  - {w}")
+            if os.environ.get("GITHUB_ACTIONS"):
+                print(f"::warning title=scheduler bench ratio drop::{w}")
+
     if failures:
         print("\nbench gate FAILED:")
         for f in failures:
             print(f"  - {f}")
         sys.exit(1)
-    print("\nbench gate passed")
+    print("\nbench gate passed" + (" (with advisory warnings)" if warnings else ""))
 
 
 if __name__ == "__main__":
