@@ -21,15 +21,19 @@
 use crate::service::AppModel;
 use cpusim::dvfs::{CompletionResult, TransitionOutcome};
 use cpusim::power::CoreActivity;
-use cpusim::{CoreId, DvfsScope, PState, Processor, ProcessorProfile};
+use cpusim::{CoreId, DvfsScope, PState, Processor, ProcessorProfile, RaplCounter};
 use governors::{Action, PStateGovernor, SleepPolicy};
-use napisim::{NapiContext, PollClass, PollVerdict, ProcContext, RunQueue, StackParams, TaskId};
+use napisim::{
+    NapiContext, NapiMode, PollClass, PollVerdict, ProcContext, RunQueue, StackParams, TaskId,
+};
 use netsim::nic::PollResult;
 use netsim::{LinkModel, Nic, NicConfig, Packet, QueueId};
 use simcore::audit::{Account, AuditReport, ConservationLedger};
 use simcore::{
-    AttribTracker, ChainMarks, EventLog, FaultInjector, FaultKind, FaultPlan, FaultSpec, RngStream,
-    SimDuration, SimTime, Simulator, SloWatchdog, Stage, WatchdogEvent,
+    AttribTracker, BusyRole, ChainMarks, CoreEnergyMeter, CoreEnergySummary, DecisionTrigger,
+    EnergyBreakdown, EnergySummary, EventLog, FaultInjector, FaultKind, FaultPlan, FaultSpec,
+    FlightRecorder, FlightSummary, GovDecision, ModeEnergy, RngStream, SimDuration, SimTime,
+    Simulator, SloWatchdog, Stage, WatchdogEvent,
 };
 use std::collections::VecDeque;
 use workload::{ArrivalProcess, BurstyArrivals, Client, LoadSpec};
@@ -396,6 +400,35 @@ pub struct Testbed {
     wire_requests_in_flight: u64,
     /// Response packets sent but not yet received by the client.
     wire_responses_in_flight: u64,
+    /// RAPL-like interval counter, read once per sampling tick; a
+    /// clamped (negative-delta) read fails the conservation audit.
+    rapl: RaplCounter,
+    /// Bounded ring of every governor decision with the feature
+    /// snapshot it acted on. Zero-sized no-op without `obs`.
+    flight: FlightRecorder,
+    /// Each core's last sampled CC0 utilization, per mille (the
+    /// flight recorder's utilization input).
+    last_util: Vec<u32>,
+    /// Integer-µJ package totals already credited to the energy
+    /// ledger accounts (credits happen at sample boundaries).
+    energy_credited_measured_uj: u64,
+    energy_credited_attributed_uj: u64,
+    /// Per-core measured-µJ anchor at the last mode-energy flush.
+    mode_anchor_measured_uj: Vec<u64>,
+    /// Per-core wake-transition-µJ anchor at the last flush.
+    mode_anchor_wake_uj: Vec<u64>,
+    /// Core energy burned in interrupt / polling mode, and in
+    /// C-state wake transitions, cumulative from time zero. The
+    /// three partition the cores' measured µJ exactly (audited).
+    mode_interrupt_uj: u64,
+    mode_polling_uj: u64,
+    mode_transition_uj: u64,
+    /// Integer-µJ snapshots at `begin_measurement`, windowing the
+    /// [`energy_summary`](Testbed::energy_summary).
+    measure_start_core_uj: Vec<u64>,
+    measure_start_core_breakdown: Vec<EnergyBreakdown>,
+    measure_start_uncore_uj: u64,
+    measure_start_mode: ModeEnergy,
 }
 
 impl Testbed {
@@ -487,6 +520,22 @@ impl Testbed {
             last_poll_signal: vec![None; cores],
             wire_requests_in_flight: 0,
             wire_responses_in_flight: 0,
+            rapl: RaplCounter::new(),
+            // 4096 decisions ≈ tens of seconds of history at typical
+            // decision rates; old entries evict with drop accounting.
+            flight: FlightRecorder::with_capacity(4096),
+            last_util: vec![0; cores],
+            energy_credited_measured_uj: 0,
+            energy_credited_attributed_uj: 0,
+            mode_anchor_measured_uj: vec![0; cores],
+            mode_anchor_wake_uj: vec![0; cores],
+            mode_interrupt_uj: 0,
+            mode_polling_uj: 0,
+            mode_transition_uj: 0,
+            measure_start_core_uj: vec![0; cores],
+            measure_start_core_breakdown: vec![EnergyBreakdown::default(); cores],
+            measure_start_uncore_uj: 0,
+            measure_start_mode: ModeEnergy::default(),
         };
         // All cores start idle under the sleep policy.
         for i in 0..cores {
@@ -555,6 +604,104 @@ impl Testbed {
         self.measure_start = now;
         self.measure_start_energy = self.processor.package_energy_joules(now);
         self.measure_start_samples = self.ledger.balance(Account::LatencySamples);
+        if CoreEnergyMeter::ENABLED {
+            // Close the open mode-energy windows against the warm-up
+            // buckets, then snapshot every integer cursor so the
+            // summary can report the measured window alone.
+            for i in 0..self.processor.num_cores() {
+                let mode = self.napi[i].mode();
+                self.flush_mode_energy(i, now, mode);
+            }
+            for i in 0..self.processor.num_cores() {
+                let c = self.processor.core_mut(CoreId(i));
+                self.measure_start_core_uj[i] = c.energy_uj(now, &self.profile);
+                self.measure_start_core_breakdown[i] = c.energy_breakdown(now, &self.profile);
+            }
+            self.measure_start_uncore_uj = self.processor.uncore_uj(now);
+            self.measure_start_mode = ModeEnergy {
+                interrupt_uj: self.mode_interrupt_uj,
+                polling_uj: self.mode_polling_uj,
+                transition_uj: self.mode_transition_uj,
+            };
+        }
+    }
+
+    /// Folds the core's meter deltas since the last flush into the
+    /// per-mode energy buckets, charging non-transition burn to
+    /// `mode` (the NAPI mode the window belonged to) and the
+    /// wake-transition component to the transition bucket.
+    fn flush_mode_energy(&mut self, core: usize, now: SimTime, mode: NapiMode) {
+        if !CoreEnergyMeter::ENABLED {
+            return;
+        }
+        let c = self.processor.core_mut(CoreId(core));
+        let measured = c.energy_uj(now, &self.profile);
+        let wake = c
+            .energy_breakdown(now, &self.profile)
+            .get_uj(simcore::EnergyComponent::WakeC0);
+        let d_measured = measured.saturating_sub(self.mode_anchor_measured_uj[core]);
+        let d_wake = wake.saturating_sub(self.mode_anchor_wake_uj[core]);
+        self.mode_anchor_measured_uj[core] = measured;
+        self.mode_anchor_wake_uj[core] = wake;
+        // WakeC0 is one component of the measured total, so the
+        // subtraction cannot underflow; saturate anyway.
+        let d_mode = d_measured.saturating_sub(d_wake);
+        match mode {
+            NapiMode::Interrupt => self.mode_interrupt_uj += d_mode,
+            NapiMode::Polling => self.mode_polling_uj += d_mode,
+        }
+        self.mode_transition_uj += d_wake;
+    }
+
+    /// Integer-exact energy attribution over the measured interval:
+    /// per-core measured µJ with their component decompositions, the
+    /// package uncore term, the same energy split by packet-processing
+    /// mode, and the RAPL clamp count. All zeros without the `obs`
+    /// feature.
+    pub fn energy_summary(&mut self, end: SimTime) -> EnergySummary {
+        for i in 0..self.processor.num_cores() {
+            let mode = self.napi[i].mode();
+            self.flush_mode_energy(i, end, mode);
+        }
+        let mut cores = Vec::with_capacity(self.processor.num_cores());
+        for i in 0..self.processor.num_cores() {
+            let c = self.processor.core_mut(CoreId(i));
+            let measured = c
+                .energy_uj(end, &self.profile)
+                .saturating_sub(self.measure_start_core_uj[i]);
+            let breakdown = c
+                .energy_breakdown(end, &self.profile)
+                .since(&self.measure_start_core_breakdown[i]);
+            cores.push(CoreEnergySummary {
+                core: i as u32,
+                measured_uj: measured,
+                breakdown,
+            });
+        }
+        EnergySummary {
+            cores,
+            uncore_uj: self
+                .processor
+                .uncore_uj(end)
+                .saturating_sub(self.measure_start_uncore_uj),
+            modes: ModeEnergy {
+                interrupt_uj: self
+                    .mode_interrupt_uj
+                    .saturating_sub(self.measure_start_mode.interrupt_uj),
+                polling_uj: self
+                    .mode_polling_uj
+                    .saturating_sub(self.measure_start_mode.polling_uj),
+                transition_uj: self
+                    .mode_transition_uj
+                    .saturating_sub(self.measure_start_mode.transition_uj),
+            },
+            rapl_clamps: self.rapl.clamp_events(),
+        }
+    }
+
+    /// The governor decision flight recorder's end-of-run summary.
+    pub fn flight_summary(&self) -> FlightSummary {
+        self.flight.summary()
     }
 
     /// Package energy consumed since `begin_measurement`, in joules.
@@ -649,7 +796,7 @@ impl Testbed {
         self.watchdog_events = events;
         let mut actions = std::mem::take(&mut self.actions);
         self.governor.on_request_latency(latency, now, &mut actions);
-        self.apply_actions(sim, &mut actions);
+        self.apply_actions(sim, &mut actions, DecisionTrigger::RequestLatency);
         self.actions = actions;
     }
 
@@ -839,6 +986,17 @@ impl Testbed {
         {
             let c = self.processor.core_mut(core);
             c.set_busy(true, now, &self.profile);
+            // Tag the energy meter with what this chunk is: hardirq
+            // and NAPI poll cycles are kernel interrupt handling,
+            // application chunks are app execution. The tag applies
+            // from `now` forward (`set_busy` just closed the previous
+            // segment under the old tag).
+            let role = if matches!(kind, RunKind::App { .. }) {
+                BusyRole::App
+            } else {
+                BusyRole::Irq
+            };
+            c.set_busy_role(role, now, &self.profile);
         }
         let work = self
             .processor
@@ -957,7 +1115,14 @@ impl Testbed {
         // Resched pending: a thread (the app worker) is waiting on
         // this core — §2.1's third handoff condition.
         let resched = !self.backlog[core.0].is_empty();
+        let mode_before = self.napi[core.0].mode();
         let outcome = self.napi[core.0].record_poll(rx_n, tx_n, drained, resched, ctx, now);
+        // `record_poll` is the only place the packet-processing mode
+        // can flip: close the energy window under the mode it
+        // belonged to, so joules-per-mode stays exact.
+        if CoreEnergyMeter::ENABLED && self.napi[core.0].mode() != mode_before {
+            self.flush_mode_energy(core.0, now, mode_before);
+        }
         if let Some(observer) = self.poll_observer.as_mut() {
             observer(core, outcome.class, rx_n as u64, now);
         }
@@ -970,7 +1135,7 @@ impl Testbed {
             self.governor
                 .on_poll_batch(core, outcome.class, rx_n as u64, now, &mut actions);
         }
-        self.apply_actions(sim, &mut actions);
+        self.apply_actions(sim, &mut actions, DecisionTrigger::PollBatch);
         self.actions = actions;
 
         match outcome.verdict {
@@ -1024,7 +1189,7 @@ impl Testbed {
         self.ksoftirqd_log[core.0].push(now, awake);
         let mut actions = std::mem::take(&mut self.actions);
         self.governor.on_ksoftirqd(core, awake, now, &mut actions);
-        self.apply_actions(sim, &mut actions);
+        self.apply_actions(sim, &mut actions, DecisionTrigger::Ksoftirqd);
         self.actions = actions;
     }
 
@@ -1204,18 +1369,103 @@ impl Testbed {
                 .processor
                 .core_mut(core)
                 .take_sample(now, &self.profile);
+            self.last_util[i] = (sample.c0_frac * 1000.0).round() as u32;
             self.governor
                 .on_core_sample(core, sample, now, &mut actions);
         }
+        self.apply_actions(sim, &mut actions, DecisionTrigger::Sample);
         let rx = std::mem::take(&mut self.nic_window_rx);
         self.governor.on_nic_window(rx, now, &mut actions);
-        self.apply_actions(sim, &mut actions);
+        self.apply_actions(sim, &mut actions, DecisionTrigger::NicWindow);
         self.actions = actions;
+        self.account_energy(now);
         let interval = self.governor.sampling_interval();
         sim.schedule_in(interval, |w, sim| w.ev_sample_tick(sim));
     }
 
-    fn apply_actions(&mut self, sim: &mut Simulator<Testbed>, actions: &mut Vec<Action>) {
+    /// Per-sample energy bookkeeping: one RAPL interval read (clamped
+    /// negative deltas are audited to zero), integer-µJ conservation
+    /// ledger credits, and per-core cumulative energy counter tracks.
+    /// Called right after `take_sample` has advanced every core's
+    /// `f64` cursor to `now`, so the extra package read integrates a
+    /// zero-length segment — bit-exact on the energy fixtures.
+    fn account_energy(&mut self, now: SimTime) {
+        let _ = self.rapl.read_interval(&mut self.processor, now);
+        if !CoreEnergyMeter::ENABLED {
+            return;
+        }
+        let measured = self.processor.package_energy_uj(now);
+        let attributed = self.processor.attributed_package_energy_uj(now);
+        self.ledger.credit(
+            Account::EnergyMeasuredUj,
+            measured.saturating_sub(self.energy_credited_measured_uj),
+        );
+        self.ledger.credit(
+            Account::EnergyAttributedUj,
+            attributed.saturating_sub(self.energy_credited_attributed_uj),
+        );
+        self.energy_credited_measured_uj = measured;
+        self.energy_credited_attributed_uj = attributed;
+        if self.trace.is_recording() {
+            for i in 0..self.processor.num_cores() {
+                let uj = self
+                    .processor
+                    .core_mut(CoreId(i))
+                    .energy_uj(now, &self.profile);
+                self.trace.counter(
+                    now,
+                    simcore::TraceCategory::Energy,
+                    i as u32,
+                    "energy-uj",
+                    uj as i64,
+                );
+            }
+        }
+    }
+
+    /// Snapshots the input features a governor decision acted on and
+    /// records it in the flight recorder, emitting a `Gov`-track
+    /// instant (arg = `from_pstate << 8 | to_pstate`).
+    fn record_decision(
+        &mut self,
+        now: SimTime,
+        core: CoreId,
+        to: PState,
+        trigger: DecisionTrigger,
+        chip_wide: bool,
+    ) {
+        let from = self.processor.core(core).pstate().index() as u32;
+        let queue_depth = if core.0 < self.nic.num_queues() {
+            self.nic.rx_backlog(QueueId(core.0)) as u32
+        } else {
+            0
+        };
+        self.flight.record(GovDecision {
+            at: now,
+            core: core.0 as u32,
+            trigger,
+            util_permille: self.last_util[core.0],
+            polling: self.napi[core.0].mode() == NapiMode::Polling,
+            queue_depth,
+            from_pstate: from,
+            to_pstate: to.index() as u32,
+            chip_wide,
+        });
+        self.trace.instant(
+            now,
+            simcore::TraceCategory::Gov,
+            core.0 as u32,
+            "gov-decision",
+            ((from as i64) << 8) | to.index() as i64,
+        );
+    }
+
+    fn apply_actions(
+        &mut self,
+        sim: &mut Simulator<Testbed>,
+        actions: &mut Vec<Action>,
+        trigger: DecisionTrigger,
+    ) {
         let now = sim.now();
         for action in actions.drain(..) {
             match action {
@@ -1227,6 +1477,7 @@ impl Testbed {
                         "set-pstate",
                         p.index() as i64,
                     );
+                    self.record_decision(now, core, p, trigger, false);
                     self.request_pstate(sim, core, p);
                 }
                 Action::SetAll(p) => {
@@ -1238,6 +1489,7 @@ impl Testbed {
                             "set-pstate",
                             p.index() as i64,
                         );
+                        self.record_decision(now, CoreId(i), p, trigger, true);
                         self.request_pstate(sim, CoreId(i), p);
                     }
                 }
@@ -1411,7 +1663,7 @@ impl Testbed {
                         );
                     }
                 }
-                self.apply_actions(sim, &mut actions);
+                self.apply_actions(sim, &mut actions, DecisionTrigger::PollBatch);
                 self.actions = actions;
             }
             _ => {}
@@ -1730,6 +1982,72 @@ impl Testbed {
             1e-6,
         );
 
+        // Integer-exact energy attribution: every measured microjoule
+        // lands in exactly one component, on every core, and the
+        // packet-processing-mode split partitions the same total.
+        if CoreEnergyMeter::ENABLED {
+            for i in 0..self.processor.num_cores() {
+                let mode = self.napi[i].mode();
+                self.flush_mode_energy(i, now, mode);
+            }
+            let mut core_measured = 0u64;
+            let mut core_attributed = 0u64;
+            for i in 0..self.processor.num_cores() {
+                let c = self.processor.core_mut(CoreId(i));
+                let uj = c.energy_uj(now, &self.profile);
+                let total = c.energy_breakdown(now, &self.profile).total_uj();
+                report.check_exact(
+                    &format!("energy: core {i} measured µJ == attributed µJ"),
+                    uj,
+                    total,
+                );
+                core_measured += uj;
+                core_attributed += total;
+            }
+            let uncore = self.processor.uncore_uj(now);
+            report.check_exact(
+                "energy: package measured µJ == attributed µJ",
+                core_measured + uncore,
+                core_attributed + uncore,
+            );
+            report.check_exact(
+                "energy: interrupt + polling + transition µJ == core measured µJ",
+                self.mode_interrupt_uj + self.mode_polling_uj + self.mode_transition_uj,
+                core_measured,
+            );
+            // The ledger totals lag the live cursors by at most one
+            // sampling window; settle them before comparing.
+            self.account_energy(now);
+            report.check_exact(
+                "energy: ledger measured µJ == ledger attributed µJ",
+                self.ledger.balance(Account::EnergyMeasuredUj),
+                self.ledger.balance(Account::EnergyAttributedUj),
+            );
+            report.check_exact(
+                "energy: ledger measured µJ == package measured µJ",
+                self.ledger.balance(Account::EnergyMeasuredUj),
+                core_measured + uncore,
+            );
+            // The integer meter and the f64 integral are independent
+            // accumulations of the same power model; the meters carry
+            // their rounding remainder, so the divergence is bounded
+            // *absolutely* — half a microjoule per core plus the
+            // uncore's truncation — no matter how short the run. Fold
+            // that bound into the relative tolerance so small-energy
+            // windows (where a few µJ exceed 1e-6 relative) still
+            // audit against the real guarantee.
+            let f64_uj = direct * 1e6;
+            let slack_uj = 0.5 * self.processor.num_cores() as f64 + 1.0;
+            let tolerance = (slack_uj / f64_uj.max(1.0)).max(1e-6);
+            report.check_close(
+                "energy: integer µJ integral tracks the f64 integral",
+                (core_measured + uncore) as f64,
+                f64_uj,
+                tolerance,
+            );
+        }
+        report.check_exact("energy: rapl clamp events", self.rapl.clamp_events(), 0);
+
         Some(report)
     }
 
@@ -1761,6 +2079,26 @@ impl Testbed {
         }
         self.processor.trace_into(end, &mut buf);
         self.governor.trace_into(&mut buf);
+        // End-of-run energy attribution totals: one counter per
+        // component per core on the `energy` track (the live stream
+        // already carries the cumulative per-core µJ counters).
+        if CoreEnergyMeter::ENABLED {
+            for i in 0..self.processor.num_cores() {
+                let b = self
+                    .processor
+                    .core_mut(CoreId(i))
+                    .energy_breakdown(end, &self.profile);
+                for (component, uj) in b.iter() {
+                    buf.counter(
+                        end,
+                        TraceCategory::Energy,
+                        i as u32,
+                        component.label(),
+                        uj as i64,
+                    );
+                }
+            }
+        }
         for &(t, label, core) in self.faults.log() {
             buf.instant(t, TraceCategory::Fault, core, label, 0);
         }
@@ -1841,6 +2179,27 @@ impl Testbed {
         m.set_counter("attrib.requests", self.attrib.requests());
         m.set_counter("attrib.mismatches", self.attrib.mismatches());
         m.set_counter("attrib.pending", self.attrib.pending());
+        if CoreEnergyMeter::ENABLED {
+            let mut package = simcore::EnergyBreakdown::default();
+            let mut measured = 0u64;
+            for i in 0..self.processor.num_cores() {
+                let c = self.processor.core_mut(CoreId(i));
+                measured += c.energy_uj(now, &self.profile);
+                package = package.merged(&c.energy_breakdown(now, &self.profile));
+            }
+            let uncore = self.processor.uncore_uj(now);
+            package.add_uj(simcore::EnergyComponent::Uncore, uncore);
+            m.set_counter("energy.measured_uj", measured + uncore);
+            for (component, uj) in package.iter() {
+                m.set_counter(component.metric_key(), uj);
+            }
+            m.set_counter("energy.mode_interrupt_uj", self.mode_interrupt_uj);
+            m.set_counter("energy.mode_polling_uj", self.mode_polling_uj);
+            m.set_counter("energy.mode_transition_uj", self.mode_transition_uj);
+            m.set_counter("gov.decisions", self.flight.total());
+            m.set_counter("gov.decisions_evicted", self.flight.evicted());
+        }
+        m.set_counter("rapl.clamp_events", self.rapl.clamp_events());
         let wd = self.watchdog.report(now);
         m.set_counter("slo.samples", wd.samples);
         m.set_counter("slo.episodes", wd.episodes as u64);
@@ -2065,6 +2424,68 @@ mod tests {
             ksoft.sum_ns + ring.sum_ns > 0,
             "overload must surface kernel-side queueing stages"
         );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn energy_attribution_is_integer_exact() {
+        let (mut sim, mut tb) = build(80_000.0, Box::new(Performance::new()));
+        sim.run_until(&mut tb, SimTime::from_millis(50));
+        tb.begin_measurement(sim.now());
+        sim.run_until(&mut tb, SimTime::from_millis(300));
+        let end = sim.now();
+        let summary = tb.energy_summary(end);
+        // Conservation: every measured microjoule is attributed, per
+        // core and for the package.
+        assert_eq!(summary.measured_total_uj(), summary.attributed_total_uj());
+        for c in &summary.cores {
+            assert_eq!(c.measured_uj, c.breakdown.total_uj(), "core {}", c.core);
+        }
+        // The mode split partitions the same core energy.
+        let core_total: u64 = summary.cores.iter().map(|c| c.measured_uj).sum();
+        assert_eq!(summary.modes.total_uj(), core_total);
+        assert_eq!(summary.rapl_clamps, 0);
+        // This load runs requests, burns idle time, and sleeps —
+        // the big components must all be populated.
+        use simcore::EnergyComponent as E;
+        assert!(summary.component_uj(E::Uncore) > 0);
+        assert!(summary.component_uj(E::Irq) > 0, "kernel burn attributed");
+        assert!(summary.component_uj(E::IdleC0) > 0);
+        let busy_app: u64 = [E::BusyP0, E::BusyHigh, E::BusyLow, E::BusyPmin]
+            .iter()
+            .map(|&c| summary.component_uj(c))
+            .sum();
+        assert!(busy_app > 0, "app execution attributed");
+        // The integer meter must track the f64 integral closely.
+        let f64_uj = tb.measured_energy(end) * 1e6;
+        let int_uj = summary.measured_total_uj() as f64;
+        assert!(
+            (f64_uj - int_uj).abs() / f64_uj < 1e-3,
+            "f64 {f64_uj} vs integer {int_uj}"
+        );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn flight_recorder_captures_governor_decisions() {
+        let table = ProcessorProfile::xeon_gold_6134().pstates;
+        let (mut sim, mut tb) = build(50_000.0, Box::new(Ondemand::new(table, 8)));
+        sim.run_until(&mut tb, SimTime::from_millis(500));
+        let flight = tb.flight_summary();
+        assert!(flight.total > 0, "ondemand must have made decisions");
+        assert!(flight.raises + flight.lowers <= flight.total);
+        assert!(
+            flight.trigger_count(simcore::DecisionTrigger::Sample) > 0,
+            "ondemand decides on sampling ticks"
+        );
+        // Every retained decision carries its feature snapshot.
+        assert!(!flight.decisions.is_empty());
+        for d in &flight.decisions {
+            assert!(d.util_permille <= 1000);
+            assert!(d.to_pstate < 16);
+        }
+        let by_trigger_sum: u64 = flight.by_trigger.iter().sum();
+        assert_eq!(by_trigger_sum, flight.total);
     }
 
     #[test]

@@ -162,6 +162,51 @@ mod tests {
     }
 
     #[test]
+    fn activity_ordering_holds_at_every_characterized_operating_point() {
+        // Exhaustive: every shipped profile × every P-state in its
+        // table keeps P(Busy) ≥ P(IdleC0) ≥ P(SleepC1) ≥ P(SleepC6) ≥ 0.
+        for profile in crate::profiles::ProcessorProfile::all_characterized() {
+            for i in 0..profile.pstates.len() {
+                let op = profile.pstates.point(crate::pstate::PState::new(i as u8));
+                let m = &profile.power;
+                let busy = m.core_power(op, CoreActivity::Busy);
+                let idle = m.core_power(op, CoreActivity::IdleC0);
+                let c1 = m.core_power(op, CoreActivity::SleepC1);
+                let c6 = m.core_power(op, CoreActivity::SleepC6);
+                assert!(
+                    busy >= idle && idle >= c1 && c1 >= c6 && c6 >= 0.0,
+                    "{} P{i}: busy={busy} idle={idle} c1={c1} c6={c6}",
+                    profile.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn activity_ordering_property_over_random_operating_points() {
+        // Property form: sample (profile, P-state) pairs under the
+        // shared property seed. Raw random (V, f) pairs can violate
+        // IdleC0 ≥ C1 for physically meaningless combinations, so the
+        // property quantifies over the characterized V/F tables the
+        // simulator can actually run at.
+        simcore::check::forall("power activity ordering", 512, |rng| {
+            let profiles = crate::profiles::ProcessorProfile::all_characterized();
+            let profile = &profiles[rng.below(profiles.len() as u64) as usize];
+            let i = rng.below(profile.pstates.len() as u64) as usize;
+            let op = profile.pstates.point(crate::pstate::PState::new(i as u8));
+            let m = &profile.power;
+            let busy = m.core_power(op, CoreActivity::Busy);
+            let idle = m.core_power(op, CoreActivity::IdleC0);
+            let c1 = m.core_power(op, CoreActivity::SleepC1);
+            let c6 = m.core_power(op, CoreActivity::SleepC6);
+            assert!(busy >= idle, "busy={busy} < idle={idle} ({op:?})");
+            assert!(idle >= c1, "idle={idle} < c1={c1} ({op:?})");
+            assert!(c1 >= c6, "c1={c1} < c6={c6} ({op:?})");
+            assert!(c6 >= 0.0, "c6={c6} negative ({op:?})");
+        });
+    }
+
+    #[test]
     fn c0_residency_flag() {
         assert!(CoreActivity::Busy.is_c0());
         assert!(CoreActivity::IdleC0.is_c0());

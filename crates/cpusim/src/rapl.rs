@@ -26,6 +26,7 @@ use simcore::SimTime;
 pub struct RaplCounter {
     last_reading_j: f64,
     total_read_j: f64,
+    clamp_events: u64,
 }
 
 impl RaplCounter {
@@ -42,9 +43,21 @@ impl RaplCounter {
 
     /// Energy consumed since the previous `begin`/`read_interval`
     /// call, in joules.
+    ///
+    /// A negative delta means the underlying power integral went
+    /// backwards — a model non-monotonicity bug. The read still
+    /// clamps to zero (as hardware RAPL wraps do), but the event is
+    /// counted in [`clamp_events`](Self::clamp_events) and fails the
+    /// conservation audit instead of being silently hidden.
     pub fn read_interval(&mut self, processor: &mut Processor, now: SimTime) -> f64 {
         let current = processor.package_energy_joules(now);
-        let delta = (current - self.last_reading_j).max(0.0);
+        let delta = current - self.last_reading_j;
+        let delta = if delta < 0.0 {
+            self.clamp_events += 1;
+            0.0
+        } else {
+            delta
+        };
         self.last_reading_j = current;
         self.total_read_j += delta;
         delta
@@ -53,6 +66,12 @@ impl RaplCounter {
     /// Sum of all interval reads so far.
     pub fn total_joules(&self) -> f64 {
         self.total_read_j
+    }
+
+    /// Interval reads that observed a negative delta and clamped it
+    /// (audited to be 0: the power integral must be monotone).
+    pub fn clamp_events(&self) -> u64 {
+        self.clamp_events
     }
 }
 
@@ -89,6 +108,29 @@ mod tests {
             (e - one_sec).abs() < 0.05 * one_sec,
             "e={e} one_sec={one_sec}"
         );
+    }
+
+    #[test]
+    fn monotone_reads_never_clamp_and_regressions_are_counted() {
+        let mut p = Processor::new(ProcessorProfile::xeon_gold_6134(), DvfsScope::PerCore);
+        let mut rapl = RaplCounter::new();
+        rapl.begin(&mut p, SimTime::ZERO);
+        rapl.read_interval(&mut p, SimTime::from_secs(1));
+        rapl.read_interval(&mut p, SimTime::from_secs(2));
+        assert_eq!(rapl.clamp_events(), 0, "monotone integral never clamps");
+        // Reading at an *earlier* time regresses the uncore integral
+        // (a pure function of `now`), so the delta clamps — and the
+        // clamp is counted instead of silently hidden.
+        let d = rapl.read_interval(&mut p, SimTime::from_secs(1));
+        assert_eq!(d, 0.0);
+        assert_eq!(rapl.clamp_events(), 1);
+        // A regressing reading forced by re-anchoring the baseline
+        // above the current integral is counted the same way.
+        rapl.read_interval(&mut p, SimTime::from_secs(2));
+        rapl.last_reading_j += 1.0;
+        let d = rapl.read_interval(&mut p, SimTime::from_secs(2));
+        assert_eq!(d, 0.0);
+        assert_eq!(rapl.clamp_events(), 2);
     }
 
     #[test]

@@ -168,6 +168,43 @@ impl Processor {
         core_energy + self.profile.power.uncore_w * now.as_secs_f64()
     }
 
+    /// Package uncore energy through `now` in whole microjoules — a
+    /// deterministic pure function of absolute time, so window deltas
+    /// are exact integer subtractions.
+    pub fn uncore_uj(&self, now: SimTime) -> u64 {
+        let uj = self.profile.power.uncore_w * now.as_nanos() as f64 / 1000.0;
+        if uj <= 0.0 {
+            0
+        } else {
+            uj.round() as u64
+        }
+    }
+
+    /// Package energy through `now` as measured by the fixed-point
+    /// attribution meters (cores + uncore), in microjoules. Advances
+    /// only the meters; the `f64` integral is untouched. 0 without
+    /// the `obs` feature (apart from the uncore term, which is a pure
+    /// function of time).
+    pub fn package_energy_uj(&mut self, now: SimTime) -> u64 {
+        let profile = self.profile.clone();
+        let core_uj = self.cores.iter_mut().fold(0u64, |acc, c| {
+            acc.saturating_add(c.energy_uj(now, &profile))
+        });
+        core_uj.saturating_add(self.uncore_uj(now))
+    }
+
+    /// Package energy attributed to components by the fixed-point
+    /// meters (component sums + uncore), in microjoules. Must equal
+    /// [`package_energy_uj`](Self::package_energy_uj) exactly — the
+    /// package-level conservation identity.
+    pub fn attributed_package_energy_uj(&mut self, now: SimTime) -> u64 {
+        let profile = self.profile.clone();
+        let core_uj = self.cores.iter_mut().fold(0u64, |acc, c| {
+            acc.saturating_add(c.energy_breakdown(now, &profile).total_uj())
+        });
+        core_uj.saturating_add(self.uncore_uj(now))
+    }
+
     /// Package energy recomputed from every core's residency ledger
     /// plus the uncore term — the independent cross-check the
     /// conservation audit compares against
@@ -356,6 +393,34 @@ mod tests {
             rel < 1e-6,
             "direct {direct} vs audited {audited} (rel {rel})"
         );
+    }
+
+    #[test]
+    fn integer_package_energy_conserves_and_tracks_f64() {
+        let (mut p, mut rng) = per_core();
+        let profile = p.profile().clone();
+        p.core_mut(CoreId(0))
+            .set_busy(true, SimTime::ZERO, &profile);
+        if let TransitionOutcome::Started {
+            completes_at,
+            token,
+        } = p.request_pstate(CoreId(1), PState::P0, SimTime::ZERO, &mut rng)
+        {
+            p.complete_pstate(CoreId(1), token, completes_at, &mut rng);
+        }
+        let now = SimTime::from_millis(50);
+        let measured = p.package_energy_uj(now);
+        let attributed = p.attributed_package_energy_uj(now);
+        assert_eq!(measured, attributed, "package conservation identity");
+        if simcore::CoreEnergyMeter::ENABLED {
+            let f64_uj = p.package_energy_joules(now) * 1e6;
+            assert!(
+                (measured as f64 - f64_uj).abs() < 64.0,
+                "integer {measured} µJ vs f64 {f64_uj} µJ"
+            );
+        } else {
+            assert_eq!(measured, p.uncore_uj(now), "only uncore without obs");
+        }
     }
 
     #[test]

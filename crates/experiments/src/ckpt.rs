@@ -25,14 +25,20 @@ use crate::runner::{RunConfig, RunResult};
 use simcore::{
     AttribSummary, FaultStats, RecoverySummary, SimDuration, Stage, StageSummary, WatchdogReport,
 };
+use simcore::{
+    CoreEnergySummary, DecisionTrigger, EnergyBreakdown, EnergyComponent, EnergySummary,
+    FlightSummary, GovDecision, ModeEnergy, SimTime,
+};
 use simcore::{HistogramSnapshot, MetricsSnapshot};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
-/// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// Current checkpoint format version. Version 2 added the energy
+/// attribution and flight-recorder summaries to each cell; version-1
+/// files simply re-run their cells.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// Stable content key for a sweep cell: FNV-1a 64 over the config's
 /// `Debug` rendering. Any field change — seed, load, governor,
@@ -215,6 +221,69 @@ fn enc_faults(s: &FaultStats) -> Value {
     ])
 }
 
+fn enc_breakdown(b: &EnergyBreakdown) -> Value {
+    Value::Arr(b.iter().map(|(_, uj)| Value::UInt(uj)).collect())
+}
+
+fn enc_energy(e: &EnergySummary) -> Value {
+    Value::obj(vec![
+        (
+            "cores",
+            Value::Arr(
+                e.cores
+                    .iter()
+                    .map(|c| {
+                        Value::obj(vec![
+                            ("core", Value::UInt(u64::from(c.core))),
+                            ("measured_uj", Value::UInt(c.measured_uj)),
+                            ("breakdown", enc_breakdown(&c.breakdown)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("uncore_uj", Value::UInt(e.uncore_uj)),
+        ("interrupt_uj", Value::UInt(e.modes.interrupt_uj)),
+        ("polling_uj", Value::UInt(e.modes.polling_uj)),
+        ("transition_uj", Value::UInt(e.modes.transition_uj)),
+        ("rapl_clamps", Value::UInt(e.rapl_clamps)),
+    ])
+}
+
+fn enc_flight(f: &FlightSummary) -> Value {
+    Value::obj(vec![
+        ("total", Value::UInt(f.total)),
+        ("evicted", Value::UInt(f.evicted)),
+        ("raises", Value::UInt(f.raises)),
+        ("lowers", Value::UInt(f.lowers)),
+        (
+            "by_trigger",
+            Value::Arr(f.by_trigger.iter().map(|&n| Value::UInt(n)).collect()),
+        ),
+        (
+            "decisions",
+            Value::Arr(
+                f.decisions
+                    .iter()
+                    .map(|d| {
+                        Value::obj(vec![
+                            ("at_ns", Value::UInt(d.at.as_nanos())),
+                            ("core", Value::UInt(u64::from(d.core))),
+                            ("trigger", Value::UInt(d.trigger as u64)),
+                            ("util_permille", Value::UInt(u64::from(d.util_permille))),
+                            ("polling", Value::Bool(d.polling)),
+                            ("queue_depth", Value::UInt(u64::from(d.queue_depth))),
+                            ("from_pstate", Value::UInt(u64::from(d.from_pstate))),
+                            ("to_pstate", Value::UInt(u64::from(d.to_pstate))),
+                            ("chip_wide", Value::Bool(d.chip_wide)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn enc_recovery(r: &RecoverySummary) -> Value {
     Value::obj(vec![
         ("attributed", Value::UInt(r.attributed)),
@@ -246,6 +315,8 @@ pub fn encode_result(r: &RunResult) -> Value {
         ("c6_entries", Value::UInt(r.c6_entries)),
         ("metrics", enc_metrics(&r.metrics)),
         ("attrib", enc_attrib(&r.attrib)),
+        ("energy", enc_energy(&r.energy)),
+        ("gov_flight", enc_flight(&r.gov_flight)),
         ("watchdog", enc_watchdog(&r.watchdog)),
         ("faults", enc_faults(&r.faults)),
         (
@@ -402,6 +473,90 @@ fn dec_faults(v: &Value) -> Result<FaultStats, DecodeError> {
     })
 }
 
+fn need_u32(v: &Value, key: &'static str) -> Result<u32, DecodeError> {
+    u32::try_from(need_u64(v, key)?).map_err(|_| DecodeError(key))
+}
+
+fn need_bool(v: &Value, key: &'static str) -> Result<bool, DecodeError> {
+    need(v, key)?.as_bool().ok_or(DecodeError(key))
+}
+
+fn dec_breakdown(v: &Value) -> Result<EnergyBreakdown, DecodeError> {
+    let slots = v.as_arr().ok_or(DecodeError("breakdown"))?;
+    if slots.len() != EnergyComponent::ALL.len() {
+        return Err(DecodeError("breakdown"));
+    }
+    let mut out = EnergyBreakdown::default();
+    for (component, slot) in EnergyComponent::ALL.iter().zip(slots) {
+        out.add_uj(*component, slot.as_u64().ok_or(DecodeError("breakdown"))?);
+    }
+    Ok(out)
+}
+
+fn dec_energy(v: &Value) -> Result<EnergySummary, DecodeError> {
+    let cores = need(v, "cores")?
+        .as_arr()
+        .ok_or(DecodeError("cores"))?
+        .iter()
+        .map(|c| {
+            Ok(CoreEnergySummary {
+                core: need_u32(c, "core")?,
+                measured_uj: need_u64(c, "measured_uj")?,
+                breakdown: dec_breakdown(need(c, "breakdown")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    Ok(EnergySummary {
+        cores,
+        uncore_uj: need_u64(v, "uncore_uj")?,
+        modes: ModeEnergy {
+            interrupt_uj: need_u64(v, "interrupt_uj")?,
+            polling_uj: need_u64(v, "polling_uj")?,
+            transition_uj: need_u64(v, "transition_uj")?,
+        },
+        rapl_clamps: need_u64(v, "rapl_clamps")?,
+    })
+}
+
+fn dec_flight(v: &Value) -> Result<FlightSummary, DecodeError> {
+    let by_trigger = need(v, "by_trigger")?
+        .as_arr()
+        .ok_or(DecodeError("by_trigger"))?
+        .iter()
+        .map(|n| n.as_u64().ok_or(DecodeError("by_trigger")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let decisions = need(v, "decisions")?
+        .as_arr()
+        .ok_or(DecodeError("decisions"))?
+        .iter()
+        .map(|d| {
+            let idx = need_u64(d, "trigger")? as usize;
+            let trigger = *DecisionTrigger::ALL
+                .get(idx)
+                .ok_or(DecodeError("trigger"))?;
+            Ok(GovDecision {
+                at: SimTime::from_nanos(need_u64(d, "at_ns")?),
+                core: need_u32(d, "core")?,
+                trigger,
+                util_permille: need_u32(d, "util_permille")?,
+                polling: need_bool(d, "polling")?,
+                queue_depth: need_u32(d, "queue_depth")?,
+                from_pstate: need_u32(d, "from_pstate")?,
+                to_pstate: need_u32(d, "to_pstate")?,
+                chip_wide: need_bool(d, "chip_wide")?,
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    Ok(FlightSummary {
+        total: need_u64(v, "total")?,
+        evicted: need_u64(v, "evicted")?,
+        raises: need_u64(v, "raises")?,
+        lowers: need_u64(v, "lowers")?,
+        by_trigger,
+        decisions,
+    })
+}
+
 /// Decodes a checkpointed [`RunResult`] (always trace-free).
 pub fn decode_result(v: &Value) -> Result<RunResult, DecodeError> {
     let deg = need(v, "degradation")?;
@@ -423,6 +578,8 @@ pub fn decode_result(v: &Value) -> Result<RunResult, DecodeError> {
         c6_entries: need_u64(v, "c6_entries")?,
         metrics: dec_metrics(need(v, "metrics")?)?,
         attrib: dec_attrib(need(v, "attrib")?)?,
+        energy: dec_energy(need(v, "energy")?)?,
+        gov_flight: dec_flight(need(v, "gov_flight")?)?,
         watchdog: dec_watchdog(need(v, "watchdog")?)?,
         faults: dec_faults(need(v, "faults")?)?,
         degradation: governors::DegradationStats {

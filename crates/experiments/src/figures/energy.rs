@@ -1,0 +1,245 @@
+//! `energy` (beyond-paper artifact): per-component and per-mode
+//! energy attribution plus the governor decision flight recorder.
+//!
+//! The paper's energy story (Fig 8, Fig 13, Fig 15) reports one RAPL
+//! scalar per cell. This artifact opens that scalar up: every joule
+//! the power model emits is decomposed into the typed components of
+//! [`simcore::EnergyComponent`] — busy execution per P-state bucket,
+//! IRQ/softirq handling, C0 idle burn, C-state wake transitions,
+//! C1/C6 residency, and package uncore. The decomposition is
+//! *integer-exact*: the conservation audit asserts that the
+//! attributed microjoules equal the measured microjoules for every
+//! core, so the columns below always sum to the measured total.
+//!
+//! The second table crosses the same energy with napisim's
+//! packet-processing mode: joules burned while the NAPI context was
+//! in interrupt mode vs polling mode vs paying C-state wake
+//! transitions — the energy-side view of the paper's §3 mechanism
+//! (mode transitions are where latency *and* power go).
+//!
+//! The third table summarizes each run's governor flight recorder:
+//! how often the governor acted, what triggered it, and which way it
+//! moved the operating point.
+
+use crate::report::{self, FigureReport};
+use crate::runner::{GovernorKind, RunConfig, RunResult, Scale};
+use crate::supervisor::Supervisor;
+use crate::thresholds;
+use simcore::{DecisionTrigger, EnergyComponent};
+use workload::{AppKind, LoadLevel, LoadSpec};
+
+const GOV_LABELS: [&str; 4] = ["ondemand", "performance", "NCAP", "NMAP"];
+
+fn governors(app: AppKind) -> [GovernorKind; 4] {
+    [
+        GovernorKind::Ondemand,
+        GovernorKind::Performance,
+        GovernorKind::Ncap(thresholds::ncap_threshold(app)),
+        GovernorKind::Nmap(thresholds::nmap_config(app)),
+    ]
+}
+
+/// The sweep's cell list: governor-major, memcached only — the same
+/// grid as the latency `breakdown` artifact so the two tables can be
+/// read side by side. Public so the determinism suite can replay the
+/// exact cells serially.
+pub fn configs(scale: Scale) -> Vec<RunConfig> {
+    let app = AppKind::Memcached;
+    let mut configs = Vec::new();
+    for gov in governors(app) {
+        for level in LoadLevel::all() {
+            configs.push(RunConfig::new(
+                app,
+                LoadSpec::preset(app, level),
+                gov,
+                scale,
+            ));
+        }
+    }
+    configs
+}
+
+/// Runs the sweep under `sup`.
+pub fn sweep(scale: Scale, sup: &Supervisor) -> Vec<RunResult> {
+    sup.run_many(configs(scale))
+}
+
+fn index(gov: usize, level: usize) -> usize {
+    gov * 3 + level
+}
+
+/// Microjoules-per-request cell: `uj / requests`, `-` when the run
+/// served nothing.
+fn fmt_uj_per_req(uj: u64, requests: u64) -> String {
+    if requests == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}", uj as f64 / requests as f64)
+    }
+}
+
+/// Renders the artifact from a completed sweep (separated from
+/// [`energy`] so the golden test can drive it at a fixed scale).
+pub fn render(results: &[RunResult]) -> FigureReport {
+    let mut body = String::new();
+    let attributed = results.iter().any(|r| r.energy.measured_total_uj() > 0);
+
+    body.push_str(
+        "\n[memcached — microjoules per request by energy component; components \
+         sum to the measured package energy exactly (audit-checked)]\n",
+    );
+    if !attributed {
+        body.push_str(
+            "\n(energy attribution absent: rebuild with `--features obs` to \
+             populate the component columns)\n",
+        );
+    }
+    let mut headers = vec!["gov/load"];
+    headers.extend(EnergyComponent::ALL.iter().map(|c| c.label()));
+    headers.push("total");
+    headers.push("energy-J");
+    let mut rows = Vec::new();
+    for (gi, gov) in GOV_LABELS.iter().enumerate() {
+        for (li, level) in LoadLevel::all().iter().enumerate() {
+            let r = &results[index(gi, li)];
+            let mut row = vec![format!("{gov}/{level}")];
+            for component in EnergyComponent::ALL {
+                row.push(fmt_uj_per_req(r.energy.component_uj(component), r.received));
+            }
+            row.push(fmt_uj_per_req(r.energy.measured_total_uj(), r.received));
+            row.push(format!("{:.3}", r.energy_j));
+            rows.push(row);
+        }
+    }
+    body.push_str(&report::table(&headers, rows));
+
+    body.push_str(
+        "\n[the same core energy split by packet-processing mode; the three \
+         buckets partition the cores' measured energy exactly]\n",
+    );
+    let mode_headers = [
+        "gov/load",
+        "intr-uJ/req",
+        "poll-uJ/req",
+        "trans-uJ/req",
+        "intr-share",
+        "poll-share",
+        "trans-share",
+    ];
+    let mut mode_rows = Vec::new();
+    for (gi, gov) in GOV_LABELS.iter().enumerate() {
+        for (li, level) in LoadLevel::all().iter().enumerate() {
+            let r = &results[index(gi, li)];
+            let m = &r.energy.modes;
+            let total = m.total_uj();
+            let share = |uj: u64| {
+                if total == 0 {
+                    "-".to_string()
+                } else {
+                    report::fmt_pct(uj as f64 / total as f64)
+                }
+            };
+            mode_rows.push(vec![
+                format!("{gov}/{level}"),
+                fmt_uj_per_req(m.interrupt_uj, r.received),
+                fmt_uj_per_req(m.polling_uj, r.received),
+                fmt_uj_per_req(m.transition_uj, r.received),
+                share(m.interrupt_uj),
+                share(m.polling_uj),
+                share(m.transition_uj),
+            ]);
+        }
+    }
+    body.push_str(&report::table(&mode_headers, mode_rows));
+
+    body.push_str(
+        "\n[governor flight recorder — decision counts, direction, and what \
+         triggered each decision]\n",
+    );
+    let mut fr_headers = vec!["gov/load", "decisions", "raises", "lowers", "evicted"];
+    fr_headers.extend(DecisionTrigger::ALL.iter().map(|t| t.label()));
+    let mut fr_rows = Vec::new();
+    for (gi, gov) in GOV_LABELS.iter().enumerate() {
+        for (li, level) in LoadLevel::all().iter().enumerate() {
+            let r = &results[index(gi, li)];
+            let f = &r.gov_flight;
+            let mut row = vec![
+                format!("{gov}/{level}"),
+                f.total.to_string(),
+                f.raises.to_string(),
+                f.lowers.to_string(),
+                f.evicted.to_string(),
+            ];
+            for trigger in DecisionTrigger::ALL {
+                row.push(f.trigger_count(trigger).to_string());
+            }
+            fr_rows.push(row);
+        }
+    }
+    body.push_str(&report::table(&fr_headers, fr_rows));
+
+    body.push_str(
+        "\nReading: performance burns its joules as busy-p0 plus expensive \
+         shallow idle — no P-state stalls, maximum static cost. ondemand \
+         shifts busy energy into the low buckets but pays for it in \
+         wake-transition and IRQ overhead as cores sleep and reheat across \
+         mode flips. NMAP's poll-side residency shows up directly in the \
+         polling column: energy follows the packet-processing mode, which is \
+         the paper's thesis stated in joules. The flight recorder explains \
+         the difference operationally — sample-triggered governors act on a \
+         fixed clock while NMAP's decisions cluster on mode-transition \
+         signals.\n",
+    );
+    FigureReport::new(
+        "energy",
+        "Energy attribution by component and packet-processing mode",
+        body,
+    )
+}
+
+/// Builds the artifact: 4 governors × 3 loads on memcached.
+pub fn energy(scale: Scale, sup: &Supervisor) -> FigureReport {
+    render(&sweep(scale, sup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_has_all_cells() {
+        let fig = energy(Scale::Quick, &Supervisor::new());
+        let data_rows = fig
+            .body
+            .lines()
+            .filter(|l| GOV_LABELS.iter().any(|g| l.starts_with(&format!("{g}/"))))
+            .count();
+        // 12 cells in each of the three tables.
+        assert_eq!(data_rows, 36);
+        assert!(fig.body.contains("flight recorder"));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn components_conserve_when_attributed() {
+        let results = sweep(Scale::Quick, &Supervisor::new());
+        for r in &results {
+            assert!(r.energy.measured_total_uj() > 0, "no attributed energy");
+            assert_eq!(
+                r.energy.measured_total_uj(),
+                r.energy.attributed_total_uj(),
+                "conservation: measured == attributed"
+            );
+            let core_total: u64 = r.energy.cores.iter().map(|c| c.measured_uj).sum();
+            assert_eq!(
+                r.energy.modes.total_uj(),
+                core_total,
+                "modes partition core energy"
+            );
+            assert_eq!(r.energy.rapl_clamps, 0, "power integral stayed monotone");
+            assert!(r.gov_flight.total > 0 || r.governor == "performance");
+        }
+        let fig = render(&results);
+        assert!(!fig.body.contains("energy attribution absent"));
+    }
+}

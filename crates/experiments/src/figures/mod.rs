@@ -22,12 +22,14 @@
 //! | `ablation` | NI_TH/CU_TH/timer/scope/re-transition sensitivity |
 //! | `extra` | beyond-paper: online threshold adaptation, schedutil |
 //! | `breakdown` | beyond-paper: latency attribution + SLO watchdog |
+//! | `energy` | beyond-paper: energy attribution + governor flight recorder |
 //! | `chaos` | beyond-paper: chaos soak under composed fault schedules |
 
 pub mod ablations;
 pub mod breakdown;
 pub mod chaos;
 pub mod comparison;
+pub mod energy;
 pub mod extensions;
 pub mod motivation;
 pub mod nmap_behavior;
@@ -63,6 +65,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "ablation",
         "extra",
         "breakdown",
+        "energy",
         "chaos",
     ]
 }
@@ -107,6 +110,7 @@ pub fn generate_with(id: &str, scale: Scale, sup: &Supervisor) -> Vec<FigureRepo
         "ablation" => ablations::all(scale, sup),
         "extra" | "extra-online" | "extra-schedutil" => extensions::all(scale, sup),
         "breakdown" => vec![breakdown::breakdown(scale, sup)],
+        "energy" => vec![energy::energy(scale, sup)],
         "chaos" => vec![chaos::chaos(scale, sup)],
         _ => Vec::new(),
     }
@@ -126,14 +130,14 @@ pub fn representative_cell(id: &str, scale: Scale) -> Option<RunConfig> {
         "fig7" | "fig8" => GovernorKind::Performance,
         // The state-of-the-art comparison centers on NCAP.
         "fig14" | "fig15" => GovernorKind::Ncap(thresholds::ncap_threshold(app)),
-        // NMAP behavior, varying load, ablations, extensions, and the
-        // attribution breakdown all showcase NMAP itself.
+        // NMAP behavior, varying load, ablations, extensions, the
+        // attribution breakdown, and the energy decomposition all
+        // showcase NMAP itself.
         // The chaos soak's representative cell is NMAP under the
         // kernel-layer schedule — the one that exercises its
         // graceful-degradation state machine.
-        "fig9" | "fig10" | "fig11" | "fig16" | "ablation" | "extra" | "breakdown" | "chaos" => {
-            GovernorKind::Nmap(thresholds::nmap_config(app))
-        }
+        "fig9" | "fig10" | "fig11" | "fig16" | "ablation" | "extra" | "breakdown" | "energy"
+        | "chaos" => GovernorKind::Nmap(thresholds::nmap_config(app)),
         _ => return None,
     };
     let load = LoadSpec::preset(app, LoadLevel::High);

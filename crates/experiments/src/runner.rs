@@ -14,8 +14,9 @@ use governors::{
 use nmap::{NmapConfig, NmapGovernor, NmapSimpl};
 use simcore::fault::join_recovery;
 use simcore::{
-    AttribSummary, EngineProfile, EventLog, FaultPlan, FaultScope, FaultStats, MetricsSnapshot,
-    RecoverySummary, SimDuration, SimError, SimTime, Simulator, StepBudget, WatchdogReport,
+    AttribSummary, EnergySummary, EngineProfile, EventLog, FaultPlan, FaultScope, FaultStats,
+    FlightSummary, MetricsSnapshot, RecoverySummary, SimDuration, SimError, SimTime, Simulator,
+    StepBudget, WatchdogReport,
 };
 use std::collections::VecDeque;
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -390,6 +391,15 @@ pub struct RunResult {
     /// equal measured end-to-end latency for every request; audited).
     /// Empty without the `obs` feature.
     pub attrib: AttribSummary,
+    /// Window-scoped energy attribution: per-core microjoule
+    /// decomposition (conserving: measured == attributed, audited),
+    /// the same energy split by packet-processing mode, and RAPL
+    /// clamp accounting. Empty without the `obs` feature.
+    pub energy: EnergySummary,
+    /// Governor decision flight recorder: every operating-point
+    /// change with the input-feature snapshot it acted on. Empty
+    /// without the `obs` feature.
+    pub gov_flight: FlightSummary,
     /// SLO watchdog summary: violation episodes, time-to-detect,
     /// time-to-recover. Always populated.
     pub watchdog: WatchdogReport,
@@ -575,9 +585,12 @@ fn run_inner(
         energy_j / duration.as_secs_f64()
     };
     // Assemble the structured trace (component-log replay) and the
-    // metrics snapshot. Both are no-ops without the `obs` feature.
+    // metrics snapshot. Both are no-ops without the `obs` feature, as
+    // are the energy-attribution and flight-recorder summaries.
     tb.collect_trace(end);
     tb.collect_metrics(end);
+    let energy = tb.energy_summary(end);
+    let gov_flight = tb.flight_summary();
     let engine = sim.profile();
     tb.metrics
         .set_counter("engine.events_scheduled", engine.events_scheduled);
@@ -644,6 +657,8 @@ fn run_inner(
         c6_entries: tb.processor.cores().iter().map(|c| c.c6_entries()).sum(),
         metrics: tb.metrics.snapshot(),
         attrib: tb.attrib.summary(),
+        energy,
+        gov_flight,
         watchdog: tb.watchdog.report(end),
         faults: tb.faults.stats(),
         degradation: tb.governor.degradation(),

@@ -330,6 +330,8 @@ pub fn placeholder(cfg: &RunConfig) -> RunResult {
         c6_entries: 0,
         metrics: Default::default(),
         attrib: Default::default(),
+        energy: Default::default(),
+        gov_flight: Default::default(),
         watchdog: Default::default(),
         faults: Default::default(),
         degradation: Default::default(),

@@ -92,10 +92,16 @@ pub enum Account {
     /// Response packets lost to injected wire faults (subset of
     /// [`PacketsFaultDropped`](Account::PacketsFaultDropped)).
     ResponsesFaultDropped,
+    /// Package microjoules measured by the fixed-point energy meters
+    /// (core segments plus uncore), credited at sample boundaries.
+    EnergyMeasuredUj,
+    /// Package microjoules attributed to energy components by the
+    /// attribution profiler (must equal the measured total).
+    EnergyAttributedUj,
 }
 
 /// Number of accounts (array-backed ledger storage).
-const ACCOUNTS: usize = 17;
+const ACCOUNTS: usize = 19;
 
 impl Account {
     /// All accounts, in declaration order.
@@ -117,6 +123,8 @@ impl Account {
         Account::PacketsFaultDropped,
         Account::RequestsFaultDropped,
         Account::ResponsesFaultDropped,
+        Account::EnergyMeasuredUj,
+        Account::EnergyAttributedUj,
     ];
 }
 

@@ -52,6 +52,11 @@ pub use fault::{
 pub use obs::attrib::{
     AttribSummary, AttribTracker, Breakdown, ChainMarks, CompletedAttrib, Stage, StageSummary,
 };
+pub use obs::energy::{
+    BusyRole, CoreEnergyMeter, CoreEnergySummary, DecisionTrigger, EnergyBreakdown,
+    EnergyComponent, EnergySummary, FlightRecorder, FlightSummary, GovDecision, MeterClass,
+    ModeEnergy,
+};
 pub use obs::{
     HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TraceBuffer, TraceCategory, TraceEvent,
     TraceKind,

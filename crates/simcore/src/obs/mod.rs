@@ -52,6 +52,7 @@ use crate::time::SimTime;
 use std::collections::BTreeMap;
 
 pub mod attrib;
+pub mod energy;
 
 /// The timeline track a trace event belongs to.
 ///
@@ -82,10 +83,16 @@ pub enum TraceCategory {
     /// Injected faults: one instant per applied injection
     /// (arg = applications so far), plus degradation marks.
     Fault,
+    /// Energy attribution: per-core cumulative microjoule counters
+    /// and end-of-run component totals.
+    Energy,
+    /// Governor flight recorder: one instant per recorded decision
+    /// (arg = `from_pstate << 8 | to_pstate`).
+    Gov,
 }
 
 /// Number of categories (track layout tables).
-pub const CATEGORIES: usize = 10;
+pub const CATEGORIES: usize = 12;
 
 impl TraceCategory {
     /// All categories, in track display order.
@@ -100,6 +107,8 @@ impl TraceCategory {
         TraceCategory::Governor,
         TraceCategory::Slo,
         TraceCategory::Fault,
+        TraceCategory::Energy,
+        TraceCategory::Gov,
     ];
 
     /// Stable track label (also the Perfetto thread name).
@@ -115,6 +124,8 @@ impl TraceCategory {
             TraceCategory::Governor => "governor",
             TraceCategory::Slo => "slo",
             TraceCategory::Fault => "fault",
+            TraceCategory::Energy => "energy",
+            TraceCategory::Gov => "gov",
         }
     }
 }

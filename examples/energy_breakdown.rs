@@ -1,0 +1,90 @@
+//! Where does each joule go? Per-component energy attribution plus
+//! the governor decision flight recorder, ondemand vs NMAP — a
+//! miniature of the `energy` repro artifact: the paper's energy story
+//! (one RAPL scalar per cell) opened up into typed components and
+//! packet-processing modes.
+//!
+//! ```sh
+//! cargo run --release --example energy_breakdown
+//! ```
+
+use experiments::{run, thresholds, GovernorKind, RunConfig, Scale};
+use simcore::{DecisionTrigger, EnergyComponent};
+use workload::{AppKind, LoadLevel, LoadSpec};
+
+fn main() {
+    let app = AppKind::Memcached;
+    let load = LoadSpec::preset(app, LoadLevel::Medium);
+    println!(
+        "memcached @ medium load ({} RPS average)",
+        load.avg_rps as u64
+    );
+    println!(
+        "every microjoule is attributed to one of {} components;",
+        EnergyComponent::ALL.len()
+    );
+    println!("the conservation audit proves attributed == measured, per core.\n");
+
+    let governors = [
+        ("ondemand", GovernorKind::Ondemand),
+        ("NMAP", GovernorKind::Nmap(thresholds::nmap_config(app))),
+    ];
+    let results: Vec<_> = governors
+        .iter()
+        .map(|&(name, gov)| (name, run(RunConfig::new(app, load, gov, Scale::Quick))))
+        .collect();
+
+    println!("{:<12} {:>10} {:>10}", "component", "ondemand", "NMAP");
+    for component in EnergyComponent::ALL {
+        println!(
+            "{:<12} {:>9.2}% {:>9.2}%",
+            component.label(),
+            results[0].1.energy.share(component) * 100.0,
+            results[1].1.energy.share(component) * 100.0,
+        );
+    }
+
+    println!("\nby packet-processing mode (interrupt / polling / wake transition):");
+    for (name, r) in &results {
+        let e = &r.energy;
+        assert_eq!(
+            e.measured_total_uj(),
+            e.attributed_total_uj(),
+            "attribution must be exact"
+        );
+        let m = &e.modes;
+        let total = m.total_uj().max(1) as f64;
+        println!(
+            "{name:<10} total {:>8.3} J  intr {:>5.1}%  poll {:>5.1}%  trans {:>5.1}%",
+            r.energy_j,
+            m.interrupt_uj as f64 / total * 100.0,
+            m.polling_uj as f64 / total * 100.0,
+            m.transition_uj as f64 / total * 100.0,
+        );
+    }
+
+    println!("\ngovernor flight recorder (what each decision acted on):");
+    for (name, r) in &results {
+        let f = &r.gov_flight;
+        let triggers: Vec<String> = DecisionTrigger::ALL
+            .iter()
+            .filter(|&&t| f.trigger_count(t) > 0)
+            .map(|&t| format!("{} ×{}", t.label(), f.trigger_count(t)))
+            .collect();
+        println!(
+            "{name:<10} {:>4} decisions ({} raises, {} lowers)  [{}]",
+            f.total,
+            f.raises,
+            f.lowers,
+            triggers.join(", "),
+        );
+    }
+    println!(
+        "\nThe paper's thesis stated in joules: under ondemand the busy energy \
+         shifts into the\nlow P-state buckets but the core pays for it in \
+         wake-transition and IRQ overhead as it\nsleeps and reheats across mode \
+         flips; NMAP keeps energy aligned with the packet-\nprocessing mode, \
+         and its decisions cluster on mode-transition signals rather than a \
+         fixed\nsampling clock."
+    );
+}
