@@ -72,6 +72,11 @@ pub struct TestbedConfig {
     /// nothing and draws nothing; without the `fault` feature the
     /// injector is inert regardless of the plan.
     pub fault_plan: FaultPlan,
+    /// Telemetry timeline sampling (fixed sim-time interval,
+    /// interval-doubling decimation). Off by default at this layer
+    /// (`cap: 0`); the experiment runner opts in. Zero-sized no-op
+    /// without the `obs` feature regardless.
+    pub timeline: simcore::TimelineConfig,
 }
 
 /// The kernel-stack cost profile for an application's traffic mix.
@@ -106,6 +111,7 @@ impl TestbedConfig {
             seed: 42,
             trace_capacity: 0,
             fault_plan: FaultPlan::new(),
+            timeline: simcore::TimelineConfig::OFF,
         }
     }
 
@@ -143,6 +149,13 @@ impl TestbedConfig {
     /// Installs a fault schedule (chaos testing).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Enables telemetry timeline sampling at the given interval and
+    /// row cap (see [`simcore::TimelineConfig`]).
+    pub fn with_timeline(mut self, timeline: simcore::TimelineConfig) -> Self {
+        self.timeline = timeline;
         self
     }
 
@@ -221,10 +234,12 @@ enum EvKind {
     FaultTick,
     /// Delayed ksoftirqd wakeup landing after a missed-wake fault.
     FaultWake,
+    /// Telemetry timeline sample (fixed cadence, read-only).
+    TimelineTick,
 }
 
 impl EvKind {
-    const COUNT: usize = 11;
+    const COUNT: usize = 12;
 
     const fn key(self) -> &'static str {
         match self {
@@ -239,6 +254,7 @@ impl EvKind {
             EvKind::FaultBoundary => "engine.ev.fault_boundary",
             EvKind::FaultTick => "engine.ev.fault_tick",
             EvKind::FaultWake => "engine.ev.fault_wake",
+            EvKind::TimelineTick => "engine.ev.timeline_tick",
         }
     }
 
@@ -254,6 +270,7 @@ impl EvKind {
         EvKind::FaultBoundary,
         EvKind::FaultTick,
         EvKind::FaultWake,
+        EvKind::TimelineTick,
     ];
 }
 
@@ -345,6 +362,12 @@ pub struct Testbed {
     /// The fault injector evaluating [`TestbedConfig::fault_plan`].
     /// Zero-sized no-op without the `fault` feature.
     pub faults: FaultInjector,
+    /// The telemetry timeline bus: fixed-interval per-core gauge rows
+    /// with interval-doubling decimation, polled by governors through
+    /// [`simcore::TelemetryTap`]. Zero-sized no-op without the `obs`
+    /// feature; recording also requires [`TestbedConfig::timeline`]
+    /// with a non-zero cap.
+    pub timeline: simcore::TimeSeriesSampler,
 
     profile: ProcessorProfile,
     app: AppModel,
@@ -409,6 +432,9 @@ pub struct Testbed {
     /// Each core's last sampled CC0 utilization, per mille (the
     /// flight recorder's utilization input).
     last_util: Vec<u32>,
+    /// Reusable scratch row for the timeline tick (no per-sample
+    /// allocation).
+    timeline_row: Vec<i64>,
     /// Integer-µJ package totals already credited to the energy
     /// ledger accounts (credits happen at sample boundaries).
     energy_credited_measured_uj: u64,
@@ -525,6 +551,8 @@ impl Testbed {
             // decision rates; old entries evict with drop accounting.
             flight: FlightRecorder::with_capacity(4096),
             last_util: vec![0; cores],
+            timeline: simcore::TimeSeriesSampler::new(cores, config.timeline),
+            timeline_row: Vec::with_capacity(cores * simcore::GAUGES),
             energy_credited_measured_uj: 0,
             energy_credited_attributed_uj: 0,
             mode_anchor_measured_uj: vec![0; cores],
@@ -551,6 +579,13 @@ impl Testbed {
         // Governor sampling tick.
         let interval = tb.governor.sampling_interval();
         sim.schedule_at(SimTime::ZERO + interval, |w, sim| w.ev_sample_tick(sim));
+        // Telemetry timeline tick: a fixed cadence independent of the
+        // governor's sampling interval, so every governor's timeline
+        // is sampled at identical instants.
+        if tb.timeline.is_recording() {
+            let tick = tb.timeline.interval();
+            sim.schedule_at(SimTime::ZERO + tick, |w, sim| w.ev_timeline_tick(sim));
+        }
         // Fault schedule: every scope edge gets a boundary event that
         // recomputes the modal overrides (ITR, ring clamp, DVFS
         // padding, load factor, stuck-mask release); periodic and
@@ -1383,6 +1418,69 @@ impl Testbed {
         sim.schedule_in(interval, |w, sim| w.ev_sample_tick(sim));
     }
 
+    /// Telemetry-bus tick: reads one row of per-core gauges into the
+    /// timeline sampler, then offers the read side to the governor.
+    /// Strictly read-only against the simulation state — no RNG
+    /// draws, no energy-integral advance, no sampling-window reset —
+    /// so enabling the timeline cannot perturb the run's trajectory.
+    /// Reschedules at the sampler's *current* interval, which doubles
+    /// on every decimation, so the tick rate decays with the buffer.
+    fn ev_timeline_tick(&mut self, sim: &mut Simulator<Testbed>) {
+        self.ev_counts[EvKind::TimelineTick as usize] += 1;
+        let now = sim.now();
+        let mut row = std::mem::take(&mut self.timeline_row);
+        row.clear();
+        for i in 0..self.processor.num_cores() {
+            let core = CoreId(i);
+            let c = self.processor.core(core);
+            let rx_ring = if i < self.nic.num_queues() {
+                self.nic.rx_backlog(QueueId(i)) as i64
+            } else {
+                0
+            };
+            let mut flags = 0i64;
+            if self.governor.core_degraded(core) {
+                flags |= simcore::obs::timeseries::FLAG_DEGRADED;
+            }
+            if self.fault_scope_active(now, i) {
+                flags |= simcore::obs::timeseries::FLAG_FAULT_ACTIVE;
+            }
+            row.extend_from_slice(&[
+                self.last_util[i] as i64,
+                c.pstate().index() as i64,
+                (self.napi[i].mode() == NapiMode::Polling) as i64,
+                rx_ring,
+                self.backlog[i].len() as i64,
+                self.watchdog.core_p99_ns(i) as i64,
+                (c.current_power_w(&self.profile) * 1000.0).round() as i64,
+                flags,
+            ]);
+        }
+        self.timeline.record_row(now, &row);
+        self.timeline_row = row;
+        // Hand adaptive governors the read side of the bus; classic
+        // governors' default hook ignores it and returns no actions.
+        let mut actions = std::mem::take(&mut self.actions);
+        self.governor
+            .on_telemetry(&self.timeline, now, &mut actions);
+        self.apply_actions(sim, &mut actions, DecisionTrigger::Sample);
+        self.actions = actions;
+        let tick = self.timeline.interval();
+        sim.schedule_in(tick, |w, sim| w.ev_timeline_tick(sim));
+    }
+
+    /// True if any configured fault scope covers `core` at `now`
+    /// (the timeline's fault-active flag; always false without the
+    /// `fault` feature).
+    fn fault_scope_active(&self, now: SimTime, core: usize) -> bool {
+        FaultInjector::ENABLED
+            && self
+                .faults
+                .specs()
+                .iter()
+                .any(|s| s.scope.covers(now, Some(core)))
+    }
+
     /// Per-sample energy bookkeeping: one RAPL interval read (clamped
     /// negative deltas are audited to zero), integer-µJ conservation
     /// ledger credits, and per-core cumulative energy counter tracks.
@@ -2102,6 +2200,22 @@ impl Testbed {
         for &(t, label, core) in self.faults.log() {
             buf.instant(t, TraceCategory::Fault, core, label, 0);
         }
+        // Telemetry timeline rows become one counter track per core
+        // per gauge on the `timeline` category (Perfetto renders
+        // these as counter tracks alongside the span tracks).
+        if self.timeline.is_recording() {
+            let tl = self.timeline.finish();
+            for r in 0..tl.rows() {
+                let t = SimTime::from_nanos(tl.times_ns[r]);
+                for c in 0..tl.cores as usize {
+                    for g in simcore::Gauge::ALL {
+                        if let Some(v) = tl.value(r, c, g) {
+                            buf.counter(t, TraceCategory::Timeline, c as u32, g.label(), v);
+                        }
+                    }
+                }
+            }
+        }
         // ksoftirqd wake/sleep marks pair up into run-interval spans;
         // a thread still awake at run end closes at `end`.
         for (core, log) in self.ksoftirqd_log.iter().enumerate() {
@@ -2208,6 +2322,9 @@ impl Testbed {
         m.set_counter("slo.mean_recover_ns", wd.mean_recover_ns);
         m.set_counter("trace.events", self.trace.len() as u64);
         m.set_counter("trace.dropped", self.trace.dropped());
+        m.set_counter("timeline.samples", self.timeline.rows() as u64);
+        m.set_counter("timeline.decimations", self.timeline.decimations());
+        m.set_counter("timeline.dropped", self.timeline.dropped());
         self.metrics = m;
     }
 }

@@ -151,6 +151,16 @@ impl Core {
         profile.pstates.frequency(self.pstate)
     }
 
+    /// Instantaneous power draw at the current operating point and
+    /// activity, in watts. Read-only: telemetry sampling uses this
+    /// without touching the energy integral or the sampling window,
+    /// so observing a core cannot perturb its energy accounting.
+    pub fn current_power_w(&self, profile: &ProcessorProfile) -> f64 {
+        profile
+            .power
+            .core_power(profile.pstates.point(self.pstate), self.activity())
+    }
+
     /// Wall time to execute `cycles` at the current frequency.
     pub fn cycles_to_duration(&self, cycles: u64, profile: &ProcessorProfile) -> SimDuration {
         let f = self.frequency_hz(profile);

@@ -189,4 +189,14 @@ fn dump_trace(id: &str, scale: Scale, dir: &str) {
         export::write_perfetto_json(&result, &path).expect("write trace json");
         println!("[trace for {id} written to {path}]\n");
     }
+    if !result.timeline.is_empty() {
+        if let Some(warning) = report::trace_drop_warning("timeline", result.timeline.dropped) {
+            eprintln!("{warning}");
+        }
+        let csv = format!("{dir}/{id}.timeline.csv");
+        let om = format!("{dir}/{id}.timeline.om");
+        export::write_timeline_csv(&result, &csv).expect("write timeline csv");
+        export::write_timeline_openmetrics(&result, &om).expect("write timeline openmetrics");
+        println!("[timeline for {id} written to {csv} and {om}]\n");
+    }
 }

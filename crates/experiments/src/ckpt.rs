@@ -36,9 +36,10 @@ use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
 /// Current checkpoint format version. Version 2 added the energy
-/// attribution and flight-recorder summaries to each cell; version-1
+/// attribution and flight-recorder summaries to each cell; version 3
+/// added the telemetry timeline (per-core gauge samples). Older
 /// files simply re-run their cells.
-pub const CHECKPOINT_VERSION: u64 = 2;
+pub const CHECKPOINT_VERSION: u64 = 3;
 
 /// Stable content key for a sweep cell: FNV-1a 64 over the config's
 /// `Debug` rendering. Any field change — seed, load, governor,
@@ -284,6 +285,27 @@ fn enc_flight(f: &FlightSummary) -> Value {
     ])
 }
 
+fn enc_timeline(t: &simcore::Timeline) -> Value {
+    // Gauge values are i64; they travel as their two's-complement
+    // bit pattern in a u64 (the same lossless trick floats use), so
+    // a resumed sweep's timeline CSV stays byte-identical.
+    Value::obj(vec![
+        ("cores", Value::UInt(u64::from(t.cores))),
+        ("base_interval_ns", Value::UInt(t.base_interval_ns)),
+        ("interval_ns", Value::UInt(t.interval_ns)),
+        ("decimations", Value::UInt(t.decimations)),
+        ("dropped", Value::UInt(t.dropped)),
+        (
+            "times_ns",
+            Value::Arr(t.times_ns.iter().map(|&n| Value::UInt(n)).collect()),
+        ),
+        (
+            "values",
+            Value::Arr(t.values.iter().map(|&v| Value::UInt(v as u64)).collect()),
+        ),
+    ])
+}
+
 fn enc_recovery(r: &RecoverySummary) -> Value {
     Value::obj(vec![
         ("attributed", Value::UInt(r.attributed)),
@@ -328,6 +350,7 @@ pub fn encode_result(r: &RunResult) -> Value {
             ]),
         ),
         ("fault_recovery", enc_recovery(&r.fault_recovery)),
+        ("timeline", enc_timeline(&r.timeline)),
     ])
 }
 
@@ -518,6 +541,30 @@ fn dec_energy(v: &Value) -> Result<EnergySummary, DecodeError> {
     })
 }
 
+fn dec_timeline(v: &Value) -> Result<simcore::Timeline, DecodeError> {
+    let times_ns = need(v, "times_ns")?
+        .as_arr()
+        .ok_or(DecodeError("times_ns"))?
+        .iter()
+        .map(|n| n.as_u64().ok_or(DecodeError("times_ns")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let values = need(v, "values")?
+        .as_arr()
+        .ok_or(DecodeError("values"))?
+        .iter()
+        .map(|n| n.as_u64().map(|u| u as i64).ok_or(DecodeError("values")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(simcore::Timeline {
+        cores: need_u32(v, "cores")?,
+        base_interval_ns: need_u64(v, "base_interval_ns")?,
+        interval_ns: need_u64(v, "interval_ns")?,
+        decimations: need_u64(v, "decimations")?,
+        dropped: need_u64(v, "dropped")?,
+        times_ns,
+        values,
+    })
+}
+
 fn dec_flight(v: &Value) -> Result<FlightSummary, DecodeError> {
     let by_trigger = need(v, "by_trigger")?
         .as_arr()
@@ -595,6 +642,7 @@ pub fn decode_result(v: &Value) -> Result<RunResult, DecodeError> {
             mean_recovery_ns: need_u64(rec, "mean_recovery_ns")?,
             max_recovery_ns: need_u64(rec, "max_recovery_ns")?,
         },
+        timeline: dec_timeline(need(v, "timeline")?)?,
         traces: None,
     })
 }

@@ -123,6 +123,14 @@ fn category_index(cat: TraceCategory) -> usize {
 /// Events are emitted in stable time order; the numeric event
 /// argument lands in `args.v`.
 pub fn perfetto_json(trace: &TraceBuffer) -> String {
+    perfetto_json_with_drops(trace, 0)
+}
+
+/// [`perfetto_json`] with additional dropped-sample counts folded
+/// into `otherData.droppedEvents` — the timeline sampler's
+/// decimation drops share the overflow metadata with the trace
+/// buffer's own, so one number answers "is this file complete?".
+pub fn perfetto_json_with_drops(trace: &TraceBuffer, extra_dropped: u64) -> String {
     let mut events: Vec<&simcore::TraceEvent> = trace.events().iter().collect();
     events.sort_by_key(|e| e.time);
     // Name the (core, category) tracks that actually carry events.
@@ -193,12 +201,9 @@ pub fn perfetto_json(trace: &TraceBuffer) -> String {
     out.push_str("\n]");
     // A truncated trace must be detectable from the file alone:
     // record the overflow in the trace-wide metadata block.
-    if trace.dropped() > 0 {
-        let _ = write!(
-            out,
-            ",\"otherData\":{{\"droppedEvents\":{}}}",
-            trace.dropped()
-        );
+    let dropped = trace.dropped() + extra_dropped;
+    if dropped > 0 {
+        let _ = write!(out, ",\"otherData\":{{\"droppedEvents\":{dropped}}}");
     }
     out.push_str("}\n");
     out
@@ -221,7 +226,52 @@ pub fn write_perfetto_json(result: &RunResult, path: impl AsRef<Path>) -> io::Re
     if let Some(dir) = path.as_ref().parent() {
         std::fs::create_dir_all(dir)?;
     }
-    std::fs::write(path, perfetto_json(&traces.trace))
+    std::fs::write(
+        path,
+        perfetto_json_with_drops(&traces.trace, result.timeline.dropped),
+    )
+}
+
+/// Writes the run's telemetry timeline as CSV at `path`
+/// (`time_ns,core,<gauge columns>`, one row per core per sample).
+///
+/// # Errors
+///
+/// Returns any filesystem error; fails with `InvalidInput` if the run
+/// recorded no timeline (sampling off or `obs` disabled).
+pub fn write_timeline_csv(result: &RunResult, path: impl AsRef<Path>) -> io::Result<()> {
+    if result.timeline.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "run recorded no telemetry timeline",
+        ));
+    }
+    if let Some(dir) = path.as_ref().parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, result.timeline.to_csv())
+}
+
+/// Writes the run's telemetry timeline as an OpenMetrics text
+/// exposition at `path` (one `nmap_core_*` family per gauge,
+/// `core="N"` labels, explicit timestamps, `# EOF` terminated) —
+/// scrapeable by any Prometheus-compatible tool.
+///
+/// # Errors
+///
+/// Returns any filesystem error; fails with `InvalidInput` if the run
+/// recorded no timeline (sampling off or `obs` disabled).
+pub fn write_timeline_openmetrics(result: &RunResult, path: impl AsRef<Path>) -> io::Result<()> {
+    if result.timeline.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "run recorded no telemetry timeline",
+        ));
+    }
+    if let Some(dir) = path.as_ref().parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, result.timeline.to_openmetrics())
 }
 
 #[cfg(test)]
@@ -308,6 +358,25 @@ mod tests {
         let mut full = TraceBuffer::with_capacity(8);
         full.instant(SimTime::from_micros(1), TraceCategory::Irq, 0, "kept", 0);
         assert!(!perfetto_json(&full).contains("otherData"));
+        // Timeline decimation drops fold into the same counter.
+        assert!(perfetto_json_with_drops(&full, 5).contains("\"otherData\":{\"droppedEvents\":5}"));
+        assert!(perfetto_json_with_drops(&tb, 3).contains("\"otherData\":{\"droppedEvents\":5}"));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn timeline_csv_and_openmetrics_write() {
+        let r = traced_result();
+        assert!(!r.timeline.is_empty(), "default config records a timeline");
+        let dir = std::env::temp_dir().join("nmap_repro_timeline_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_timeline_csv(&r, dir.join("timeline.csv")).unwrap();
+        write_timeline_openmetrics(&r, dir.join("timeline.om")).unwrap();
+        let csv = std::fs::read_to_string(dir.join("timeline.csv")).unwrap();
+        assert!(csv.starts_with("time_ns,core,"));
+        let om = std::fs::read_to_string(dir.join("timeline.om")).unwrap();
+        assert!(om.ends_with("# EOF\n"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[cfg(not(feature = "obs"))]

@@ -23,6 +23,7 @@
 //! | `extra` | beyond-paper: online threshold adaptation, schedutil |
 //! | `breakdown` | beyond-paper: latency attribution + SLO watchdog |
 //! | `energy` | beyond-paper: energy attribution + governor flight recorder |
+//! | `timeline` | beyond-paper: telemetry sparklines (P99/mode/power over time) |
 //! | `chaos` | beyond-paper: chaos soak under composed fault schedules |
 
 pub mod ablations;
@@ -36,6 +37,7 @@ pub mod nmap_behavior;
 pub mod sleep;
 pub mod sota;
 pub mod tables;
+pub mod timeline;
 pub mod varying;
 
 use crate::report::FigureReport;
@@ -66,6 +68,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "extra",
         "breakdown",
         "energy",
+        "timeline",
         "chaos",
     ]
 }
@@ -111,6 +114,7 @@ pub fn generate_with(id: &str, scale: Scale, sup: &Supervisor) -> Vec<FigureRepo
         "extra" | "extra-online" | "extra-schedutil" => extensions::all(scale, sup),
         "breakdown" => vec![breakdown::breakdown(scale, sup)],
         "energy" => vec![energy::energy(scale, sup)],
+        "timeline" => vec![timeline::timeline(scale, sup)],
         "chaos" => vec![chaos::chaos(scale, sup)],
         _ => Vec::new(),
     }
@@ -137,7 +141,7 @@ pub fn representative_cell(id: &str, scale: Scale) -> Option<RunConfig> {
         // kernel-layer schedule — the one that exercises its
         // graceful-degradation state machine.
         "fig9" | "fig10" | "fig11" | "fig16" | "ablation" | "extra" | "breakdown" | "energy"
-        | "chaos" => GovernorKind::Nmap(thresholds::nmap_config(app)),
+        | "timeline" | "chaos" => GovernorKind::Nmap(thresholds::nmap_config(app)),
         _ => return None,
     };
     let load = LoadSpec::preset(app, LoadLevel::High);

@@ -30,7 +30,10 @@ pub mod supervisor;
 pub mod thresholds;
 
 pub use ckpt::{cell_key, Checkpoint, QuarantineRecord};
-pub use export::{perfetto_json, write_perfetto_json};
+pub use export::{
+    perfetto_json, perfetto_json_with_drops, write_perfetto_json, write_timeline_csv,
+    write_timeline_openmetrics,
+};
 pub use report::FigureReport;
 pub use runner::{
     run, run_many, run_profiled, try_run, try_run_budgeted, GovernorKind, ProfileKind, RunConfig,

@@ -16,7 +16,7 @@ use simcore::fault::join_recovery;
 use simcore::{
     AttribSummary, EnergySummary, EngineProfile, EventLog, FaultPlan, FaultScope, FaultStats,
     FlightSummary, MetricsSnapshot, RecoverySummary, SimDuration, SimError, SimTime, Simulator,
-    StepBudget, WatchdogReport,
+    StepBudget, Timeline, TimelineConfig, WatchdogReport,
 };
 use std::collections::VecDeque;
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -196,6 +196,11 @@ pub struct RunConfig {
     /// default — gives one queue per core; more queues than cores is
     /// a [`validate`](RunConfig::validate) error.
     pub nic_queues: Option<usize>,
+    /// Telemetry timeline sampling: fixed sim-time interval, bounded
+    /// row cap with interval-doubling decimation. On by default (100
+    /// µs / 512 rows); set cap 0 to disable. Zero-cost without the
+    /// `obs` feature regardless.
+    pub timeline: TimelineConfig,
 }
 
 impl RunConfig {
@@ -215,6 +220,7 @@ impl RunConfig {
             collect_traces: false,
             fault_plan: FaultPlan::new(),
             nic_queues: None,
+            timeline: TimelineConfig::default(),
         }
     }
 
@@ -257,6 +263,13 @@ impl RunConfig {
     /// Overrides the NIC queue count (RSS ablations).
     pub fn with_nic_queues(mut self, queues: usize) -> Self {
         self.nic_queues = Some(queues);
+        self
+    }
+
+    /// Overrides the telemetry timeline sampling parameters
+    /// ([`TimelineConfig::OFF`] disables sampling).
+    pub fn with_timeline(mut self, timeline: TimelineConfig) -> Self {
+        self.timeline = timeline;
         self
     }
 
@@ -308,7 +321,8 @@ impl RunConfig {
             .with_seed(self.seed)
             .with_profile(profile)
             .with_scope(self.scope)
-            .with_fault_plan(self.fault_plan.clone());
+            .with_fault_plan(self.fault_plan.clone())
+            .with_timeline(self.timeline);
         if let Some(q) = self.nic_queues {
             tb_cfg = tb_cfg.with_nic_queues(q);
         }
@@ -413,6 +427,11 @@ pub struct RunResult {
     /// re-meet the SLO after each injected fault (satellite of the
     /// watchdog episode log). Empty when no faults were scheduled.
     pub fault_recovery: RecoverySummary,
+    /// Telemetry timeline: per-core gauge rows sampled at a fixed
+    /// sim-time interval over the whole run (see
+    /// [`simcore::Timeline`]). All-integer and bounded; empty when
+    /// sampling is off or without the `obs` feature.
+    pub timeline: Timeline,
     /// Traces, if requested.
     pub traces: Option<RunTraces>,
 }
@@ -663,6 +682,7 @@ fn run_inner(
         faults: tb.faults.stats(),
         degradation: tb.governor.degradation(),
         fault_recovery,
+        timeline: tb.timeline.finish(),
         traces,
     };
     Ok((result, tb, engine))

@@ -336,6 +336,7 @@ pub fn placeholder(cfg: &RunConfig) -> RunResult {
         faults: Default::default(),
         degradation: Default::default(),
         fault_recovery: Default::default(),
+        timeline: Default::default(),
         traces: None,
     }
 }

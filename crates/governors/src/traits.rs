@@ -107,6 +107,29 @@ pub trait PStateGovernor {
         let _ = (latency, now, actions);
     }
 
+    /// Periodic telemetry-bus tick: the server hands the governor a
+    /// read-side view of the live timeline sampler (per-core
+    /// utilization, NAPI mode, queue depths, online P99, power) once
+    /// per timeline sample. This is the feature-vector feed for
+    /// adaptive policies (PID / bandit governors); classic governors
+    /// ignore it. Never invoked when timeline sampling is off.
+    fn on_telemetry(
+        &mut self,
+        tap: &dyn simcore::TelemetryTap,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        let _ = (tap, now, actions);
+    }
+
+    /// True if this governor has fallen back to its degraded safe
+    /// policy on `core` (telemetry flag feed). Default: governors
+    /// without a degradation path are never degraded.
+    fn core_degraded(&self, core: CoreId) -> bool {
+        let _ = core;
+        false
+    }
+
     /// Replays governor-internal events (e.g. NMAP's network
     /// interference notifications) into the trace buffer on the
     /// `governor` track. Default: nothing to replay.

@@ -309,6 +309,10 @@ impl PStateGovernor for NmapGovernor {
             degraded_cores: self.degraded.iter().filter(|&&d| d).count() as u64,
         }
     }
+
+    fn core_degraded(&self, core: CoreId) -> bool {
+        self.is_degraded(core)
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,9 @@ pub use obs::energy::{
     EnergyComponent, EnergySummary, FlightRecorder, FlightSummary, GovDecision, MeterClass,
     ModeEnergy,
 };
+pub use obs::timeseries::{
+    sparkline, Gauge, TelemetryTap, TimeSeriesSampler, Timeline, TimelineConfig, GAUGES,
+};
 pub use obs::{
     HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TraceBuffer, TraceCategory, TraceEvent,
     TraceKind,

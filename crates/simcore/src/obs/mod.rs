@@ -53,6 +53,7 @@ use std::collections::BTreeMap;
 
 pub mod attrib;
 pub mod energy;
+pub mod timeseries;
 
 /// The timeline track a trace event belongs to.
 ///
@@ -89,10 +90,13 @@ pub enum TraceCategory {
     /// Governor flight recorder: one instant per recorded decision
     /// (arg = `from_pstate << 8 | to_pstate`).
     Gov,
+    /// Telemetry timeline: one counter per core per
+    /// [`timeseries::Gauge`], replayed from the retained sample rows.
+    Timeline,
 }
 
 /// Number of categories (track layout tables).
-pub const CATEGORIES: usize = 12;
+pub const CATEGORIES: usize = 13;
 
 impl TraceCategory {
     /// All categories, in track display order.
@@ -109,6 +113,7 @@ impl TraceCategory {
         TraceCategory::Fault,
         TraceCategory::Energy,
         TraceCategory::Gov,
+        TraceCategory::Timeline,
     ];
 
     /// Stable track label (also the Perfetto thread name).
@@ -126,6 +131,7 @@ impl TraceCategory {
             TraceCategory::Fault => "fault",
             TraceCategory::Energy => "energy",
             TraceCategory::Gov => "gov",
+            TraceCategory::Timeline => "timeline",
         }
     }
 }

@@ -40,6 +40,12 @@ TOLERANCE = 0.10
 # the wheel must dispatch >=5x the oracle's events/sec on the
 # standing-population workload.
 ACCEPTANCE = {"standing_1m": 5.0}
+# Max tolerated telemetry-sampling overhead (advisory): the timeline
+# cell with a 1 us sampler vs the same cell with sampling off, from
+# the same run so machine speed cancels. Both entries come from
+# `cargo bench -p nmap-bench --bench timeline`; absent entries skip
+# the check (the timeline bench is not part of every lane).
+TIMELINE_OVERHEAD = 0.03
 
 
 def load(path):
@@ -97,12 +103,32 @@ def main():
         if seed is not None:
             print(f"{workload:14} wheel speedup {seed:5.2f}x over seed engine")
 
+    # Advisory: telemetry-sampler overhead on the timeline cell, same
+    # run so machine speed cancels. Skipped when the timeline bench
+    # did not run in this lane.
+    for suffix in ("obs_on", "obs_off"):
+        on = current.get(f"timeline_cell/sampler_1us_{suffix}")
+        off = current.get(f"timeline_cell/sampler_off_{suffix}")
+        if not on or not off:
+            continue
+        overhead = on / off - 1.0
+        status = "ok" if overhead <= TIMELINE_OVERHEAD else "WARN: over budget"
+        print(
+            f"timeline_cell  1us-sampler overhead {overhead * 100:+5.2f}% "
+            f"({suffix}, advisory ceiling {TIMELINE_OVERHEAD * 100:.0f}%) {status}"
+        )
+        if overhead > TIMELINE_OVERHEAD:
+            warnings.append(
+                f"timeline_cell ({suffix}): sampling overhead "
+                f"{overhead * 100:.2f}% exceeds {TIMELINE_OVERHEAD * 100:.0f}%"
+            )
+
     if warnings:
         print("\nbench gate ADVISORY (not failing the job; rerun to confirm):")
         for w in warnings:
             print(f"  - {w}")
             if os.environ.get("GITHUB_ACTIONS"):
-                print(f"::warning title=scheduler bench ratio drop::{w}")
+                print(f"::warning title=bench advisory::{w}")
 
     if failures:
         print("\nbench gate FAILED:")

@@ -126,6 +126,37 @@ fn quick_scale_metrics_match_golden_fixtures() {
 /// pinned byte-for-byte: stage shares are derived from every request's
 /// exact integer decomposition, so any drift in event ordering or the
 /// attribution cursor logic shows up here immediately.
+/// The `timeline` artifact (telemetry sparklines) is pinned
+/// byte-for-byte: the sparkline columns are a pure function of the
+/// sampled gauge series, so any drift in the sampler's cadence,
+/// decimation, or the gauges' integer encodings shows up here.
+#[cfg(feature = "obs")]
+#[test]
+fn timeline_artifact_matches_golden_fixture() {
+    let reports = experiments::figures::generate("timeline", Scale::Quick);
+    assert_eq!(reports.len(), 1);
+    let rendered = reports[0].to_string();
+    let path = fixture_path("timeline");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "timeline artifact drifted against {}",
+        path.display()
+    );
+}
+
 #[cfg(feature = "obs")]
 #[test]
 fn breakdown_artifact_matches_golden_fixture() {

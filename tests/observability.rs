@@ -80,6 +80,7 @@ fn nmap_run_exports_all_track_types() {
         "cstate",
         "requests",
         "slo",
+        "timeline",
     ] {
         assert!(
             json.contains(&format!("\"args\":{{\"name\":\"{track}\"}}")),
