@@ -1,0 +1,1482 @@
+//! The fleet simulation: N testbed servers behind a simulated
+//! front-end tier, with exact cross-server conservation.
+//!
+//! # Two-level simulation
+//!
+//! The fleet runs one *outer* discrete-event simulator whose world is
+//! the load balancer: request arrivals, consistent-hash steering,
+//! dispatches, responses, client timeouts, retries, hedges, and
+//! health probes are all outer events. Each server is a full
+//! [`appsim::Testbed`] with its own *inner* simulator, advanced in
+//! epoch lockstep with the outer clock. The coupling runs both ways
+//! every epoch:
+//!
+//! - **down** — each server's arrival process is re-targeted (via
+//!   [`Testbed::switch_load`]) at the request rate the fleet actually
+//!   steered to it, so retries, hedges, failover, and LB skew visibly
+//!   re-inject load onto the surviving servers;
+//! - **up** — each server's recently completed internal latencies are
+//!   harvested as the sampling table the fleet draws per-dispatch
+//!   service times from, so a server melting down under inherited
+//!   load answers its fleet requests slowly, trips client timeouts,
+//!   and sheds load to its neighbors.
+//!
+//! # Conservation
+//!
+//! Every request and every attempt is accounted for with integer
+//! exactness, even under crash schedules:
+//!
+//! ```text
+//! admitted   == completed + timed_out + in_flight_at_end
+//! dispatched == attempts_completed + attempts_failed
+//!             + hedges_suppressed + attempts_in_flight_at_end
+//! ```
+//!
+//! Both identities are evaluated in the [`FleetResult::audit`]
+//! report, cross-checked against the [`ConservationLedger`] when the
+//! `audit` feature is on, and a violation turns the run into
+//! [`SimError::Accounting`] instead of a silently wrong result.
+
+use std::collections::{HashMap, VecDeque};
+use std::mem;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use appsim::{AppModel, Testbed, TestbedConfig};
+use cpusim::ProcessorProfile;
+use governors::DegradationStats;
+use simcore::{
+    Account, AuditReport, ConservationLedger, EventId, FaultInjector, FaultKind, FaultPlan,
+    FaultStats, MetricsRegistry, MetricsSnapshot, RngStream, SimDuration, SimError, SimTime,
+    Simulator, StepBudget, StreamingQuantiles, TimelineConfig,
+};
+use workload::{AppKind, ChurnSpec, DiurnalCurve, LoadSpec};
+
+use crate::health::{HealthTracker, HealthTransition};
+use crate::kinds::{build_policies, GovernorKind, SleepKind};
+use crate::ring::{flow_key, HashRing};
+
+/// Locks a mutex, shrugging off poisoning: a panicking worker must
+/// not cascade into every other thread that shares the sweep state.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Client-side timeout and retry discipline for fleet requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Per-attempt response deadline.
+    pub timeout: SimDuration,
+    /// Total attempts per request, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per retry.
+    pub backoff_base: SimDuration,
+    /// Backoff ceiling for the exponential doubling.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: SimDuration::from_millis(5),
+            max_attempts: 3,
+            backoff_base: SimDuration::from_millis(1),
+            backoff_cap: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Tail-latency hedging: duplicate a still-open request to a second
+/// server once it has been outstanding longer than a quantile of
+/// recent fleet latencies. First response wins; the loser is counted
+/// as suppressed, never double-completed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// Latency quantile (of the merged fleet distribution) the hedge
+    /// delay tracks, e.g. `0.95`.
+    pub quantile: f64,
+    /// Lower bound on the hedge delay, so a cold or idle fleet never
+    /// hedges every request.
+    pub floor: SimDuration,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        HedgePolicy {
+            quantile: 0.95,
+            floor: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Health-check probing and hysteresis thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbePolicy {
+    /// Gap between successive probes of one server.
+    pub interval: SimDuration,
+    /// Probe RTT budget; a slower (or dead) server fails the probe.
+    pub timeout: SimDuration,
+    /// Consecutive failures before ejection.
+    pub fail_threshold: u32,
+    /// Consecutive successes before readmission.
+    pub ok_threshold: u32,
+}
+
+impl Default for ProbePolicy {
+    fn default() -> Self {
+        ProbePolicy {
+            interval: SimDuration::from_millis(10),
+            timeout: SimDuration::from_millis(1),
+            fail_threshold: 3,
+            ok_threshold: 2,
+        }
+    }
+}
+
+/// Configuration for one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of servers (≥ 1).
+    pub servers: usize,
+    /// Application every server runs.
+    pub app: AppKind,
+    /// Aggregate offered load across the fleet, requests/s.
+    pub total_rps: f64,
+    /// Governor every server runs.
+    pub governor: GovernorKind,
+    /// Sleep policy every server runs.
+    pub sleep: SleepKind,
+    /// Processor model every server runs.
+    pub profile: ProcessorProfile,
+    /// Master seed; per-server and per-stream seeds derive from it.
+    pub seed: u64,
+    /// Settling time before measurement starts.
+    pub warmup: SimDuration,
+    /// Measured window after warmup.
+    pub duration: SimDuration,
+    /// Cluster-scope fault schedule (`scope.core` = server index).
+    pub fault_plan: FaultPlan,
+    /// Timeout/retry discipline.
+    pub retry: RetryPolicy,
+    /// Tail-latency hedging; `None` disables it.
+    pub hedge: Option<HedgePolicy>,
+    /// Health-check probing.
+    pub probe: ProbePolicy,
+    /// Diurnal modulation of the offered load; `None` = steady.
+    pub diurnal: Option<DiurnalCurve>,
+    /// Periodic connection churn; `None` = stable flows.
+    pub churn: Option<ChurnSpec>,
+    /// Inner/outer coupling interval (load re-targeting and latency
+    /// harvesting cadence).
+    pub epoch: SimDuration,
+    /// Client connection (flow) population steered by affinity.
+    pub flows: usize,
+    /// One-way LB↔server network hop.
+    pub lb_hop: SimDuration,
+}
+
+impl FleetConfig {
+    /// A fleet with library defaults: menu sleep, Xeon Gold 6134
+    /// servers, 200 ms warmup + 800 ms measured, default retry and
+    /// probe policies, hedging on, no faults, steady load.
+    pub fn new(servers: usize, app: AppKind, total_rps: f64, governor: GovernorKind) -> Self {
+        FleetConfig {
+            servers,
+            app,
+            total_rps,
+            governor,
+            sleep: SleepKind::Menu,
+            profile: ProcessorProfile::xeon_gold_6134(),
+            seed: 42,
+            warmup: SimDuration::from_millis(200),
+            duration: SimDuration::from_millis(800),
+            fault_plan: FaultPlan::new(),
+            retry: RetryPolicy::default(),
+            hedge: Some(HedgePolicy::default()),
+            probe: ProbePolicy::default(),
+            diurnal: None,
+            churn: None,
+            epoch: SimDuration::from_millis(5),
+            flows: 512,
+            lb_hop: SimDuration::from_micros(20),
+        }
+    }
+
+    /// Sets warmup and measured duration.
+    pub fn with_window(mut self, warmup: SimDuration, duration: SimDuration) -> Self {
+        self.warmup = warmup;
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the sleep policy.
+    pub fn with_sleep(mut self, sleep: SleepKind) -> Self {
+        self.sleep = sleep;
+        self
+    }
+
+    /// Sets the processor model.
+    pub fn with_profile(mut self, profile: ProcessorProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the cluster-scope fault schedule.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the timeout/retry discipline.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables or disables hedging.
+    pub fn with_hedge(mut self, hedge: Option<HedgePolicy>) -> Self {
+        self.hedge = hedge;
+        self
+    }
+
+    /// Sets the health-check policy.
+    pub fn with_probe(mut self, probe: ProbePolicy) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Modulates offered load with a diurnal curve.
+    pub fn with_diurnal(mut self, diurnal: DiurnalCurve) -> Self {
+        self.diurnal = Some(diurnal);
+        self
+    }
+
+    /// Enables periodic connection churn.
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Sets the flow population.
+    pub fn with_flows(mut self, flows: usize) -> Self {
+        self.flows = flows;
+        self
+    }
+
+    /// Sets the inner/outer coupling epoch.
+    pub fn with_epoch(mut self, epoch: SimDuration) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Validates the configuration, including a representative
+    /// per-server testbed config at the initial load split.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.servers == 0 {
+            return Err(SimError::invalid("fleet.servers", "need at least 1 server"));
+        }
+        if self.servers > 4096 {
+            return Err(SimError::invalid("fleet.servers", "more than 4096 servers"));
+        }
+        if self.flows == 0 {
+            return Err(SimError::invalid("fleet.flows", "need at least 1 flow"));
+        }
+        if !self.total_rps.is_finite() || self.total_rps <= 0.0 || self.total_rps > 1e9 {
+            return Err(SimError::invalid(
+                "fleet.total_rps",
+                format!(
+                    "rate must be finite, positive, and ≤ 1e9 (got {})",
+                    self.total_rps
+                ),
+            ));
+        }
+        if self.duration.is_zero() {
+            return Err(SimError::invalid(
+                "fleet.duration",
+                "measured window is empty",
+            ));
+        }
+        if self.warmup.checked_add(self.duration).is_none() {
+            return Err(SimError::invalid(
+                "fleet.duration",
+                "warmup + duration overflows",
+            ));
+        }
+        if self.epoch.is_zero() || self.epoch > self.duration {
+            return Err(SimError::invalid(
+                "fleet.epoch",
+                "epoch must be non-zero and no longer than the measured window",
+            ));
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(SimError::invalid(
+                "fleet.retry.max_attempts",
+                "need ≥ 1 attempt",
+            ));
+        }
+        if self.retry.timeout.is_zero() {
+            return Err(SimError::invalid("fleet.retry.timeout", "timeout is zero"));
+        }
+        if self.retry.backoff_cap < self.retry.backoff_base {
+            return Err(SimError::invalid(
+                "fleet.retry.backoff_cap",
+                "backoff cap below backoff base",
+            ));
+        }
+        if let Some(h) = self.hedge {
+            if !h.quantile.is_finite() || h.quantile <= 0.0 || h.quantile >= 1.0 {
+                return Err(SimError::invalid(
+                    "fleet.hedge.quantile",
+                    format!("hedge quantile must be in (0, 1) (got {})", h.quantile),
+                ));
+            }
+        }
+        if self.probe.interval.is_zero() {
+            return Err(SimError::invalid(
+                "fleet.probe.interval",
+                "probe interval is zero",
+            ));
+        }
+        if self.probe.fail_threshold == 0 || self.probe.ok_threshold == 0 {
+            return Err(SimError::invalid(
+                "fleet.probe",
+                "hysteresis thresholds must be ≥ 1",
+            ));
+        }
+        if let Some(d) = &self.diurnal {
+            d.validate()?;
+        }
+        if let Some(c) = &self.churn {
+            c.validate()?;
+        }
+        self.governor.validate()?;
+        self.fault_plan.validate(self.servers)?;
+        let sample = TestbedConfig::new(AppModel::for_kind(self.app), self.initial_load())
+            .with_profile(self.profile.clone());
+        sample.validate()
+    }
+
+    /// The steady per-server load the fleet starts every server at.
+    fn initial_load(&self) -> LoadSpec {
+        let per = (self.total_rps / self.servers as f64).max(1.0);
+        LoadSpec::custom(per, self.epoch, 1.0, 0.0)
+    }
+
+    /// End of simulated time.
+    fn end(&self) -> SimTime {
+        SimTime::ZERO + self.warmup + self.duration
+    }
+
+    /// Streaming-quantile window long enough that fleet windows never
+    /// rotate within a run — all servers' sketches stay epoch-aligned
+    /// and merge exactly.
+    fn quantile_window(&self) -> SimDuration {
+        (self.warmup + self.duration) + self.duration + SimDuration::from_secs(1)
+    }
+}
+
+/// Per-server slice of a [`FleetResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerReport {
+    /// Attempts the LB steered here (including ones that failed
+    /// instantly against a crashed/partitioned server).
+    pub dispatched: u64,
+    /// Attempts that reached the server and whose response made (or
+    /// will make) it back to the LB — crash-cancelled responses move
+    /// to the fleet's failed column instead.
+    pub delivered: u64,
+    /// Requests this server's response closed (first response wins).
+    pub won: u64,
+    /// Crash events this server absorbed.
+    pub crashes: u64,
+    /// Whether the LB view had this server ejected at the end.
+    pub ejected_at_end: bool,
+    /// The server's internal (single-box) p99 over the measured
+    /// window.
+    pub p99_internal: SimDuration,
+    /// Measured package energy over the measured window, joules.
+    pub energy_j: f64,
+    /// Governor graceful-degradation counters.
+    pub degradation: DegradationStats,
+}
+
+/// The outcome of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetResult {
+    /// Governor label (same on every server).
+    pub governor: String,
+    /// Sleep-policy label.
+    pub sleep: String,
+    /// Per-server reports, indexed by server id.
+    pub servers: Vec<ServerReport>,
+    /// Requests admitted at the front end.
+    pub admitted: u64,
+    /// Requests closed by a response.
+    pub completed: u64,
+    /// Requests closed by exhausting every attempt.
+    pub timed_out: u64,
+    /// Requests still open when time ran out.
+    pub in_flight_at_end: u64,
+    /// Attempts dispatched (first sends + retries + hedges).
+    pub dispatched: u64,
+    /// Attempts whose response closed their request.
+    pub attempts_completed: u64,
+    /// Attempts lost to a crashed or partitioned server.
+    pub attempts_failed: u64,
+    /// Duplicate responses suppressed after their request closed.
+    pub suppressed: u64,
+    /// Attempts still outstanding when time ran out.
+    pub attempts_in_flight_at_end: u64,
+    /// Retry dispatches (timeout-driven re-sends).
+    pub retries: u64,
+    /// Hedge dispatches (quantile-delay duplicates).
+    pub hedges: u64,
+    /// Requests re-steered off their affinity server.
+    pub failovers: u64,
+    /// Health ejections.
+    pub ejections: u64,
+    /// Health readmissions.
+    pub readmissions: u64,
+    /// Flows that lost affinity to connection churn.
+    pub churned_flows: u64,
+    /// Fleet-level p99 (merged across servers), measured window only.
+    pub p99: SimDuration,
+    /// Fleet-level p50.
+    pub p50: SimDuration,
+    /// completed / (completed + timed_out); 1.0 when nothing closed.
+    pub availability: f64,
+    /// Total measured energy across servers, joules.
+    pub energy_j: f64,
+    /// Measured window length.
+    pub duration: SimDuration,
+    /// Fleet metrics snapshot (empty without the `obs` feature).
+    pub metrics: MetricsSnapshot,
+    /// Cluster-scope fault injection counts.
+    pub faults: FaultStats,
+    /// The conservation roll-up; always balanced when this struct is
+    /// returned (violations become [`SimError::Accounting`]).
+    pub audit: AuditReport,
+}
+
+/// One fleet request attempt: where it went and whether it resolved.
+#[derive(Debug)]
+struct AttemptState {
+    server: usize,
+    response_ev: Option<EventId>,
+    done: bool,
+}
+
+/// One admitted fleet request.
+#[derive(Debug)]
+struct RequestState {
+    flow: usize,
+    admitted_at: SimTime,
+    attempts: Vec<AttemptState>,
+    timeout_ev: Option<EventId>,
+    hedge_ev: Option<EventId>,
+    hedged: bool,
+    closed: bool,
+}
+
+/// One server: a nested simulator/testbed pair plus fleet-side state.
+struct ServerInstance {
+    sim: Simulator<Testbed>,
+    tb: Testbed,
+    /// Recent internal latencies (ns) the fleet samples service times
+    /// from; replaced wholesale each epoch that produced responses.
+    latatable: Vec<u64>,
+    /// High-water mark into `tb.client.response_log()`.
+    resp_cursor: usize,
+    /// Outstanding fleet attempts on this server: `(request id,
+    /// attempt index)`, cancelled wholesale on crash.
+    inflight: Vec<(u64, usize)>,
+    /// Delivered attempts this epoch — drives next epoch's load.
+    dispatched_epoch: u64,
+    dispatched_total: u64,
+    delivered: u64,
+    won: u64,
+    crashes: u64,
+    /// Fleet-request latencies this server won, for the merged p99.
+    q: StreamingQuantiles,
+    current_rps: f64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct FleetCounters {
+    admitted: u64,
+    completed: u64,
+    timed_out: u64,
+    open_requests: u64,
+    dispatched: u64,
+    attempts_completed: u64,
+    attempts_failed: u64,
+    suppressed: u64,
+    attempts_outstanding: u64,
+    retries: u64,
+    hedges: u64,
+    failovers: u64,
+    ejections: u64,
+    readmissions: u64,
+    churned_flows: u64,
+}
+
+/// The outer simulator's world.
+struct FleetWorld {
+    cfg: FleetConfig,
+    servers: Vec<ServerInstance>,
+    ring: HashRing,
+    trackers: Vec<HealthTracker>,
+    /// The LB's (possibly stale) health view.
+    lb_view: Vec<bool>,
+    /// Per-flow sticky server.
+    affinity: Vec<Option<usize>>,
+    /// Per-flow connection incarnation; bumped on churn.
+    affinity_gen: Vec<u64>,
+    /// Open request table — keyed access only, never iterated, so the
+    /// map's nondeterministic iteration order can't leak into the run.
+    reqs: HashMap<u64, RequestState>,
+    faults: FaultInjector,
+    ledger: ConservationLedger,
+    rng_arrival: RngStream,
+    rng_steer: RngStream,
+    rng_latency: RngStream,
+    rng_churn: RngStream,
+    counters: FleetCounters,
+    /// Current hedge delay; re-derived from the merged latency
+    /// quantile every epoch.
+    hedge_delay: SimDuration,
+    end: SimTime,
+    budget: StepBudget,
+    /// First inner-simulator budget failure; aborts the run.
+    budget_err: Option<SimError>,
+    next_req: u64,
+}
+
+type FleetSim = Simulator<FleetWorld>;
+
+impl FleetWorld {
+    fn offered_rate(&self, now: SimTime) -> f64 {
+        let factor = self.cfg.diurnal.as_ref().map_or(1.0, |d| d.factor_at(now));
+        (self.cfg.total_rps * factor).max(1.0)
+    }
+}
+
+fn backoff_for(retry: &RetryPolicy, retries_so_far: u32) -> SimDuration {
+    let mult = 1u64 << retries_so_far.min(20);
+    let ns = retry.backoff_base.as_nanos().saturating_mul(mult);
+    SimDuration::from_nanos(ns.min(retry.backoff_cap.as_nanos()))
+}
+
+/// Steers one request: affinity if the LB believes it healthy (and it
+/// is not excluded), else a consistent-hash walk. Counts failovers
+/// and applies any active hash-skew fault as a per-request override.
+fn steer(w: &mut FleetWorld, now: SimTime, flow: usize, exclude: Option<usize>) -> usize {
+    let key = flow_key(flow as u64, w.affinity_gen[flow]);
+    let prior = w.affinity[flow];
+    let candidate = match prior {
+        Some(p) if exclude != Some(p) && w.lb_view.get(p).copied().unwrap_or(false) => p,
+        _ => match exclude {
+            Some(ex) => w.ring.successor(key, ex, &w.lb_view),
+            None => w.ring.steer(key, &w.lb_view),
+        },
+    };
+    if let Some(p) = prior {
+        if candidate != p {
+            w.counters.failovers += 1;
+        }
+    }
+    w.affinity[flow] = Some(candidate);
+    // A skew fault over-concentrates steering onto one victim server
+    // for the duration of its scope, without rewriting affinity.
+    let mut chosen = candidate;
+    if let Some((factor, target)) = w.faults.hash_skew(now) {
+        if target < w.cfg.servers && chosen != target && w.rng_steer.chance(1.0 - 1.0 / factor) {
+            w.faults.note_skewed_steer(now, target);
+            chosen = target;
+        }
+    }
+    chosen
+}
+
+/// Draws a service latency for `server` from its harvested table.
+fn sample_latency_ns(w: &mut FleetWorld, server: usize) -> u64 {
+    let len = w.servers[server].latatable.len() as u64;
+    if len == 0 {
+        // No harvest yet (first epochs): a cold optimistic guess.
+        (w.servers[server].tb.app().slo.as_nanos() / 8).max(1)
+    } else {
+        let idx = w.rng_latency.below(len) as usize;
+        w.servers[server].latatable[idx]
+    }
+}
+
+/// Dispatches one attempt of request `id` to `server`.
+fn dispatch(w: &mut FleetWorld, sim: &mut FleetSim, id: u64, server: usize) {
+    let now = sim.now();
+    w.counters.dispatched += 1;
+    w.ledger.credit(Account::FleetAttemptsDispatched, 1);
+    w.servers[server].dispatched_total += 1;
+    let crashed = w.faults.server_crashed(now, server);
+    let partitioned = w.faults.link_partitioned(now, server);
+    if crashed || partitioned {
+        if partitioned && !crashed {
+            w.faults.note_partition_drop(now, server);
+        }
+        w.counters.attempts_failed += 1;
+        w.ledger.credit(Account::FleetAttemptsFailed, 1);
+        if let Some(req) = w.reqs.get_mut(&id) {
+            req.attempts.push(AttemptState {
+                server,
+                response_ev: None,
+                done: true,
+            });
+        }
+        return;
+    }
+    let extra = w.faults.link_extra(now, server);
+    let hop = w.cfg.lb_hop + extra;
+    let service = SimDuration::from_nanos(sample_latency_ns(w, server));
+    let attempt_idx = w.reqs.get(&id).map_or(0, |r| r.attempts.len());
+    let ev = sim.schedule_at(now + hop + service + hop, move |w, sim| {
+        response(w, sim, id, attempt_idx);
+    });
+    if let Some(req) = w.reqs.get_mut(&id) {
+        req.attempts.push(AttemptState {
+            server,
+            response_ev: Some(ev),
+            done: false,
+        });
+    }
+    w.counters.attempts_outstanding += 1;
+    let s = &mut w.servers[server];
+    s.inflight.push((id, attempt_idx));
+    s.dispatched_epoch += 1;
+    s.delivered += 1;
+}
+
+/// A response for attempt `attempt_idx` of request `id` reached the
+/// LB. First response wins; later ones are suppressed duplicates.
+fn response(w: &mut FleetWorld, sim: &mut FleetSim, id: u64, attempt_idx: usize) {
+    let now = sim.now();
+    let Some((server, was_closed, admitted_at, timeout_ev, hedge_ev)) =
+        w.reqs.get_mut(&id).and_then(|req| {
+            let att = req.attempts.get_mut(attempt_idx)?;
+            att.done = true;
+            att.response_ev = None;
+            let server = att.server;
+            let was_closed = req.closed;
+            let (t, h) = if was_closed {
+                (None, None)
+            } else {
+                req.closed = true;
+                (req.timeout_ev.take(), req.hedge_ev.take())
+            };
+            Some((server, was_closed, req.admitted_at, t, h))
+        })
+    else {
+        return;
+    };
+    w.counters.attempts_outstanding = w.counters.attempts_outstanding.saturating_sub(1);
+    let s = &mut w.servers[server];
+    if let Some(pos) = s
+        .inflight
+        .iter()
+        .position(|&(r, a)| r == id && a == attempt_idx)
+    {
+        s.inflight.swap_remove(pos);
+    }
+    if was_closed {
+        w.counters.suppressed += 1;
+        w.ledger.credit(Account::FleetHedgesSuppressed, 1);
+    } else {
+        if let Some(ev) = timeout_ev {
+            sim.cancel(ev);
+        }
+        if let Some(ev) = hedge_ev {
+            sim.cancel(ev);
+        }
+        w.counters.completed += 1;
+        w.ledger.credit(Account::FleetRequestsCompleted, 1);
+        w.counters.attempts_completed += 1;
+        w.ledger.credit(Account::FleetAttemptsCompleted, 1);
+        w.counters.open_requests = w.counters.open_requests.saturating_sub(1);
+        let latency = now.saturating_since(admitted_at);
+        let s = &mut w.servers[server];
+        s.won += 1;
+        s.q.record(now, latency.as_nanos().max(1));
+    }
+    maybe_gc(w, id);
+}
+
+/// The per-attempt deadline fired: retry (with backoff) or close the
+/// request as timed out once attempts are exhausted.
+fn timeout_fired(w: &mut FleetWorld, sim: &mut FleetSim, id: u64) {
+    let now = sim.now();
+    let Some((closed, attempts_len)) = w.reqs.get_mut(&id).map(|req| {
+        req.timeout_ev = None;
+        (req.closed, req.attempts.len())
+    }) else {
+        return;
+    };
+    if closed {
+        return;
+    }
+    if (attempts_len as u32) < w.cfg.retry.max_attempts {
+        w.counters.retries += 1;
+        let backoff = backoff_for(&w.cfg.retry, attempts_len.saturating_sub(1) as u32);
+        let ev = sim.schedule_at(now + backoff, move |w, sim| retry_fire(w, sim, id));
+        if let Some(req) = w.reqs.get_mut(&id) {
+            req.timeout_ev = Some(ev);
+        }
+    } else {
+        let hedge_ev = w.reqs.get_mut(&id).and_then(|req| {
+            req.closed = true;
+            req.hedge_ev.take()
+        });
+        if let Some(ev) = hedge_ev {
+            sim.cancel(ev);
+        }
+        w.counters.timed_out += 1;
+        w.ledger.credit(Account::FleetRequestsTimedOut, 1);
+        w.counters.open_requests = w.counters.open_requests.saturating_sub(1);
+        maybe_gc(w, id);
+    }
+}
+
+/// Backoff elapsed: re-steer (excluding the server that just timed
+/// out) and dispatch the retry with a fresh deadline.
+fn retry_fire(w: &mut FleetWorld, sim: &mut FleetSim, id: u64) {
+    let now = sim.now();
+    let Some((closed, flow, last_server)) = w
+        .reqs
+        .get(&id)
+        .map(|req| (req.closed, req.flow, req.attempts.last().map(|a| a.server)))
+    else {
+        return;
+    };
+    if closed {
+        return;
+    }
+    let server = steer(w, now, flow, last_server);
+    dispatch(w, sim, id, server);
+    let ev = sim.schedule_at(now + w.cfg.retry.timeout, move |w, sim| {
+        timeout_fired(w, sim, id);
+    });
+    if let Some(req) = w.reqs.get_mut(&id) {
+        req.timeout_ev = Some(ev);
+    }
+}
+
+/// Hedge delay elapsed with the request still open: duplicate it to
+/// the ring successor of its primary server.
+fn hedge_fired(w: &mut FleetWorld, sim: &mut FleetSim, id: u64) {
+    let Some((flow, primary)) = w.reqs.get_mut(&id).and_then(|req| {
+        req.hedge_ev = None;
+        if req.closed || req.hedged {
+            return None;
+        }
+        req.hedged = true;
+        Some((req.flow, req.attempts.first().map(|a| a.server)?))
+    }) else {
+        return;
+    };
+    let key = flow_key(flow as u64, w.affinity_gen[flow]);
+    let target = w.ring.successor(key, primary, &w.lb_view);
+    if target != primary {
+        w.counters.hedges += 1;
+        dispatch(w, sim, id, target);
+    }
+}
+
+/// One health probe of `server`, feeding the hysteresis tracker —
+/// unless an LB staleness fault eats the result.
+fn probe(w: &mut FleetWorld, sim: &mut FleetSim, server: usize) {
+    let now = sim.now();
+    let crashed = w.faults.server_crashed(now, server);
+    let partitioned = w.faults.link_partitioned(now, server);
+    let extra = w.faults.link_extra(now, server);
+    let rtt = (w.cfg.lb_hop + extra) + (w.cfg.lb_hop + extra);
+    let ok = !crashed && !partitioned && rtt <= w.cfg.probe.timeout;
+    if w.faults.health_view_stale(now) {
+        w.faults.note_stale_probe(now, server);
+    } else if let Some(tracker) = w.trackers.get_mut(server) {
+        match tracker.record(ok) {
+            Some(HealthTransition::Ejected) => {
+                w.counters.ejections += 1;
+                w.lb_view[server] = false;
+            }
+            Some(HealthTransition::Readmitted) => {
+                w.counters.readmissions += 1;
+                w.lb_view[server] = true;
+            }
+            None => {}
+        }
+    }
+    let next = now + w.cfg.probe.interval;
+    if next < w.end {
+        sim.schedule_at(next, move |w, sim| probe(w, sim, server));
+    }
+}
+
+/// Harvests the delta of a server's internal response log into its
+/// latency sampling table.
+fn harvest(s: &mut ServerInstance) {
+    let log = s.tb.client.response_log();
+    if s.resp_cursor > log.len() {
+        // The log was reset under us (measurement boundary).
+        s.resp_cursor = 0;
+    }
+    let delta = &log[s.resp_cursor..];
+    if !delta.is_empty() {
+        const CAP: usize = 2048;
+        let skip = delta.len().saturating_sub(CAP);
+        s.latatable.clear();
+        s.latatable
+            .extend(delta[skip..].iter().map(|&(_, d)| d.as_nanos().max(1)));
+    }
+    s.resp_cursor = log.len();
+}
+
+/// Recomputes the hedge delay from the merged fleet latency quantile.
+fn recompute_hedge_delay(w: &mut FleetWorld) {
+    let Some(h) = w.cfg.hedge else { return };
+    let mut merged: Option<StreamingQuantiles> = None;
+    for s in &w.servers {
+        match &mut merged {
+            None => merged = Some(s.q.clone()),
+            Some(m) => m.merge(&s.q),
+        }
+    }
+    let q_ns = merged.map_or(0, |m| m.quantile(h.quantile));
+    w.hedge_delay = SimDuration::from_nanos(q_ns).max(h.floor);
+}
+
+/// The epoch tick: advance every inner simulator to now, harvest
+/// latencies, re-target each server's arrival process at the load it
+/// actually absorbed, and refresh the hedge delay.
+fn epoch_tick(w: &mut FleetWorld, sim: &mut FleetSim) {
+    let now = sim.now();
+    if w.budget_err.is_none() {
+        let epoch_secs = w.cfg.epoch.as_secs_f64();
+        for s in &mut w.servers {
+            if let Err(e) = s.sim.run_until_budgeted(&mut s.tb, now, &w.budget) {
+                w.budget_err = Some(e);
+                break;
+            }
+            harvest(s);
+            let rate = ((s.dispatched_epoch as f64) / epoch_secs).clamp(1.0, 1e9);
+            s.dispatched_epoch = 0;
+            // Only re-target on a meaningful shift: switching the load
+            // restarts the arrival chain, so hold small deltas steady.
+            if (rate - s.current_rps).abs() > 0.05 * s.current_rps {
+                let ServerInstance { sim: inner, tb, .. } = s;
+                tb.switch_load(inner, LoadSpec::custom(rate, w.cfg.epoch, 1.0, 0.0));
+                s.current_rps = rate;
+            }
+        }
+        recompute_hedge_delay(w);
+    }
+    let next = now + w.cfg.epoch;
+    if next < w.end {
+        sim.schedule_at(next, epoch_tick);
+    }
+}
+
+/// The measurement boundary: anchor every server's energy/latency
+/// measurement and start fresh fleet latency sketches.
+fn warmup_boundary(w: &mut FleetWorld, sim: &mut FleetSim) {
+    let now = sim.now();
+    let window = w.cfg.quantile_window();
+    for s in &mut w.servers {
+        if w.budget_err.is_none() {
+            if let Err(e) = s.sim.run_until_budgeted(&mut s.tb, now, &w.budget) {
+                w.budget_err = Some(e);
+            }
+        }
+        harvest(s);
+        s.tb.begin_measurement(now);
+        // begin_measurement clears the response log.
+        s.resp_cursor = 0;
+        s.q = StreamingQuantiles::new(window);
+    }
+}
+
+/// A churn wave: a random `fraction` of flows reconnect, losing
+/// affinity and re-hashing to a fresh ring position.
+fn churn_wave(w: &mut FleetWorld, sim: &mut FleetSim) {
+    let now = sim.now();
+    let Some(churn) = w.cfg.churn else { return };
+    for flow in 0..w.cfg.flows {
+        if w.rng_churn.chance(churn.fraction) {
+            w.affinity[flow] = None;
+            w.affinity_gen[flow] = w.affinity_gen[flow].wrapping_add(1);
+            w.counters.churned_flows += 1;
+        }
+    }
+    let next = now + churn.period;
+    if next < w.end {
+        sim.schedule_at(next, churn_wave);
+    }
+}
+
+/// A server-crash boundary: every outstanding attempt on the server
+/// dies (no response will come); the requests stay open and their
+/// client timeouts drive retry/failover.
+fn crash_server(w: &mut FleetWorld, sim: &mut FleetSim, server: usize) {
+    let now = sim.now();
+    w.faults.note_server_crash(now, server);
+    w.servers[server].crashes += 1;
+    let inflight = mem::take(&mut w.servers[server].inflight);
+    let mut failed = 0u64;
+    for (id, attempt_idx) in inflight {
+        let Some(req) = w.reqs.get_mut(&id) else {
+            continue;
+        };
+        let Some(att) = req.attempts.get_mut(attempt_idx) else {
+            continue;
+        };
+        if att.done {
+            continue;
+        }
+        att.done = true;
+        if let Some(ev) = att.response_ev.take() {
+            sim.cancel(ev);
+        }
+        failed += 1;
+    }
+    w.counters.attempts_outstanding = w.counters.attempts_outstanding.saturating_sub(failed);
+    w.counters.attempts_failed += failed;
+    // Those responses will never arrive: they move from the server's
+    // delivered column into the fleet's failed column.
+    w.servers[server].delivered = w.servers[server].delivered.saturating_sub(failed);
+    w.ledger.credit(Account::FleetAttemptsFailed, failed);
+}
+
+/// Admits one request and schedules the next arrival.
+fn arrival(w: &mut FleetWorld, sim: &mut FleetSim) {
+    let now = sim.now();
+    let id = w.next_req;
+    w.next_req += 1;
+    w.counters.admitted += 1;
+    w.ledger.credit(Account::FleetRequestsAdmitted, 1);
+    w.counters.open_requests += 1;
+    let flow = w.rng_arrival.below(w.cfg.flows as u64) as usize;
+    w.reqs.insert(
+        id,
+        RequestState {
+            flow,
+            admitted_at: now,
+            attempts: Vec::new(),
+            timeout_ev: None,
+            hedge_ev: None,
+            hedged: false,
+            closed: false,
+        },
+    );
+    let server = steer(w, now, flow, None);
+    dispatch(w, sim, id, server);
+    let timeout_ev = sim.schedule_at(now + w.cfg.retry.timeout, move |w, sim| {
+        timeout_fired(w, sim, id);
+    });
+    let hedge_ev = (w.cfg.hedge.is_some() && w.cfg.servers > 1)
+        .then(|| sim.schedule_at(now + w.hedge_delay, move |w, sim| hedge_fired(w, sim, id)));
+    if let Some(req) = w.reqs.get_mut(&id) {
+        req.timeout_ev = Some(timeout_ev);
+        req.hedge_ev = hedge_ev;
+    }
+    schedule_next_arrival(w, sim, now);
+}
+
+fn schedule_next_arrival(w: &mut FleetWorld, sim: &mut FleetSim, now: SimTime) {
+    let mean_ns = 1e9 / w.offered_rate(now);
+    let gap_ns = w.rng_arrival.exponential(mean_ns).clamp(1.0, 1e15);
+    let next = now + SimDuration::from_nanos(gap_ns as u64);
+    if next < w.end {
+        sim.schedule_at(next, arrival);
+    }
+}
+
+/// Drops a request once it is closed and every attempt has resolved.
+fn maybe_gc(w: &mut FleetWorld, id: u64) {
+    if let Some(req) = w.reqs.get(&id) {
+        if req.closed
+            && req.timeout_ev.is_none()
+            && req.hedge_ev.is_none()
+            && req.attempts.iter().all(|a| a.done)
+        {
+            w.reqs.remove(&id);
+        }
+    }
+}
+
+/// Runs a fleet, panicking on an invalid config — the ergonomic entry
+/// point for examples and tests.
+pub fn run_fleet(cfg: FleetConfig) -> FleetResult {
+    try_run_fleet(cfg).expect("invalid FleetConfig")
+}
+
+/// Fallible [`run_fleet`]: invalid configs and conservation
+/// violations come back as typed [`SimError`]s.
+pub fn try_run_fleet(cfg: FleetConfig) -> Result<FleetResult, SimError> {
+    try_run_fleet_budgeted(cfg, &StepBudget::unlimited())
+}
+
+/// Like [`try_run_fleet`] with a runaway guard: the outer simulator
+/// and each server's inner simulator are all held to `budget`
+/// individually.
+pub fn try_run_fleet_budgeted(
+    cfg: FleetConfig,
+    budget: &StepBudget,
+) -> Result<FleetResult, SimError> {
+    cfg.validate()?;
+    let end = cfg.end();
+    let n = cfg.servers;
+    let app_model = AppModel::for_kind(cfg.app);
+    let init_load = cfg.initial_load();
+    let per_rps = (cfg.total_rps / n as f64).max(1.0);
+    let window = cfg.quantile_window();
+
+    let mut servers = Vec::with_capacity(n);
+    for i in 0..n {
+        let seed = RngStream::derive(cfg.seed, "server", i as u64).next_u64();
+        let tb_cfg = TestbedConfig::new(app_model, init_load)
+            .with_seed(seed)
+            .with_profile(cfg.profile.clone())
+            .with_timeline(TimelineConfig::OFF);
+        let (governor, sleep) = build_policies(&cfg.governor, cfg.sleep, &cfg.profile, &app_model);
+        let mut inner: Simulator<Testbed> = Simulator::new();
+        let tb = Testbed::try_new(tb_cfg, governor, sleep, &mut inner)?;
+        servers.push(ServerInstance {
+            sim: inner,
+            tb,
+            latatable: Vec::new(),
+            resp_cursor: 0,
+            inflight: Vec::new(),
+            dispatched_epoch: 0,
+            dispatched_total: 0,
+            delivered: 0,
+            won: 0,
+            crashes: 0,
+            q: StreamingQuantiles::new(window),
+            current_rps: per_rps,
+        });
+    }
+
+    let faults = FaultInjector::from_plan(&cfg.fault_plan, cfg.seed);
+    let hedge_floor = cfg.hedge.map_or(SimDuration::from_millis(1), |h| h.floor);
+    let mut world = FleetWorld {
+        ring: HashRing::new(n),
+        trackers: vec![HealthTracker::new(cfg.probe.fail_threshold, cfg.probe.ok_threshold); n],
+        lb_view: vec![true; n],
+        affinity: vec![None; cfg.flows],
+        affinity_gen: vec![0u64; cfg.flows],
+        reqs: HashMap::new(),
+        faults,
+        ledger: ConservationLedger::new(),
+        rng_arrival: RngStream::derive(cfg.seed, "fleet-arrival", 0),
+        rng_steer: RngStream::derive(cfg.seed, "fleet-steer", 0),
+        rng_latency: RngStream::derive(cfg.seed, "fleet-latency", 0),
+        rng_churn: RngStream::derive(cfg.seed, "fleet-churn", 0),
+        counters: FleetCounters::default(),
+        hedge_delay: hedge_floor,
+        end,
+        budget: *budget,
+        budget_err: None,
+        next_req: 0,
+        servers,
+        cfg,
+    };
+
+    let mut sim: FleetSim = Simulator::new();
+    // First arrival.
+    {
+        let mean_ns = 1e9 / world.offered_rate(SimTime::ZERO);
+        let gap = world.rng_arrival.exponential(mean_ns).clamp(1.0, 1e15);
+        sim.schedule_at(SimTime::ZERO + SimDuration::from_nanos(gap as u64), arrival);
+    }
+    // Staggered health probes.
+    for server in 0..n {
+        let offset = SimDuration::from_nanos(
+            ((server as u64 + 1) * world.cfg.probe.interval.as_nanos()) / (n as u64 + 1),
+        );
+        sim.schedule_at(SimTime::ZERO + offset, move |w, sim| probe(w, sim, server));
+    }
+    // Epoch coupling, measurement boundary, churn waves.
+    sim.schedule_at(SimTime::ZERO + world.cfg.epoch, epoch_tick);
+    sim.schedule_at(SimTime::ZERO + world.cfg.warmup, warmup_boundary);
+    if let Some(churn) = world.cfg.churn {
+        sim.schedule_at(SimTime::ZERO + churn.period, churn_wave);
+    }
+    // Server-crash boundaries from the fault plan (scope.core = server
+    // index; an unpinned scope crashes the whole fleet).
+    for spec in world.cfg.fault_plan.specs.clone() {
+        if spec.kind != FaultKind::ServerCrash {
+            continue;
+        }
+        let targets: Vec<usize> = match spec.scope.core {
+            Some(c) => vec![c],
+            None => (0..n).collect(),
+        };
+        for server in targets {
+            sim.schedule_at(spec.scope.start, move |w, sim| crash_server(w, sim, server));
+            if spec.scope.end < end {
+                sim.schedule_at(
+                    spec.scope.end,
+                    move |w: &mut FleetWorld, sim: &mut FleetSim| {
+                        let now = sim.now();
+                        w.faults.note_server_recover(now, server);
+                    },
+                );
+            }
+        }
+    }
+
+    sim.run_until_budgeted(&mut world, end, budget)?;
+    if let Some(e) = world.budget_err.take() {
+        return Err(e);
+    }
+    extract(world, end)
+}
+
+fn extract(mut world: FleetWorld, end: SimTime) -> Result<FleetResult, SimError> {
+    // Final inner advance to the common end time.
+    for s in &mut world.servers {
+        s.sim.run_until_budgeted(&mut s.tb, end, &world.budget)?;
+    }
+    let c = world.counters;
+
+    // The conservation roll-up: integer-exact, counter-based (so it
+    // holds with or without the `audit` feature), cross-checked
+    // against the ledger when the feature is on.
+    let mut audit = AuditReport::new();
+    audit.check_exact(
+        "fleet: admitted == completed + timed_out + in_flight",
+        c.admitted,
+        c.completed + c.timed_out + c.open_requests,
+    );
+    audit.check_exact(
+        "fleet: dispatched == completed + failed + suppressed + outstanding",
+        c.dispatched,
+        c.attempts_completed + c.attempts_failed + c.suppressed + c.attempts_outstanding,
+    );
+    let won_sum: u64 = world.servers.iter().map(|s| s.won).sum();
+    audit.check_exact("fleet: server wins == completions", won_sum, c.completed);
+    let delivered_sum: u64 = world.servers.iter().map(|s| s.delivered).sum();
+    audit.check_exact(
+        "fleet: deliveries == dispatched - failed",
+        delivered_sum,
+        c.dispatched.saturating_sub(c.attempts_failed),
+    );
+    let steered_sum: u64 = world.servers.iter().map(|s| s.dispatched_total).sum();
+    audit.check_exact(
+        "fleet: per-server steers == dispatched",
+        steered_sum,
+        c.dispatched,
+    );
+    if ConservationLedger::ENABLED {
+        let pairs = [
+            (
+                Account::FleetRequestsAdmitted,
+                c.admitted,
+                "ledger: admitted",
+            ),
+            (
+                Account::FleetRequestsCompleted,
+                c.completed,
+                "ledger: completed",
+            ),
+            (
+                Account::FleetRequestsTimedOut,
+                c.timed_out,
+                "ledger: timed out",
+            ),
+            (
+                Account::FleetAttemptsDispatched,
+                c.dispatched,
+                "ledger: dispatched",
+            ),
+            (
+                Account::FleetAttemptsCompleted,
+                c.attempts_completed,
+                "ledger: attempts completed",
+            ),
+            (
+                Account::FleetAttemptsFailed,
+                c.attempts_failed,
+                "ledger: attempts failed",
+            ),
+            (
+                Account::FleetHedgesSuppressed,
+                c.suppressed,
+                "ledger: suppressed",
+            ),
+        ];
+        for (account, counter, name) in pairs {
+            audit.check_exact(name, world.ledger.balance(account), counter);
+        }
+    }
+    // Per-server single-box audits must also balance.
+    for (i, s) in world.servers.iter_mut().enumerate() {
+        if let Some(report) = s.tb.audit_report(end) {
+            if !report.is_balanced() {
+                return Err(SimError::Accounting {
+                    context: "fleet.server_audit",
+                    reason: format!(
+                        "server {i} conservation audit failed ({} violation(s))",
+                        report.violations().len()
+                    ),
+                });
+            }
+        }
+    }
+    if !audit.is_balanced() {
+        let names: Vec<String> = audit.violations().iter().map(|v| v.name.clone()).collect();
+        return Err(SimError::Accounting {
+            context: "fleet.audit",
+            reason: format!("fleet conservation roll-up failed: {}", names.join("; ")),
+        });
+    }
+
+    // Fleet latency: merged per-server streaming sketches.
+    for s in &mut world.servers {
+        s.q.advance_to(end);
+    }
+    let mut merged: Option<StreamingQuantiles> = None;
+    for s in &world.servers {
+        match &mut merged {
+            None => merged = Some(s.q.clone()),
+            Some(m) => m.merge(&s.q),
+        }
+    }
+    let (p99, p50) = merged.map_or((SimDuration::ZERO, SimDuration::ZERO), |m| {
+        (
+            SimDuration::from_nanos(m.p99_ns()),
+            SimDuration::from_nanos(m.p50_ns()),
+        )
+    });
+
+    // Fleet metrics (no-op snapshot without `obs`).
+    let crashes_sum: u64 = world.servers.iter().map(|s| s.crashes).sum();
+    let mut reg = MetricsRegistry::new();
+    reg.set_counter("fleet.requests.admitted", c.admitted);
+    reg.set_counter("fleet.requests.completed", c.completed);
+    reg.set_counter("fleet.requests.timed_out", c.timed_out);
+    reg.set_counter("fleet.requests.in_flight", c.open_requests);
+    reg.set_counter("fleet.attempts.dispatched", c.dispatched);
+    reg.set_counter("fleet.attempts.completed", c.attempts_completed);
+    reg.set_counter("fleet.attempts.failed", c.attempts_failed);
+    reg.set_counter("fleet.attempts.suppressed", c.suppressed);
+    reg.set_counter("fleet.attempts.in_flight", c.attempts_outstanding);
+    reg.set_counter("fleet.retries", c.retries);
+    reg.set_counter("fleet.hedges", c.hedges);
+    reg.set_counter("fleet.failovers", c.failovers);
+    reg.set_counter("fleet.health.ejections", c.ejections);
+    reg.set_counter("fleet.health.readmissions", c.readmissions);
+    reg.set_counter("fleet.churned_flows", c.churned_flows);
+    reg.set_counter("fleet.server_crashes", crashes_sum);
+    let metrics = reg.snapshot();
+
+    let ejected: Vec<bool> = world.trackers.iter().map(|t| t.is_ejected()).collect();
+    let mut energy_total = 0.0;
+    let mut server_reports = Vec::with_capacity(world.servers.len());
+    for (i, s) in world.servers.iter_mut().enumerate() {
+        let energy_j = s.tb.measured_energy(end);
+        energy_total += energy_j;
+        server_reports.push(ServerReport {
+            dispatched: s.dispatched_total,
+            delivered: s.delivered,
+            won: s.won,
+            crashes: s.crashes,
+            ejected_at_end: ejected[i],
+            p99_internal: s.tb.client.latencies_mut().p99(),
+            energy_j,
+            degradation: s.tb.governor.degradation(),
+        });
+    }
+
+    let closed = c.completed + c.timed_out;
+    let availability = if closed > 0 {
+        c.completed as f64 / closed as f64
+    } else {
+        1.0
+    };
+
+    Ok(FleetResult {
+        governor: world.cfg.governor.label().to_string(),
+        sleep: world.cfg.sleep.label().to_string(),
+        servers: server_reports,
+        admitted: c.admitted,
+        completed: c.completed,
+        timed_out: c.timed_out,
+        in_flight_at_end: c.open_requests,
+        dispatched: c.dispatched,
+        attempts_completed: c.attempts_completed,
+        attempts_failed: c.attempts_failed,
+        suppressed: c.suppressed,
+        attempts_in_flight_at_end: c.attempts_outstanding,
+        retries: c.retries,
+        hedges: c.hedges,
+        failovers: c.failovers,
+        ejections: c.ejections,
+        readmissions: c.readmissions,
+        churned_flows: c.churned_flows,
+        p99,
+        p50,
+        availability,
+        energy_j: energy_total,
+        duration: world.cfg.duration,
+        metrics,
+        faults: world.faults.stats(),
+        audit,
+    })
+}
+
+/// Runs many fleet configs across worker threads (testbeds are not
+/// `Send`, so each fleet is built and run entirely inside its worker),
+/// preserving input order in the output.
+pub fn run_fleet_many(configs: Vec<FleetConfig>) -> Vec<FleetResult> {
+    if configs.len() <= 1 {
+        return configs.into_iter().map(run_fleet).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4)
+        .min(configs.len());
+    let jobs: Mutex<VecDeque<(usize, FleetConfig)>> =
+        Mutex::new(configs.into_iter().enumerate().collect());
+    let n = lock(&jobs).len();
+    let results: Mutex<Vec<Option<FleetResult>>> = Mutex::new(vec![None; n]);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let job = lock(&jobs).pop_front();
+                let Some((idx, cfg)) = job else { break };
+                let result = run_fleet(cfg);
+                lock(&results)[idx] = Some(result);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_iter()
+        .map(|r| r.expect("worker skipped a job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::FaultScope;
+
+    fn quick(servers: usize, governor: GovernorKind) -> FleetConfig {
+        FleetConfig::new(servers, AppKind::Memcached, 6_000.0, governor)
+            .with_window(SimDuration::from_millis(40), SimDuration::from_millis(120))
+    }
+
+    #[test]
+    fn smoke_conserves_and_completes() {
+        let r = run_fleet(quick(2, GovernorKind::Ondemand));
+        assert!(r.admitted > 100, "admitted {}", r.admitted);
+        assert_eq!(r.admitted, r.completed + r.timed_out + r.in_flight_at_end);
+        assert_eq!(
+            r.dispatched,
+            r.attempts_completed + r.attempts_failed + r.suppressed + r.attempts_in_flight_at_end
+        );
+        assert!(r.audit.is_balanced());
+        assert!(r.availability > 0.9, "availability {}", r.availability);
+        assert!(r.p99 > SimDuration::ZERO);
+        assert!(r.energy_j > 0.0);
+        assert_eq!(r.servers.len(), 2);
+        let won: u64 = r.servers.iter().map(|s| s.won).sum();
+        assert_eq!(won, r.completed);
+    }
+
+    #[test]
+    fn same_seed_runs_are_identical() {
+        let a = run_fleet(quick(3, GovernorKind::Performance));
+        let b = run_fleet(quick(3, GovernorKind::Performance));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_schedule_conserves_exactly() {
+        let plan = FaultPlan::new().inject(
+            FaultKind::ServerCrash,
+            FaultScope::window(SimTime::from_millis(60), SimTime::from_millis(100)).on_core(0),
+        );
+        let r = run_fleet(quick(3, GovernorKind::Ondemand).with_fault_plan(plan));
+        assert_eq!(r.admitted, r.completed + r.timed_out + r.in_flight_at_end);
+        assert_eq!(
+            r.dispatched,
+            r.attempts_completed + r.attempts_failed + r.suppressed + r.attempts_in_flight_at_end
+        );
+        if FaultInjector::ENABLED {
+            assert_eq!(r.servers[0].crashes, 1);
+            assert!(r.attempts_failed > 0, "crash lost no attempts");
+            assert!(r.faults.server_crashes >= 1);
+        }
+    }
+
+    #[test]
+    fn aggressive_hedging_produces_hedges_and_suppressions() {
+        let cfg = quick(2, GovernorKind::Performance).with_hedge(Some(HedgePolicy {
+            quantile: 0.5,
+            floor: SimDuration::from_nanos(1),
+        }));
+        let r = run_fleet(cfg);
+        assert!(r.hedges > 0, "hedge floor of 1 ns never hedged");
+        assert!(r.suppressed > 0, "winners never suppressed a duplicate");
+        assert_eq!(
+            r.dispatched,
+            r.attempts_completed + r.attempts_failed + r.suppressed + r.attempts_in_flight_at_end
+        );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(quick(0, GovernorKind::Ondemand).validate().is_err());
+        let mut bad = quick(2, GovernorKind::Ondemand);
+        bad.total_rps = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = quick(2, GovernorKind::Ondemand);
+        bad.epoch = SimDuration::ZERO;
+        assert!(bad.validate().is_err());
+        let mut bad = quick(2, GovernorKind::Ondemand);
+        bad.hedge = Some(HedgePolicy {
+            quantile: 1.5,
+            floor: SimDuration::from_millis(1),
+        });
+        assert!(bad.validate().is_err());
+        let mut bad = quick(2, GovernorKind::Ondemand);
+        bad.retry.max_attempts = 0;
+        assert!(bad.validate().is_err());
+        assert!(quick(2, GovernorKind::Ncap(f64::NAN)).validate().is_err());
+    }
+
+    #[test]
+    fn budget_guard_aborts() {
+        let err = try_run_fleet_budgeted(
+            quick(2, GovernorKind::Ondemand),
+            &StepBudget::unlimited().with_max_events(50),
+        )
+        .expect_err("a 50-event budget cannot finish a fleet run");
+        assert!(err.is_budget(), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn run_fleet_many_matches_serial() {
+        let cfgs = vec![
+            quick(2, GovernorKind::Ondemand),
+            quick(2, GovernorKind::Performance),
+        ];
+        let parallel = run_fleet_many(cfgs.clone());
+        let serial: Vec<FleetResult> = cfgs.into_iter().map(run_fleet).collect();
+        assert_eq!(parallel, serial);
+    }
+}

@@ -1,0 +1,117 @@
+//! Hysteretic health tracking — NMAP's degradation hysteresis applied
+//! to the load balancer's view of a server.
+//!
+//! A server is ejected only after `fail_threshold` *consecutive*
+//! probe failures and readmitted only after `ok_threshold`
+//! consecutive successes, so a single dropped probe never flaps the
+//! routing table, and a recovering server must prove itself before
+//! taking traffic again.
+
+/// A change in a server's LB-visible health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthTransition {
+    /// The server crossed the failure threshold and left the pool.
+    Ejected,
+    /// The server crossed the success threshold and rejoined.
+    Readmitted,
+}
+
+/// Per-server probe hysteresis state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthTracker {
+    fail_threshold: u32,
+    ok_threshold: u32,
+    consecutive_fails: u32,
+    consecutive_oks: u32,
+    ejected: bool,
+}
+
+impl HealthTracker {
+    /// A healthy tracker with the given hysteresis thresholds
+    /// (both floored at 1).
+    pub fn new(fail_threshold: u32, ok_threshold: u32) -> Self {
+        HealthTracker {
+            fail_threshold: fail_threshold.max(1),
+            ok_threshold: ok_threshold.max(1),
+            consecutive_fails: 0,
+            consecutive_oks: 0,
+            ejected: false,
+        }
+    }
+
+    /// True while the server is out of the pool.
+    pub fn is_ejected(&self) -> bool {
+        self.ejected
+    }
+
+    /// Feeds one probe result; returns the transition it caused, if
+    /// any.
+    pub fn record(&mut self, ok: bool) -> Option<HealthTransition> {
+        if ok {
+            self.consecutive_fails = 0;
+            self.consecutive_oks = self.consecutive_oks.saturating_add(1);
+            if self.ejected && self.consecutive_oks >= self.ok_threshold {
+                self.ejected = false;
+                return Some(HealthTransition::Readmitted);
+            }
+        } else {
+            self.consecutive_oks = 0;
+            self.consecutive_fails = self.consecutive_fails.saturating_add(1);
+            if !self.ejected && self.consecutive_fails >= self.fail_threshold {
+                self.ejected = true;
+                return Some(HealthTransition::Ejected);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ejection_needs_consecutive_failures() {
+        let mut t = HealthTracker::new(3, 2);
+        assert_eq!(t.record(false), None);
+        assert_eq!(t.record(false), None);
+        assert_eq!(t.record(true), None, "success resets the fail streak");
+        assert_eq!(t.record(false), None);
+        assert_eq!(t.record(false), None);
+        assert_eq!(t.record(false), Some(HealthTransition::Ejected));
+        assert!(t.is_ejected());
+    }
+
+    #[test]
+    fn readmission_needs_consecutive_successes() {
+        let mut t = HealthTracker::new(1, 2);
+        assert_eq!(t.record(false), Some(HealthTransition::Ejected));
+        assert_eq!(t.record(true), None);
+        assert_eq!(
+            t.record(false),
+            Some(HealthTransition::Ejected).filter(|_| false),
+            "fail resets the ok streak"
+        );
+        assert_eq!(t.record(true), None);
+        assert_eq!(t.record(true), Some(HealthTransition::Readmitted));
+        assert!(!t.is_ejected());
+    }
+
+    #[test]
+    fn no_duplicate_transitions_while_state_holds() {
+        let mut t = HealthTracker::new(2, 2);
+        assert_eq!(t.record(false), None);
+        assert_eq!(t.record(false), Some(HealthTransition::Ejected));
+        assert_eq!(t.record(false), None, "already ejected: no re-ejection");
+        assert_eq!(t.record(true), None);
+        assert_eq!(t.record(true), Some(HealthTransition::Readmitted));
+        assert_eq!(t.record(true), None, "already healthy: no re-admission");
+    }
+
+    #[test]
+    fn thresholds_floor_at_one() {
+        let mut t = HealthTracker::new(0, 0);
+        assert_eq!(t.record(false), Some(HealthTransition::Ejected));
+        assert_eq!(t.record(true), Some(HealthTransition::Readmitted));
+    }
+}

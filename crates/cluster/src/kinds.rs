@@ -1,0 +1,219 @@
+//! Governor and sleep-policy selection, shared by the single-box
+//! runner and the fleet tier.
+//!
+//! These used to live in `experiments::runner`; they moved here so the
+//! fleet can instantiate per-server governors without depending on the
+//! experiment harness (which depends on this crate). `experiments`
+//! re-exports them, so `experiments::{GovernorKind, SleepKind}` paths
+//! — and the derived-`Debug` checkpoint keys built from them — are
+//! unchanged.
+
+use appsim::AppModel;
+use cpusim::{PState, ProcessorProfile};
+use governors::ncap::NcapSleepGate;
+use governors::{
+    C6OnlyPolicy, Conservative, DisablePolicy, IntelPowersave, MenuPolicy, Ncap, NcapConfig,
+    Ondemand, PStateGovernor, Parties, PartiesConfig, Performance, Powersave, SleepPolicy,
+    Userspace,
+};
+use nmap::{NmapConfig, NmapGovernor, NmapSimpl};
+use simcore::SimError;
+
+/// Which V/F governor a run uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GovernorKind {
+    /// cpufreq `performance` (static max).
+    Performance,
+    /// cpufreq `powersave` (static min).
+    Powersave,
+    /// cpufreq `userspace` pinned at the given index.
+    Userspace(u8),
+    /// cpufreq `ondemand`.
+    Ondemand,
+    /// cpufreq `conservative`.
+    Conservative,
+    /// `schedutil` (modern kernel default; beyond-paper baseline).
+    Schedutil,
+    /// `intel_pstate` powersave.
+    IntelPowersave,
+    /// NMAP-simpl (§4.1).
+    NmapSimpl,
+    /// Full NMAP with profiled thresholds (§4.2).
+    Nmap(NmapConfig),
+    /// NMAP with online threshold adaptation (beyond-paper: the
+    /// future work §4.2 names).
+    NmapOnline,
+    /// Software NCAP with sleep gating, boost threshold in pps.
+    Ncap(f64),
+    /// NCAP with the menu governor left on.
+    NcapMenu(f64),
+    /// Parties (500 ms latency feedback).
+    Parties,
+}
+
+impl GovernorKind {
+    /// Stable display label, usable before a governor object exists —
+    /// e.g. for quarantine placeholders in sweep artifacts. Matches
+    /// the governor's `name()` except for parameterized variants.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GovernorKind::Performance => "performance",
+            GovernorKind::Powersave => "powersave",
+            GovernorKind::Userspace(_) => "userspace",
+            GovernorKind::Ondemand => "ondemand",
+            GovernorKind::Conservative => "conservative",
+            GovernorKind::Schedutil => "schedutil",
+            GovernorKind::IntelPowersave => "intel_powersave",
+            GovernorKind::NmapSimpl => "NMAP-simpl",
+            GovernorKind::Nmap(_) => "NMAP",
+            GovernorKind::NmapOnline => "NMAP-online",
+            GovernorKind::Ncap(_) => "NCAP",
+            GovernorKind::NcapMenu(_) => "NCAP-menu",
+            GovernorKind::Parties => "Parties",
+        }
+    }
+
+    /// Validates the parameterized variants: NMAP threshold configs
+    /// and NCAP boost thresholds become typed
+    /// [`SimError::InvalidConfig`]s here instead of downstream panics.
+    pub fn validate(&self) -> Result<(), SimError> {
+        match *self {
+            GovernorKind::Nmap(config) => config.validate(),
+            GovernorKind::Ncap(t) | GovernorKind::NcapMenu(t) if !t.is_finite() || t <= 0.0 => {
+                Err(SimError::invalid(
+                    "governor.ncap_threshold",
+                    format!("boost threshold must be finite and positive (got {t})"),
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Which sleep policy a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SleepKind {
+    /// Linux menu governor (default).
+    Menu,
+    /// Sleep states disabled.
+    Disable,
+    /// Always the deepest state.
+    C6Only,
+}
+
+impl SleepKind {
+    /// All three, in report order.
+    pub fn all() -> [SleepKind; 3] {
+        [SleepKind::Menu, SleepKind::Disable, SleepKind::C6Only]
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SleepKind::Menu => "menu",
+            SleepKind::Disable => "disable",
+            SleepKind::C6Only => "c6only",
+        }
+    }
+}
+
+/// Instantiates the governor and sleep-policy objects for one server.
+pub fn build_policies(
+    governor: &GovernorKind,
+    sleep: SleepKind,
+    profile: &ProcessorProfile,
+    app: &AppModel,
+) -> (Box<dyn PStateGovernor>, Box<dyn SleepPolicy>) {
+    let cores = profile.cores;
+    let table = profile.pstates.clone();
+    let sleep: Box<dyn SleepPolicy> = match sleep {
+        SleepKind::Menu => Box::new(MenuPolicy::new(cores)),
+        SleepKind::Disable => Box::new(DisablePolicy::new()),
+        SleepKind::C6Only => Box::new(C6OnlyPolicy::new()),
+    };
+    match *governor {
+        GovernorKind::Performance => (Box::new(Performance::new()), sleep),
+        GovernorKind::Powersave => (Box::new(Powersave::new(table.slowest())), sleep),
+        GovernorKind::Userspace(idx) => (
+            Box::new(Userspace::new(table.clamp(PState::new(idx)))),
+            sleep,
+        ),
+        GovernorKind::Ondemand => (Box::new(Ondemand::new(table, cores)), sleep),
+        GovernorKind::Conservative => (Box::new(Conservative::new(table, cores)), sleep),
+        GovernorKind::Schedutil => (Box::new(governors::Schedutil::new(table, cores)), sleep),
+        GovernorKind::IntelPowersave => (Box::new(IntelPowersave::new(table, cores)), sleep),
+        GovernorKind::NmapSimpl => (Box::new(NmapSimpl::new(table, cores)), sleep),
+        GovernorKind::Nmap(config) => (Box::new(NmapGovernor::new(table, cores, config)), sleep),
+        GovernorKind::NmapOnline => (
+            Box::new(nmap::OnlineNmap::new(
+                table,
+                cores,
+                nmap::OnlineConfig::default(),
+            )),
+            sleep,
+        ),
+        GovernorKind::Ncap(threshold) => {
+            let ncap = Ncap::new(table, cores, NcapConfig::with_threshold(threshold));
+            let gate = NcapSleepGate::new(MenuPolicy::new(cores), ncap.burst_flag());
+            (Box::new(ncap), Box::new(gate))
+        }
+        GovernorKind::NcapMenu(threshold) => {
+            let mut nc = NcapConfig::with_threshold(threshold);
+            nc.gate_sleep = false;
+            (Box::new(Ncap::new(table, cores, nc)), sleep)
+        }
+        GovernorKind::Parties => (
+            Box::new(Parties::new(table, PartiesConfig::new(app.slo))),
+            sleep,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::AppKind;
+
+    #[test]
+    fn every_kind_builds_a_policy_pair() {
+        let profile = ProcessorProfile::xeon_gold_6134();
+        let app = AppModel::for_kind(AppKind::Memcached);
+        let kinds = [
+            GovernorKind::Performance,
+            GovernorKind::Powersave,
+            GovernorKind::Userspace(7),
+            GovernorKind::Ondemand,
+            GovernorKind::Conservative,
+            GovernorKind::Schedutil,
+            GovernorKind::IntelPowersave,
+            GovernorKind::NmapSimpl,
+            GovernorKind::Nmap(NmapConfig::new(32, 1.0)),
+            GovernorKind::NmapOnline,
+            GovernorKind::Ncap(50_000.0),
+            GovernorKind::NcapMenu(50_000.0),
+            GovernorKind::Parties,
+        ];
+        for (i, kind) in kinds.iter().enumerate() {
+            kind.validate().expect("all sample kinds are valid");
+            for sleep in SleepKind::all() {
+                let (gov, slp) = build_policies(kind, sleep, &profile, &app);
+                assert!(!gov.name().is_empty(), "kind #{i}");
+                assert!(!slp.name().is_empty(), "kind #{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_thresholds() {
+        assert!(GovernorKind::Ncap(f64::NAN).validate().is_err());
+        assert!(GovernorKind::Ncap(-1.0).validate().is_err());
+        assert!(GovernorKind::NcapMenu(0.0).validate().is_err());
+        assert!(GovernorKind::Nmap(NmapConfig {
+            ni_threshold: 0,
+            ..NmapConfig::new(64, 1.5)
+        })
+        .validate()
+        .is_err());
+        assert!(GovernorKind::Performance.validate().is_ok());
+    }
+}

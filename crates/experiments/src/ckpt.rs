@@ -219,6 +219,12 @@ fn enc_faults(s: &FaultStats) -> Value {
         ("load_switches", Value::UInt(s.load_switches)),
         ("incast_requests", Value::UInt(s.incast_requests)),
         ("flow_churns", Value::UInt(s.flow_churns)),
+        ("server_crashes", Value::UInt(s.server_crashes)),
+        ("server_recoveries", Value::UInt(s.server_recoveries)),
+        ("link_delays", Value::UInt(s.link_delays)),
+        ("partition_drops", Value::UInt(s.partition_drops)),
+        ("skewed_steers", Value::UInt(s.skewed_steers)),
+        ("stale_probes", Value::UInt(s.stale_probes)),
     ])
 }
 
@@ -493,6 +499,12 @@ fn dec_faults(v: &Value) -> Result<FaultStats, DecodeError> {
         load_switches: need_u64(v, "load_switches")?,
         incast_requests: need_u64(v, "incast_requests")?,
         flow_churns: need_u64(v, "flow_churns")?,
+        server_crashes: need_u64(v, "server_crashes")?,
+        server_recoveries: need_u64(v, "server_recoveries")?,
+        link_delays: need_u64(v, "link_delays")?,
+        partition_drops: need_u64(v, "partition_drops")?,
+        skewed_steers: need_u64(v, "skewed_steers")?,
+        stale_probes: need_u64(v, "stale_probes")?,
     })
 }
 

@@ -25,6 +25,7 @@
 //! | `energy` | beyond-paper: energy attribution + governor flight recorder |
 //! | `timeline` | beyond-paper: telemetry sparklines (P99/mode/power over time) |
 //! | `chaos` | beyond-paper: chaos soak under composed fault schedules |
+//! | `fleet` | beyond-paper: fault-tolerant fleet tier (failover, retry/hedge, conservation) |
 
 pub mod ablations;
 pub mod breakdown;
@@ -32,6 +33,7 @@ pub mod chaos;
 pub mod comparison;
 pub mod energy;
 pub mod extensions;
+pub mod fleet;
 pub mod motivation;
 pub mod nmap_behavior;
 pub mod sleep;
@@ -70,6 +72,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "energy",
         "timeline",
         "chaos",
+        "fleet",
     ]
 }
 
@@ -116,6 +119,10 @@ pub fn generate_with(id: &str, scale: Scale, sup: &Supervisor) -> Vec<FigureRepo
         "energy" => vec![energy::energy(scale, sup)],
         "timeline" => vec![timeline::timeline(scale, sup)],
         "chaos" => vec![chaos::chaos(scale, sup)],
+        // The fleet tier has its own config/result shape and runs
+        // through `cluster::run_fleet_many` directly (see the module
+        // docs for why it bypasses the supervisor's checkpoint cells).
+        "fleet" => vec![fleet::fleet(scale)],
         _ => Vec::new(),
     }
 }

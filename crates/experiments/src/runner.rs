@@ -3,15 +3,8 @@
 //! metrics the paper reports.
 
 use appsim::{AppModel, Testbed, TestbedConfig};
-use cpusim::{CState, DvfsScope, PState, ProcessorProfile};
-use governors::ncap::NcapSleepGate;
+use cpusim::{CState, DvfsScope, ProcessorProfile};
 use governors::DegradationStats;
-use governors::{
-    C6OnlyPolicy, Conservative, DisablePolicy, IntelPowersave, MenuPolicy, Ncap, NcapConfig,
-    Ondemand, PStateGovernor, Parties, PartiesConfig, Performance, Powersave, SleepPolicy,
-    Userspace,
-};
-use nmap::{NmapConfig, NmapGovernor, NmapSimpl};
 use simcore::fault::join_recovery;
 use simcore::{
     AttribSummary, EnergySummary, EngineProfile, EventLog, FaultPlan, FaultScope, FaultStats,
@@ -53,87 +46,12 @@ impl ProfileKind {
     }
 }
 
-/// Which V/F governor a run uses.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum GovernorKind {
-    /// cpufreq `performance` (static max).
-    Performance,
-    /// cpufreq `powersave` (static min).
-    Powersave,
-    /// cpufreq `userspace` pinned at the given index.
-    Userspace(u8),
-    /// cpufreq `ondemand`.
-    Ondemand,
-    /// cpufreq `conservative`.
-    Conservative,
-    /// `schedutil` (modern kernel default; beyond-paper baseline).
-    Schedutil,
-    /// `intel_pstate` powersave.
-    IntelPowersave,
-    /// NMAP-simpl (§4.1).
-    NmapSimpl,
-    /// Full NMAP with profiled thresholds (§4.2).
-    Nmap(NmapConfig),
-    /// NMAP with online threshold adaptation (beyond-paper: the
-    /// future work §4.2 names).
-    NmapOnline,
-    /// Software NCAP with sleep gating, boost threshold in pps.
-    Ncap(f64),
-    /// NCAP with the menu governor left on.
-    NcapMenu(f64),
-    /// Parties (500 ms latency feedback).
-    Parties,
-}
-
-impl GovernorKind {
-    /// Stable display label, usable before a governor object exists —
-    /// e.g. for quarantine placeholders in sweep artifacts. Matches
-    /// the governor's `name()` except for parameterized variants.
-    pub fn label(&self) -> &'static str {
-        match self {
-            GovernorKind::Performance => "performance",
-            GovernorKind::Powersave => "powersave",
-            GovernorKind::Userspace(_) => "userspace",
-            GovernorKind::Ondemand => "ondemand",
-            GovernorKind::Conservative => "conservative",
-            GovernorKind::Schedutil => "schedutil",
-            GovernorKind::IntelPowersave => "intel_powersave",
-            GovernorKind::NmapSimpl => "NMAP-simpl",
-            GovernorKind::Nmap(_) => "NMAP",
-            GovernorKind::NmapOnline => "NMAP-online",
-            GovernorKind::Ncap(_) => "NCAP",
-            GovernorKind::NcapMenu(_) => "NCAP-menu",
-            GovernorKind::Parties => "Parties",
-        }
-    }
-}
-
-/// Which sleep policy a run uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SleepKind {
-    /// Linux menu governor (default).
-    Menu,
-    /// Sleep states disabled.
-    Disable,
-    /// Always the deepest state.
-    C6Only,
-}
-
-impl SleepKind {
-    /// All three, in report order.
-    pub fn all() -> [SleepKind; 3] {
-        [SleepKind::Menu, SleepKind::Disable, SleepKind::C6Only]
-    }
-
-    /// Report label.
-    pub fn label(self) -> &'static str {
-        match self {
-            SleepKind::Menu => "menu",
-            SleepKind::Disable => "disable",
-            SleepKind::C6Only => "c6only",
-        }
-    }
-}
+// Governor/sleep selection moved to the `cluster` crate so the fleet
+// tier can instantiate per-server policies without depending on this
+// harness; re-exported here so existing `experiments::{GovernorKind,
+// SleepKind}` paths (and the Debug-derived checkpoint keys built from
+// them) are unchanged.
+pub use cluster::{GovernorKind, SleepKind};
 
 /// How long experiments run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -295,16 +213,7 @@ impl RunConfig {
                 ),
             ));
         }
-        match self.governor {
-            GovernorKind::Nmap(config) => config.validate()?,
-            GovernorKind::Ncap(t) | GovernorKind::NcapMenu(t) if !t.is_finite() || t <= 0.0 => {
-                return Err(SimError::invalid(
-                    "governor.ncap_threshold",
-                    format!("boost threshold must be finite and positive (got {t})"),
-                ));
-            }
-            _ => {}
-        }
+        self.governor.validate()?;
         // Assemble the testbed config exactly as `run` would and let
         // the testbed validate topology, load, queues, and fault plan.
         self.testbed_config().validate()
@@ -448,56 +357,6 @@ impl RunResult {
     }
 }
 
-fn build_policies(
-    cfg: &RunConfig,
-    profile: &ProcessorProfile,
-    app: &AppModel,
-) -> (Box<dyn PStateGovernor>, Box<dyn SleepPolicy>) {
-    let cores = profile.cores;
-    let table = profile.pstates.clone();
-    let sleep: Box<dyn SleepPolicy> = match cfg.sleep {
-        SleepKind::Menu => Box::new(MenuPolicy::new(cores)),
-        SleepKind::Disable => Box::new(DisablePolicy::new()),
-        SleepKind::C6Only => Box::new(C6OnlyPolicy::new()),
-    };
-    match cfg.governor {
-        GovernorKind::Performance => (Box::new(Performance::new()), sleep),
-        GovernorKind::Powersave => (Box::new(Powersave::new(table.slowest())), sleep),
-        GovernorKind::Userspace(idx) => (
-            Box::new(Userspace::new(table.clamp(PState::new(idx)))),
-            sleep,
-        ),
-        GovernorKind::Ondemand => (Box::new(Ondemand::new(table, cores)), sleep),
-        GovernorKind::Conservative => (Box::new(Conservative::new(table, cores)), sleep),
-        GovernorKind::Schedutil => (Box::new(governors::Schedutil::new(table, cores)), sleep),
-        GovernorKind::IntelPowersave => (Box::new(IntelPowersave::new(table, cores)), sleep),
-        GovernorKind::NmapSimpl => (Box::new(NmapSimpl::new(table, cores)), sleep),
-        GovernorKind::Nmap(config) => (Box::new(NmapGovernor::new(table, cores, config)), sleep),
-        GovernorKind::NmapOnline => (
-            Box::new(nmap::OnlineNmap::new(
-                table,
-                cores,
-                nmap::OnlineConfig::default(),
-            )),
-            sleep,
-        ),
-        GovernorKind::Ncap(threshold) => {
-            let ncap = Ncap::new(table, cores, NcapConfig::with_threshold(threshold));
-            let gate = NcapSleepGate::new(MenuPolicy::new(cores), ncap.burst_flag());
-            (Box::new(ncap), Box::new(gate))
-        }
-        GovernorKind::NcapMenu(threshold) => {
-            let mut nc = NcapConfig::with_threshold(threshold);
-            nc.gate_sleep = false;
-            (Box::new(Ncap::new(table, cores, nc)), sleep)
-        }
-        GovernorKind::Parties => (
-            Box::new(Parties::new(table, PartiesConfig::new(app.slo))),
-            sleep,
-        ),
-    }
-}
-
 /// Default trace-buffer capacity for runs with `collect_traces` set:
 /// ample for a quick-scale run while bounding a full-scale one (the
 /// buffer counts drops instead of growing without limit).
@@ -579,7 +438,7 @@ fn run_inner(
         .clone()
         .unwrap_or_else(|| cfg.profile.profile());
     let tb_cfg = cfg.testbed_config();
-    let (governor, sleep) = build_policies(&cfg, &profile, &app);
+    let (governor, sleep) = cluster::build_policies(&cfg.governor, cfg.sleep, &profile, &app);
     let mut sim: Simulator<Testbed> = Simulator::new();
     let mut tb = Testbed::try_new(tb_cfg, governor, sleep, &mut sim)?;
     setup(&mut tb, &mut sim);
@@ -727,6 +586,7 @@ pub fn run_many(configs: Vec<RunConfig>) -> Vec<RunResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nmap::NmapConfig;
 
     fn tiny(governor: GovernorKind) -> RunConfig {
         RunConfig {

@@ -98,10 +98,28 @@ pub enum Account {
     /// Package microjoules attributed to energy components by the
     /// attribution profiler (must equal the measured total).
     EnergyAttributedUj,
+    /// Fleet tier: requests admitted by the front-end load balancer.
+    FleetRequestsAdmitted,
+    /// Fleet tier: requests that returned a response to the client
+    /// (first winning attempt only).
+    FleetRequestsCompleted,
+    /// Fleet tier: requests abandoned after exhausting their retry
+    /// budget.
+    FleetRequestsTimedOut,
+    /// Fleet tier: individual attempts dispatched to servers
+    /// (originals + retries + hedges).
+    FleetAttemptsDispatched,
+    /// Fleet tier: attempts whose response won its request.
+    FleetAttemptsCompleted,
+    /// Fleet tier: attempts lost to crashes, partitions, or timeouts.
+    FleetAttemptsFailed,
+    /// Fleet tier: late or hedged duplicate responses suppressed after
+    /// their request already closed.
+    FleetHedgesSuppressed,
 }
 
 /// Number of accounts (array-backed ledger storage).
-const ACCOUNTS: usize = 19;
+const ACCOUNTS: usize = 26;
 
 impl Account {
     /// All accounts, in declaration order.
@@ -125,6 +143,13 @@ impl Account {
         Account::ResponsesFaultDropped,
         Account::EnergyMeasuredUj,
         Account::EnergyAttributedUj,
+        Account::FleetRequestsAdmitted,
+        Account::FleetRequestsCompleted,
+        Account::FleetRequestsTimedOut,
+        Account::FleetAttemptsDispatched,
+        Account::FleetAttemptsCompleted,
+        Account::FleetAttemptsFailed,
+        Account::FleetHedgesSuppressed,
     ];
 }
 

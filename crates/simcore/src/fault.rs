@@ -148,6 +148,32 @@ pub enum FaultKind {
         /// Flow-id rotation distance.
         shift: u64,
     },
+    /// Cluster scope: the whole server is down for the window. At the
+    /// fleet tier `scope.core` is the server index; attempts dispatched
+    /// to a crashed server are lost and its health probes fail.
+    ServerCrash,
+    /// Cluster scope: the load balancer's health view freezes — probe
+    /// results arriving during the window are ignored, so ejection and
+    /// readmission decisions lag reality.
+    HealthViewStale,
+    /// Cluster scope: every request and probe crossing the LB↔server
+    /// link of the scoped server pays `extra` one-way latency.
+    LinkLatencySpike {
+        /// Extra link latency per crossing.
+        extra: SimDuration,
+    },
+    /// Cluster scope: the LB↔server link of the scoped server is
+    /// severed — dispatched attempts are lost and probes time out,
+    /// though the server itself keeps running.
+    LinkPartition,
+    /// Cluster scope: the LB's hash ring skews, redirecting steered
+    /// requests toward the pinned server with probability
+    /// `1 - 1/factor` (so the target absorbs `factor`× its fair
+    /// share as `factor` grows).
+    HashSkew {
+        /// Concentration factor; must exceed 1.
+        factor: f64,
+    },
 }
 
 impl FaultKind {
@@ -171,6 +197,11 @@ impl FaultKind {
             FaultKind::LoadSpike { .. } => "load-spike",
             FaultKind::IncastBurst { .. } => "incast-burst",
             FaultKind::ConnectionChurn { .. } => "connection-churn",
+            FaultKind::ServerCrash => "server-crash",
+            FaultKind::HealthViewStale => "health-view-stale",
+            FaultKind::LinkLatencySpike { .. } => "link-latency-spike",
+            FaultKind::LinkPartition => "link-partition",
+            FaultKind::HashSkew { .. } => "hash-skew",
         }
     }
 }
@@ -345,12 +376,21 @@ impl FaultPlan {
                         return bad("incast burst must carry at least 1 request");
                     }
                 }
+                FaultKind::HashSkew { factor } => {
+                    if !factor.is_finite() || factor <= 1.0 {
+                        return bad("skew factor must be finite and exceed 1");
+                    }
+                }
                 FaultKind::StuckIrqMask
                 | FaultKind::ItrOverride { .. }
                 | FaultKind::DvfsLatencySpike { .. }
                 | FaultKind::ThermalThrottle { .. }
                 | FaultKind::CoreStall { .. }
-                | FaultKind::ConnectionChurn { .. } => {}
+                | FaultKind::ConnectionChurn { .. }
+                | FaultKind::ServerCrash
+                | FaultKind::HealthViewStale
+                | FaultKind::LinkLatencySpike { .. }
+                | FaultKind::LinkPartition => {}
             }
         }
         Ok(())
@@ -392,6 +432,18 @@ pub struct FaultStats {
     pub incast_requests: u64,
     /// Connection-churn rotations applied.
     pub flow_churns: u64,
+    /// Server-crash onsets applied at the fleet tier.
+    pub server_crashes: u64,
+    /// Server recoveries (crash scopes that ended).
+    pub server_recoveries: u64,
+    /// Dispatches or probes that paid a link-latency spike.
+    pub link_delays: u64,
+    /// Attempts lost to a severed LB↔server link.
+    pub partition_drops: u64,
+    /// Steering decisions redirected by hash skew.
+    pub skewed_steers: u64,
+    /// Health-probe results ignored by a stale LB view.
+    pub stale_probes: u64,
 }
 
 impl FaultStats {
@@ -412,6 +464,12 @@ impl FaultStats {
             + self.load_switches
             + self.incast_requests
             + self.flow_churns
+            + self.server_crashes
+            + self.server_recoveries
+            + self.link_delays
+            + self.partition_drops
+            + self.skewed_steers
+            + self.stale_probes
     }
 
     /// Wire packets lost to faults, both directions.
@@ -991,6 +1049,180 @@ impl FaultInjector {
             let _ = now;
         }
     }
+
+    /// Is `server` inside an active [`ServerCrash`] scope? Fleet-tier
+    /// hook: `scope.core` carries the server index.
+    ///
+    /// [`ServerCrash`]: FaultKind::ServerCrash
+    #[inline]
+    pub fn server_crashed(&self, now: SimTime, server: usize) -> bool {
+        #[cfg(feature = "fault")]
+        {
+            self.plan.specs.iter().any(|spec| {
+                matches!(spec.kind, FaultKind::ServerCrash) && spec.scope.covers(now, Some(server))
+            })
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            let _ = (now, server);
+            false
+        }
+    }
+
+    /// Records a server-crash onset at the fleet tier.
+    #[inline]
+    pub fn note_server_crash(&mut self, now: SimTime, server: usize) {
+        #[cfg(feature = "fault")]
+        {
+            self.stats.server_crashes += 1;
+            self.note(now, "server-crash", server as u32);
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            let _ = (now, server);
+        }
+    }
+
+    /// Records a server recovery (a crash scope ending).
+    #[inline]
+    pub fn note_server_recover(&mut self, now: SimTime, server: usize) {
+        #[cfg(feature = "fault")]
+        {
+            self.stats.server_recoveries += 1;
+            self.note(now, "server-recover", server as u32);
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            let _ = (now, server);
+        }
+    }
+
+    /// Is the load balancer's health view frozen right now?
+    #[inline]
+    pub fn health_view_stale(&self, now: SimTime) -> bool {
+        #[cfg(feature = "fault")]
+        {
+            self.plan.specs.iter().any(|spec| {
+                matches!(spec.kind, FaultKind::HealthViewStale) && spec.scope.covers(now, None)
+            })
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            let _ = now;
+            false
+        }
+    }
+
+    /// Records a probe result discarded by a stale health view.
+    #[inline]
+    pub fn note_stale_probe(&mut self, now: SimTime, server: usize) {
+        #[cfg(feature = "fault")]
+        {
+            self.stats.stale_probes += 1;
+            self.note(now, "health-view-stale", server as u32);
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            let _ = (now, server);
+        }
+    }
+
+    /// Extra LB↔server link latency in force toward `server` (sum of
+    /// active spikes), bumping the counter when nonzero.
+    #[inline]
+    pub fn link_extra(&mut self, now: SimTime, server: usize) -> SimDuration {
+        #[cfg(feature = "fault")]
+        {
+            if !self.is_active() {
+                return SimDuration::ZERO;
+            }
+            let mut pad = SimDuration::ZERO;
+            for spec in &self.plan.specs {
+                if let FaultKind::LinkLatencySpike { extra } = spec.kind {
+                    if spec.scope.covers(now, Some(server)) {
+                        pad += extra;
+                    }
+                }
+            }
+            if !pad.is_zero() {
+                self.stats.link_delays += 1;
+            }
+            pad
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            let _ = (now, server);
+            SimDuration::ZERO
+        }
+    }
+
+    /// Is the LB↔server link toward `server` severed right now?
+    #[inline]
+    pub fn link_partitioned(&self, now: SimTime, server: usize) -> bool {
+        #[cfg(feature = "fault")]
+        {
+            self.plan.specs.iter().any(|spec| {
+                matches!(spec.kind, FaultKind::LinkPartition)
+                    && spec.scope.covers(now, Some(server))
+            })
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            let _ = (now, server);
+            false
+        }
+    }
+
+    /// Records an attempt lost to a severed link.
+    #[inline]
+    pub fn note_partition_drop(&mut self, now: SimTime, server: usize) {
+        #[cfg(feature = "fault")]
+        {
+            self.stats.partition_drops += 1;
+            self.note(now, "link-partition", server as u32);
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            let _ = (now, server);
+        }
+    }
+
+    /// The active hash-skew `(factor, target_server)`, if any (last
+    /// matching spec wins). An unpinned scope targets server 0.
+    #[inline]
+    pub fn hash_skew(&self, now: SimTime) -> Option<(f64, usize)> {
+        #[cfg(feature = "fault")]
+        {
+            let mut out = None;
+            for spec in &self.plan.specs {
+                if let FaultKind::HashSkew { factor } = spec.kind {
+                    if spec.scope.covers(now, None) {
+                        out = Some((factor, spec.scope.core.unwrap_or(0)));
+                    }
+                }
+            }
+            out
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            let _ = now;
+            None
+        }
+    }
+
+    /// Records a steering decision redirected by hash skew.
+    #[inline]
+    pub fn note_skewed_steer(&mut self, now: SimTime, server: usize) {
+        #[cfg(feature = "fault")]
+        {
+            self.stats.skewed_steers += 1;
+            self.note(now, "hash-skew", server as u32);
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            let _ = (now, server);
+        }
+    }
 }
 
 /// How SLO-violation episodes relate to the fault schedule: for each
@@ -1252,11 +1484,75 @@ mod tests {
             FaultKind::LoadSpike { factor: 0.0 },
             FaultKind::IncastBurst { requests: 0 },
             FaultKind::ConnectionChurn { shift: 0 },
+            FaultKind::ServerCrash,
+            FaultKind::HealthViewStale,
+            FaultKind::LinkLatencySpike {
+                extra: SimDuration::ZERO,
+            },
+            FaultKind::LinkPartition,
+            FaultKind::HashSkew { factor: 0.0 },
         ];
         let mut labels: Vec<_> = kinds.iter().map(|k| k.label()).collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn cluster_queries_respect_scope_and_pin() {
+        let plan = FaultPlan::new()
+            .inject(
+                FaultKind::ServerCrash,
+                FaultScope::window(ms(10), ms(20)).on_core(2),
+            )
+            .inject(
+                FaultKind::HealthViewStale,
+                FaultScope::window(ms(30), ms(40)),
+            )
+            .inject(
+                FaultKind::LinkLatencySpike {
+                    extra: SimDuration::from_micros(500),
+                },
+                FaultScope::window(ms(10), ms(20)).on_core(1),
+            )
+            .inject(
+                FaultKind::LinkPartition,
+                FaultScope::window(ms(50), ms(60)).on_core(0),
+            )
+            .inject(
+                FaultKind::HashSkew { factor: 4.0 },
+                FaultScope::window(ms(10), ms(20)).on_core(3),
+            );
+        let mut inj = FaultInjector::from_plan(&plan, 1);
+        if !FaultInjector::ENABLED {
+            assert!(!inj.server_crashed(ms(15), 2));
+            assert!(inj.hash_skew(ms(15)).is_none());
+            return;
+        }
+        assert!(inj.server_crashed(ms(15), 2));
+        assert!(!inj.server_crashed(ms(15), 1), "pin restricts the crash");
+        assert!(!inj.server_crashed(ms(25), 2), "window is half-open");
+        assert!(inj.health_view_stale(ms(35)));
+        assert!(!inj.health_view_stale(ms(15)));
+        assert_eq!(inj.link_extra(ms(15), 1), SimDuration::from_micros(500));
+        assert_eq!(inj.link_extra(ms(15), 2), SimDuration::ZERO);
+        assert!(inj.link_partitioned(ms(55), 0));
+        assert!(!inj.link_partitioned(ms(55), 1));
+        assert_eq!(inj.hash_skew(ms(15)), Some((4.0, 3)));
+        assert_eq!(inj.hash_skew(ms(45)), None);
+        inj.note_server_crash(ms(10), 2);
+        inj.note_server_recover(ms(20), 2);
+        inj.note_partition_drop(ms(55), 0);
+        inj.note_skewed_steer(ms(15), 3);
+        inj.note_stale_probe(ms(35), 1);
+        let s = inj.stats();
+        assert_eq!(s.server_crashes, 1);
+        assert_eq!(s.server_recoveries, 1);
+        assert_eq!(s.partition_drops, 1);
+        assert_eq!(s.skewed_steers, 1);
+        assert_eq!(s.stale_probes, 1);
+        assert_eq!(s.link_delays, 1);
+        assert_eq!(s.total(), 6);
     }
 
     #[test]
@@ -1289,6 +1585,14 @@ mod tests {
             FaultPlan::new().inject(FaultKind::LoadSpike { factor: 0.0 }, w),
             FaultPlan::new().inject(FaultKind::IncastBurst { requests: 0 }, w),
             FaultPlan::new().inject(FaultKind::StuckIrqMask, w.on_core(8)),
+            FaultPlan::new().inject(FaultKind::HashSkew { factor: 1.0 }, w),
+            FaultPlan::new().inject(FaultKind::HashSkew { factor: f64::NAN }, w),
+            FaultPlan::new().inject(
+                FaultKind::HashSkew {
+                    factor: f64::INFINITY,
+                },
+                w,
+            ),
         ];
         for (i, plan) in cases.iter().enumerate() {
             let err = plan.validate(8).expect_err("case must be rejected");

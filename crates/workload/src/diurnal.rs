@@ -1,0 +1,214 @@
+//! Diurnal load curves and connection-churn presets for fleet runs.
+//!
+//! A real fleet never sees flat offered load: traffic follows a daily
+//! curve (night trough, morning ramp, midday and evening peaks), and
+//! client connections churn as users come and go. Fleet simulations
+//! compress a "day" onto a sim-scale period (hundreds of
+//! milliseconds) so a quick run still sweeps the whole curve. The
+//! curve is a piecewise-linear 24-point table — no trigonometry, so
+//! the factor is a pure function of integer nanoseconds and replays
+//! byte-identically everywhere.
+
+use simcore::{SimDuration, SimError, SimTime};
+
+/// The canonical 24-"hour" shape, normalized to `[0, 1]`: a deep
+/// night trough, a morning ramp, a midday plateau, and a taller
+/// evening peak. Scaled between the configured trough and 1.0.
+const DAY_SHAPE: [f64; 24] = [
+    0.10, 0.05, 0.00, 0.00, 0.05, 0.15, // 00–05: night trough
+    0.35, 0.55, 0.75, 0.85, 0.90, 0.92, // 06–11: morning ramp
+    0.88, 0.85, 0.82, 0.80, 0.85, 0.90, // 12–17: midday plateau
+    1.00, 0.95, 0.80, 0.55, 0.30, 0.18, // 18–23: evening peak, wind-down
+];
+
+/// A periodic diurnal multiplier for offered load.
+///
+/// [`factor_at`](DiurnalCurve::factor_at) interpolates linearly
+/// between 24 evenly spaced points over one period and repeats
+/// forever; the result lies in `[trough, 1.0]`, so the configured
+/// total RPS is the *peak* rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalCurve {
+    period: SimDuration,
+    trough: f64,
+}
+
+impl DiurnalCurve {
+    /// A curve with the canonical day shape, compressed onto `period`
+    /// and scaled so the quietest hour runs at `trough` × peak.
+    pub fn new(period: SimDuration, trough: f64) -> Self {
+        DiurnalCurve { period, trough }
+    }
+
+    /// The compressed-day preset used by fleet artifacts: one "day"
+    /// per `period` with a 40% night trough — deep enough to exercise
+    /// governor downshifts without starving the arrival process.
+    pub fn compressed_day(period: SimDuration) -> Self {
+        DiurnalCurve::new(period, 0.4)
+    }
+
+    /// One full cycle of the curve.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Validates the curve: a non-zero period and a trough in
+    /// `(0, 1]`. A zero trough would switch a server's offered load
+    /// to zero RPS, which the arrival process rejects.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.period.is_zero() {
+            return Err(SimError::invalid(
+                "diurnal.period",
+                "must be non-zero".to_string(),
+            ));
+        }
+        if !self.trough.is_finite() || self.trough <= 0.0 || self.trough > 1.0 {
+            return Err(SimError::invalid(
+                "diurnal.trough",
+                format!("must be within (0, 1] (got {})", self.trough),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The load multiplier at `now`, in `[trough, 1.0]`.
+    pub fn factor_at(&self, now: SimTime) -> f64 {
+        let period = self.period.as_nanos().max(1);
+        let phase = now.as_nanos() % period;
+        // Position within the 24-point table, in [0, 24).
+        let pos = phase as f64 / period as f64 * 24.0;
+        let idx = (pos as usize).min(23);
+        let frac = pos - idx as f64;
+        let a = DAY_SHAPE[idx];
+        let b = DAY_SHAPE[(idx + 1) % 24];
+        let shape = a + (b - a) * frac;
+        self.trough + (1.0 - self.trough) * shape
+    }
+}
+
+/// Periodic connection churn at the fleet tier: every `period`, a
+/// `fraction` of client flows lose their server affinity and are
+/// re-steered on next use (users reconnecting through the LB).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSpec {
+    /// Spacing between churn waves.
+    pub period: SimDuration,
+    /// Fraction of flows re-pinned per wave, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+impl ChurnSpec {
+    /// A churn wave of `fraction` of flows every `period`.
+    pub fn new(period: SimDuration, fraction: f64) -> Self {
+        ChurnSpec { period, fraction }
+    }
+
+    /// Long-lived connections: 5% of flows re-pin every 200 ms.
+    pub fn gentle() -> Self {
+        ChurnSpec::new(SimDuration::from_millis(200), 0.05)
+    }
+
+    /// Flash-crowd reconnects: 40% of flows re-pin every 100 ms.
+    pub fn aggressive() -> Self {
+        ChurnSpec::new(SimDuration::from_millis(100), 0.40)
+    }
+
+    /// Validates the spec: a non-zero period (a zero period would
+    /// livelock the event queue) and a fraction in `(0, 1]`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.period.is_zero() {
+            return Err(SimError::invalid(
+                "churn.period",
+                "must be non-zero".to_string(),
+            ));
+        }
+        if !self.fraction.is_finite() || self.fraction <= 0.0 || self.fraction > 1.0 {
+            return Err(SimError::invalid(
+                "churn.fraction",
+                format!("must be within (0, 1] (got {})", self.fraction),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    #[test]
+    fn factor_stays_within_trough_and_peak() {
+        let c = DiurnalCurve::compressed_day(SimDuration::from_millis(240));
+        for t in 0..480 {
+            let f = c.factor_at(ms(t));
+            assert!(
+                (0.4..=1.0).contains(&f),
+                "factor {f} at {t} ms escapes [trough, 1]"
+            );
+        }
+    }
+
+    #[test]
+    fn curve_repeats_every_period() {
+        let c = DiurnalCurve::compressed_day(SimDuration::from_millis(240));
+        for t in [0u64, 13, 57, 101, 239] {
+            assert_eq!(c.factor_at(ms(t)), c.factor_at(ms(t + 240)));
+        }
+    }
+
+    #[test]
+    fn curve_reaches_trough_and_peak() {
+        let period = SimDuration::from_millis(240);
+        let c = DiurnalCurve::new(period, 0.25);
+        let factors: Vec<f64> = (0..240).map(|t| c.factor_at(ms(t))).collect();
+        let min = factors.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = factors.iter().cloned().fold(0.0, f64::max);
+        assert!(min <= 0.26, "night trough must approach 0.25 (got {min})");
+        assert!(max >= 0.99, "evening peak must approach 1.0 (got {max})");
+    }
+
+    #[test]
+    fn interpolation_is_continuous() {
+        let c = DiurnalCurve::compressed_day(SimDuration::from_millis(240));
+        // Adjacent millisecond samples never jump more than the
+        // steepest table segment allows.
+        let mut prev = c.factor_at(ms(0));
+        for t in 1..240 {
+            let f = c.factor_at(ms(t));
+            assert!(
+                (f - prev).abs() < 0.08,
+                "discontinuity at {t} ms: {prev} -> {f}"
+            );
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_curves_and_churn() {
+        assert!(DiurnalCurve::new(SimDuration::ZERO, 0.5)
+            .validate()
+            .is_err());
+        assert!(DiurnalCurve::new(SimDuration::from_millis(10), 0.0)
+            .validate()
+            .is_err());
+        assert!(DiurnalCurve::new(SimDuration::from_millis(10), 1.5)
+            .validate()
+            .is_err());
+        assert!(DiurnalCurve::new(SimDuration::from_millis(10), f64::NAN)
+            .validate()
+            .is_err());
+        assert!(ChurnSpec::new(SimDuration::ZERO, 0.1).validate().is_err());
+        assert!(ChurnSpec::new(SimDuration::from_millis(10), 0.0)
+            .validate()
+            .is_err());
+        assert!(ChurnSpec::new(SimDuration::from_millis(10), 1.1)
+            .validate()
+            .is_err());
+        assert!(ChurnSpec::gentle().validate().is_ok());
+        assert!(ChurnSpec::aggressive().validate().is_ok());
+    }
+}

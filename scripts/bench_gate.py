@@ -46,6 +46,14 @@ ACCEPTANCE = {"standing_1m": 5.0}
 # `cargo bench -p nmap-bench --bench timeline`; absent entries skip
 # the check (the timeline bench is not part of every lane).
 TIMELINE_OVERHEAD = 0.03
+# Max tolerated chaos-to-calm slowdown on the fleet cell (advisory):
+# both entries come from the same `cargo bench -p nmap-bench --bench
+# fleet` run, so machine speed cancels. Chaos normally runs *cheaper*
+# than calm (crash windows instant-fail attempts instead of
+# simulating them); a blow-up past this ceiling means the
+# retry/hedge/probe machinery started storming. Absent entries skip
+# the check (the fleet bench is not part of every lane).
+FLEET_OVERHEAD = 1.00
 
 
 def load(path):
@@ -121,6 +129,27 @@ def main():
             warnings.append(
                 f"timeline_cell ({suffix}): sampling overhead "
                 f"{overhead * 100:.2f}% exceeds {TIMELINE_OVERHEAD * 100:.0f}%"
+            )
+
+    # Advisory: chaos-schedule overhead on the fleet cell, same run
+    # so machine speed cancels. Skipped when the fleet bench did not
+    # run in this lane.
+    for suffix in ("fault_on", "fault_off"):
+        chaos = current.get(f"fleet_cell/chaos_{suffix}")
+        calm = current.get(f"fleet_cell/calm_{suffix}")
+        if not chaos or not calm:
+            continue
+        overhead = chaos / calm - 1.0
+        status = "ok" if overhead <= FLEET_OVERHEAD else "WARN: over budget"
+        print(
+            f"fleet_cell     chaos overhead {overhead * 100:+6.2f}% "
+            f"({suffix}, advisory ceiling {FLEET_OVERHEAD * 100:.0f}%) {status}"
+        )
+        if overhead > FLEET_OVERHEAD:
+            warnings.append(
+                f"fleet_cell ({suffix}): chaos overhead "
+                f"{overhead * 100:.2f}% exceeds {FLEET_OVERHEAD * 100:.0f}% — "
+                "retry/hedge/probe machinery may be storming"
             )
 
     if warnings:

@@ -203,3 +203,65 @@ fn attribution_metrics_cross_check_the_summary() {
         );
     }
 }
+
+/// The fleet tier's metrics snapshot mirrors its summary exactly:
+/// every retry/hedge/duplicate-suppression counter and every health
+/// ejection/readmission in `FleetResult` has an identical
+/// `fleet.*` counter, so dashboards built on the snapshot can never
+/// drift from the conservation roll-up the summary enforces.
+#[test]
+fn fleet_metrics_snapshot_matches_summary() {
+    use cluster::{run_fleet, FleetConfig, HedgePolicy};
+
+    let cfg = FleetConfig::new(4, AppKind::Memcached, 32_000.0, GovernorKind::Ondemand)
+        .with_window(SimDuration::from_millis(30), SimDuration::from_millis(120))
+        .with_seed(17)
+        // An eager hedge (fires at the online median) so the
+        // duplicate-suppression path is exercised even on a calm run.
+        .with_hedge(Some(HedgePolicy {
+            quantile: 0.5,
+            floor: SimDuration::from_nanos(1),
+        }));
+    // With fault injection compiled in, drop a crash window on server
+    // 1 so ejection/readmission and crash-failure counters go live.
+    #[cfg(feature = "fault")]
+    let cfg = {
+        use simcore::{FaultKind, FaultPlan, FaultScope, SimTime};
+        let ms = |v: u64| SimTime::ZERO + SimDuration::from_millis(v);
+        cfg.with_fault_plan(FaultPlan::new().with_seed(9).inject(
+            FaultKind::ServerCrash,
+            FaultScope::window(ms(50), ms(100)).on_core(1),
+        ))
+    };
+    let r = run_fleet(cfg);
+    let c = |key: &str| {
+        r.metrics
+            .counter(key)
+            .unwrap_or_else(|| panic!("metric {key} missing:\n{}", r.metrics.render()))
+    };
+    assert_eq!(c("fleet.requests.admitted"), r.admitted);
+    assert_eq!(c("fleet.requests.completed"), r.completed);
+    assert_eq!(c("fleet.requests.timed_out"), r.timed_out);
+    assert_eq!(c("fleet.requests.in_flight"), r.in_flight_at_end);
+    assert_eq!(c("fleet.attempts.dispatched"), r.dispatched);
+    assert_eq!(c("fleet.attempts.completed"), r.attempts_completed);
+    assert_eq!(c("fleet.attempts.failed"), r.attempts_failed);
+    assert_eq!(c("fleet.attempts.suppressed"), r.suppressed);
+    assert_eq!(c("fleet.attempts.in_flight"), r.attempts_in_flight_at_end);
+    assert_eq!(c("fleet.retries"), r.retries);
+    assert_eq!(c("fleet.hedges"), r.hedges);
+    assert_eq!(c("fleet.failovers"), r.failovers);
+    assert_eq!(c("fleet.health.ejections"), r.ejections);
+    assert_eq!(c("fleet.health.readmissions"), r.readmissions);
+    assert_eq!(c("fleet.churned_flows"), r.churned_flows);
+    let crashes: u64 = r.servers.iter().map(|s| s.crashes).sum();
+    assert_eq!(c("fleet.server_crashes"), crashes);
+    // The eager hedge must actually race real responses.
+    assert!(r.hedges > 0, "median-delay hedging produced no hedges");
+    assert!(r.suppressed > 0, "winning duplicates must be suppressed");
+    #[cfg(feature = "fault")]
+    {
+        assert!(r.ejections >= 1 && r.readmissions >= 1);
+        assert_eq!(crashes, 1);
+    }
+}

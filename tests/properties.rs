@@ -331,6 +331,16 @@ fn fault_runs_are_deterministic_for_arbitrary_plans() {
             FaultKind::ThermalThrottle { floor: 5 },
             FaultKind::LoadSpike { factor: 1.4 },
             FaultKind::IncastBurst { requests: 50 },
+            // Cluster-scope kinds are inert on a single box (only the
+            // fleet tier queries them) but must still validate and
+            // travel deterministically with the plan.
+            FaultKind::ServerCrash,
+            FaultKind::HealthViewStale,
+            FaultKind::LinkLatencySpike {
+                extra: SimDuration::from_micros(300),
+            },
+            FaultKind::LinkPartition,
+            FaultKind::HashSkew { factor: 2.0 },
         ];
         let mut plan = FaultPlan::new().with_seed(rng.next_u64());
         for _ in 0..range(rng, 2, 5) {
@@ -360,6 +370,76 @@ fn fault_runs_are_deterministic_for_arbitrary_plans() {
         let many = experiments::run_many(vec![cfg.clone(), cfg]);
         assert_eq!(many[0], first, "run_many must propagate the fault plan");
         assert_eq!(many[1], first);
+    });
+}
+
+/// Fuzzed cluster-scope fault plans: arbitrary compositions of
+/// server crashes, stale health views, link latency spikes, hard
+/// partitions, and hash skew — over random fleet sizes, loads, and
+/// seeds — never panic, never wedge (budgeted), and never violate
+/// the fleet's exact cross-server conservation roll-up (a violation
+/// inside the run surfaces as a typed `Accounting` error, which this
+/// test treats as failure).
+#[cfg(feature = "fault")]
+#[test]
+fn fleet_fault_plans_never_violate_conservation() {
+    use cluster::FleetConfig;
+    use simcore::{FaultKind, FaultPlan, FaultScope};
+    forall("fleet fault plans", 3, |rng| {
+        let servers = 2 + rng.below(3) as usize;
+        let ms = |v: u64| SimTime::ZERO + SimDuration::from_millis(v);
+        // Windows inside the 20 ms warm-up + 100 ms measured run,
+        // ending by 120 ms so ejected servers can be readmitted.
+        let window = |rng: &mut RngStream| {
+            let start = range(rng, 25, 80);
+            FaultScope::window(ms(start), ms(start + range(rng, 10, 40)))
+        };
+        let kinds = [
+            FaultKind::ServerCrash,
+            FaultKind::HealthViewStale,
+            FaultKind::LinkLatencySpike {
+                extra: SimDuration::from_micros(range(rng, 50, 3_000)),
+            },
+            FaultKind::LinkPartition,
+            FaultKind::HashSkew {
+                factor: 1.0 + rng.uniform() * 4.0,
+            },
+        ];
+        let mut plan = FaultPlan::new().with_seed(rng.next_u64());
+        for _ in 0..range(rng, 2, 6) {
+            let kind = kinds[rng.below(kinds.len() as u64) as usize];
+            let mut scope = window(rng);
+            if rng.next_u64() & 1 == 0 {
+                scope = scope.on_core(rng.below(servers as u64) as usize);
+            }
+            plan = plan.inject(kind, scope);
+        }
+        let rps = 6_000.0 + rng.uniform() * 30_000.0;
+        let cfg = FleetConfig::new(servers, AppKind::Memcached, rps, GovernorKind::Ondemand)
+            .with_window(SimDuration::from_millis(20), SimDuration::from_millis(100))
+            .with_seed(rng.next_u64())
+            .with_fault_plan(plan);
+        cfg.validate().expect("drawn fleet configs are valid");
+        let budget = simcore::StepBudget::unlimited().with_max_events(20_000_000);
+        match cluster::try_run_fleet_budgeted(cfg, &budget) {
+            Ok(r) => {
+                assert_eq!(
+                    r.admitted,
+                    r.completed + r.timed_out + r.in_flight_at_end,
+                    "request partition leaks under a fuzzed cluster plan"
+                );
+                assert_eq!(
+                    r.dispatched,
+                    r.attempts_completed
+                        + r.attempts_failed
+                        + r.suppressed
+                        + r.attempts_in_flight_at_end,
+                    "attempt partition leaks under a fuzzed cluster plan"
+                );
+                assert!(r.audit.is_balanced(), "roll-up unbalanced");
+            }
+            Err(e) => assert!(e.is_budget(), "only budget errors allowed: {e}"),
+        }
     });
 }
 
