@@ -41,4 +41,4 @@ pub mod service;
 pub mod testbed;
 
 pub use service::AppModel;
-pub use testbed::{Testbed, TestbedConfig};
+pub use testbed::{AdmissionPolicy, Testbed, TestbedConfig, REFERENCE_ADMISSION_CAP};

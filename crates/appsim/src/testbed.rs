@@ -38,6 +38,97 @@ use simcore::{
 use std::collections::VecDeque;
 use workload::{ArrivalProcess, BurstyArrivals, Client, LoadSpec};
 
+/// Reference queue capacity used to scale the saturation gauge when
+/// no admission policy bounds the backlog (so the signal stays
+/// comparable across policy-on and policy-off runs).
+pub const REFERENCE_ADMISSION_CAP: usize = 256;
+
+/// How the server bounds its per-core application queue.
+///
+/// The admission decision happens at the delivery point — the moment
+/// a NAPI poll would hand a request to a socket backlog — so a shed
+/// request costs exactly the kernel work it already consumed and
+/// nothing more, and the conservation identity extends integer-exactly
+/// (`arrived == dropped + in rings + in poll flight + shed +
+/// delivered`, credited to [`Account::PacketsShed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Unbounded queues — the pre-overload-control behaviour.
+    #[default]
+    None,
+    /// Shed when the backlog already holds `limit` requests.
+    StaticDepth {
+        /// Maximum admitted backlog depth.
+        limit: usize,
+    },
+    /// CoDel-style sojourn threshold: shed a request whose ring wait
+    /// exceeded `target` while a backlog exists, and unconditionally
+    /// at the hard `limit`.
+    Sojourn {
+        /// Acceptable ring-sojourn before the queue counts as
+        /// congested.
+        target: SimDuration,
+        /// Hard backlog cap (the static-depth backstop).
+        limit: usize,
+    },
+}
+
+impl AdmissionPolicy {
+    /// The queue bound this policy enforces, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        match *self {
+            AdmissionPolicy::None => None,
+            AdmissionPolicy::StaticDepth { limit } | AdmissionPolicy::Sojourn { limit, .. } => {
+                Some(limit)
+            }
+        }
+    }
+
+    /// Does a request with ring-sojourn `sojourn` enter a backlog of
+    /// `depth` requests?
+    pub fn admits(&self, sojourn: SimDuration, depth: usize) -> bool {
+        match *self {
+            AdmissionPolicy::None => true,
+            AdmissionPolicy::StaticDepth { limit } => depth < limit,
+            AdmissionPolicy::Sojourn { target, limit } => {
+                depth < limit && (depth == 0 || sojourn <= target)
+            }
+        }
+    }
+
+    /// Validates the policy's parameters.
+    pub fn validate(&self) -> Result<(), simcore::SimError> {
+        use simcore::SimError;
+        match *self {
+            AdmissionPolicy::None => Ok(()),
+            AdmissionPolicy::StaticDepth { limit } => {
+                if limit == 0 {
+                    return Err(SimError::invalid(
+                        "admission.limit",
+                        "a zero-depth queue would shed every request".to_string(),
+                    ));
+                }
+                Ok(())
+            }
+            AdmissionPolicy::Sojourn { target, limit } => {
+                if limit == 0 {
+                    return Err(SimError::invalid(
+                        "admission.limit",
+                        "a zero-depth queue would shed every request".to_string(),
+                    ));
+                }
+                if target.is_zero() {
+                    return Err(SimError::invalid(
+                        "admission.target",
+                        "a zero sojourn target sheds any queued request".to_string(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Everything needed to assemble a [`Testbed`].
 #[derive(Debug, Clone)]
 pub struct TestbedConfig {
@@ -77,6 +168,10 @@ pub struct TestbedConfig {
     /// (`cap: 0`); the experiment runner opts in. Zero-sized no-op
     /// without the `obs` feature regardless.
     pub timeline: simcore::TimelineConfig,
+    /// Overload admission control for the per-core app queues.
+    /// Unbounded ([`AdmissionPolicy::None`]) by default, preserving
+    /// the pre-overload-control behaviour bit for bit.
+    pub admission: AdmissionPolicy,
 }
 
 /// The kernel-stack cost profile for an application's traffic mix.
@@ -112,6 +207,7 @@ impl TestbedConfig {
             trace_capacity: 0,
             fault_plan: FaultPlan::new(),
             timeline: simcore::TimelineConfig::OFF,
+            admission: AdmissionPolicy::None,
         }
     }
 
@@ -165,6 +261,12 @@ impl TestbedConfig {
         self
     }
 
+    /// Bounds the per-core app queues with an admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
     /// Validates the whole assembly before any component constructor
     /// can panic on it: degenerate topology, load, queue layout, and
     /// fault plans all become typed [`SimError`](simcore::SimError)s
@@ -211,6 +313,7 @@ impl TestbedConfig {
         }
         self.load.validate()?;
         self.fault_plan.validate(cores)?;
+        self.admission.validate()?;
         Ok(())
     }
 }
@@ -449,6 +552,11 @@ pub struct Testbed {
     mode_interrupt_uj: u64,
     mode_polling_uj: u64,
     mode_transition_uj: u64,
+    /// The configured admission policy bounding the app queues.
+    admission: AdmissionPolicy,
+    /// Requests shed by the admission policy, per core (sums to the
+    /// [`Account::PacketsShed`] ledger balance).
+    shed: Vec<u64>,
     /// Integer-µJ snapshots at `begin_measurement`, windowing the
     /// [`energy_summary`](Testbed::energy_summary).
     measure_start_core_uj: Vec<u64>,
@@ -560,6 +668,8 @@ impl Testbed {
             mode_interrupt_uj: 0,
             mode_polling_uj: 0,
             mode_transition_uj: 0,
+            admission: config.admission,
+            shed: vec![0; cores],
             measure_start_core_uj: vec![0; cores],
             measure_start_core_breakdown: vec![EnergyBreakdown::default(); cores],
             measure_start_uncore_uj: 0,
@@ -1133,9 +1243,23 @@ impl Testbed {
             .credit(Account::TxCompletionsCleaned, tx_n as u64);
         // Deliver request packets to the socket backlog (ACK-class
         // packets end at the transport layer); the app thread wakes.
+        // The admission policy gates delivery: a shed request never
+        // reaches the backlog, its attribution entry stays pending
+        // (neither measured nor attributed time is credited), and the
+        // ledger closes it under `PacketsShed` so the request identity
+        // stays integer-exact.
         let mut delivered = false;
         for pkt in batch.rx {
             if pkt.kind == netsim::PacketKind::Request {
+                let sojourn = now.saturating_since(pkt.nic_rx_at);
+                let depth = self.backlog[core.0].len();
+                if !self.admission.admits(sojourn, depth)
+                    && !self.faults.admission_bypassed(now, core.0)
+                {
+                    self.shed[core.0] += 1;
+                    self.ledger.credit(Account::PacketsShed, 1);
+                    continue;
+                }
                 self.attrib.delivered(pkt.id.0, now);
                 self.backlog[core.0].push_back(pkt);
                 self.ledger.credit(Account::RequestsDelivered, 1);
@@ -1454,6 +1578,7 @@ impl Testbed {
                 self.watchdog.core_p99_ns(i) as i64,
                 (c.current_power_w(&self.profile) * 1000.0).round() as i64,
                 flags,
+                self.saturation_permille(i) as i64,
             ]);
         }
         self.timeline.record_row(now, &row);
@@ -1866,6 +1991,35 @@ impl Testbed {
         self.backlog.iter().map(|b| b.len()).sum()
     }
 
+    /// Admission-queue saturation for one core, per mille of the
+    /// bounded capacity (the configured admission limit, or
+    /// [`REFERENCE_ADMISSION_CAP`] when the queue is unbounded so the
+    /// signal stays comparable across policy-on and policy-off runs).
+    /// Clamped to 1000.
+    pub fn saturation_permille(&self, core: usize) -> u32 {
+        let cap = self
+            .admission
+            .capacity()
+            .unwrap_or(REFERENCE_ADMISSION_CAP)
+            .max(1);
+        let depth = self.backlog[core].len();
+        ((depth * 1000) / cap).min(1000) as u32
+    }
+
+    /// The highest per-core admission-queue saturation, per mille —
+    /// the up-coupled overload signal a fleet's load balancer reads.
+    pub fn max_saturation_permille(&self) -> u32 {
+        (0..self.backlog.len())
+            .map(|i| self.saturation_permille(i))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Requests shed by the admission policy so far, across all cores.
+    pub fn total_shed(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
     /// Requests currently held by a core: executing as an app chunk or
     /// parked preempted. Each holds exactly one delivered request that
     /// is neither in a backlog nor completed.
@@ -1956,12 +2110,18 @@ impl Testbed {
             self.nic.total_rx_req_dropped(),
         );
         report.check_exact(
-            "requests: arrived == dropped + in rings + in poll flight + delivered",
+            "requests: arrived == dropped + in rings + in poll flight + shed + delivered",
             l.balance(Account::RequestsArrivedAtNic),
             l.balance(Account::RequestsDroppedAtNic)
                 + self.nic.total_rx_backlog_requests()
                 + poll_requests
+                + l.balance(Account::PacketsShed)
                 + l.balance(Account::RequestsDelivered),
+        );
+        report.check_exact(
+            "requests: ledger shed == admission shed counters",
+            l.balance(Account::PacketsShed),
+            self.shed.iter().sum::<u64>(),
         );
         report.check_exact(
             "requests: delivered == backlog + executing + completed",
@@ -2289,7 +2449,9 @@ impl Testbed {
             m.set_counter("fault.load_switches", f.load_switches);
             m.set_counter("fault.incast_requests", f.incast_requests);
             m.set_counter("fault.flow_churns", f.flow_churns);
+            m.set_counter("fault.admission_bypasses", f.admission_bypasses);
         }
+        m.set_counter("admission.shed", self.total_shed());
         m.set_counter("attrib.requests", self.attrib.requests());
         m.set_counter("attrib.mismatches", self.attrib.mismatches());
         m.set_counter("attrib.pending", self.attrib.pending());

@@ -27,10 +27,16 @@
 //! exactness, even under crash schedules:
 //!
 //! ```text
-//! admitted   == completed + timed_out + in_flight_at_end
+//! admitted   == completed + timed_out + shed + in_flight_at_end
 //! dispatched == attempts_completed + attempts_failed
 //!             + hedges_suppressed + attempts_in_flight_at_end
 //! ```
+//!
+//! `shed` counts requests the LB's brownout dropped before dispatch;
+//! attempts rejected by a saturated server's admission gate land in
+//! `attempts_failed` (never `hedges_suppressed`, even when their
+//! request has already closed) with `attempts_shed` as the audited
+//! sub-account.
 //!
 //! Both identities are evaluated in the [`FleetResult::audit`]
 //! report, cross-checked against the [`ConservationLedger`] when the
@@ -41,7 +47,7 @@ use std::collections::{HashMap, VecDeque};
 use std::mem;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use appsim::{AppModel, Testbed, TestbedConfig};
+use appsim::{AdmissionPolicy, AppModel, Testbed, TestbedConfig};
 use cpusim::ProcessorProfile;
 use governors::DegradationStats;
 use simcore::{
@@ -49,10 +55,13 @@ use simcore::{
     FaultStats, MetricsRegistry, MetricsSnapshot, RngStream, SimDuration, SimError, SimTime,
     Simulator, StepBudget, StreamingQuantiles, TimelineConfig,
 };
-use workload::{AppKind, ChurnSpec, DiurnalCurve, LoadSpec};
+use workload::{AppKind, ChurnSpec, DiurnalCurve, LoadSpec, Priority};
 
 use crate::health::{HealthTracker, HealthTransition};
 use crate::kinds::{build_policies, GovernorKind, SleepKind};
+use crate::overload::{
+    BreakerPolicy, Brownout, BrownoutPolicy, CircuitBreaker, RetryBudget, RetryBudgetPolicy,
+};
 use crate::ring::{flow_key, HashRing};
 
 /// Locks a mutex, shrugging off poisoning: a panicking worker must
@@ -172,6 +181,18 @@ pub struct FleetConfig {
     pub flows: usize,
     /// One-way LB↔server network hop.
     pub lb_hop: SimDuration,
+    /// Admission policy every server bounds its app queues with; the
+    /// fleet also rejects attempts at servers whose harvested
+    /// saturation hits 1000 ‰ (the server-side gate seen from the LB).
+    pub admission: AdmissionPolicy,
+    /// Per-flow retry budgets; `None` = unconditional backoff-retry.
+    pub retry_budget: Option<RetryBudgetPolicy>,
+    /// Per-server circuit breakers composing with health ejection;
+    /// `None` disables them.
+    pub breaker: Option<BreakerPolicy>,
+    /// LB-side brownout over the up-coupled saturation signal;
+    /// `None` disables it.
+    pub brownout: Option<BrownoutPolicy>,
 }
 
 impl FleetConfig {
@@ -198,6 +219,10 @@ impl FleetConfig {
             epoch: SimDuration::from_millis(5),
             flows: 512,
             lb_hop: SimDuration::from_micros(20),
+            admission: AdmissionPolicy::None,
+            retry_budget: None,
+            breaker: None,
+            brownout: None,
         }
     }
 
@@ -271,6 +296,46 @@ impl FleetConfig {
     /// Sets the inner/outer coupling epoch.
     pub fn with_epoch(mut self, epoch: SimDuration) -> Self {
         self.epoch = epoch;
+        self
+    }
+
+    /// Sets the servers' admission policy (also arming the fleet-side
+    /// saturation gate).
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Enables or disables per-flow retry budgets.
+    pub fn with_retry_budget(mut self, budget: Option<RetryBudgetPolicy>) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Enables or disables per-server circuit breakers.
+    pub fn with_breaker(mut self, breaker: Option<BreakerPolicy>) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Enables or disables LB-side brownout.
+    pub fn with_brownout(mut self, brownout: Option<BrownoutPolicy>) -> Self {
+        self.brownout = brownout;
+        self
+    }
+
+    /// Arms the whole overload-control stack with library defaults:
+    /// sojourn-threshold admission on every server, default retry
+    /// budgets, circuit breakers, and brownout. The one-switch "on"
+    /// side of the metastability experiment.
+    pub fn with_overload_control(mut self) -> Self {
+        self.admission = AdmissionPolicy::Sojourn {
+            target: SimDuration::from_micros(200),
+            limit: 64,
+        };
+        self.retry_budget = Some(RetryBudgetPolicy::default());
+        self.breaker = Some(BreakerPolicy::default());
+        self.brownout = Some(BrownoutPolicy::default());
         self
     }
 
@@ -356,8 +421,19 @@ impl FleetConfig {
         }
         self.governor.validate()?;
         self.fault_plan.validate(self.servers)?;
+        self.admission.validate()?;
+        if let Some(b) = &self.retry_budget {
+            b.validate()?;
+        }
+        if let Some(b) = &self.breaker {
+            b.validate()?;
+        }
+        if let Some(b) = &self.brownout {
+            b.validate()?;
+        }
         let sample = TestbedConfig::new(AppModel::for_kind(self.app), self.initial_load())
-            .with_profile(self.profile.clone());
+            .with_profile(self.profile.clone())
+            .with_admission(self.admission);
         sample.validate()
     }
 
@@ -444,6 +520,24 @@ pub struct FleetResult {
     pub readmissions: u64,
     /// Flows that lost affinity to connection churn.
     pub churned_flows: u64,
+    /// Requests shed by LB-side brownout (admitted, closed shed).
+    pub shed: u64,
+    /// Attempts rejected by a saturated server's admission gate — an
+    /// audited sub-account of [`attempts_failed`](Self::attempts_failed).
+    pub attempts_shed: u64,
+    /// Retries paid for from a flow's retry budget.
+    pub retry_budget_spent: u64,
+    /// Retries denied by an exhausted retry budget (the request closes
+    /// as timed out instead of re-dispatching).
+    pub retry_budget_denied: u64,
+    /// Circuit-breaker trips (closed/half-open → open), all servers.
+    pub breaker_opens: u64,
+    /// Circuit-breaker recoveries (half-open → closed).
+    pub breaker_closes: u64,
+    /// Circuit-breaker probe windows (open → half-open).
+    pub breaker_half_opens: u64,
+    /// Steers diverted away from a breaker-blocked affinity server.
+    pub breaker_short_circuits: u64,
     /// Fleet-level p99 (merged across servers), measured window only.
     pub p99: SimDuration,
     /// Fleet-level p50.
@@ -504,6 +598,10 @@ struct ServerInstance {
     /// Fleet-request latencies this server won, for the merged p99.
     q: StreamingQuantiles,
     current_rps: f64,
+    /// Harvested admission-queue saturation (per mille), refreshed at
+    /// each epoch — the up-coupled overload signal brownout and the
+    /// fleet-side admission gate read.
+    sat_permille: u32,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -523,6 +621,11 @@ struct FleetCounters {
     ejections: u64,
     readmissions: u64,
     churned_flows: u64,
+    shed_requests: u64,
+    attempts_shed: u64,
+    retry_budget_spent: u64,
+    retry_budget_denied: u64,
+    breaker_short_circuits: u64,
 }
 
 /// The outer simulator's world.
@@ -546,7 +649,19 @@ struct FleetWorld {
     rng_steer: RngStream,
     rng_latency: RngStream,
     rng_churn: RngStream,
+    /// Per-arrival priority-class draws (its own stream, so enabling
+    /// brownout perturbs no other concern's randomness).
+    rng_priority: RngStream,
     counters: FleetCounters,
+    /// Per-flow retry budgets; empty when the policy is off.
+    budgets: Vec<RetryBudget>,
+    /// Per-server circuit breakers; empty when the policy is off.
+    breakers: Vec<CircuitBreaker>,
+    /// LB-side brownout state; `None` when the policy is off.
+    brownout: Option<Brownout>,
+    /// Scratch steering view: `lb_view` AND breaker admission,
+    /// refreshed before every steer decision.
+    steer_view: Vec<bool>,
     /// Current hedge delay; re-derived from the merged latency
     /// quantile every epoch.
     hedge_delay: SimDuration,
@@ -562,7 +677,10 @@ type FleetSim = Simulator<FleetWorld>;
 impl FleetWorld {
     fn offered_rate(&self, now: SimTime) -> f64 {
         let factor = self.cfg.diurnal.as_ref().map_or(1.0, |d| d.factor_at(now));
-        (self.cfg.total_rps * factor).max(1.0)
+        // Fleet-scope load-spike faults multiply the offered rate —
+        // the trigger half of the metastability experiment.
+        let spike = self.faults.load_factor(now);
+        (self.cfg.total_rps * factor * spike).max(1.0)
     }
 }
 
@@ -572,17 +690,47 @@ fn backoff_for(retry: &RetryPolicy, retries_so_far: u32) -> SimDuration {
     SimDuration::from_nanos(ns.min(retry.backoff_cap.as_nanos()))
 }
 
+/// Rebuilds the effective steering view: a server is steerable when
+/// the LB's health view admits it AND its circuit breaker (if any)
+/// does. An open breaker whose cooldown elapsed transitions to
+/// half-open here.
+fn refresh_steer_view(w: &mut FleetWorld, now: SimTime) {
+    let mut view = mem::take(&mut w.steer_view);
+    view.clear();
+    for i in 0..w.cfg.servers {
+        let mut ok = w.lb_view.get(i).copied().unwrap_or(false);
+        if ok {
+            if let Some(b) = w.breakers.get_mut(i) {
+                ok = b.admits(now);
+            }
+        }
+        view.push(ok);
+    }
+    w.steer_view = view;
+}
+
 /// Steers one request: affinity if the LB believes it healthy (and it
 /// is not excluded), else a consistent-hash walk. Counts failovers
 /// and applies any active hash-skew fault as a per-request override.
 fn steer(w: &mut FleetWorld, now: SimTime, flow: usize, exclude: Option<usize>) -> usize {
+    refresh_steer_view(w, now);
     let key = flow_key(flow as u64, w.affinity_gen[flow]);
     let prior = w.affinity[flow];
+    // A healthy affinity server blocked only by its breaker is a
+    // short-circuit: the breaker, not health ejection, diverted it.
+    if let Some(p) = prior {
+        if exclude != Some(p)
+            && w.lb_view.get(p).copied().unwrap_or(false)
+            && !w.steer_view.get(p).copied().unwrap_or(false)
+        {
+            w.counters.breaker_short_circuits += 1;
+        }
+    }
     let candidate = match prior {
-        Some(p) if exclude != Some(p) && w.lb_view.get(p).copied().unwrap_or(false) => p,
+        Some(p) if exclude != Some(p) && w.steer_view.get(p).copied().unwrap_or(false) => p,
         _ => match exclude {
-            Some(ex) => w.ring.successor(key, ex, &w.lb_view),
-            None => w.ring.steer(key, &w.lb_view),
+            Some(ex) => w.ring.successor(key, ex, &w.steer_view),
+            None => w.ring.steer(key, &w.steer_view),
         },
     };
     if let Some(p) = prior {
@@ -621,6 +769,9 @@ fn dispatch(w: &mut FleetWorld, sim: &mut FleetSim, id: u64, server: usize) {
     w.counters.dispatched += 1;
     w.ledger.credit(Account::FleetAttemptsDispatched, 1);
     w.servers[server].dispatched_total += 1;
+    if let Some(b) = w.breakers.get_mut(server) {
+        b.on_dispatch();
+    }
     let crashed = w.faults.server_crashed(now, server);
     let partitioned = w.faults.link_partitioned(now, server);
     if crashed || partitioned {
@@ -629,6 +780,9 @@ fn dispatch(w: &mut FleetWorld, sim: &mut FleetSim, id: u64, server: usize) {
         }
         w.counters.attempts_failed += 1;
         w.ledger.credit(Account::FleetAttemptsFailed, 1);
+        if let Some(b) = w.breakers.get_mut(server) {
+            b.record(now, false);
+        }
         if let Some(req) = w.reqs.get_mut(&id) {
             req.attempts.push(AttemptState {
                 server,
@@ -640,8 +794,31 @@ fn dispatch(w: &mut FleetWorld, sim: &mut FleetSim, id: u64, server: usize) {
     }
     let extra = w.faults.link_extra(now, server);
     let hop = w.cfg.lb_hop + extra;
-    let service = SimDuration::from_nanos(sample_latency_ns(w, server));
     let attempt_idx = w.reqs.get(&id).map_or(0, |r| r.attempts.len());
+    // The server-side admission gate, seen from the LB: a server whose
+    // harvested saturation pegged at 1000 ‰ rejects the attempt after
+    // one round trip. The rejection lands in `attempts_failed` (with
+    // `attempts_shed` as its audited sub-account) — never in
+    // `suppressed`, even if the request has closed by then.
+    if w.cfg.admission != AdmissionPolicy::None && w.servers[server].sat_permille >= 1000 {
+        let ev = sim.schedule_at(now + hop + hop, move |w, sim| {
+            shed_response(w, sim, id, attempt_idx);
+        });
+        if let Some(req) = w.reqs.get_mut(&id) {
+            req.attempts.push(AttemptState {
+                server,
+                response_ev: Some(ev),
+                done: false,
+            });
+        }
+        w.counters.attempts_outstanding += 1;
+        let s = &mut w.servers[server];
+        s.inflight.push((id, attempt_idx));
+        s.dispatched_epoch += 1;
+        s.delivered += 1;
+        return;
+    }
+    let service = SimDuration::from_nanos(sample_latency_ns(w, server));
     let ev = sim.schedule_at(now + hop + service + hop, move |w, sim| {
         response(w, sim, id, attempt_idx);
     });
@@ -663,7 +840,7 @@ fn dispatch(w: &mut FleetWorld, sim: &mut FleetSim, id: u64, server: usize) {
 /// LB. First response wins; later ones are suppressed duplicates.
 fn response(w: &mut FleetWorld, sim: &mut FleetSim, id: u64, attempt_idx: usize) {
     let now = sim.now();
-    let Some((server, was_closed, admitted_at, timeout_ev, hedge_ev)) =
+    let Some((server, flow, was_closed, admitted_at, timeout_ev, hedge_ev)) =
         w.reqs.get_mut(&id).and_then(|req| {
             let att = req.attempts.get_mut(attempt_idx)?;
             att.done = true;
@@ -676,7 +853,7 @@ fn response(w: &mut FleetWorld, sim: &mut FleetSim, id: u64, attempt_idx: usize)
                 req.closed = true;
                 (req.timeout_ev.take(), req.hedge_ev.take())
             };
-            Some((server, was_closed, req.admitted_at, t, h))
+            Some((server, req.flow, was_closed, req.admitted_at, t, h))
         })
     else {
         return;
@@ -689,6 +866,11 @@ fn response(w: &mut FleetWorld, sim: &mut FleetSim, id: u64, attempt_idx: usize)
         .position(|&(r, a)| r == id && a == attempt_idx)
     {
         s.inflight.swap_remove(pos);
+    }
+    // Any response proves the server answered — even a suppressed
+    // duplicate feeds the breaker's success side.
+    if let Some(b) = w.breakers.get_mut(server) {
+        b.record(now, true);
     }
     if was_closed {
         w.counters.suppressed += 1;
@@ -705,6 +887,9 @@ fn response(w: &mut FleetWorld, sim: &mut FleetSim, id: u64, attempt_idx: usize)
         w.counters.attempts_completed += 1;
         w.ledger.credit(Account::FleetAttemptsCompleted, 1);
         w.counters.open_requests = w.counters.open_requests.saturating_sub(1);
+        if let Some(b) = w.budgets.get_mut(flow) {
+            b.on_success();
+        }
         let latency = now.saturating_since(admitted_at);
         let s = &mut w.servers[server];
         s.won += 1;
@@ -713,13 +898,69 @@ fn response(w: &mut FleetWorld, sim: &mut FleetSim, id: u64, attempt_idx: usize)
     maybe_gc(w, id);
 }
 
-/// The per-attempt deadline fired: retry (with backoff) or close the
-/// request as timed out once attempts are exhausted.
+/// A saturated server's admission gate rejected attempt `attempt_idx`
+/// of request `id`: the attempt closes as failed (`attempts_shed`
+/// sub-account), never as a suppressed duplicate — the request itself
+/// stays open for its timeout to retry or close.
+fn shed_response(w: &mut FleetWorld, sim: &mut FleetSim, id: u64, attempt_idx: usize) {
+    let now = sim.now();
+    let Some(server) = w.reqs.get_mut(&id).and_then(|req| {
+        let att = req.attempts.get_mut(attempt_idx)?;
+        if att.done {
+            return None;
+        }
+        att.done = true;
+        att.response_ev = None;
+        Some(att.server)
+    }) else {
+        return;
+    };
+    w.counters.attempts_outstanding = w.counters.attempts_outstanding.saturating_sub(1);
+    w.counters.attempts_failed += 1;
+    w.counters.attempts_shed += 1;
+    w.ledger.credit(Account::FleetAttemptsFailed, 1);
+    w.ledger.credit(Account::FleetAttemptsShed, 1);
+    let s = &mut w.servers[server];
+    if let Some(pos) = s
+        .inflight
+        .iter()
+        .position(|&(r, a)| r == id && a == attempt_idx)
+    {
+        s.inflight.swap_remove(pos);
+    }
+    // The rejection never reached the app: it moves from the server's
+    // delivered column into the fleet's failed column.
+    s.delivered = s.delivered.saturating_sub(1);
+    if let Some(b) = w.breakers.get_mut(server) {
+        b.record(now, false);
+    }
+    maybe_gc(w, id);
+}
+
+/// Closes request `id` as timed out (attempts exhausted or retry
+/// budget denied).
+fn close_timed_out(w: &mut FleetWorld, sim: &mut FleetSim, id: u64) {
+    let hedge_ev = w.reqs.get_mut(&id).and_then(|req| {
+        req.closed = true;
+        req.hedge_ev.take()
+    });
+    if let Some(ev) = hedge_ev {
+        sim.cancel(ev);
+    }
+    w.counters.timed_out += 1;
+    w.ledger.credit(Account::FleetRequestsTimedOut, 1);
+    w.counters.open_requests = w.counters.open_requests.saturating_sub(1);
+    maybe_gc(w, id);
+}
+
+/// The per-attempt deadline fired: retry (with backoff, paying from
+/// the flow's retry budget when one is configured) or close the
+/// request as timed out once attempts — or the budget — run out.
 fn timeout_fired(w: &mut FleetWorld, sim: &mut FleetSim, id: u64) {
     let now = sim.now();
-    let Some((closed, attempts_len)) = w.reqs.get_mut(&id).map(|req| {
+    let Some((closed, attempts_len, flow)) = w.reqs.get_mut(&id).map(|req| {
         req.timeout_ev = None;
-        (req.closed, req.attempts.len())
+        (req.closed, req.attempts.len(), req.flow)
     }) else {
         return;
     };
@@ -727,6 +968,17 @@ fn timeout_fired(w: &mut FleetWorld, sim: &mut FleetSim, id: u64) {
         return;
     }
     if (attempts_len as u32) < w.cfg.retry.max_attempts {
+        // A configured retry budget replaces unconditional retry: the
+        // retry must buy a token, and an empty bucket closes the
+        // request instead of amplifying the storm.
+        if let Some(budget) = w.budgets.get_mut(flow) {
+            if !budget.try_spend() {
+                w.counters.retry_budget_denied += 1;
+                close_timed_out(w, sim, id);
+                return;
+            }
+            w.counters.retry_budget_spent += 1;
+        }
         w.counters.retries += 1;
         let backoff = backoff_for(&w.cfg.retry, attempts_len.saturating_sub(1) as u32);
         let ev = sim.schedule_at(now + backoff, move |w, sim| retry_fire(w, sim, id));
@@ -734,17 +986,7 @@ fn timeout_fired(w: &mut FleetWorld, sim: &mut FleetSim, id: u64) {
             req.timeout_ev = Some(ev);
         }
     } else {
-        let hedge_ev = w.reqs.get_mut(&id).and_then(|req| {
-            req.closed = true;
-            req.hedge_ev.take()
-        });
-        if let Some(ev) = hedge_ev {
-            sim.cancel(ev);
-        }
-        w.counters.timed_out += 1;
-        w.ledger.credit(Account::FleetRequestsTimedOut, 1);
-        w.counters.open_requests = w.counters.open_requests.saturating_sub(1);
-        maybe_gc(w, id);
+        close_timed_out(w, sim, id);
     }
 }
 
@@ -775,6 +1017,7 @@ fn retry_fire(w: &mut FleetWorld, sim: &mut FleetSim, id: u64) {
 /// Hedge delay elapsed with the request still open: duplicate it to
 /// the ring successor of its primary server.
 fn hedge_fired(w: &mut FleetWorld, sim: &mut FleetSim, id: u64) {
+    let now = sim.now();
     let Some((flow, primary)) = w.reqs.get_mut(&id).and_then(|req| {
         req.hedge_ev = None;
         if req.closed || req.hedged {
@@ -785,8 +1028,9 @@ fn hedge_fired(w: &mut FleetWorld, sim: &mut FleetSim, id: u64) {
     }) else {
         return;
     };
+    refresh_steer_view(w, now);
     let key = flow_key(flow as u64, w.affinity_gen[flow]);
-    let target = w.ring.successor(key, primary, &w.lb_view);
+    let target = w.ring.successor(key, primary, &w.steer_view);
     if target != primary {
         w.counters.hedges += 1;
         dispatch(w, sim, id, target);
@@ -869,6 +1113,9 @@ fn epoch_tick(w: &mut FleetWorld, sim: &mut FleetSim) {
                 break;
             }
             harvest(s);
+            // Refresh the up-coupled saturation signal brownout and
+            // the fleet-side admission gate read until the next epoch.
+            s.sat_permille = s.tb.max_saturation_permille();
             let rate = ((s.dispatched_epoch as f64) / epoch_secs).clamp(1.0, 1e9);
             s.dispatched_epoch = 0;
             // Only re-target on a meaningful shift: switching the load
@@ -878,6 +1125,10 @@ fn epoch_tick(w: &mut FleetWorld, sim: &mut FleetSim) {
                 tb.switch_load(inner, LoadSpec::custom(rate, w.cfg.epoch, 1.0, 0.0));
                 s.current_rps = rate;
             }
+        }
+        let max_sat = w.servers.iter().map(|s| s.sat_permille).max().unwrap_or(0);
+        if let Some(b) = w.brownout.as_mut() {
+            b.observe(max_sat);
         }
         recompute_hedge_delay(w);
     }
@@ -955,6 +1206,13 @@ fn crash_server(w: &mut FleetWorld, sim: &mut FleetSim, server: usize) {
     // delivered column into the fleet's failed column.
     w.servers[server].delivered = w.servers[server].delivered.saturating_sub(failed);
     w.ledger.credit(Account::FleetAttemptsFailed, failed);
+    // Every cancelled attempt is a failure the breaker sees; a crash
+    // with enough in-flight work trips it immediately.
+    if let Some(b) = w.breakers.get_mut(server) {
+        for _ in 0..failed {
+            b.record(now, false);
+        }
+    }
 }
 
 /// Admits one request and schedules the next arrival.
@@ -966,6 +1224,18 @@ fn arrival(w: &mut FleetWorld, sim: &mut FleetSim) {
     w.ledger.credit(Account::FleetRequestsAdmitted, 1);
     w.counters.open_requests += 1;
     let flow = w.rng_arrival.below(w.cfg.flows as u64) as usize;
+    // Brownout: while the saturation signal is high, the LB sheds the
+    // lowest-priority slice of arrivals before dispatch. The request
+    // counts as admitted and closes immediately as shed, keeping the
+    // request identity integer-exact.
+    let priority = Priority::classify(w.rng_priority.below(1000) as u32);
+    if w.brownout.is_some_and(|b| b.active()) && priority == Priority::Low {
+        w.counters.shed_requests += 1;
+        w.ledger.credit(Account::FleetRequestsShed, 1);
+        w.counters.open_requests = w.counters.open_requests.saturating_sub(1);
+        schedule_next_arrival(w, sim, now);
+        return;
+    }
     w.reqs.insert(
         id,
         RequestState {
@@ -1047,7 +1317,8 @@ pub fn try_run_fleet_budgeted(
         let tb_cfg = TestbedConfig::new(app_model, init_load)
             .with_seed(seed)
             .with_profile(cfg.profile.clone())
-            .with_timeline(TimelineConfig::OFF);
+            .with_timeline(TimelineConfig::OFF)
+            .with_admission(cfg.admission);
         let (governor, sleep) = build_policies(&cfg.governor, cfg.sleep, &cfg.profile, &app_model);
         let mut inner: Simulator<Testbed> = Simulator::new();
         let tb = Testbed::try_new(tb_cfg, governor, sleep, &mut inner)?;
@@ -1064,6 +1335,7 @@ pub fn try_run_fleet_budgeted(
             crashes: 0,
             q: StreamingQuantiles::new(window),
             current_rps: per_rps,
+            sat_permille: 0,
         });
     }
 
@@ -1082,7 +1354,16 @@ pub fn try_run_fleet_budgeted(
         rng_steer: RngStream::derive(cfg.seed, "fleet-steer", 0),
         rng_latency: RngStream::derive(cfg.seed, "fleet-latency", 0),
         rng_churn: RngStream::derive(cfg.seed, "fleet-churn", 0),
+        rng_priority: RngStream::derive(cfg.seed, "fleet-priority", 0),
         counters: FleetCounters::default(),
+        budgets: cfg
+            .retry_budget
+            .map_or_else(Vec::new, |p| vec![RetryBudget::new(p); cfg.flows]),
+        breakers: cfg
+            .breaker
+            .map_or_else(Vec::new, |p| vec![CircuitBreaker::new(p); n]),
+        brownout: cfg.brownout.map(Brownout::new),
+        steer_view: Vec::with_capacity(n),
         hedge_delay: hedge_floor,
         end,
         budget: *budget,
@@ -1155,9 +1436,14 @@ fn extract(mut world: FleetWorld, end: SimTime) -> Result<FleetResult, SimError>
     // against the ledger when the feature is on.
     let mut audit = AuditReport::new();
     audit.check_exact(
-        "fleet: admitted == completed + timed_out + in_flight",
+        "fleet: admitted == completed + timed_out + shed + in_flight",
         c.admitted,
-        c.completed + c.timed_out + c.open_requests,
+        c.completed + c.timed_out + c.shed_requests + c.open_requests,
+    );
+    audit.check_exact(
+        "fleet: shed attempts within failed attempts",
+        c.attempts_shed + c.attempts_failed.saturating_sub(c.attempts_shed),
+        c.attempts_failed,
     );
     audit.check_exact(
         "fleet: dispatched == completed + failed + suppressed + outstanding",
@@ -1214,6 +1500,16 @@ fn extract(mut world: FleetWorld, end: SimTime) -> Result<FleetResult, SimError>
                 Account::FleetHedgesSuppressed,
                 c.suppressed,
                 "ledger: suppressed",
+            ),
+            (
+                Account::FleetRequestsShed,
+                c.shed_requests,
+                "ledger: requests shed",
+            ),
+            (
+                Account::FleetAttemptsShed,
+                c.attempts_shed,
+                "ledger: attempts shed",
             ),
         ];
         for (account, counter, name) in pairs {
@@ -1279,6 +1575,23 @@ fn extract(mut world: FleetWorld, end: SimTime) -> Result<FleetResult, SimError>
     reg.set_counter("fleet.health.readmissions", c.readmissions);
     reg.set_counter("fleet.churned_flows", c.churned_flows);
     reg.set_counter("fleet.server_crashes", crashes_sum);
+    let mut breaker_opens = 0u64;
+    let mut breaker_closes = 0u64;
+    let mut breaker_half_opens = 0u64;
+    for b in &world.breakers {
+        let s = b.stats();
+        breaker_opens += s.opens;
+        breaker_closes += s.closes;
+        breaker_half_opens += s.half_opens;
+    }
+    reg.set_counter("fleet.shed.requests", c.shed_requests);
+    reg.set_counter("fleet.shed.attempts", c.attempts_shed);
+    reg.set_counter("fleet.breaker.opens", breaker_opens);
+    reg.set_counter("fleet.breaker.closes", breaker_closes);
+    reg.set_counter("fleet.breaker.half_opens", breaker_half_opens);
+    reg.set_counter("fleet.breaker.short_circuits", c.breaker_short_circuits);
+    reg.set_counter("retry_budget.spent", c.retry_budget_spent);
+    reg.set_counter("retry_budget.denied", c.retry_budget_denied);
     let metrics = reg.snapshot();
 
     let ejected: Vec<bool> = world.trackers.iter().map(|t| t.is_ejected()).collect();
@@ -1325,6 +1638,14 @@ fn extract(mut world: FleetWorld, end: SimTime) -> Result<FleetResult, SimError>
         ejections: c.ejections,
         readmissions: c.readmissions,
         churned_flows: c.churned_flows,
+        shed: c.shed_requests,
+        attempts_shed: c.attempts_shed,
+        retry_budget_spent: c.retry_budget_spent,
+        retry_budget_denied: c.retry_budget_denied,
+        breaker_opens,
+        breaker_closes,
+        breaker_half_opens,
+        breaker_short_circuits: c.breaker_short_circuits,
         p99,
         p50,
         availability,

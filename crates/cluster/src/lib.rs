@@ -43,6 +43,7 @@
 pub mod fleet;
 pub mod health;
 pub mod kinds;
+pub mod overload;
 pub mod ring;
 
 pub use fleet::{
@@ -51,4 +52,8 @@ pub use fleet::{
 };
 pub use health::{HealthTracker, HealthTransition};
 pub use kinds::{build_policies, GovernorKind, SleepKind};
+pub use overload::{
+    BreakerPolicy, BreakerState, BreakerStats, Brownout, BrownoutPolicy, CircuitBreaker,
+    RetryBudget, RetryBudgetPolicy,
+};
 pub use ring::HashRing;

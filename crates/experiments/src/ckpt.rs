@@ -37,9 +37,11 @@ use std::path::{Path, PathBuf};
 
 /// Current checkpoint format version. Version 2 added the energy
 /// attribution and flight-recorder summaries to each cell; version 3
-/// added the telemetry timeline (per-core gauge samples). Older
-/// files simply re-run their cells.
-pub const CHECKPOINT_VERSION: u64 = 3;
+/// added the telemetry timeline (per-core gauge samples); version 4
+/// widened the timeline stride with the saturation gauge and added
+/// admission-bypass fault stats. Older files simply re-run their
+/// cells.
+pub const CHECKPOINT_VERSION: u64 = 4;
 
 /// Stable content key for a sweep cell: FNV-1a 64 over the config's
 /// `Debug` rendering. Any field change — seed, load, governor,
@@ -225,6 +227,7 @@ fn enc_faults(s: &FaultStats) -> Value {
         ("partition_drops", Value::UInt(s.partition_drops)),
         ("skewed_steers", Value::UInt(s.skewed_steers)),
         ("stale_probes", Value::UInt(s.stale_probes)),
+        ("admission_bypasses", Value::UInt(s.admission_bypasses)),
     ])
 }
 
@@ -505,6 +508,7 @@ fn dec_faults(v: &Value) -> Result<FaultStats, DecodeError> {
         partition_drops: need_u64(v, "partition_drops")?,
         skewed_steers: need_u64(v, "skewed_steers")?,
         stale_probes: need_u64(v, "stale_probes")?,
+        admission_bypasses: need_u64(v, "admission_bypasses")?,
     })
 }
 

@@ -26,6 +26,7 @@
 //! | `timeline` | beyond-paper: telemetry sparklines (P99/mode/power over time) |
 //! | `chaos` | beyond-paper: chaos soak under composed fault schedules |
 //! | `fleet` | beyond-paper: fault-tolerant fleet tier (failover, retry/hedge, conservation) |
+//! | `overload` | beyond-paper: overload control vs metastable failure (admission, retry budgets, brownout) |
 
 pub mod ablations;
 pub mod breakdown;
@@ -36,6 +37,7 @@ pub mod extensions;
 pub mod fleet;
 pub mod motivation;
 pub mod nmap_behavior;
+pub mod overload;
 pub mod sleep;
 pub mod sota;
 pub mod tables;
@@ -73,6 +75,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "timeline",
         "chaos",
         "fleet",
+        "overload",
     ]
 }
 
@@ -123,6 +126,10 @@ pub fn generate_with(id: &str, scale: Scale, sup: &Supervisor) -> Vec<FigureRepo
         // through `cluster::run_fleet_many` directly (see the module
         // docs for why it bypasses the supervisor's checkpoint cells).
         "fleet" => vec![fleet::fleet(scale)],
+        // Like `fleet`, the overload dichotomy runs its cells through
+        // `cluster::run_fleet_many` directly — fleet results have
+        // their own shape and never checkpoint.
+        "overload" => vec![overload::overload(scale)],
         _ => Vec::new(),
     }
 }

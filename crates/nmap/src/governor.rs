@@ -41,6 +41,15 @@ impl NiMark {
     }
 }
 
+/// Saturation-gauge floor (per mille of the admission capacity) above
+/// which the governor holds the core at maximum V/F instead of
+/// letting the utilization path downclock it. A server that is
+/// actively shedding must drain first and save power second:
+/// downclocking a saturated core deepens the backlog, turns sheds
+/// into timeouts, and feeds the retry storm that overload control
+/// exists to break. Shed-before-downclock, never the reverse.
+pub const SHED_HOLD_PERMILLE: i64 = 900;
+
 /// NMAP: per-core, NAPI-mode-aware DVFS.
 ///
 /// Wiring (Fig 6): every NAPI poll batch feeds the per-core monitor;
@@ -72,6 +81,12 @@ pub struct NmapGovernor {
     degradations: u64,
     /// Total recoveries across cores.
     recoveries: u64,
+    /// Cores whose telemetry saturation gauge last read at or above
+    /// [`SHED_HOLD_PERMILLE`]: downclock decisions are overridden to
+    /// P0 until the shed pressure clears.
+    shed_hold: Vec<bool>,
+    /// Downclock decisions overridden to P0 by the shed-hold.
+    shed_holds: u64,
 }
 
 impl NmapGovernor {
@@ -93,7 +108,41 @@ impl NmapGovernor {
             degraded: vec![false; cores],
             degradations: 0,
             recoveries: 0,
+            shed_hold: vec![false; cores],
+            shed_holds: 0,
             config,
+        }
+    }
+
+    /// True if the shed-hold is pinning `core` at maximum V/F because
+    /// the server tier reported active admission shedding there.
+    pub fn shed_held(&self, core: CoreId) -> bool {
+        self.shed_hold[core.0]
+    }
+
+    /// Total downclock decisions overridden to P0 by the shed-hold.
+    pub fn shed_holds(&self) -> u64 {
+        self.shed_holds
+    }
+
+    /// Enforces the utilization-based decision for `core` — unless
+    /// the shed-hold is active, in which case the decision is forced
+    /// to P0. The app tier shedding load is a stronger signal than a
+    /// momentary utilization dip: the backlog must drain at full
+    /// clock before the governor is allowed to save power.
+    fn enforce_fallback(
+        &mut self,
+        core: CoreId,
+        sample: UtilSample,
+        now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        if self.shed_hold[core.0] {
+            self.shed_holds += 1;
+            self.fallback.note_pstate(core, PState::P0);
+            actions.push(Action::SetCore(core, PState::P0));
+        } else {
+            self.fallback.on_core_sample(core, sample, now, actions);
         }
     }
 
@@ -198,6 +247,32 @@ impl PStateGovernor for NmapGovernor {
         }
     }
 
+    fn on_telemetry(
+        &mut self,
+        tap: &dyn simcore::TelemetryTap,
+        _now: SimTime,
+        actions: &mut Vec<Action>,
+    ) {
+        // Shed-before-downclock: the per-core saturation gauge is the
+        // app tier saying "I am refusing new work". While it reads at
+        // or above the hold floor, downclock decisions are overridden
+        // (see `enforce_fallback`), and crossing into the hold raises
+        // the core to P0 immediately rather than waiting for the next
+        // sampling tick. Gauges below the floor — including the
+        // always-zero reading of non-overloaded runs — leave behavior
+        // untouched.
+        for core in 0..self.shed_hold.len().min(tap.tap_cores()) {
+            let sat = tap.latest(core, simcore::Gauge::Saturation).unwrap_or(0);
+            let hold = sat >= SHED_HOLD_PERMILLE;
+            if hold && !self.shed_hold[core] {
+                self.shed_holds += 1;
+                self.fallback.note_pstate(CoreId(core), PState::P0);
+                actions.push(Action::SetCore(CoreId(core), PState::P0));
+            }
+            self.shed_hold[core] = hold;
+        }
+    }
+
     fn on_core_sample(
         &mut self,
         core: CoreId,
@@ -224,7 +299,7 @@ impl PStateGovernor for NmapGovernor {
             } else {
                 self.healthy[core.0] = 0;
             }
-            self.fallback.on_core_sample(core, sample, now, actions);
+            self.enforce_fallback(core, sample, now, actions);
             return;
         }
         match self.engines[core.0].mode() {
@@ -240,7 +315,7 @@ impl PStateGovernor for NmapGovernor {
                 // them.
                 if !self.signal_fresh(core, now) {
                     self.degrade(core, now);
-                    self.fallback.on_core_sample(core, sample, now, actions);
+                    self.enforce_fallback(core, sample, now, actions);
                     return;
                 }
                 if sample.busy_frac < deg.busy_floor {
@@ -250,7 +325,7 @@ impl PStateGovernor for NmapGovernor {
                 }
                 if self.suspect[core.0] >= deg.stale_windows {
                     self.degrade(core, now);
-                    self.fallback.on_core_sample(core, sample, now, actions);
+                    self.enforce_fallback(core, sample, now, actions);
                     return;
                 }
                 if self.engines[core.0].on_timer(ratio, now) {
@@ -258,7 +333,7 @@ impl PStateGovernor for NmapGovernor {
                     // and re-enable ondemand (lines 9-11).
                     self.suspect[core.0] = 0;
                     self.ni_log.push(now, (core, NiMark::Fallback));
-                    self.fallback.on_core_sample(core, sample, now, actions);
+                    self.enforce_fallback(core, sample, now, actions);
                 } else {
                     // Still intense: keep the core maximized.
                     actions.push(Action::SetCore(core, PState::P0));
@@ -266,7 +341,7 @@ impl PStateGovernor for NmapGovernor {
             }
             PowerMode::CpuUtilization => {
                 self.suspect[core.0] = 0;
-                self.fallback.on_core_sample(core, sample, now, actions);
+                self.enforce_fallback(core, sample, now, actions);
             }
         }
     }
@@ -300,6 +375,7 @@ impl PStateGovernor for NmapGovernor {
         );
         m.set_counter("nmap.degradations", self.degradations);
         m.set_counter("nmap.recoveries", self.recoveries);
+        m.set_counter("nmap.shed_holds", self.shed_holds);
     }
 
     fn degradation(&self) -> DegradationStats {
@@ -692,6 +768,88 @@ mod tests {
             "broken streak must not recover after {} windows",
             deg.recovery_windows + 1
         );
+    }
+
+    /// A fixed telemetry reading: every core reports the same
+    /// saturation gauge; all other gauges read zero.
+    struct FixedSat {
+        cores: usize,
+        sat: i64,
+    }
+
+    impl simcore::TelemetryTap for FixedSat {
+        fn tap_cores(&self) -> usize {
+            self.cores
+        }
+        fn last_sample_at(&self) -> Option<SimTime> {
+            Some(SimTime::ZERO)
+        }
+        fn latest(&self, _core: usize, gauge: simcore::Gauge) -> Option<i64> {
+            Some(match gauge {
+                simcore::Gauge::Saturation => self.sat,
+                _ => 0,
+            })
+        }
+    }
+
+    #[test]
+    fn shed_hold_suppresses_downclock_until_pressure_clears() {
+        let mut g = nmap();
+        let core = CoreId(0);
+        let timer = g.config().timer_interval;
+        // Saturation over the hold floor: entering the hold raises
+        // the core to P0 immediately.
+        let mut actions = Vec::new();
+        let hot = FixedSat { cores: 8, sat: 950 };
+        g.on_telemetry(&hot, SimTime::ZERO, &mut actions);
+        assert!(g.shed_held(core), "950‰ ≥ hold floor");
+        assert!(
+            actions.contains(&Action::SetCore(core, PState::P0)),
+            "entering the hold must raise V/F without waiting"
+        );
+        // While held, an idle utilization sample must NOT downclock:
+        // shedding comes before power saving, so the decision is P0.
+        actions.clear();
+        g.on_core_sample(core, sample(0.0), SimTime::ZERO + timer, &mut actions);
+        assert_eq!(
+            actions,
+            vec![Action::SetCore(core, PState::P0)],
+            "held core must stay maximized despite idle sample"
+        );
+        assert!(g.shed_holds() >= 2);
+        // Re-asserting the same hot reading is idempotent (no extra
+        // raise action — the hold is level-triggered, edges act once).
+        actions.clear();
+        g.on_telemetry(&hot, SimTime::ZERO + timer, &mut actions);
+        assert!(actions.is_empty(), "steady hold must not re-push actions");
+        // Pressure clears: the hold releases and ondemand decides
+        // again — an idle sample now downclocks normally.
+        let cool = FixedSat { cores: 8, sat: 100 };
+        g.on_telemetry(&cool, SimTime::ZERO + timer * 2, &mut actions);
+        assert!(!g.shed_held(core), "100‰ is under the hold floor");
+        actions.clear();
+        g.on_core_sample(core, sample(0.0), SimTime::ZERO + timer * 3, &mut actions);
+        let Action::SetCore(c, p) = actions[0] else {
+            panic!()
+        };
+        assert_eq!(c, core);
+        assert_ne!(p, PState::P0, "released core must downclock when idle");
+    }
+
+    #[test]
+    fn zero_saturation_telemetry_is_a_no_op() {
+        // The always-zero gauge of a run without admission pressure
+        // must leave the governor byte-identical to one that never
+        // saw telemetry at all.
+        let mut g = nmap();
+        let mut actions = Vec::new();
+        let calm = FixedSat { cores: 8, sat: 0 };
+        g.on_telemetry(&calm, SimTime::ZERO, &mut actions);
+        assert!(actions.is_empty());
+        assert_eq!(g.shed_holds(), 0);
+        for core in 0..8 {
+            assert!(!g.shed_held(CoreId(core)));
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod simpl;
 
 pub use config::{DegradationConfig, NmapConfig};
 pub use engine::{DecisionEngine, PowerMode};
-pub use governor::{NiMark, NmapGovernor};
+pub use governor::{NiMark, NmapGovernor, SHED_HOLD_PERMILLE};
 pub use monitor::ModeTransitionMonitor;
 pub use online::{OnlineConfig, OnlineNmap};
 pub use profiling::ThresholdProfiler;

@@ -116,10 +116,20 @@ pub enum Account {
     /// Fleet tier: late or hedged duplicate responses suppressed after
     /// their request already closed.
     FleetHedgesSuppressed,
+    /// Request packets shed by the server's admission policy before
+    /// entering a socket backlog (bounded-queue overload control).
+    PacketsShed,
+    /// Fleet tier: arrivals shed by LB-side brownout before dispatch
+    /// (counted as admitted, closed immediately as shed).
+    FleetRequestsShed,
+    /// Fleet tier: attempts rejected by a saturated server's admission
+    /// gate (subset of
+    /// [`FleetAttemptsFailed`](Account::FleetAttemptsFailed)).
+    FleetAttemptsShed,
 }
 
 /// Number of accounts (array-backed ledger storage).
-const ACCOUNTS: usize = 26;
+const ACCOUNTS: usize = 29;
 
 impl Account {
     /// All accounts, in declaration order.
@@ -150,6 +160,9 @@ impl Account {
         Account::FleetAttemptsCompleted,
         Account::FleetAttemptsFailed,
         Account::FleetHedgesSuppressed,
+        Account::PacketsShed,
+        Account::FleetRequestsShed,
+        Account::FleetAttemptsShed,
     ];
 }
 

@@ -174,6 +174,11 @@ pub enum FaultKind {
         /// Concentration factor; must exceed 1.
         factor: f64,
     },
+    /// Overload scope: the admission policy is bypassed for the
+    /// window — a misconfigured (or crashed) overload guard. Queues
+    /// grow unbounded again while the scope holds, exactly the
+    /// precondition for a metastable retry storm.
+    AdmissionDisable,
 }
 
 impl FaultKind {
@@ -202,6 +207,7 @@ impl FaultKind {
             FaultKind::LinkLatencySpike { .. } => "link-latency-spike",
             FaultKind::LinkPartition => "link-partition",
             FaultKind::HashSkew { .. } => "hash-skew",
+            FaultKind::AdmissionDisable => "admission-disable",
         }
     }
 }
@@ -390,7 +396,8 @@ impl FaultPlan {
                 | FaultKind::ServerCrash
                 | FaultKind::HealthViewStale
                 | FaultKind::LinkLatencySpike { .. }
-                | FaultKind::LinkPartition => {}
+                | FaultKind::LinkPartition
+                | FaultKind::AdmissionDisable => {}
             }
         }
         Ok(())
@@ -444,6 +451,8 @@ pub struct FaultStats {
     pub skewed_steers: u64,
     /// Health-probe results ignored by a stale LB view.
     pub stale_probes: u64,
+    /// Shed decisions suppressed by a disabled admission guard.
+    pub admission_bypasses: u64,
 }
 
 impl FaultStats {
@@ -470,6 +479,7 @@ impl FaultStats {
             + self.partition_drops
             + self.skewed_steers
             + self.stale_probes
+            + self.admission_bypasses
     }
 
     /// Wire packets lost to faults, both directions.
@@ -1210,6 +1220,33 @@ impl FaultInjector {
         }
     }
 
+    /// Is the admission policy bypassed on `core` right now? Bumps
+    /// the counter and log once per positive query — each bypass is a
+    /// request that would have been shed but was not.
+    #[inline]
+    pub fn admission_bypassed(&mut self, now: SimTime, core: usize) -> bool {
+        #[cfg(feature = "fault")]
+        {
+            if !self.is_active() {
+                return false;
+            }
+            let hit = self.plan.specs.iter().any(|spec| {
+                matches!(spec.kind, FaultKind::AdmissionDisable)
+                    && spec.scope.covers(now, Some(core))
+            });
+            if hit {
+                self.stats.admission_bypasses += 1;
+                self.note(now, "admission-disable", core as u32);
+            }
+            hit
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            let _ = (now, core);
+            false
+        }
+    }
+
     /// Records a steering decision redirected by hash skew.
     #[inline]
     pub fn note_skewed_steer(&mut self, now: SimTime, server: usize) {
@@ -1491,6 +1528,7 @@ mod tests {
             },
             FaultKind::LinkPartition,
             FaultKind::HashSkew { factor: 0.0 },
+            FaultKind::AdmissionDisable,
         ];
         let mut labels: Vec<_> = kinds.iter().map(|k| k.label()).collect();
         labels.sort_unstable();

@@ -87,10 +87,15 @@ pub enum Gauge {
     /// Status bits: bit 0 = governor degraded on this core, bit 1 =
     /// a fault scope is active on this core.
     Flags,
+    /// Admission-queue saturation in per-mille of the bounded app
+    /// queue's capacity (0 when no admission policy bounds the
+    /// queue). The up-coupled overload signal brownout and the
+    /// shed-before-downclock governor ordering consume.
+    Saturation,
 }
 
 /// Number of gauges (row stride per core).
-pub const GAUGES: usize = 8;
+pub const GAUGES: usize = 9;
 
 impl Gauge {
     /// All gauges, in column order.
@@ -103,6 +108,7 @@ impl Gauge {
         Gauge::P99Ns,
         Gauge::PowerMw,
         Gauge::Flags,
+        Gauge::Saturation,
     ];
 
     /// Stable column label (CSV header, trace-counter name).
@@ -116,6 +122,7 @@ impl Gauge {
             Gauge::P99Ns => "p99_ns",
             Gauge::PowerMw => "power_mw",
             Gauge::Flags => "flags",
+            Gauge::Saturation => "saturation_permille",
         }
     }
 
@@ -130,6 +137,7 @@ impl Gauge {
             Gauge::P99Ns => "nmap_core_p99_latency_ns",
             Gauge::PowerMw => "nmap_core_power_milliwatts",
             Gauge::Flags => "nmap_core_status_flags",
+            Gauge::Saturation => "nmap_core_saturation_permille",
         }
     }
 
@@ -144,6 +152,7 @@ impl Gauge {
             Gauge::P99Ns => "Online P99 end-to-end latency for the core, nanoseconds.",
             Gauge::PowerMw => "Instantaneous core power draw, milliwatts.",
             Gauge::Flags => "Status bits: 1 governor degraded, 2 fault scope active.",
+            Gauge::Saturation => "Admission-queue saturation, per mille of the bounded capacity.",
         }
     }
 }
@@ -636,7 +645,9 @@ mod tests {
     #[test]
     fn records_rows_and_taps_latest() {
         let mut s = TimeSeriesSampler::new(2, cfg(10, 8));
-        let row = [1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 13, 14, 15, 16, 17, 18];
+        let row = [
+            1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+        ];
         s.record_row(SimTime::from_micros(10), &row);
         if TimeSeriesSampler::ENABLED {
             assert_eq!(s.rows(), 1);
@@ -755,7 +766,7 @@ mod tests {
         let om = tl.to_openmetrics();
         assert!(om.ends_with("# EOF\n"));
         if TimeSeriesSampler::ENABLED {
-            assert!(csv.contains("10000,0,250,0,0,0,0,0,500,0"));
+            assert!(csv.contains("10000,0,250,0,0,0,0,0,500,0,0"));
             assert!(om.contains("# TYPE nmap_core_util_permille gauge"));
             assert!(om.contains("nmap_core_util_permille{core=\"0\"} 250 0.000010000"));
             assert_eq!(csv, s.finish().to_csv(), "rendering is a pure function");

@@ -1,0 +1,94 @@
+//! Request priority classes for overload brownout.
+//!
+//! When a fleet's load balancer detects server saturation it sheds
+//! the *lowest-priority* arrivals first (brownout), keeping the
+//! latency-critical traffic alive. The class mix models a typical
+//! latency-critical service: a thin slice of high-priority control
+//! traffic, a dominant body of normal requests, and a best-effort
+//! tail (batch refreshes, prefetches) that is safe to drop.
+
+/// Priority class of a generated request, highest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Control-plane / health traffic — never shed by brownout.
+    High,
+    /// The default request class.
+    Normal,
+    /// Best-effort traffic — first to be shed under brownout.
+    Low,
+}
+
+/// Per-mille share of arrivals classified [`Priority::High`].
+pub const HIGH_SHARE_PERMILLE: u32 = 100;
+/// Per-mille share classified [`Priority::High`] or
+/// [`Priority::Normal`]; the remainder is [`Priority::Low`].
+pub const NORMAL_CUM_PERMILLE: u32 = 800;
+
+impl Priority {
+    /// Every class, highest priority first.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Stable label for metrics keys and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Classifies an arrival from a uniform per-mille draw in
+    /// `0..1000` (callers feed a dedicated deterministic RNG stream):
+    /// 10% high, 70% normal, 20% low.
+    pub fn classify(draw_permille: u32) -> Priority {
+        if draw_permille < HIGH_SHARE_PERMILLE {
+            Priority::High
+        } else if draw_permille < NORMAL_CUM_PERMILLE {
+            Priority::Normal
+        } else {
+            Priority::Low
+        }
+    }
+
+    /// True if brownout at the given shedding floor drops this class
+    /// (everything *below* `floor` is shed; `floor` itself survives).
+    pub fn shed_under(self, floor: Priority) -> bool {
+        self > floor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_partitions_the_unit_interval() {
+        let mut counts = [0u32; 3];
+        for draw in 0..1000 {
+            match Priority::classify(draw) {
+                Priority::High => counts[0] += 1,
+                Priority::Normal => counts[1] += 1,
+                Priority::Low => counts[2] += 1,
+            }
+        }
+        assert_eq!(counts, [100, 700, 200]);
+    }
+
+    #[test]
+    fn ordering_is_highest_first() {
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::Normal < Priority::Low);
+        // Brownout at Normal floor sheds only Low.
+        assert!(!Priority::High.shed_under(Priority::Normal));
+        assert!(!Priority::Normal.shed_under(Priority::Normal));
+        assert!(Priority::Low.shed_under(Priority::Normal));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: Vec<_> = Priority::ALL.iter().map(|p| p.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup);
+    }
+}

@@ -54,6 +54,13 @@ TIMELINE_OVERHEAD = 0.03
 # retry/hedge/probe machinery started storming. Absent entries skip
 # the check (the fleet bench is not part of every lane).
 FLEET_OVERHEAD = 1.00
+# Max tolerated admission-gate overhead on a calm fleet (advisory):
+# the overload cell with the full control stack on vs the same cell
+# with unbounded queues, from the same `cargo bench -p nmap-bench
+# --bench overload` run so machine speed cancels. On a calm fleet the
+# gate admits everything, so this is pure bookkeeping cost. Absent
+# entries skip the check.
+OVERLOAD_OVERHEAD = 0.03
 
 
 def load(path):
@@ -150,6 +157,26 @@ def main():
                 f"fleet_cell ({suffix}): chaos overhead "
                 f"{overhead * 100:.2f}% exceeds {FLEET_OVERHEAD * 100:.0f}% — "
                 "retry/hedge/probe machinery may be storming"
+            )
+
+    # Advisory: admission-gate overhead on the calm overload cell,
+    # same run so machine speed cancels. Skipped when the overload
+    # bench did not run in this lane.
+    for suffix in ("fault_on", "fault_off"):
+        on = current.get(f"overload_cell/admission_on_{suffix}")
+        off = current.get(f"overload_cell/admission_off_{suffix}")
+        if not on or not off:
+            continue
+        overhead = on / off - 1.0
+        status = "ok" if overhead <= OVERLOAD_OVERHEAD else "WARN: over budget"
+        print(
+            f"overload_cell  admission overhead {overhead * 100:+5.2f}% "
+            f"({suffix}, advisory ceiling {OVERLOAD_OVERHEAD * 100:.0f}%) {status}"
+        )
+        if overhead > OVERLOAD_OVERHEAD:
+            warnings.append(
+                f"overload_cell ({suffix}): admission overhead "
+                f"{overhead * 100:.2f}% exceeds {OVERLOAD_OVERHEAD * 100:.0f}%"
             )
 
     if warnings:

@@ -5,7 +5,7 @@
 //!   on re-run, and `run_fleet_many`'s worker pool matches serial
 //!   `run_fleet` exactly;
 //! * zero silent loss — under a server-crash schedule every admitted
-//!   request is completed, timed out, or accounted in flight, and
+//!   request is completed, shed, timed out, or accounted in flight, and
 //!   every attempt is completed, crash-failed, suppressed, or
 //!   outstanding (the conservation roll-up inside the run already
 //!   asserts this; the test re-derives it from the summary fields);
@@ -31,7 +31,7 @@ fn small(governor: GovernorKind) -> FleetConfig {
 fn assert_conserved(r: &cluster::FleetResult, label: &str) {
     assert_eq!(
         r.admitted,
-        r.completed + r.timed_out + r.in_flight_at_end,
+        r.completed + r.shed + r.timed_out + r.in_flight_at_end,
         "{label}: request partition leaks"
     );
     assert_eq!(

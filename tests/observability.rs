@@ -256,6 +256,9 @@ fn fleet_metrics_snapshot_matches_summary() {
     assert_eq!(c("fleet.churned_flows"), r.churned_flows);
     let crashes: u64 = r.servers.iter().map(|s| s.crashes).sum();
     assert_eq!(c("fleet.server_crashes"), crashes);
+    // Overload-control counters are always published, even with the
+    // controls off — dashboards can rely on the families existing.
+    assert_overload_counters_reconcile(&r);
     // The eager hedge must actually race real responses.
     assert!(r.hedges > 0, "median-delay hedging produced no hedges");
     assert!(r.suppressed > 0, "winning duplicates must be suppressed");
@@ -264,4 +267,62 @@ fn fleet_metrics_snapshot_matches_summary() {
         assert!(r.ejections >= 1 && r.readmissions >= 1);
         assert_eq!(crashes, 1);
     }
+}
+
+/// Every `fleet.shed.*` / `fleet.breaker.*` / `retry_budget.*`
+/// counter in the snapshot equals the matching `FleetResult` field.
+fn assert_overload_counters_reconcile(r: &cluster::FleetResult) {
+    let c = |key: &str| {
+        r.metrics
+            .counter(key)
+            .unwrap_or_else(|| panic!("metric {key} missing:\n{}", r.metrics.render()))
+    };
+    assert_eq!(c("fleet.shed.requests"), r.shed);
+    assert_eq!(c("fleet.shed.attempts"), r.attempts_shed);
+    assert_eq!(c("fleet.breaker.opens"), r.breaker_opens);
+    assert_eq!(c("fleet.breaker.closes"), r.breaker_closes);
+    assert_eq!(c("fleet.breaker.half_opens"), r.breaker_half_opens);
+    assert_eq!(c("fleet.breaker.short_circuits"), r.breaker_short_circuits);
+    assert_eq!(c("retry_budget.spent"), r.retry_budget_spent);
+    assert_eq!(c("retry_budget.denied"), r.retry_budget_denied);
+}
+
+/// With overload control engaged and a crash forcing retries, the
+/// shed/breaker/budget counters go live and still reconcile exactly
+/// with the run summary — the dashboard view of an overloaded fleet
+/// can never drift from the audited one.
+#[cfg(feature = "fault")]
+#[test]
+fn overload_metrics_reconcile_when_control_engages() {
+    use cluster::{run_fleet, FleetConfig, RetryPolicy};
+    use simcore::{FaultKind, FaultPlan, FaultScope, SimTime};
+
+    let ms = |v: u64| SimTime::ZERO + SimDuration::from_millis(v);
+    let cfg = FleetConfig::new(2, AppKind::Memcached, 48_000.0, GovernorKind::Ondemand)
+        .with_window(SimDuration::from_millis(30), SimDuration::from_millis(120))
+        .with_seed(23)
+        .with_overload_control()
+        // A tight retry policy so the crash window drains the budget
+        // and trips the breaker on the dead server.
+        .with_retry(RetryPolicy {
+            timeout: SimDuration::from_millis(1),
+            max_attempts: 5,
+            backoff_base: SimDuration::from_micros(100),
+            backoff_cap: SimDuration::from_micros(500),
+        })
+        .with_fault_plan(FaultPlan::new().with_seed(5).inject(
+            FaultKind::ServerCrash,
+            FaultScope::window(ms(50), ms(110)).on_core(1),
+        ));
+    let r = run_fleet(cfg);
+    assert_overload_counters_reconcile(&r);
+    assert!(
+        r.breaker_opens > 0,
+        "a 60 ms crash window must trip the dead server's breaker"
+    );
+    assert!(
+        r.retry_budget_spent > 0,
+        "timeout retries must draw on the budget"
+    );
+    assert!(r.audit.is_balanced(), "roll-up unbalanced");
 }

@@ -375,11 +375,14 @@ fn fault_runs_are_deterministic_for_arbitrary_plans() {
 
 /// Fuzzed cluster-scope fault plans: arbitrary compositions of
 /// server crashes, stale health views, link latency spikes, hard
-/// partitions, and hash skew — over random fleet sizes, loads, and
-/// seeds — never panic, never wedge (budgeted), and never violate
+/// partitions, hash skew, load spikes, and admission-gate bypasses —
+/// over random fleet sizes, loads, seeds, and overload-control
+/// settings — never panic, never wedge (budgeted), and never violate
 /// the fleet's exact cross-server conservation roll-up (a violation
 /// inside the run surfaces as a typed `Accounting` error, which this
-/// test treats as failure).
+/// test treats as failure). With overload control drawn in, the
+/// request partition gains its shed term and the shed attempts stay
+/// an audited sub-account of the failed ones.
 #[cfg(feature = "fault")]
 #[test]
 fn fleet_fault_plans_never_violate_conservation() {
@@ -404,6 +407,12 @@ fn fleet_fault_plans_never_violate_conservation() {
             FaultKind::HashSkew {
                 factor: 1.0 + rng.uniform() * 4.0,
             },
+            // Overload kinds: a demand surge and a window where the
+            // admission gate is forced open (shedding suppressed).
+            FaultKind::LoadSpike {
+                factor: 1.2 + rng.uniform() * 1.5,
+            },
+            FaultKind::AdmissionDisable,
         ];
         let mut plan = FaultPlan::new().with_seed(rng.next_u64());
         for _ in 0..range(rng, 2, 6) {
@@ -415,17 +424,23 @@ fn fleet_fault_plans_never_violate_conservation() {
             plan = plan.inject(kind, scope);
         }
         let rps = 6_000.0 + rng.uniform() * 30_000.0;
-        let cfg = FleetConfig::new(servers, AppKind::Memcached, rps, GovernorKind::Ondemand)
+        let mut cfg = FleetConfig::new(servers, AppKind::Memcached, rps, GovernorKind::Ondemand)
             .with_window(SimDuration::from_millis(20), SimDuration::from_millis(100))
             .with_seed(rng.next_u64())
             .with_fault_plan(plan);
+        // Half the draws run with the full overload-control stack so
+        // shedding, budgets, breakers, and brownout are fuzzed under
+        // the same composed chaos schedules.
+        if rng.next_u64() & 1 == 0 {
+            cfg = cfg.with_overload_control();
+        }
         cfg.validate().expect("drawn fleet configs are valid");
         let budget = simcore::StepBudget::unlimited().with_max_events(20_000_000);
         match cluster::try_run_fleet_budgeted(cfg, &budget) {
             Ok(r) => {
                 assert_eq!(
                     r.admitted,
-                    r.completed + r.timed_out + r.in_flight_at_end,
+                    r.completed + r.shed + r.timed_out + r.in_flight_at_end,
                     "request partition leaks under a fuzzed cluster plan"
                 );
                 assert_eq!(
@@ -435,6 +450,10 @@ fn fleet_fault_plans_never_violate_conservation() {
                         + r.suppressed
                         + r.attempts_in_flight_at_end,
                     "attempt partition leaks under a fuzzed cluster plan"
+                );
+                assert!(
+                    r.attempts_shed <= r.attempts_failed,
+                    "shed attempts must stay a sub-account of failed ones"
                 );
                 assert!(r.audit.is_balanced(), "roll-up unbalanced");
             }
